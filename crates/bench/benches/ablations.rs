@@ -1,0 +1,189 @@
+//! Ablation benches for the design choices DESIGN.md calls out: file-domain
+//! alignment, rbIO writer buffering, the aggregator ratio, the exchange
+//! chunk size, and λ. Each group prints the *simulated outcome* table once
+//! (the quantity of interest) and then benchmarks the pipeline under
+//! criterion (the timing regression guard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy, Tuning};
+use rbio_bench::workload::scaled_case;
+use rbio_machine::{simulate, MachineConfig, ProfileLevel, RunMetrics};
+
+const NP: u32 = 2048;
+
+fn run(strategy: Strategy, tuning: Tuning) -> RunMetrics {
+    let case = scaled_case(NP);
+    let plan = CheckpointSpec::new(case.layout(), "abl")
+        .strategy(strategy)
+        .tuning(tuning)
+        .plan()
+        .expect("valid");
+    let mut m = MachineConfig::intrepid(NP);
+    m.profile = ProfileLevel::Off;
+    simulate(&plan.program, &m)
+}
+
+fn run_layout(strategy: Strategy, tuning: Tuning, fields: &[(&str, u64)]) -> RunMetrics {
+    let layout = rbio::layout::DataLayout::uniform(NP, fields);
+    let plan = CheckpointSpec::new(layout, "abl")
+        .strategy(strategy)
+        .tuning(tuning)
+        .plan()
+        .expect("valid");
+    let mut m = MachineConfig::intrepid(NP);
+    m.profile = ProfileLevel::Off;
+    simulate(&plan.program, &m)
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    // Alignment pays when aggregator file domains span several filesystem
+    // blocks (the §V-B regime: fewer, larger fields); when domains shrink
+    // to ~2–3 blocks, rounding them to block multiples imbalances the
+    // aggregators and can invert the effect. Show both regimes.
+    println!("\n[ablation] coIO file-domain alignment at np={NP}:");
+    for (regime, fields) in [
+        ("large domains (2 fields)", &[("E", 1_200_000u64), ("H", 1_200_000)][..]),
+        ("small domains (6 fields)", &[
+            ("Ex", 400_000),
+            ("Ey", 400_000),
+            ("Ez", 400_000),
+            ("Hx", 400_000),
+            ("Hy", 400_000),
+            ("Hz", 400_000),
+        ][..]),
+    ] {
+        for align in [true, false] {
+            let t = Tuning { align_domains: align, ..Tuning::default() };
+            let m = run_layout(Strategy::coio(NP / 64), t, fields);
+            println!(
+                "  {regime:<26} align={align:<5} -> {:>6.2} GB/s  (lock RPCs {}, RMW blocks {})",
+                m.bandwidth_bps() / 1e9,
+                m.fs_stats.lock_rpcs,
+                m.fs_stats.rmw_blocks
+            );
+        }
+    }
+    let mut g = c.benchmark_group("ablation_alignment");
+    g.sample_size(10);
+    for align in [true, false] {
+        g.bench_with_input(BenchmarkId::from_parameter(align), &align, |b, &align| {
+            let t = Tuning { align_domains: align, ..Tuning::default() };
+            b.iter(|| {
+                run_layout(Strategy::coio(NP / 64), t, &[("E", 1_200_000), ("H", 1_200_000)])
+                    .bandwidth_bps()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_writer_buffer(c: &mut Criterion) {
+    println!("\n[ablation] rbIO writer commit buffer at np={NP}:");
+    for mib in [1u64, 4, 16, 64] {
+        let t = Tuning { writer_buffer: mib << 20, ..Tuning::default() };
+        let m = run(Strategy::rbio(NP / 64), t);
+        println!("  buffer={mib:>3} MiB -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
+    }
+    let mut g = c.benchmark_group("ablation_writer_buffer");
+    g.sample_size(10);
+    for mib in [1u64, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
+            let t = Tuning { writer_buffer: mib << 20, ..Tuning::default() };
+            b.iter(|| run(Strategy::rbio(NP / 64), t).bandwidth_bps())
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregator_ratio(c: &mut Criterion) {
+    println!("\n[ablation] coIO aggregator ratio (bgp_nodes_pset) at np={NP}:");
+    for ratio in [16u32, 32, 64] {
+        let m = run(Strategy::CoIo { nf: NP / 64, aggregator_ratio: ratio }, Tuning::default());
+        println!("  ratio={ratio:>3}:1 -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
+    }
+    let mut g = c.benchmark_group("ablation_aggregator_ratio");
+    g.sample_size(10);
+    for ratio in [16u32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
+            b.iter(|| {
+                run(Strategy::CoIo { nf: NP / 64, aggregator_ratio: ratio }, Tuning::default())
+                    .bandwidth_bps()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cb_buffer(c: &mut Criterion) {
+    println!("\n[ablation] ROMIO collective-buffer (exchange round) size at np={NP}:");
+    for mib in [4u64, 16, 64] {
+        let t = Tuning { cb_buffer_size: mib << 20, ..Tuning::default() };
+        let m = run(Strategy::coio(NP / 64), t);
+        println!("  cb={mib:>3} MiB -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
+    }
+    let mut g = c.benchmark_group("ablation_cb_buffer");
+    g.sample_size(10);
+    for mib in [4u64, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
+            let t = Tuning { cb_buffer_size: mib << 20, ..Tuning::default() };
+            b.iter(|| run(Strategy::coio(NP / 64), t).bandwidth_bps())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    println!("\n[ablation] λ (worker-visible fraction of writer time) at np={NP}:");
+    let m = run(Strategy::rbio(NP / 64), Tuning::default());
+    for lambda in [0.0, 0.1, 0.2, 0.5, 1.0] {
+        println!(
+            "  λ={lambda:<4} -> app-visible checkpoint time {:>7.3} s",
+            m.app_blocking(lambda).as_secs_f64()
+        );
+    }
+    let mut g = c.benchmark_group("ablation_lambda_extraction");
+    g.sample_size(10);
+    g.bench_function("app_blocking_sweep", |b| {
+        b.iter(|| {
+            [0.0, 0.1, 0.2, 0.5, 1.0]
+                .iter()
+                .map(|&l| m.app_blocking(l).as_nanos())
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rbio_commit_modes(c: &mut Criterion) {
+    println!("\n[ablation] rbIO commit mode at np={NP}:");
+    for (name, commit) in [
+        ("nf=ng (independent)", RbIoCommit::IndependentPerWriter),
+        ("nf=1  (collective) ", RbIoCommit::CollectiveShared),
+    ] {
+        let m = run(Strategy::RbIo { ng: NP / 64, commit }, Tuning::default());
+        println!("  {name} -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
+    }
+    let mut g = c.benchmark_group("ablation_rbio_commit");
+    g.sample_size(10);
+    for (name, commit) in [
+        ("independent", RbIoCommit::IndependentPerWriter),
+        ("collective", RbIoCommit::CollectiveShared),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run(Strategy::RbIo { ng: NP / 64, commit }, Tuning::default()).bandwidth_bps())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_writer_buffer,
+    bench_aggregator_ratio,
+    bench_cb_buffer,
+    bench_lambda,
+    bench_rbio_commit_modes
+);
+criterion_main!(benches);

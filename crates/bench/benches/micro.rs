@@ -1,0 +1,158 @@
+//! Micro-benchmarks of the core building blocks: event engine, torus
+//! routing, lock manager, planners, format codec, and the SEDG solver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use rbio::format::{crc32, decode_header, encode_header};
+use rbio::layout::DataLayout;
+use rbio::strategy::{CheckpointSpec, Strategy};
+use rbio_gpfs::tokens::FileTokens;
+use rbio_nekcem::maxwell1d::Maxwell1d;
+use rbio_sim::resources::FairPipe;
+use rbio_sim::{EventQueue, Model, SimTime};
+use rbio_topology::{NodeId, Torus3d};
+
+struct Pingpong {
+    left: u64,
+}
+impl Model for Pingpong {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            q.schedule_after(now, SimTime::from_nanos(1), ev ^ 1);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut m = Pingpong { left: 100_000 };
+            let mut q = EventQueue::new();
+            q.schedule(SimTime::ZERO, 0u32);
+            rbio_sim::run(&mut m, &mut q)
+        })
+    });
+    g.finish();
+}
+
+fn bench_torus(c: &mut Criterion) {
+    let t = Torus3d::new([32, 32, 16]);
+    let mut g = c.benchmark_group("torus");
+    g.bench_function("route_far_corner", |b| {
+        b.iter(|| t.route(black_box(NodeId(0)), black_box(NodeId(t.num_nodes() - 1))))
+    });
+    g.bench_function("distance_10k_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..10_000u32 {
+                acc += t.distance(NodeId(i % t.num_nodes()), NodeId((i * 7919) % t.num_nodes()));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_fair_pipe(c: &mut Criterion) {
+    c.bench_function("fair_pipe_64_flows", |b| {
+        b.iter(|| {
+            let mut p = FairPipe::new(1e9);
+            for i in 0..64u64 {
+                p.start(SimTime::from_nanos(i), 1 << 20, f64::INFINITY);
+            }
+            let mut done = 0;
+            while done < 64 {
+                let t = p.next_completion().expect("flows active");
+                done += p.collect_completions(t).len();
+            }
+            done
+        })
+    });
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    c.bench_function("tokens_ascending_1k_acquires", |b| {
+        b.iter(|| {
+            let mut ft = FileTokens::new();
+            for k in 0..1000u32 {
+                ft.acquire(k, u64::from(k) * 100..u64::from(k) * 100 + 10, 100_000);
+            }
+            ft.token_count()
+        })
+    });
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let layout = DataLayout::uniform(
+        4096,
+        &[
+            ("Ex", 400_000),
+            ("Ey", 400_000),
+            ("Ez", 400_000),
+            ("Hx", 400_000),
+            ("Hy", 400_000),
+            ("Hz", 400_000),
+        ],
+    );
+    let mut g = c.benchmark_group("plan_build_4096_ranks");
+    g.sample_size(10);
+    for (name, strategy) in [
+        ("pfpp", Strategy::OnePfpp),
+        ("coio_64to1", Strategy::coio(64)),
+        ("rbio_64to1", Strategy::rbio(64)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                CheckpointSpec::new(layout.clone(), "b")
+                    .strategy(strategy)
+                    .plan()
+                    .expect("valid")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_format(c: &mut Criterion) {
+    let layout = DataLayout::uniform(256, &[("Ex", 1 << 20), ("Ey", 1 << 20)]);
+    let header = encode_header(&layout, "nekcem", 7, 0, 256);
+    let mut g = c.benchmark_group("format");
+    g.bench_function("encode_header_256_ranks", |b| {
+        b.iter(|| encode_header(&layout, "nekcem", 7, 0, 256))
+    });
+    g.bench_function("decode_header_256_ranks", |b| {
+        b.iter(|| decode_header(black_box(&header)).expect("valid"))
+    });
+    let payload = vec![0xA5u8; 1 << 20];
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("crc32_1mib", |b| b.iter(|| crc32(black_box(&payload))));
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sedg_solver");
+    g.sample_size(20);
+    g.bench_function("maxwell1d_step_k16_n8", |b| {
+        let mut s = Maxwell1d::new(16, 8, 1.0);
+        s.plane_wave(1);
+        let dt = s.stable_dt(0.4);
+        b.iter(|| s.step(dt));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_torus,
+    bench_fair_pipe,
+    bench_lock_manager,
+    bench_planning,
+    bench_format,
+    bench_solver
+);
+criterion_main!(benches);

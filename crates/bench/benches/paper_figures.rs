@@ -1,0 +1,115 @@
+//! Criterion harness over the paper-figure pipelines at reduced scale
+//! (1Ki–4Ki simulated ranks), so `cargo bench` exercises every
+//! table/figure code path and timings regress visibly. The full-scale
+//! regeneration (16Ki–64Ki, the numbers in EXPERIMENTS.md) runs through
+//! the dedicated binaries: fig05_bandwidth … table1_perceived.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbio::strategy::{CheckpointSpec, Strategy};
+use rbio_bench::experiments::{fig5_configs, run_config_tuned};
+use rbio_bench::workload::scaled_case;
+use rbio_machine::{simulate, MachineConfig, ProfileLevel};
+
+/// One cell of Figs. 5/6/7 per configuration, at 1Ki ranks.
+fn bench_fig567_cells(c: &mut Criterion) {
+    let case = scaled_case(1024);
+    let mut g = c.benchmark_group("fig05_07_cell_1k");
+    g.sample_size(10);
+    for cfg in fig5_configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(cfg.label), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_config_tuned(&case, cfg, ProfileLevel::Off, Default::default(), 0x1BEB)
+                    .bandwidth_gbs()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 8 sweep points (rbIO file-count sweep) at 2Ki ranks.
+fn bench_fig08_points(c: &mut Criterion) {
+    let case = scaled_case(2048);
+    let mut g = c.benchmark_group("fig08_point_2k");
+    g.sample_size(10);
+    for ng in [32u32, 128, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(ng), &ng, |b, &ng| {
+            b.iter(|| {
+                let plan = CheckpointSpec::new(case.layout(), "f8")
+                    .strategy(Strategy::rbio(ng))
+                    .plan()
+                    .expect("valid");
+                let mut m = MachineConfig::intrepid(2048);
+                m.profile = ProfileLevel::Off;
+                simulate(&plan.program, &m).bandwidth_bps()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 9–11 distribution extraction (per-rank finish times + summary).
+fn bench_distribution_extraction(c: &mut Criterion) {
+    let case = scaled_case(1024);
+    let mut g = c.benchmark_group("fig09_11_distribution_1k");
+    g.sample_size(10);
+    for (name, idx) in [("pfpp", 0usize), ("coio_64to1", 2), ("rbio_nf_ng", 4)] {
+        let cfg = fig5_configs().swap_remove(idx);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_config_tuned(&case, &cfg, ProfileLevel::Off, Default::default(), 1);
+                r.metrics.summary().max_s
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 12 write-activity pipeline (timeline recording + Gantt rows).
+fn bench_fig12_activity(c: &mut Criterion) {
+    let case = scaled_case(1024);
+    let cfg = fig5_configs().swap_remove(4);
+    let mut g = c.benchmark_group("fig12_activity_1k");
+    g.sample_size(10);
+    g.bench_function("rbio_timeline", |b| {
+        b.iter(|| {
+            let r = run_config_tuned(&case, &cfg, ProfileLevel::Writes, Default::default(), 1);
+            r.metrics.timeline.write_activity().len()
+        })
+    });
+    g.finish();
+}
+
+/// Table I / speedup-model pipeline (perceived bandwidth + Eqs. 2–7).
+fn bench_table1_and_model(c: &mut Criterion) {
+    let case = scaled_case(1024);
+    let cfg = fig5_configs().swap_remove(4);
+    let mut g = c.benchmark_group("table1_model_1k");
+    g.sample_size(10);
+    g.bench_function("perceived_and_speedup", |b| {
+        b.iter(|| {
+            let r = run_config_tuned(&case, &cfg, ProfileLevel::Off, Default::default(), 1);
+            let m = rbio::model::SpeedupModel {
+                np: 1024.0,
+                ng: 16.0,
+                lambda: 0.0,
+                bw_coio: 1e9,
+                bw_rbio: r.metrics.bandwidth_bps(),
+                bw_perceived: r.metrics.perceived_bw_bps(),
+                file_size: case.total_bytes as f64,
+            };
+            m.speedup()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig567_cells,
+    bench_fig08_points,
+    bench_distribution_extraction,
+    bench_fig12_activity,
+    bench_table1_and_model
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Calibration scratchpad: clean (noise-free) walls for every config, plus
+//! component budgets. Not part of the figure set; useful when retuning
+//! `MachineConfig`/`FsConfig` constants.
+
+use rbio::strategy::{CheckpointSpec, Tuning};
+use rbio_bench::experiments::fig5_configs;
+use rbio_bench::workload::paper_case;
+use rbio_machine::{simulate, MachineConfig, ProfileLevel};
+
+fn main() {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    for np in [16384u32, 32768, 65536] {
+        let case = paper_case(np);
+        for cfg in fig5_configs() {
+            if cfg.label == "1PFPP" && np > 16384 {
+                continue;
+            }
+            let layout = case.layout();
+            let plan = CheckpointSpec::new(layout, "c")
+                .strategy((cfg.strategy)(case.np))
+                .tuning(Tuning::default())
+                .plan()
+                .unwrap();
+            let mut machine = MachineConfig::intrepid(case.np);
+            machine.profile = ProfileLevel::Off;
+            if quiet {
+                machine = machine.quiet();
+                machine.fs.lock_stall_prob = 0.0;
+                machine.fs.array_noise_rate = 0.0;
+            }
+            let m = simulate(&plan.program, &machine);
+            println!(
+                "{:<26} np={:>6} wall={:>8.2}s bw={:>6.2} GB/s worker_max={:>8.3}s writer_max={:>8.2}s rpcs={} stalls={} bursts={}",
+                cfg.label,
+                np,
+                m.wall.as_secs_f64(),
+                m.bandwidth_bps() / 1e9,
+                m.worker_max().as_secs_f64(),
+                m.writer_max().as_secs_f64(),
+                m.fs_stats.lock_rpcs,
+                m.fs_stats.lock_stalls,
+                m.fs_stats.interference_bursts,
+            );
+        }
+    }
+}

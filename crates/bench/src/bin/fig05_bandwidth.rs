@@ -1,0 +1,53 @@
+//! Figure 5: write bandwidth of the five I/O configurations as a function
+//! of processor count, on the paper's weak-scaling waveguide cases
+//! (np, n, S) = (16Ki, 275M, 39 GB), (32Ki, 550M, 78 GB), (64Ki, 1.1B, 156 GB).
+//!
+//! Usage: `fig05_bandwidth [np ...]` (default: all three paper cases).
+
+use rbio_bench::experiments::{nps_from_args, run_fig567_grid};
+use rbio_bench::report::{check, print_table, FigureData, Series};
+
+fn main() {
+    let nps = nps_from_args();
+    let grid = run_fig567_grid(&nps, 9);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for per_cfg in &grid {
+        let vals: Vec<f64> = per_cfg.iter().map(|r| r.bandwidth_gbs()).collect();
+        series.push(Series {
+            label: per_cfg[0].label.clone(),
+            x: nps.iter().map(|&n| n as f64).collect(),
+            y: vals.clone(),
+        });
+        rows.push((per_cfg[0].label.clone(), vals));
+    }
+    let cols: Vec<String> = nps.iter().map(|n| n.to_string()).collect();
+    print_table("Fig. 5: write bandwidth", &cols, &rows, "GB/s");
+
+    // Shape checks against the paper, evaluated at the largest scale.
+    let last = nps.len() - 1;
+    let bw = |cfg: usize| series[cfg].y[last];
+    let notes = vec![
+        check("1PFPP is >=20x below rbIO nf=ng", bw(4) / bw(0) > 20.0),
+        check("rbIO nf=ng exceeds 13 GB/s at the largest scale", bw(4) > 13.0),
+        check("rbIO nf=ng >=1.5x rbIO nf=1", bw(4) / bw(3) > 1.5),
+        check("coIO nf=1 similar to rbIO nf=1 (within 2x)", {
+            let ratio = bw(1) / bw(3);
+            (0.5..2.0).contains(&ratio)
+        }),
+        check("coIO 64:1 beats coIO nf=1", bw(2) > bw(1)),
+        check("rbIO nf=ng no worse than coIO 64:1 at scale", bw(4) >= bw(2) * 0.95),
+        check(
+            "coIO 64:1 drops at the largest scale (Fig. 10 stragglers)",
+            nps.len() < 2 || series[2].y[last] < series[2].y[last - 1],
+        ),
+    ];
+    FigureData {
+        id: "fig05".into(),
+        title: "Write bandwidth (GB/s) vs processors, GPFS on Intrepid (simulated)".into(),
+        series,
+        notes,
+    }
+    .save();
+}

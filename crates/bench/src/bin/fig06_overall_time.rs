@@ -1,0 +1,54 @@
+//! Figure 6: overall time per checkpointing step (log scale in the paper)
+//! for the five I/O configurations on the weak-scaling cases.
+//!
+//! For blocking approaches (1PFPP, coIO) this is the wall time of the
+//! slowest rank. For rbIO it is the application-visible time: worker
+//! handoff plus the non-overlapped fraction λ of writer activity — the
+//! "relatively flat time bars" the paper highlights.
+//!
+//! Usage: `fig06_overall_time [np ...]`.
+
+use rbio_bench::experiments::{nps_from_args, run_fig567_grid};
+use rbio_bench::report::{check, print_table, FigureData, Series};
+
+fn main() {
+    let nps = nps_from_args();
+    let grid = run_fig567_grid(&nps, 9);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for per_cfg in &grid {
+        let vals: Vec<f64> = per_cfg.iter().map(|r| r.overall_seconds()).collect();
+        series.push(Series {
+            label: per_cfg[0].label.clone(),
+            x: nps.iter().map(|&n| n as f64).collect(),
+            y: vals.clone(),
+        });
+        rows.push((per_cfg[0].label.clone(), vals));
+    }
+    let cols: Vec<String> = nps.iter().map(|n| n.to_string()).collect();
+    print_table("Fig. 6: overall time per checkpoint step", &cols, &rows, "seconds");
+
+    let last = nps.len() - 1;
+    let t = |cfg: usize, i: usize| series[cfg].y[i];
+    let rb_flat = t(4, last) / t(4, 0).max(1e-9);
+    let notes = vec![
+        check("1PFPP takes hundreds of seconds", t(0, 0) > 100.0),
+        check(
+            "rbIO nf=ng time is orders of magnitude below 1PFPP",
+            t(0, last) / t(4, last) > 100.0,
+        ),
+        check("rbIO bars stay relatively flat across scales (<6x)", rb_flat < 6.0),
+        check(
+            "rbIO nf=ng has the smallest application-visible time at scale",
+            (0..4).all(|c| t(4, last) <= t(c, last)),
+        ),
+    ];
+    FigureData {
+        id: "fig06".into(),
+        title: "Overall time per checkpoint step (s) vs processors (simulated)".into(),
+        series,
+        notes,
+    }
+    .save();
+}

@@ -1,0 +1,68 @@
+//! Figure 7: ratio of checkpoint time per I/O step over computation time
+//! per solver time step, for the five configurations.
+//!
+//! NekCEM computes ≈0.26 s per time step at these weak-scaling points
+//! (§III-A/§V-B: compute time is flat across 16Ki/32Ki/64Ki). The paper's
+//! headline: Ratio(1PFPP) is generally above 1000 while Ratio(rbIO) is
+//! under 20, which by Eq. 1 gives the ≈25× production improvement at
+//! nc = 20.
+//!
+//! Usage: `fig07_ratio [np ...]`.
+
+use rbio::model::production_improvement;
+use rbio_bench::experiments::{nps_from_args, run_fig567_grid};
+use rbio_bench::report::{check, print_table, FigureData, Series};
+
+fn main() {
+    let nps = nps_from_args();
+    let grid = run_fig567_grid(&nps, 9);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for per_cfg in &grid {
+        let vals: Vec<f64> = per_cfg.iter().map(|r| r.ratio()).collect();
+        series.push(Series {
+            label: per_cfg[0].label.clone(),
+            x: nps.iter().map(|&n| n as f64).collect(),
+            y: vals.clone(),
+        });
+        rows.push((per_cfg[0].label.clone(), vals));
+    }
+    let cols: Vec<String> = nps.iter().map(|n| n.to_string()).collect();
+    print_table(
+        "Fig. 7: checkpoint time / computation time per step",
+        &cols,
+        &rows,
+        "ratio",
+    );
+
+    let last = nps.len() - 1;
+    let ratio_pfpp = series[0].y[0];
+    let ratio_rbio = series[4].y[last];
+    let improvement = production_improvement(ratio_pfpp, ratio_rbio, 20.0);
+    println!(
+        "\nEq. 1 production improvement at nc=20: ({:.0} + 20) / ({:.1} + 20) = {:.1}x (paper: ~25x)",
+        ratio_pfpp, ratio_rbio, improvement
+    );
+
+    let notes = vec![
+        check("Ratio(1PFPP) > 1000", ratio_pfpp > 1000.0),
+        check("Ratio(rbIO nf=ng) < 20", ratio_rbio < 20.0),
+        check(
+            "rbIO ratio stays flat across scales (<6x)",
+            series[4].y[last] / series[4].y[0].max(1e-9) < 6.0,
+        ),
+        check(
+            "Eq. 1 production improvement is ~25x (15..60)",
+            (15.0..60.0).contains(&improvement),
+        ),
+        format!("production_improvement(nc=20) = {improvement:.1}"),
+    ];
+    FigureData {
+        id: "fig07".into(),
+        title: "Checkpoint/computation time ratio vs processors (simulated)".into(),
+        series,
+        notes,
+    }
+    .save();
+}

@@ -1,0 +1,51 @@
+//! Figure 9: per-rank I/O time distribution for one 1PFPP checkpoint step
+//! on 16,384 processors — the metadata storm. The paper's plot: some
+//! processors finish within seconds, others take 300+ s, with heavy
+//! variance from the metadata queue.
+//!
+//! Usage: `fig09_dist_1pfpp [np]` (default 16384).
+
+use rbio_bench::experiments::{fig5_configs, run_config};
+use rbio_bench::report::{check, FigureData, Series};
+use rbio_bench::workload::paper_case;
+use rbio_machine::ProfileLevel;
+use rbio_sim::stats::TimingSummary;
+
+fn main() {
+    let np = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(16384);
+    let case = paper_case(np);
+    let cfg = &fig5_configs()[0];
+    assert_eq!(cfg.label, "1PFPP");
+    let r = run_config(&case, cfg, ProfileLevel::Off);
+    let finish = &r.metrics.per_rank_finish;
+    let s = TimingSummary::from_times(finish).expect("ranks");
+    println!("Fig. 9: 1PFPP per-rank I/O time, np={np}");
+    println!(
+        "  min={:.2}s  median={:.2}s  mean={:.2}s  p99={:.2}s  max={:.2}s",
+        s.min_s, s.median_s, s.mean_s, s.p99_s, s.max_s
+    );
+
+    // Decimate for the saved series (every 16th rank keeps the shape).
+    let step = (finish.len() / 4096).max(1);
+    let series = vec![Series {
+        label: "1PFPP".into(),
+        x: (0..finish.len()).step_by(step).map(|r| r as f64).collect(),
+        y: finish.iter().step_by(step).map(|t| t.as_secs_f64()).collect(),
+    }];
+    let notes = vec![
+        check("slowest rank takes hundreds of seconds", s.max_s > 100.0),
+        check("fastest rank finishes within seconds", s.min_s < 5.0),
+        check("huge spread (max/min > 50)", s.max_s / s.min_s.max(1e-9) > 50.0),
+        format!("summary: {s:?}"),
+    ];
+    FigureData {
+        id: "fig09".into(),
+        title: format!("Per-rank I/O time (s), 1PFPP, np={np} (simulated; decimated x{step})"),
+        series,
+        notes,
+    }
+    .save();
+}

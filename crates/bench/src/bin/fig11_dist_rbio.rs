@@ -1,0 +1,81 @@
+//! Figure 11: per-rank I/O time distribution for one rbIO (64:1, nf = ng)
+//! checkpoint step on 65,536 processors. The paper's plot shows two
+//! "lines": the upper (nearly flat) line is the writers committing to
+//! disk; the lower line is the workers, who only pay the `MPI_Isend`
+//! handoff and return almost immediately.
+//!
+//! Usage: `fig11_dist_rbio [np]` (default 65536).
+
+use rbio_bench::experiments::{fig5_configs, run_config};
+use rbio_bench::report::{check, FigureData, Series};
+use rbio_bench::workload::paper_case;
+use rbio_machine::ProfileLevel;
+use rbio_sim::stats::TimingSummary;
+
+fn main() {
+    let np = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(65536);
+    let case = paper_case(np);
+    let cfg = &fig5_configs()[4];
+    assert!(cfg.label.contains("nf=ng"), "{}", cfg.label);
+    let r = run_config(&case, cfg, ProfileLevel::Off);
+    let finish = &r.metrics.per_rank_finish;
+    let writers: std::collections::HashSet<u32> =
+        r.metrics.writer_ranks.iter().copied().collect();
+
+    let (mut wx, mut wy, mut kx, mut ky) = (vec![], vec![], vec![], vec![]);
+    for (rank, t) in finish.iter().enumerate() {
+        if writers.contains(&(rank as u32)) {
+            wx.push(rank as f64);
+            wy.push(t.as_secs_f64());
+        } else if rank % 16 == 0 {
+            kx.push(rank as f64);
+            ky.push(t.as_secs_f64());
+        }
+    }
+    let writer_times: Vec<_> = r
+        .metrics
+        .writer_ranks
+        .iter()
+        .map(|&w| finish[w as usize])
+        .collect();
+    let ws = TimingSummary::from_times(&writer_times).expect("writers");
+    let worker_times: Vec<_> = finish
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !writers.contains(&(*i as u32)))
+        .map(|(_, &t)| t)
+        .collect();
+    let ks = TimingSummary::from_times(&worker_times).expect("workers");
+    println!("Fig. 11: rbIO 64:1 nf=ng per-rank I/O time, np={np}");
+    println!(
+        "  writers: min={:.2}s median={:.2}s max={:.2}s   workers: median={:.6}s max={:.6}s",
+        ws.min_s, ws.median_s, ws.max_s, ks.median_s, ks.max_s
+    );
+
+    let notes = vec![
+        check("two bands: every worker finishes before every writer", ks.max_s < ws.min_s),
+        check("workers finish in well under a second", ks.max_s < 1.0),
+        check(
+            "writer line is nearly flat (max < 3x min)",
+            ws.max_s / ws.min_s.max(1e-9) < 3.0,
+        ),
+        check("writers land in the ~10s regime (2..30s)", (2.0..30.0).contains(&ws.max_s)),
+        format!("writers: {ws:?}"),
+        format!("workers: {ks:?}"),
+    ];
+    FigureData {
+        id: "fig11".into(),
+        title: format!(
+            "Per-rank I/O time (s), rbIO 64:1 nf=ng, np={np} (simulated; workers decimated x16)"
+        ),
+        series: vec![
+            Series { label: "writers".into(), x: wx, y: wy },
+            Series { label: "workers".into(), x: kx, y: ky },
+        ],
+        notes,
+    }
+    .save();
+}

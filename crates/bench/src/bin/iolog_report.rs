@@ -1,0 +1,64 @@
+//! Darshan-lite log capture and replay: run a configuration with full
+//! profiling, archive the op-interval log as CSV (the "24/7
+//! characterization" workflow of the paper's profiling references [17,
+//! 26]), read it back, and print the counter digest + write-activity
+//! strip from the *archived* log — proving the log is self-contained.
+//!
+//! Usage: `iolog_report [np] [config-index 0..4]` (defaults 4096, 4 = rbIO
+//! nf=ng).
+
+use std::io::BufReader;
+
+use rbio_bench::experiments::{fig5_configs, run_config};
+use rbio_bench::report::results_dir;
+use rbio_bench::workload::{paper_case, scaled_case};
+use rbio_machine::ProfileLevel;
+use rbio_profile::{read_csv, write_csv, OpKind};
+
+fn main() {
+    let np: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(4096);
+    let idx: usize = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("config index"))
+        .unwrap_or(4);
+    let case = if [16384, 32768, 65536].contains(&np) {
+        paper_case(np)
+    } else {
+        scaled_case(np)
+    };
+    let cfg = &fig5_configs()[idx];
+    println!("capturing full I/O log: {} at np={np}", cfg.label);
+    let r = run_config(&case, cfg, ProfileLevel::Full);
+    let tl = &r.metrics.timeline;
+    println!("{} intervals recorded", tl.len());
+
+    // Archive.
+    let path = results_dir().join(format!("iolog_np{np}_cfg{idx}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create log"));
+    write_csv(tl, &mut f).expect("write log");
+    drop(f);
+    let size = std::fs::metadata(&path).expect("meta").len();
+    println!("archived {} ({} bytes)", path.display(), size);
+
+    // Replay from the archive only.
+    let back = read_csv(BufReader::new(std::fs::File::open(&path).expect("open"))).expect("parse");
+    assert_eq!(back.len(), tl.len(), "archive must be lossless");
+    println!("\n--- counter digest (from archived log) ---");
+    print!("{}", back.counter_report());
+    println!("--- write activity (from archived log) ---");
+    let horizon = back
+        .per_rank_finish(np)
+        .into_iter()
+        .max()
+        .expect("ranks");
+    print!("{}", back.activity_ascii(horizon, 72, 16));
+    println!(
+        "\nbytes written per log: {} (run metric: {})",
+        back.bytes_of(OpKind::Write),
+        r.metrics.bytes_written
+    );
+    assert_eq!(back.bytes_of(OpKind::Write), r.metrics.bytes_written);
+}

@@ -1,0 +1,130 @@
+//! §VII future work, realized: "investigate how rbIO performs on platforms
+//! such as the Cray XT with other file systems such as Lustre". Runs the
+//! paper's configurations against the Lustre personality (narrow per-file
+//! striping, per-OST-object extent locks) on otherwise identical hardware.
+//!
+//! Expected physics (cf. Dickens & Logan, ref. 8; Yu et al., ref. 27): shared-file
+//! collective writes suffer from extent-lock bouncing and narrow stripes;
+//! file-per-writer rbIO keeps each stream on its own objects — so rbIO's
+//! advantage *grows* on Lustre, and wider stripes help the shared file.
+//!
+//! Usage: `lustre_future_work [np]` (default 16384).
+
+use rbio::strategy::{CheckpointSpec, Tuning};
+use rbio_bench::experiments::fig5_configs;
+use rbio_bench::report::{check, print_table, FigureData, Series};
+use rbio_bench::workload::paper_case;
+use rbio_gpfs::FsConfig;
+use rbio_machine::{simulate, MachineConfig, ProfileLevel};
+
+fn main() {
+    let np: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(16384);
+    let case = paper_case(np);
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut lustre_vals = Vec::new();
+    let mut gpfs_vals = Vec::new();
+
+    for cfg in fig5_configs() {
+        if cfg.label == "1PFPP" {
+            continue;
+        }
+        let mut vals = Vec::new();
+        for lustre in [false, true] {
+            let plan = CheckpointSpec::new(case.layout(), "lfw")
+                .strategy((cfg.strategy)(np))
+                .tuning(Tuning::default())
+                .plan()
+                .expect("valid");
+            let mut machine = MachineConfig::intrepid(np);
+            machine.profile = ProfileLevel::Off;
+            if lustre {
+                machine.fs = FsConfig { profile: rbio_gpfs::FsProfile::Lustre, ..machine.fs };
+            }
+            let m = simulate(&plan.program, &machine);
+            vals.push(m.bandwidth_bps() / 1e9);
+        }
+        println!(
+            "{:<26} GPFS {:>7.2} GB/s | Lustre {:>7.2} GB/s",
+            cfg.label, vals[0], vals[1]
+        );
+        gpfs_vals.push(vals[0]);
+        lustre_vals.push(vals[1]);
+        series.push(Series { label: cfg.label.to_string(), x: vec![0.0, 1.0], y: vals.clone() });
+        rows.push((cfg.label.to_string(), vals));
+    }
+    print_table(
+        &format!("Lustre future-work study at np={np}"),
+        &["GPFS".to_string(), "Lustre".to_string()],
+        &rows,
+        "GB/s",
+    );
+
+    // Stripe-width sweeps — what `lfs setstripe -c` exists for. The
+    // shared file needs width to spread over OSTs; file-per-writer
+    // workloads are classically stripe-insensitive (each writer already
+    // has its own object stream).
+    let sweep_cfg = |cfg_idx: usize, stripes: u32| -> f64 {
+        let plan = CheckpointSpec::new(case.layout(), "lfw")
+            .strategy((fig5_configs()[cfg_idx].strategy)(np))
+            .plan()
+            .expect("valid");
+        let mut machine = MachineConfig::intrepid(np);
+        machine.profile = ProfileLevel::Off;
+        machine.fs = FsConfig {
+            profile: rbio_gpfs::FsProfile::Lustre,
+            lustre_stripe_count: stripes,
+            ..machine.fs
+        };
+        simulate(&plan.program, &machine).bandwidth_bps() / 1e9
+    };
+    println!("\nLustre stripe count sweep:");
+    println!("{:>14} {:>16} {:>16}", "stripe_count", "coIO nf=1", "rbIO nf=ng");
+    let mut sweep = Vec::new();
+    let mut rb_sweep = Vec::new();
+    for stripes in [1u32, 2, 4, 8, 16] {
+        let shared = sweep_cfg(1, stripes);
+        let rb = sweep_cfg(4, stripes);
+        println!("{stripes:>14} {shared:>16.2} {rb:>16.2}");
+        sweep.push(shared);
+        rb_sweep.push(rb);
+    }
+
+    // Index: 0=coIO nf=1, 1=coIO 64:1, 2=rbIO nf=1, 3=rbIO nf=ng.
+    let notes = vec![
+        check(
+            "rbIO nf=ng beats both shared-single-file configs on Lustre",
+            lustre_vals[3] > lustre_vals[0] && lustre_vals[3] > lustre_vals[2],
+        ),
+        check(
+            "shared single file hurts more on Lustre than on GPFS (relative)",
+            lustre_vals[0] / lustre_vals[3] < gpfs_vals[0] / gpfs_vals[3],
+        ),
+        check("wider stripes help the shared file (16 > 1 OST)", sweep[4] > sweep[0]),
+        check(
+            "file-per-writer is stripe-insensitive (within 5% across 1..16 OSTs)",
+            rb_sweep.iter().all(|&v| (v / rb_sweep[0] - 1.0).abs() < 0.05),
+        ),
+        format!(
+            "finding: on Lustre, stripe width only matters for the shared file \
+             ({:.1} -> {:.1} GB/s from 1 to 16 OSTs); rbIO's file-per-writer streams \
+             are client-bound and need no striping — the standard Lustre \
+             file-per-process guidance, recovered by the model. rbIO keeps a {:.1}x \
+             edge over the shared-file configs; tuning it per platform is exactly \
+             the future work the paper proposes (SVII).",
+            sweep[0],
+            sweep[4],
+            lustre_vals[3] / lustre_vals[0]
+        ),
+    ];
+    FigureData {
+        id: "lustre_future_work".into(),
+        title: format!("GPFS vs Lustre personality, np={np} (simulated)"),
+        series,
+        notes,
+    }
+    .save();
+}

@@ -1,0 +1,65 @@
+//! End-to-end production improvement (the paper's 25× headline): compose a
+//! production run — `steps` solver time steps with a checkpoint every `nc`
+//! steps — from the simulated per-checkpoint costs, for 1PFPP vs rbIO, and
+//! compare the measured improvement against Eq. 1's closed form.
+//!
+//! Usage: `production_run [np] [nc] [steps]` (defaults 16384, 20, 1000).
+
+use rbio::model::production_improvement;
+use rbio_bench::experiments::{fig5_configs, run_config};
+use rbio_bench::report::{check, FigureData, Series};
+use rbio_bench::workload::paper_case;
+use rbio_machine::ProfileLevel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let np: u32 = args.next().map(|a| a.parse().expect("np")).unwrap_or(16384);
+    let nc: u64 = args.next().map(|a| a.parse().expect("nc")).unwrap_or(20);
+    let steps: u64 = args.next().map(|a| a.parse().expect("steps")).unwrap_or(1000);
+    let case = paper_case(np);
+    let tcomp = case.compute_seconds_per_step;
+
+    let configs = fig5_configs();
+    let pfpp = run_config(&case, &configs[0], ProfileLevel::Off);
+    let rbio_run = run_config(&case, &configs[4], ProfileLevel::Off);
+
+    let production = |tc: f64| -> f64 { steps as f64 * tcomp + (steps / nc) as f64 * tc };
+    let t_pfpp = production(pfpp.overall_seconds());
+    let t_rbio = production(rbio_run.overall_seconds());
+    let measured = t_pfpp / t_rbio;
+    let eq1 = production_improvement(pfpp.ratio(), rbio_run.ratio(), nc as f64);
+
+    println!("Production run at np={np}: {steps} steps, checkpoint every {nc} steps");
+    println!("  computation per step:        {tcomp:.3} s");
+    println!(
+        "  checkpoint (1PFPP):          {:.2} s  -> total {:.0} s ({:.1} h)",
+        pfpp.overall_seconds(),
+        t_pfpp,
+        t_pfpp / 3600.0
+    );
+    println!(
+        "  checkpoint (rbIO nf=ng):     {:.2} s  -> total {:.0} s ({:.1} h)",
+        rbio_run.overall_seconds(),
+        t_rbio,
+        t_rbio / 3600.0
+    );
+    println!("  measured end-to-end improvement: {measured:.1}x");
+    println!("  Eq. 1 closed form:               {eq1:.1}x   (paper: ~25x)");
+
+    let notes = vec![
+        check("composition matches Eq. 1 within 1%", (measured / eq1 - 1.0).abs() < 0.01),
+        check("improvement is ~25x (15..60)", (15.0..60.0).contains(&measured)),
+        format!("measured {measured:.2}x, Eq.1 {eq1:.2}x at np={np}, nc={nc}"),
+    ];
+    FigureData {
+        id: "production_run".into(),
+        title: format!("End-to-end production improvement, np={np}, nc={nc}"),
+        series: vec![Series {
+            label: "total seconds (1PFPP, rbIO)".into(),
+            x: vec![0.0, 1.0],
+            y: vec![t_pfpp, t_rbio],
+        }],
+        notes,
+    }
+    .save();
+}

@@ -1,0 +1,76 @@
+//! Restart read performance at machine scale: simulate reading a whole
+//! checkpoint back (every rank independently reading its blocks from the
+//! files a strategy produced). The paper tunes writes only — reads happen
+//! once per job (§III-B) — but a downstream user restarting at 64Ki ranks
+//! wants to know the bill; this bench supplies it for every strategy.
+//!
+//! Usage: `restart_read [np]` (default 16384).
+
+use rbio::restart::build_restart_plan;
+use rbio::strategy::CheckpointSpec;
+use rbio_bench::experiments::fig5_configs;
+use rbio_bench::report::{check, print_table, FigureData, Series};
+use rbio_bench::workload::paper_case;
+use rbio_machine::{simulate, MachineConfig, ProfileLevel};
+
+fn main() {
+    let np: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(16384);
+    let case = paper_case(np);
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut write_times = Vec::new();
+    let mut read_times = Vec::new();
+    for cfg in fig5_configs() {
+        let plan = CheckpointSpec::new(case.layout(), "rr")
+            .strategy((cfg.strategy)(np))
+            .plan()
+            .expect("valid");
+        let mut machine = MachineConfig::intrepid(np);
+        machine.profile = ProfileLevel::Off;
+        let wm = simulate(&plan.program, &machine);
+        let rp = build_restart_plan(&plan);
+        let rm = simulate(&rp, &machine);
+        let (tw, tr) = (wm.wall.as_secs_f64(), rm.wall.as_secs_f64());
+        println!(
+            "{:<26} write {:>9.2}s | restart read {:>8.2}s ({:>6.2} GB/s)",
+            cfg.label,
+            tw,
+            tr,
+            rm.fs_stats.bytes_read as f64 / tr / 1e9,
+        );
+        rows.push((cfg.label.to_string(), vec![tw, tr]));
+        series.push(Series { label: cfg.label.to_string(), x: vec![0.0, 1.0], y: vec![tw, tr] });
+        write_times.push(tw);
+        read_times.push(tr);
+    }
+    print_table(
+        &format!("Checkpoint write vs restart read at np={np}"),
+        &["write (s)".into(), "read (s)".into()],
+        &rows,
+        "seconds",
+    );
+    let notes = vec![
+        check(
+            "restart reads are far cheaper than 1PFPP writes",
+            read_times[0] < write_times[0] / 10.0,
+        ),
+        check(
+            "read times are similar across strategies (same data, read-shared tokens)",
+            {
+                let mx = read_times.iter().cloned().fold(0.0f64, f64::max);
+                let mn = read_times.iter().cloned().fold(f64::INFINITY, f64::min);
+                mx / mn < 5.0
+            },
+        ),
+    ];
+    FigureData {
+        id: "restart_read".into(),
+        title: format!("Write vs restart-read wall time per strategy, np={np}"),
+        series,
+        notes,
+    }
+    .save();
+}

@@ -1,0 +1,91 @@
+//! §V-C2 speedup analysis (Eqs. 2–7): rbIO's speedup over coIO in total
+//! processor-seconds blocked by I/O, as a function of λ (the fraction of
+//! writer time workers stay blocked), validated against the simulator.
+//!
+//! Paper claims: with λ→0 the speedup approaches (np/ng)·BW_rbIO/BW_coIO;
+//! even with BW_rbIO at half of BW_coIO the speedup is still half the
+//! grouping ratio (~30×).
+//!
+//! Usage: `speedup_model [np]` (default 65536).
+
+use rbio::model::SpeedupModel;
+use rbio_bench::experiments::{fig5_configs, run_config};
+use rbio_bench::report::{check, FigureData, Series};
+use rbio_bench::workload::paper_case;
+use rbio_machine::ProfileLevel;
+
+fn main() {
+    let np = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(65536);
+    let case = paper_case(np);
+    let configs = fig5_configs();
+
+    // Feed the analytic model with *simulated* bandwidths, as the paper
+    // feeds it measured ones.
+    let coio = run_config(&case, &configs[2], ProfileLevel::Off);
+    let rbio_run = run_config(&case, &configs[4], ProfileLevel::Off);
+    let base = SpeedupModel {
+        np: np as f64,
+        ng: (np / 64) as f64,
+        lambda: 0.0,
+        bw_coio: coio.metrics.bandwidth_bps(),
+        bw_rbio: rbio_run.metrics.bandwidth_bps(),
+        bw_perceived: rbio_run.metrics.perceived_bw_bps(),
+        file_size: case.total_bytes as f64,
+    };
+
+    println!("Speedup analysis at np={np} (ng={}, Eqs. 2-7)", np / 64);
+    println!(
+        "  simulated BW_coIO={:.2} GB/s  BW_rbIO={:.2} GB/s  BW_perceived={:.0} TB/s",
+        base.bw_coio / 1e9,
+        base.bw_rbio / 1e9,
+        base.bw_perceived / 1e12
+    );
+    println!("\n{:>8} {:>14} {:>14} {:>14}", "lambda", "exact (Eq.5)", "approx (Eq.6)", "limit (Eq.7)");
+    let lambdas = [0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0];
+    let mut x = Vec::new();
+    let mut exact = Vec::new();
+    let mut approx = Vec::new();
+    for &l in &lambdas {
+        let m = SpeedupModel { lambda: l, ..base };
+        println!(
+            "{l:>8.2} {:>14.1} {:>14.1} {:>14.1}",
+            m.speedup(),
+            m.speedup_approx(),
+            m.speedup_limit()
+        );
+        x.push(l);
+        exact.push(m.speedup());
+        approx.push(m.speedup_approx());
+    }
+
+    let m0 = SpeedupModel { lambda: 0.0, ..base };
+    let worst = SpeedupModel { bw_rbio: base.bw_coio / 2.0, ..m0 };
+    let notes = vec![
+        check(
+            "λ→0 speedup approaches (np/ng)·BW_rbIO/BW_coIO",
+            (m0.speedup() / m0.speedup_limit() - 1.0).abs() < 0.05,
+        ),
+        check(
+            "even at half bandwidth the speedup is ~half the ratio (≈32x)",
+            (worst.speedup_limit() - 32.0).abs() < 1.0,
+        ),
+        check("speedup at λ=0 is large (>40x)", m0.speedup() > 40.0),
+        check(
+            "Eq.6 approximation tracks Eq.5 within 5% over λ",
+            exact.iter().zip(&approx).all(|(e, a)| (e / a - 1.0).abs() < 0.05),
+        ),
+    ];
+    FigureData {
+        id: "speedup_model".into(),
+        title: format!("rbIO-over-coIO blocked-time speedup vs λ at np={np} (Eqs. 2-7)"),
+        series: vec![
+            Series { label: "exact (Eq.5)".into(), x: x.clone(), y: exact },
+            Series { label: "approx (Eq.6)".into(), x, y: approx },
+        ],
+        notes,
+    }
+    .save();
+}

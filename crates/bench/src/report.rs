@@ -1,0 +1,97 @@
+//! Report helpers: aligned tables on stdout plus JSON series under
+//! `target/paper-results/` for EXPERIMENTS.md.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Where result JSON files land.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper-results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// A named data series (one legend entry of a figure).
+#[derive(Debug, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// X values (e.g. processor counts).
+    pub x: Vec<f64>,
+    /// Y values (e.g. GB/s).
+    pub y: Vec<f64>,
+}
+
+/// A figure's regenerated data plus the paper's reference shape notes.
+#[derive(Debug, Serialize)]
+pub struct FigureData {
+    /// Identifier, e.g. `"fig05"`.
+    pub id: String,
+    /// Axis/semantics description.
+    pub title: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (paper expectations, pass/fail of shape checks).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Write `<id>.json` into [`results_dir`].
+    pub fn save(&self) {
+        let path = results_dir().join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("serializable");
+        fs::write(&path, json).expect("write results json");
+        println!("[saved {}]", path.display());
+    }
+}
+
+/// Print a table: header plus rows of (label, values-per-column).
+pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<f64>)], unit: &str) {
+    println!("\n=== {title} ===");
+    print!("{:<28}", "");
+    for c in columns {
+        print!("{c:>16}");
+    }
+    println!("  [{unit}]");
+    for (label, vals) in rows {
+        print!("{label:<28}");
+        for v in vals {
+            if *v >= 100.0 {
+                print!("{v:>16.1}");
+            } else {
+                print!("{v:>16.3}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Check and report a shape expectation; returns the note line.
+pub fn check(name: &str, ok: bool) -> String {
+    let line = format!("[{}] {}", if ok { "OK" } else { "MISS" }, name);
+    println!("{line}");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_data_round_trips_to_disk() {
+        let f = FigureData {
+            id: "test_fig".into(),
+            title: "t".into(),
+            series: vec![Series { label: "a".into(), x: vec![1.0], y: vec![2.0] }],
+            notes: vec![check("demo", true)],
+        };
+        f.save();
+        let path = results_dir().join("test_fig.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"test_fig\""));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,442 @@
+//! Checkpoint file format.
+//!
+//! Mirrors the structure the paper describes (§III-B, Fig. 2): every output
+//! file is a *master header* followed by the field data blocks, sorted by
+//! field, and within a field by rank. The header carries the application
+//! name, checkpoint step, the rank range the file covers, the per-rank size
+//! table of every field, and each field's absolute data offset — everything
+//! a restart (or a ParaView-style post-processor) needs to slice the file
+//! without touching any other metadata.
+//!
+//! All integers are little-endian. The header ends with a CRC32 of itself,
+//! so a truncated or corrupted checkpoint is detected at restart.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic  u32      "RBIO" (0x4F49_4252 LE on disk)
+//! version u32
+//! header_len u64  total master-header bytes including the trailing CRC
+//! step   u64
+//! nranks_total u32
+//! r0 u32, r1 u32  covered rank range [r0, r1)
+//! app_len u16, app bytes
+//! nfields u32
+//! per field:
+//!   name_len u16, name bytes
+//!   kind u8         0 = uniform, 1 = per-rank
+//!   sizes           u64 (uniform) or (r1-r0) × u64
+//!   data_off u64    absolute offset of the field's data in this file
+//! crc32 u32        over all preceding header bytes
+//! ```
+
+use std::sync::OnceLock;
+
+use crate::layout::DataLayout;
+use crate::strategy::CheckpointPlan;
+
+/// File magic ("RBIO" as a little-endian u32).
+pub const MAGIC: u32 = u32::from_le_bytes(*b"RBIO");
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors parsing a checkpoint file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Not an rbio checkpoint file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer is shorter than the header claims.
+    Truncated,
+    /// The header CRC does not match (corruption).
+    CrcMismatch,
+    /// Internally inconsistent header fields.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "bad magic (not an rbio checkpoint)"),
+            FormatError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::Truncated => write!(f, "truncated header"),
+            FormatError::CrcMismatch => write!(f, "header CRC mismatch (corrupt file)"),
+            FormatError::Inconsistent(s) => write!(f, "inconsistent header: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// A parsed master header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Checkpoint step number.
+    pub step: u64,
+    /// Total ranks in the job that wrote this checkpoint.
+    pub nranks_total: u32,
+    /// First covered rank.
+    pub r0: u32,
+    /// One past the last covered rank.
+    pub r1: u32,
+    /// Application name.
+    pub app: String,
+    /// Per field: name, per-covered-rank byte sizes, absolute data offset.
+    pub fields: Vec<ParsedField>,
+    /// Total header length in bytes.
+    pub header_len: u64,
+}
+
+/// One field entry of a parsed header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedField {
+    /// Field name.
+    pub name: String,
+    /// Byte sizes for ranks `r0..r1`, in order.
+    pub sizes: Vec<u64>,
+    /// Absolute offset of this field's data region in the file.
+    pub data_off: u64,
+}
+
+impl FileHeader {
+    /// Offset of `rank`'s block of field `field` within this file.
+    pub fn rank_block(&self, rank: u32, field: usize) -> (u64, u64) {
+        assert!((self.r0..self.r1).contains(&rank), "rank not covered");
+        let f = &self.fields[field];
+        let idx = (rank - self.r0) as usize;
+        let off: u64 = f.sizes[..idx].iter().sum();
+        (f.data_off + off, f.sizes[idx])
+    }
+
+    /// Total size this file should have (header + all field data).
+    pub fn expected_file_size(&self) -> u64 {
+        self.header_len + self.fields.iter().map(|f| f.sizes.iter().sum::<u64>()).sum::<u64>()
+    }
+}
+
+fn sizes_encoding_len(layout: &DataLayout, field: usize, r0: u32, r1: u32) -> u64 {
+    // kind byte + either one u64 or (r1-r0) u64s.
+    match &layout.fields()[field].sizes {
+        crate::layout::FieldSizes::Uniform(_) => 1 + 8,
+        crate::layout::FieldSizes::PerRank(_) => 1 + 8 * u64::from(r1 - r0),
+    }
+}
+
+/// Length in bytes of the master header of a file covering ranks `r0..r1`.
+pub fn header_len(layout: &DataLayout, app: &str, r0: u32, r1: u32) -> u64 {
+    let mut n = 4 + 4 + 8 + 8 + 4 + 4 + 4; // magic..r1
+    n += 2 + app.len() as u64;
+    n += 4; // nfields
+    for (fi, f) in layout.fields().iter().enumerate() {
+        n += 2 + f.name.len() as u64;
+        n += sizes_encoding_len(layout, fi, r0, r1);
+        n += 8; // data_off
+    }
+    n + 4 // crc
+}
+
+/// Absolute offset of field `field`'s data region in a file covering
+/// `r0..r1`.
+pub fn field_data_off(layout: &DataLayout, app: &str, r0: u32, r1: u32, field: usize) -> u64 {
+    header_len(layout, app, r0, r1)
+        + (0..field).map(|g| layout.field_total(g, r0, r1)).sum::<u64>()
+}
+
+/// Total size of a file covering `r0..r1` (header + data).
+pub fn file_size(layout: &DataLayout, app: &str, r0: u32, r1: u32) -> u64 {
+    header_len(layout, app, r0, r1) + layout.data_total(r0, r1)
+}
+
+/// Encode the master header of a file covering `r0..r1`.
+pub fn encode_header(layout: &DataLayout, app: &str, step: u64, r0: u32, r1: u32) -> Vec<u8> {
+    let hlen = header_len(layout, app, r0, r1);
+    let mut out = Vec::with_capacity(hlen as usize);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&hlen.to_le_bytes());
+    out.extend_from_slice(&step.to_le_bytes());
+    out.extend_from_slice(&layout.nranks().to_le_bytes());
+    out.extend_from_slice(&r0.to_le_bytes());
+    out.extend_from_slice(&r1.to_le_bytes());
+    out.extend_from_slice(&(app.len() as u16).to_le_bytes());
+    out.extend_from_slice(app.as_bytes());
+    out.extend_from_slice(&(layout.nfields() as u32).to_le_bytes());
+    for (fi, f) in layout.fields().iter().enumerate() {
+        out.extend_from_slice(&(f.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(f.name.as_bytes());
+        match &f.sizes {
+            crate::layout::FieldSizes::Uniform(sz) => {
+                out.push(0);
+                out.extend_from_slice(&sz.to_le_bytes());
+            }
+            crate::layout::FieldSizes::PerRank(v) => {
+                out.push(1);
+                for &sz in &v[r0 as usize..r1 as usize] {
+                    out.extend_from_slice(&sz.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&field_data_off(layout, app, r0, r1, fi).to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    debug_assert_eq!(out.len() as u64, hlen);
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.pos + n > self.buf.len() {
+            return Err(FormatError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, FormatError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+/// Parse a master header from the start of `bytes` (which may extend past
+/// the header).
+pub fn decode_header(bytes: &[u8]) -> Result<FileHeader, FormatError> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.u32()? != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let version = c.u32()?;
+    if version != VERSION {
+        return Err(FormatError::BadVersion(version));
+    }
+    let hlen = c.u64()?;
+    if hlen as usize > bytes.len() || hlen < 4 {
+        return Err(FormatError::Truncated);
+    }
+    let body = &bytes[..hlen as usize - 4];
+    let stored_crc =
+        u32::from_le_bytes(bytes[hlen as usize - 4..hlen as usize].try_into().expect("len 4"));
+    if crc32(body) != stored_crc {
+        return Err(FormatError::CrcMismatch);
+    }
+    let step = c.u64()?;
+    let nranks_total = c.u32()?;
+    let r0 = c.u32()?;
+    let r1 = c.u32()?;
+    if r0 >= r1 || r1 > nranks_total {
+        return Err(FormatError::Inconsistent(format!(
+            "rank range [{r0},{r1}) of {nranks_total}"
+        )));
+    }
+    let app_len = c.u16()? as usize;
+    let app = String::from_utf8(c.take(app_len)?.to_vec())
+        .map_err(|_| FormatError::Inconsistent("app name not UTF-8".into()))?;
+    let nfields = c.u32()? as usize;
+    let covered = (r1 - r0) as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let name_len = c.u16()? as usize;
+        let name = String::from_utf8(c.take(name_len)?.to_vec())
+            .map_err(|_| FormatError::Inconsistent("field name not UTF-8".into()))?;
+        let kind = c.u8()?;
+        let sizes = match kind {
+            0 => vec![c.u64()?; covered],
+            1 => {
+                let mut v = Vec::with_capacity(covered);
+                for _ in 0..covered {
+                    v.push(c.u64()?);
+                }
+                v
+            }
+            k => return Err(FormatError::Inconsistent(format!("size kind {k}"))),
+        };
+        let data_off = c.u64()?;
+        fields.push(ParsedField { name, sizes, data_off });
+    }
+    if c.pos + 4 != hlen as usize {
+        return Err(FormatError::Inconsistent(format!(
+            "header length {} != declared {}",
+            c.pos + 4,
+            hlen
+        )));
+    }
+    Ok(FileHeader {
+        step,
+        nranks_total,
+        r0,
+        r1,
+        app,
+        fields,
+        header_len: hlen,
+    })
+}
+
+/// Deterministic filler byte for [`rbio_plan::DataRef::Synthetic`] writes,
+/// as a function of absolute file offset. Shared by the real executor and
+/// verification tools so synthetic checkpoints are checkable.
+#[inline]
+pub fn synthetic_byte(file_offset: u64) -> u8 {
+    // Cheap odd-multiplier hash; any byte-valued mixing works.
+    (file_offset.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8
+}
+
+/// Build each rank's in-memory payload for a plan: the header blob (if the
+/// rank owns a file) followed by its packed field blocks, filled by
+/// `fill(rank, field, buf)`.
+pub fn materialize_payloads(
+    plan: &CheckpointPlan,
+    mut fill: impl FnMut(u32, usize, &mut [u8]),
+) -> Vec<Vec<u8>> {
+    let layout = &plan.layout;
+    let mut out = Vec::with_capacity(layout.nranks() as usize);
+    for rank in 0..layout.nranks() {
+        let meta = &plan.payload_meta[rank as usize];
+        let total = meta.header_len + layout.rank_payload_bytes(rank);
+        let mut buf = vec![0u8; total as usize];
+        if let Some(file_idx) = meta.header_for_file {
+            let pf = &plan.plan_files[file_idx];
+            let hdr = encode_header(layout, &plan.app, plan.step, pf.r0, pf.r1);
+            debug_assert_eq!(hdr.len() as u64, meta.header_len);
+            buf[..hdr.len()].copy_from_slice(&hdr);
+        }
+        for f in 0..layout.nfields() {
+            let off = (meta.header_len + layout.payload_field_off(rank, f)) as usize;
+            let len = layout.field_bytes(rank, f) as usize;
+            fill(rank, f, &mut buf[off..off + len]);
+        }
+        out.push(buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{FieldSizes, FieldSpec};
+
+    fn layout() -> DataLayout {
+        DataLayout::new(
+            4,
+            vec![
+                FieldSpec { name: "Ex".into(), sizes: FieldSizes::Uniform(100) },
+                FieldSpec { name: "Hy".into(), sizes: FieldSizes::PerRank(vec![1, 2, 3, 4]) },
+            ],
+        )
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let l = layout();
+        let h = encode_header(&l, "nekcem", 7, 1, 3);
+        assert_eq!(h.len() as u64, header_len(&l, "nekcem", 1, 3));
+        let parsed = decode_header(&h).unwrap();
+        assert_eq!(parsed.step, 7);
+        assert_eq!(parsed.nranks_total, 4);
+        assert_eq!((parsed.r0, parsed.r1), (1, 3));
+        assert_eq!(parsed.app, "nekcem");
+        assert_eq!(parsed.fields.len(), 2);
+        assert_eq!(parsed.fields[0].name, "Ex");
+        assert_eq!(parsed.fields[0].sizes, vec![100, 100]);
+        assert_eq!(parsed.fields[1].sizes, vec![2, 3]);
+        assert_eq!(parsed.header_len, h.len() as u64);
+        // Data offsets: field 0 right after header, field 1 after 200 bytes.
+        assert_eq!(parsed.fields[0].data_off, h.len() as u64);
+        assert_eq!(parsed.fields[1].data_off, h.len() as u64 + 200);
+        assert_eq!(parsed.expected_file_size(), file_size(&l, "nekcem", 1, 3));
+    }
+
+    #[test]
+    fn rank_block_offsets() {
+        let l = layout();
+        let h = encode_header(&l, "x", 0, 0, 4);
+        let parsed = decode_header(&h).unwrap();
+        let (off0, len0) = parsed.rank_block(0, 0);
+        assert_eq!((off0, len0), (parsed.header_len, 100));
+        let (off, len) = parsed.rank_block(2, 1);
+        assert_eq!(len, 3);
+        assert_eq!(off, parsed.fields[1].data_off + 1 + 2);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let l = layout();
+        let mut h = encode_header(&l, "x", 0, 0, 4);
+        assert!(decode_header(&h).is_ok());
+        let mid = h.len() / 2;
+        h[mid] ^= 0xFF;
+        assert_eq!(decode_header(&h), Err(FormatError::CrcMismatch));
+    }
+
+    #[test]
+    fn detects_truncation_and_bad_magic() {
+        let l = layout();
+        let h = encode_header(&l, "x", 0, 0, 4);
+        assert_eq!(decode_header(&h[..10]), Err(FormatError::Truncated));
+        let mut bad = h.clone();
+        bad[0] ^= 1;
+        assert_eq!(decode_header(&bad), Err(FormatError::BadMagic));
+        let mut badv = h;
+        badv[4] = 99;
+        assert!(matches!(decode_header(&badv), Err(FormatError::BadVersion(_)) | Err(FormatError::CrcMismatch)));
+    }
+
+    #[test]
+    fn header_parses_with_trailing_data() {
+        let l = layout();
+        let mut h = encode_header(&l, "x", 0, 0, 4);
+        h.extend_from_slice(&[0xAB; 500]);
+        let parsed = decode_header(&h).unwrap();
+        assert_eq!(parsed.app, "x");
+    }
+
+    #[test]
+    fn synthetic_byte_is_deterministic_and_varied() {
+        assert_eq!(synthetic_byte(42), synthetic_byte(42));
+        let distinct: std::collections::HashSet<u8> =
+            (0..256u64).map(synthetic_byte).collect();
+        assert!(distinct.len() > 100, "filler should vary: {}", distinct.len());
+    }
+}

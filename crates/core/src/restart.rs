@@ -1,0 +1,399 @@
+//! Restart: reading checkpoints back.
+//!
+//! Two paths are provided:
+//!
+//! * [`read_checkpoint`] — plan-guided: reads the files a
+//!   [`CheckpointPlan`] wrote and returns every rank's field data. Used by
+//!   applications restarting from their own plan and by the round-trip
+//!   tests.
+//! * [`scan_checkpoint_dir`] / [`read_checkpoint_auto`] — self-describing:
+//!   reconstructs the checkpoint from the file headers alone (no plan
+//!   needed), verifying that the discovered files cover every rank exactly
+//!   once. This is what a post-processing/visualization tool would use —
+//!   one of the stated benefits of application-level checkpointing (§II).
+//!
+//! A restart [`Program`] builder is also provided so the simulator can
+//! replay the read path (the paper's §III-B mesh-read timings).
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+use rbio_plan::{FileId, Op, Program, ProgramBuilder};
+
+use crate::format::{decode_header, FileHeader, FormatError};
+use crate::strategy::CheckpointPlan;
+
+/// Errors reading a checkpoint back.
+#[derive(Debug)]
+pub enum RestartError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// A file failed to parse or verify.
+    Format {
+        /// File path (relative).
+        file: String,
+        /// Underlying format error.
+        source: FormatError,
+    },
+    /// The set of files does not cover every rank exactly once, or
+    /// disagrees about the job shape.
+    Inconsistent(String),
+}
+
+impl From<io::Error> for RestartError {
+    fn from(e: io::Error) -> Self {
+        RestartError::Io(e)
+    }
+}
+
+impl std::fmt::Display for RestartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartError::Io(e) => write!(f, "I/O: {e}"),
+            RestartError::Format { file, source } => write!(f, "{file}: {source}"),
+            RestartError::Inconsistent(s) => write!(f, "inconsistent checkpoint: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RestartError {}
+
+/// A fully restored checkpoint: every rank's field blocks.
+#[derive(Debug, Clone)]
+pub struct RestoredData {
+    /// Checkpoint step recovered from the headers.
+    pub step: u64,
+    /// Total ranks.
+    pub nranks: u32,
+    /// Field names, in order.
+    pub field_names: Vec<String>,
+    /// `data[rank][field]` = that rank's bytes for that field.
+    data: Vec<Vec<Vec<u8>>>,
+}
+
+impl RestoredData {
+    /// A rank's bytes for one field.
+    pub fn field_data(&self, rank: u32, field: usize) -> &[u8] {
+        &self.data[rank as usize][field]
+    }
+
+    /// Total restored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.data
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+}
+
+fn read_header(path: &Path) -> Result<FileHeader, RestartError> {
+    let mut f = File::open(path)?;
+    // Headers are small; read a generous prefix, growing if `header_len`
+    // says we need more.
+    let mut buf = vec![0u8; 64 * 1024];
+    let n = read_up_to(&mut f, &mut buf)?;
+    buf.truncate(n);
+    match decode_header(&buf) {
+        Ok(h) => Ok(h),
+        Err(FormatError::Truncated) if n >= 16 => {
+            let hlen = u64::from_le_bytes(buf[8..16].try_into().expect("len 8")) as usize;
+            let mut full = vec![0u8; hlen];
+            f.seek(SeekFrom::Start(0))?;
+            f.read_exact(&mut full).map_err(RestartError::Io)?;
+            decode_header(&full).map_err(|e| RestartError::Format {
+                file: path.display().to_string(),
+                source: e,
+            })
+        }
+        Err(e) => Err(RestartError::Format {
+            file: path.display().to_string(),
+            source: e,
+        }),
+    }
+}
+
+fn read_up_to(f: &mut File, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match f.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(n)
+}
+
+fn extract(
+    dir: &Path,
+    rel: &str,
+    header: &FileHeader,
+    out: &mut [Vec<Vec<u8>>],
+) -> Result<(), RestartError> {
+    let path = dir.join(rel);
+    let f = File::open(&path)?;
+    let actual = f.metadata()?.len();
+    if actual < header.expected_file_size() {
+        return Err(RestartError::Inconsistent(format!(
+            "{rel}: file is {actual} bytes, header expects {}",
+            header.expected_file_size()
+        )));
+    }
+    for rank in header.r0..header.r1 {
+        for field in 0..header.fields.len() {
+            let (off, len) = header.rank_block(rank, field);
+            let mut buf = vec![0u8; len as usize];
+            f.read_exact_at(&mut buf, off)?;
+            out[rank as usize].push(buf);
+        }
+    }
+    Ok(())
+}
+
+/// Read back the checkpoint a plan wrote under `dir`.
+pub fn read_checkpoint(dir: impl AsRef<Path>, plan: &CheckpointPlan) -> Result<RestoredData, RestartError> {
+    let dir = dir.as_ref();
+    let nranks = plan.layout.nranks();
+    let mut data: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nranks as usize];
+    let mut step = None;
+    for pf in &plan.plan_files {
+        let header = read_header(&dir.join(&pf.name))?;
+        if (header.r0, header.r1) != (pf.r0, pf.r1) {
+            return Err(RestartError::Inconsistent(format!(
+                "{}: covers [{},{}) but plan says [{},{})",
+                pf.name, header.r0, header.r1, pf.r0, pf.r1
+            )));
+        }
+        if header.nranks_total != nranks {
+            return Err(RestartError::Inconsistent(format!(
+                "{}: written by a {}-rank job, plan has {nranks}",
+                pf.name, header.nranks_total
+            )));
+        }
+        step = Some(header.step);
+        extract(dir, &pf.name, &header, &mut data)?;
+    }
+    for (r, d) in data.iter().enumerate() {
+        if d.len() != plan.layout.nfields() {
+            return Err(RestartError::Inconsistent(format!(
+                "rank {r}: {} field blocks restored, layout has {}",
+                d.len(),
+                plan.layout.nfields()
+            )));
+        }
+    }
+    Ok(RestoredData {
+        step: step.unwrap_or(0),
+        nranks,
+        field_names: plan.layout.fields().iter().map(|f| f.name.clone()).collect(),
+        data,
+    })
+}
+
+/// Discover every rbio checkpoint file under `dir` whose name starts with
+/// `prefix`, returning `(relative name, parsed header)` sorted by covered
+/// rank range.
+pub fn scan_checkpoint_dir(
+    dir: impl AsRef<Path>,
+    prefix: &str,
+) -> Result<Vec<(String, FileHeader)>, RestartError> {
+    let dir = dir.as_ref();
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with(prefix) || !name.ends_with(".rbio") {
+            continue;
+        }
+        let header = read_header(&entry.path())?;
+        out.push((name, header));
+    }
+    out.sort_by_key(|(_, h)| (h.r0, h.r1));
+    Ok(out)
+}
+
+/// Rebuild a checkpoint from its files alone (no plan): headers are
+/// self-describing, so any tool can slice the data — the portability
+/// argument for application-level checkpointing.
+pub fn read_checkpoint_auto(
+    dir: impl AsRef<Path>,
+    prefix: &str,
+) -> Result<RestoredData, RestartError> {
+    let dir = dir.as_ref();
+    let files = scan_checkpoint_dir(dir, prefix)?;
+    if files.is_empty() {
+        return Err(RestartError::Inconsistent(format!(
+            "no '{prefix}*.rbio' files found"
+        )));
+    }
+    let nranks = files[0].1.nranks_total;
+    let step = files[0].1.step;
+    let nfields = files[0].1.fields.len();
+    let field_names: Vec<String> = files[0].1.fields.iter().map(|f| f.name.clone()).collect();
+    // Coverage check: the rank ranges must tile [0, nranks).
+    let mut cursor = 0u32;
+    for (name, h) in &files {
+        if h.nranks_total != nranks || h.step != step || h.fields.len() != nfields {
+            return Err(RestartError::Inconsistent(format!(
+                "{name}: header disagrees with the first file's job shape"
+            )));
+        }
+        if h.r0 != cursor {
+            return Err(RestartError::Inconsistent(format!(
+                "rank coverage gap/overlap at {cursor} (file {name} starts at {})",
+                h.r0
+            )));
+        }
+        cursor = h.r1;
+    }
+    if cursor != nranks {
+        return Err(RestartError::Inconsistent(format!(
+            "files cover ranks [0,{cursor}) of {nranks}"
+        )));
+    }
+    let mut data: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nranks as usize];
+    for (name, h) in &files {
+        extract(dir, name, h, &mut data)?;
+    }
+    Ok(RestoredData { step, nranks, field_names, data })
+}
+
+/// Build a restart [`Program`]: every rank opens the file covering it and
+/// reads its own blocks (independent reads — reads happen once per job, so
+/// the paper leaves them untuned; §III-B).
+pub fn build_restart_plan(plan: &CheckpointPlan) -> Program {
+    let layout = &plan.layout;
+    let np = layout.nranks();
+    // Restart reads into staging; the payload buffers are unused.
+    let mut b = ProgramBuilder::new(vec![0; np as usize]);
+    // Mirror the plan's files.
+    let mut ids: Vec<FileId> = Vec::with_capacity(plan.plan_files.len());
+    for (i, pf) in plan.plan_files.iter().enumerate() {
+        ids.push(b.file(pf.name.clone(), plan.program.files[i].size));
+    }
+    for (i, pf) in plan.plan_files.iter().enumerate() {
+        let hdr = crate::format::header_len(layout, &plan.app, pf.r0, pf.r1);
+        for rank in pf.r0..pf.r1 {
+            b.reserve_staging(rank, layout.rank_payload_bytes(rank));
+            b.push(rank, Op::Open { file: ids[i], create: false });
+            for f in 0..layout.nfields() {
+                let len = layout.field_bytes(rank, f);
+                if len == 0 {
+                    continue;
+                }
+                let field_base = hdr
+                    + (0..f).map(|g| layout.field_total(g, pf.r0, pf.r1)).sum::<u64>();
+                b.push(
+                    rank,
+                    Op::ReadAt {
+                        file: ids[i],
+                        offset: field_base + layout.field_rank_off(f, pf.r0, rank),
+                        len,
+                        staging_off: layout.payload_field_off(rank, f),
+                    },
+                );
+            }
+            b.push(rank, Op::Close { file: ids[i] });
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig};
+    use crate::format::materialize_payloads;
+    use crate::layout::DataLayout;
+    use crate::strategy::{CheckpointSpec, Strategy};
+    use rbio_plan::{validate, CoverageMode};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("rbio-restart-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn fill(rank: u32, field: usize, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (rank as usize * 31 + field * 7 + i) as u8;
+        }
+    }
+
+    #[test]
+    fn pfpp_write_then_read_round_trip() {
+        let layout = DataLayout::uniform(4, &[("Ex", 64), ("Ey", 32)]);
+        let plan = CheckpointSpec::new(layout, "ck").step(5).plan().unwrap();
+        let dir = tmpdir("pfpp");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        let restored = read_checkpoint(&dir, &plan).unwrap();
+        assert_eq!(restored.step, 5);
+        assert_eq!(restored.nranks, 4);
+        assert_eq!(restored.field_names, vec!["Ex", "Ey"]);
+        for r in 0..4u32 {
+            for f in 0..2usize {
+                let mut want = vec![0u8; if f == 0 { 64 } else { 32 }];
+                fill(r, f, &mut want);
+                assert_eq!(restored.field_data(r, f), &want[..], "rank {r} field {f}");
+            }
+        }
+        // Auto-discovery agrees.
+        let auto = read_checkpoint_auto(&dir, "ck").unwrap();
+        assert_eq!(auto.total_bytes(), restored.total_bytes());
+        assert_eq!(auto.field_data(2, 1), restored.field_data(2, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_plan_validates_and_runs() {
+        let layout = DataLayout::uniform(4, &[("Ex", 64)]);
+        let plan = CheckpointSpec::new(layout, "ck")
+            .strategy(Strategy::coio(2))
+            .plan()
+            .unwrap();
+        let dir = tmpdir("rplan");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+
+        let rp = build_restart_plan(&plan);
+        validate(&rp, CoverageMode::Read).unwrap();
+        execute(&rp, vec![vec![]; 4], &ExecConfig::new(&dir)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_reported() {
+        let layout = DataLayout::uniform(2, &[("x", 8)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(read_checkpoint(&dir, &plan).is_err());
+        assert!(read_checkpoint_auto(&dir, "ck").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let layout = DataLayout::uniform(2, &[("x", 1000)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("trunc");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        // Truncate the second file mid-data.
+        let victim = dir.join(&plan.plan_files[1].name);
+        let f = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+        f.set_len(200).unwrap();
+        drop(f);
+        let err = read_checkpoint(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, RestartError::Inconsistent(_)),
+            "want Inconsistent, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,411 @@
+//! A small MPI-like in-process runtime.
+//!
+//! NekCEM-style applications are SPMD: every rank runs the same program on
+//! its own data, communicating by message passing (§III-A). This module
+//! provides that shape at in-process scale — one OS thread per rank, a
+//! [`Comm`] handle with `send`/`recv`/`barrier`/reductions — so a
+//! downstream application can write its compute loop naturally and call
+//! [`checkpoint_rank`] collectively wherever it wants a checkpoint, with
+//! every rank executing exactly its own slice of the compiled plan.
+//!
+//! The semantics mirror the plan executor in [`crate::exec`] (nonblocking
+//! sends, FIFO matching per `(src, tag)` channel); a test asserts that a
+//! plan executed rank-by-rank under this runtime produces byte-identical
+//! files to [`crate::exec::execute`].
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::OpenOptions;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rbio_plan::{DataRef, Op, Program};
+
+use crate::format::synthetic_byte;
+
+type Msg = (u32, u64, Vec<u8>);
+
+/// Communicator handle owned by one rank's thread.
+pub struct Comm {
+    rank: u32,
+    size: u32,
+    senders: Arc<Vec<Sender<Msg>>>,
+    rx: Receiver<Msg>,
+    stash: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
+    world_barrier: Arc<Barrier>,
+    reduce_slots: Arc<Vec<Mutex<Vec<f64>>>>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Nonblocking-style send (the data is buffered; this call does not
+    /// wait for the receiver — `MPI_Isend` with eager buffering).
+    pub fn send(&self, dst: u32, tag: u64, data: &[u8]) {
+        self.senders[dst as usize]
+            .send((self.rank, tag, data.to_vec()))
+            .expect("peer threads live for the runtime's duration");
+    }
+
+    /// Blocking receive matching `(src, tag)`, FIFO per channel.
+    pub fn recv(&mut self, src: u32, tag: u64) -> Vec<u8> {
+        if let Some(q) = self.stash.get_mut(&(src, tag)) {
+            if let Some(d) = q.pop_front() {
+                return d;
+            }
+        }
+        loop {
+            let (s, t, d) = self.rx.recv().expect("channel open");
+            if s == src && t == tag {
+                return d;
+            }
+            self.stash.entry((s, t)).or_default().push_back(d);
+        }
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        self.world_barrier.wait();
+    }
+
+    /// All-reduce a double with `op` (commutative); returns the reduction
+    /// of every rank's contribution. Implemented as a shared slot vector
+    /// plus two barriers — fine at in-process scale.
+    pub fn allreduce_f64(&self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        {
+            let mut slot = self.reduce_slots[0].lock().expect("no poisoned locks");
+            slot[self.rank as usize] = value;
+        }
+        self.barrier();
+        let result = {
+            let slot = self.reduce_slots[0].lock().expect("no poisoned locks");
+            slot.iter().copied().reduce(&op).expect("nonempty")
+        };
+        self.barrier();
+        result
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the payload.
+    pub fn broadcast(&mut self, root: u32, data: Option<&[u8]>) -> Vec<u8> {
+        const BCAST_TAG: u64 = u64::MAX - 1;
+        if self.rank == root {
+            let d = data.expect("root must supply the payload");
+            for r in 0..self.size {
+                if r != root {
+                    self.send(r, BCAST_TAG, d);
+                }
+            }
+            d.to_vec()
+        } else {
+            self.recv(root, BCAST_TAG)
+        }
+    }
+}
+
+/// Run `f` on `nranks` ranks (one thread each) and collect the per-rank
+/// return values in rank order.
+pub fn run<T, F>(nranks: u32, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    assert!(nranks >= 1);
+    let mut txs = Vec::with_capacity(nranks as usize);
+    let mut rxs = Vec::with_capacity(nranks as usize);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded::<Msg>();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+    let senders = Arc::new(txs);
+    let world_barrier = Arc::new(Barrier::new(nranks as usize));
+    let reduce_slots = Arc::new(vec![Mutex::new(vec![0.0; nranks as usize])]);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks as usize);
+        for (rank, rx) in rxs.iter_mut().enumerate() {
+            let comm = Comm {
+                rank: rank as u32,
+                size: nranks,
+                senders: Arc::clone(&senders),
+                rx: rx.take().expect("receiver"),
+                stash: HashMap::new(),
+                world_barrier: Arc::clone(&world_barrier),
+                reduce_slots: Arc::clone(&reduce_slots),
+            };
+            let f = &f;
+            handles.push(scope.spawn(move || f(comm)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread must not panic"))
+            .collect()
+    })
+}
+
+/// Execute `rank`'s ops of a checkpoint `program` inside an application
+/// thread, using its [`Comm`] for the messaging ops. Must be called by
+/// *every* rank of the runtime with the same program (a collective call,
+/// like the strategies' MPI originals). `payload` is this rank's packed
+/// payload (see [`crate::format::materialize_payloads`]).
+///
+/// Plan barriers use dedicated tags over `comm` (a flat fan-in/fan-out to
+/// the group's first rank), so they do not interfere with application
+/// messages as long as the application avoids tags ≥ 2⁶².
+pub fn checkpoint_rank(
+    comm: &mut Comm,
+    program: &Program,
+    payload: &[u8],
+    base_dir: impl AsRef<Path>,
+) -> io::Result<()> {
+    let rank = comm.rank();
+    assert_eq!(comm.size(), program.nranks(), "collective call on all ranks");
+    assert!(
+        payload.len() as u64 >= program.payload[rank as usize],
+        "payload too small for rank {rank}"
+    );
+    let base: PathBuf = base_dir.as_ref().to_path_buf();
+    std::fs::create_dir_all(&base)?;
+    let mut staging = vec![0u8; program.staging[rank as usize] as usize];
+    let mut files: HashMap<u32, std::fs::File> = HashMap::new();
+    const BARRIER_TAG_BASE: u64 = 1 << 62;
+    const PLAN_TAG_BASE: u64 = 1 << 61;
+
+    let resolve = |r: &DataRef, staging: &[u8], off_hint: u64| -> Vec<u8> {
+        match *r {
+            DataRef::Own { off, len } => payload[off as usize..(off + len) as usize].to_vec(),
+            DataRef::Staging { off, len } => staging[off as usize..(off + len) as usize].to_vec(),
+            DataRef::Synthetic { len } => (0..len).map(|i| synthetic_byte(off_hint + i)).collect(),
+        }
+    };
+
+    for op in &program.ops[rank as usize] {
+        match op {
+            Op::Compute { .. } => {}
+            Op::Pack { src, staging_off, bytes } => {
+                if let Some(s) = src {
+                    match *s {
+                        DataRef::Staging { off, len } => staging.copy_within(
+                            off as usize..(off + len) as usize,
+                            *staging_off as usize,
+                        ),
+                        _ => {
+                            let data = resolve(s, &staging, 0);
+                            staging[*staging_off as usize..*staging_off as usize + *bytes as usize]
+                                .copy_from_slice(&data);
+                        }
+                    }
+                }
+            }
+            Op::Send { dst, tag, src } => {
+                let data = resolve(src, &staging, 0);
+                comm.send(*dst, PLAN_TAG_BASE + tag.0, &data);
+            }
+            Op::Recv { src, tag, bytes, staging_off } => {
+                let data = comm.recv(*src, PLAN_TAG_BASE + tag.0);
+                if data.len() as u64 != *bytes {
+                    return Err(io::Error::other("plan recv size mismatch"));
+                }
+                staging[*staging_off as usize..*staging_off as usize + data.len()]
+                    .copy_from_slice(&data);
+            }
+            Op::Barrier { comm: cid } => {
+                // Flat fan-in/fan-out over the group's first rank, using a
+                // per-comm tag so concurrent groups stay independent.
+                let members = &program.comms[cid.0 as usize];
+                let leader = members[0];
+                let tag = BARRIER_TAG_BASE + u64::from(cid.0);
+                if rank == leader {
+                    for &m in members.iter().skip(1) {
+                        let _ = comm.recv(m, tag);
+                    }
+                    for &m in members.iter().skip(1) {
+                        comm.send(m, tag, &[]);
+                    }
+                } else {
+                    comm.send(leader, tag, &[]);
+                    let _ = comm.recv(leader, tag);
+                }
+            }
+            Op::Open { file, create } => {
+                let path = base.join(&program.files[file.0 as usize].name);
+                let f = if *create {
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                    OpenOptions::new().create(true).truncate(true).write(true).read(true).open(&path)?
+                } else {
+                    OpenOptions::new().write(true).read(true).open(&path)?
+                };
+                files.insert(file.0, f);
+            }
+            Op::WriteAt { file, offset, src } => {
+                let data = resolve(src, &staging, *offset);
+                files
+                    .get(&file.0)
+                    .expect("validated plan opens before writing")
+                    .write_all_at(&data, *offset)?;
+            }
+            Op::ReadAt { file, offset, len, staging_off } => {
+                let dst =
+                    &mut staging[*staging_off as usize..*staging_off as usize + *len as usize];
+                files
+                    .get(&file.0)
+                    .expect("validated plan opens before reading")
+                    .read_exact_at(dst, *offset)?;
+            }
+            Op::Close { file } => {
+                files.remove(&file.0);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig};
+    use crate::format::materialize_payloads;
+    use crate::layout::DataLayout;
+    use crate::strategy::{CheckpointSpec, Strategy};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rbio-rt-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn send_recv_and_barrier() {
+        let results = run(4, |mut comm| {
+            let r = comm.rank();
+            // Ring: send to the right, receive from the left.
+            comm.send((r + 1) % 4, 7, &[r as u8; 3]);
+            let left = comm.recv((r + 3) % 4, 7);
+            comm.barrier();
+            left[0]
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let results = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"one");
+                comm.send(1, 2, b"two");
+                0
+            } else {
+                // Receive in reverse order.
+                let two = comm.recv(0, 2);
+                let one = comm.recv(0, 1);
+                assert_eq!(two, b"two");
+                assert_eq!(one, b"one");
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn allreduce_and_broadcast() {
+        let sums = run(5, |comm| {
+            comm.allreduce_f64(f64::from(comm.rank()) + 1.0, |a, b| a + b)
+        });
+        assert!(sums.iter().all(|&s| (s - 15.0).abs() < 1e-12));
+        let payloads = run(3, |mut comm| {
+            if comm.rank() == 1 {
+                comm.broadcast(1, Some(b"mesh"))
+            } else {
+                comm.broadcast(1, None)
+            }
+        });
+        assert!(payloads.iter().all(|p| p == b"mesh"));
+    }
+
+    #[test]
+    fn plan_under_rt_matches_exec_byte_for_byte() {
+        let layout = DataLayout::uniform(8, &[("Ex", 2048), ("Hy", 512)]);
+        let fill = |rank: u32, field: usize, buf: &mut [u8]| {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (rank as usize * 13 + field * 5 + i) as u8;
+            }
+        };
+        for strategy in [Strategy::rbio(2), Strategy::coio(2), Strategy::OnePfpp] {
+            let plan = CheckpointSpec::new(layout.clone(), "rt")
+                .strategy(strategy)
+                .plan()
+                .expect("plan");
+            let payloads = materialize_payloads(&plan, fill);
+
+            let dir_exec = tmpdir(&format!("exec-{strategy:?}").replace([' ', ':', '{', '}'], ""));
+            execute(&plan.program, payloads.clone(), &ExecConfig::new(&dir_exec)).expect("exec");
+
+            let dir_rt = tmpdir(&format!("rt-{strategy:?}").replace([' ', ':', '{', '}'], ""));
+            let program = &plan.program;
+            let payloads_ref = &payloads;
+            let dir_rt_ref = &dir_rt;
+            run(8, |mut comm| {
+                let rank = comm.rank();
+                checkpoint_rank(&mut comm, program, &payloads_ref[rank as usize], dir_rt_ref)
+                    .expect("rt checkpoint");
+            });
+
+            for pf in &plan.plan_files {
+                let a = std::fs::read(dir_exec.join(&pf.name)).expect("exec file");
+                let b = std::fs::read(dir_rt.join(&pf.name)).expect("rt file");
+                assert_eq!(a, b, "{strategy:?}: {} differs", pf.name);
+            }
+            std::fs::remove_dir_all(&dir_exec).ok();
+            std::fs::remove_dir_all(&dir_rt).ok();
+        }
+    }
+
+    #[test]
+    fn app_loop_with_interleaved_checkpoints() {
+        // An SPMD app: iterate, halo-exchange, checkpoint mid-loop.
+        let layout = DataLayout::uniform(4, &[("u", 64)]);
+        let plan = CheckpointSpec::new(layout, "loop")
+            .strategy(Strategy::rbio(1))
+            .plan()
+            .expect("plan");
+        let dir = tmpdir("app-loop");
+        let program = &plan.program;
+        let dir_ref = &dir;
+        let finals = run(4, |mut comm| {
+            let r = comm.rank();
+            let mut u = vec![f64::from(r); 16];
+            for _ in 0..3 {
+                // "Solve": average with the left neighbour's edge value.
+                comm.send((r + 1) % 4, 42, &u[15].to_le_bytes());
+                let left = comm.recv((r + 3) % 4, 42);
+                let left = f64::from_le_bytes(left.try_into().expect("8 bytes"));
+                for v in u.iter_mut() {
+                    *v = 0.5 * (*v + left);
+                }
+                // Checkpoint collectively with the current state.
+                let mut payload = vec![0u8; program.payload[r as usize] as usize];
+                for (i, v) in u.iter().take(8).enumerate() {
+                    payload[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                checkpoint_rank(&mut comm, program, &payload, dir_ref).expect("checkpoint");
+                comm.barrier();
+            }
+            comm.allreduce_f64(u[0], |a, b| a + b)
+        });
+        // Everybody agrees on the reduction.
+        assert!(finals.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

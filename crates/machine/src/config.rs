@@ -1,0 +1,100 @@
+//! Machine configuration and calibration constants.
+
+use rbio_gpfs::FsConfig;
+use rbio_net::NetConfig;
+use rbio_sim::SimTime;
+use rbio_topology::PartitionSpec;
+
+/// How much the simulator records into the profiling timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileLevel {
+    /// Record nothing (fastest; per-rank finish times are still produced).
+    Off,
+    /// Record write and send intervals (enough for Figs. 11–12).
+    Writes,
+    /// Record every op interval.
+    Full,
+}
+
+/// Full description of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Compute partition geometry.
+    pub partition: PartitionSpec,
+    /// Network fabrics.
+    pub net: NetConfig,
+    /// Filesystem.
+    pub fs: FsConfig,
+    /// In-node staging copy bandwidth, bytes/s. BG/P DDR2 delivers
+    /// 13.6 GB/s theoretical; a core-driven memcpy sustains a few GB/s.
+    pub mem_bw: f64,
+    /// Fixed overhead per pack/copy call.
+    pub pack_overhead: SimTime,
+    /// RNG seed (drives filesystem noise).
+    pub seed: u64,
+    /// Timeline verbosity.
+    pub profile: ProfileLevel,
+}
+
+impl MachineConfig {
+    /// An Intrepid-like machine for `np` MPI ranks in VN mode (np must be a
+    /// power of two ≥ 256, as in the paper's 16Ki/32Ki/64Ki runs).
+    pub fn intrepid(np: u32) -> Self {
+        MachineConfig {
+            partition: PartitionSpec::intrepid_vn(np),
+            net: NetConfig::default(),
+            fs: FsConfig::default(),
+            mem_bw: 3.0e9,
+            pack_overhead: SimTime::from_micros(2),
+            seed: 0x1BEB,
+            profile: ProfileLevel::Writes,
+        }
+    }
+
+    /// A small test machine with an arbitrary partition.
+    pub fn small(partition: PartitionSpec) -> Self {
+        MachineConfig {
+            partition,
+            net: NetConfig::default(),
+            fs: FsConfig::default(),
+            mem_bw: 3.0e9,
+            pack_overhead: SimTime::from_micros(2),
+            seed: 42,
+            profile: ProfileLevel::Full,
+        }
+    }
+
+    /// Silence all stochastic terms (exact repeatability for unit tests
+    /// that assert precise orderings).
+    pub fn quiet(mut self) -> Self {
+        self.fs.noise_sigma = 0.0;
+        self.fs.outlier_prob = 0.0;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrepid_shapes() {
+        let m = MachineConfig::intrepid(16384);
+        assert_eq!(m.partition.num_ranks(), 16384);
+        assert_eq!(m.partition.num_psets(), 64);
+        assert_eq!(m.fs.nsd_servers, 128);
+    }
+
+    #[test]
+    fn quiet_removes_noise() {
+        let m = MachineConfig::intrepid(16384).quiet();
+        assert_eq!(m.fs.noise_sigma, 0.0);
+        assert_eq!(m.fs.outlier_prob, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Metrics extracted from a simulated run, in the paper's terms.
+
+use rbio_gpfs::FsStats;
+use rbio_plan::Program;
+use rbio_profile::Timeline;
+use rbio_sim::stats::TimingSummary;
+use rbio_sim::SimTime;
+
+/// Everything a simulated checkpoint run produces.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Per-rank completion time of the rank's whole program — the paper's
+    /// per-processor "I/O time distribution" (Figs. 9–11).
+    pub per_rank_finish: Vec<SimTime>,
+    /// Completion time of the slowest rank (the denominator of the paper's
+    /// bandwidth definition, and Fig. 6's "overall time").
+    pub wall: SimTime,
+    /// Total bytes written to the filesystem (headers included).
+    pub bytes_written: u64,
+    /// Total bytes moved over the torus.
+    pub bytes_sent: u64,
+    /// Longest single `Isend` handoff observed (Table I's numerator time).
+    pub max_handoff: SimTime,
+    /// Filesystem counters.
+    pub fs_stats: FsStats,
+    /// Recorded op intervals (per the configured profile level).
+    pub timeline: Timeline,
+    /// Ranks that issued at least one file write (writers/aggregators).
+    pub writer_ranks: Vec<u32>,
+}
+
+impl RunMetrics {
+    pub(crate) fn assemble(
+        program: &Program,
+        per_rank_finish: Vec<SimTime>,
+        timeline: Timeline,
+        max_handoff: SimTime,
+        bytes_written: u64,
+        bytes_sent: u64,
+        fs_stats: FsStats,
+    ) -> Self {
+        let wall = per_rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        RunMetrics {
+            writer_ranks: program.writer_ranks(),
+            per_rank_finish,
+            wall,
+            bytes_written,
+            bytes_sent,
+            max_handoff,
+            fs_stats,
+            timeline,
+        }
+    }
+
+    /// Aggregate write bandwidth, the paper's definition: total data across
+    /// all processors over the wall-clock of the slowest processor.
+    pub fn bandwidth_bps(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.bytes_written as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Latest finish among writer ranks (the upper band of Fig. 11).
+    pub fn writer_max(&self) -> SimTime {
+        self.writer_ranks
+            .iter()
+            .map(|&r| self.per_rank_finish[r as usize])
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Latest finish among non-writer ranks (the lower band of Fig. 11 —
+    /// rbIO workers return after their handoff).
+    pub fn worker_max(&self) -> SimTime {
+        let writers: std::collections::HashSet<u32> =
+            self.writer_ranks.iter().copied().collect();
+        self.per_rank_finish
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !writers.contains(&(*r as u32)))
+            .map(|(_, &t)| t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Perceived write bandwidth (Table I): total data the workers handed
+    /// off, over the slowest single `Isend` completion.
+    pub fn perceived_bw_bps(&self) -> f64 {
+        let s = self.max_handoff.as_secs_f64();
+        if s > 0.0 && self.bytes_sent > 0 {
+            self.bytes_sent as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// The checkpoint time the *application* observes. For rbIO the
+    /// dedicated writers overlap their flush with the next compute phase,
+    /// so the application-visible time is the workers' handoff plus the
+    /// non-overlapped fraction λ of the writers' remaining activity
+    /// (§V-C2). For worker-less plans (1PFPP, coIO — every rank blocks
+    /// until the collective completes) this equals the wall time at λ=1.
+    pub fn app_blocking(&self, lambda: f64) -> SimTime {
+        let w = self.worker_max();
+        let overlap = self.writer_max().saturating_sub(w);
+        w.saturating_add(SimTime::from_secs_f64(overlap.as_secs_f64() * lambda.clamp(0.0, 1.0)))
+    }
+
+    /// Distribution summary of the per-rank finish times.
+    pub fn summary(&self) -> TimingSummary {
+        TimingSummary::from_times(&self.per_rank_finish).expect("at least one rank")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbio_plan::{DataRef, Op, ProgramBuilder};
+
+    fn metrics() -> RunMetrics {
+        // Rank 1 is the writer (has a WriteAt); ranks 0 and 2 are workers.
+        let mut b = ProgramBuilder::new(vec![10; 3]);
+        let f = b.file("x", 10);
+        b.push(1, Op::Open { file: f, create: true });
+        b.push(1, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: 10 } });
+        b.push(1, Op::Close { file: f });
+        let p = b.build();
+        RunMetrics::assemble(
+            &p,
+            vec![SimTime::from_millis(2), SimTime::from_millis(100), SimTime::from_millis(4)],
+            Timeline::new(),
+            SimTime::from_micros(150),
+            1000,
+            500,
+            FsStats::default(),
+        )
+    }
+
+    #[test]
+    fn worker_writer_split() {
+        let m = metrics();
+        assert_eq!(m.writer_ranks, vec![1]);
+        assert_eq!(m.writer_max(), SimTime::from_millis(100));
+        assert_eq!(m.worker_max(), SimTime::from_millis(4));
+        assert_eq!(m.wall, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn bandwidth_definitions() {
+        let m = metrics();
+        assert!((m.bandwidth_bps() - 1000.0 / 0.1).abs() < 1e-6);
+        assert!((m.perceived_bw_bps() - 500.0 / 150e-6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn app_blocking_interpolates_lambda() {
+        let m = metrics();
+        assert_eq!(m.app_blocking(0.0), SimTime::from_millis(4));
+        assert_eq!(m.app_blocking(1.0), SimTime::from_millis(100));
+        let half = m.app_blocking(0.5);
+        assert_eq!(half, SimTime::from_millis(52));
+    }
+
+    #[test]
+    fn summary_counts_ranks() {
+        let m = metrics();
+        let s = m.summary();
+        assert_eq!(s.count, 3);
+        assert!((s.max_s - 0.1).abs() < 1e-12);
+    }
+}

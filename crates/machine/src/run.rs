@@ -1,0 +1,491 @@
+//! The virtual-time plan executor.
+
+use std::collections::{HashMap, VecDeque};
+
+use rbio_gpfs::FileSystemModel;
+use rbio_net::TorusNet;
+use rbio_plan::{Op, Program};
+use rbio_profile::{OpKind, Timeline};
+use rbio_sim::resources::Serializer;
+use rbio_sim::{run as engine_run, transfer_time, EventQueue, Model, SimTime};
+
+use crate::config::{MachineConfig, ProfileLevel};
+use crate::metrics::RunMetrics;
+
+/// Events driving the simulation.
+enum Ev {
+    /// Try to execute `rank`'s next op (its previous op just completed).
+    Advance { rank: u32 },
+    /// A message reached its destination node.
+    Arrive { src: u32, dst: u32, tag: u64 },
+}
+
+struct Sim<'a> {
+    program: &'a Program,
+    cfg: &'a MachineConfig,
+    torus: TorusNet,
+    /// One ingest pipe per pset (collective network into the ION).
+    ion: Vec<Serializer>,
+    fs: FileSystemModel,
+    pc: Vec<usize>,
+    finish: Vec<SimTime>,
+    /// Arrived-but-unreceived messages per (src, dst, tag) channel.
+    arrived: HashMap<(u32, u32, u64), VecDeque<SimTime>>,
+    /// Rank blocked in a Recv on this channel.
+    waiting: HashMap<(u32, u32, u64), u32>,
+    barrier_count: Vec<usize>,
+    barrier_waiters: Vec<Vec<u32>>,
+    timeline: Timeline,
+    max_handoff: SimTime,
+    bytes_sent: u64,
+    done_ranks: usize,
+}
+
+impl Sim<'_> {
+    fn node(&self, rank: u32) -> rbio_topology::NodeId {
+        self.cfg.partition.node_of_rank(rank)
+    }
+
+    fn record(&mut self, rank: u32, kind: OpKind, start: SimTime, end: SimTime, bytes: u64) {
+        let keep = match self.cfg.profile {
+            ProfileLevel::Off => false,
+            ProfileLevel::Writes => matches!(kind, OpKind::Write | OpKind::Send),
+            ProfileLevel::Full => true,
+        };
+        if keep {
+            self.timeline.record(rank, kind, start, end, bytes);
+        }
+    }
+
+    fn pack_time(&self, bytes: u64) -> SimTime {
+        self.cfg
+            .pack_overhead
+            .saturating_add(transfer_time(bytes, self.cfg.mem_bw))
+    }
+
+    /// Execute `rank`'s current op at `now`. Returns `Some(done)` when the
+    /// op completes at `done` (pc already advanced), `None` when blocked.
+    fn execute(&mut self, rank: u32, now: SimTime, q: &mut EventQueue<Ev>) -> Option<SimTime> {
+        let op = &self.program.ops[rank as usize][self.pc[rank as usize]];
+        let done = match op {
+            Op::Compute { nanos } => {
+                let done = now.saturating_add(SimTime::from_nanos(*nanos));
+                self.record(rank, OpKind::Compute, now, done, 0);
+                done
+            }
+            Op::Pack { bytes, .. } => {
+                let done = now.saturating_add(self.pack_time(*bytes));
+                self.record(rank, OpKind::Pack, now, done, *bytes);
+                done
+            }
+            Op::Send { dst, tag, src } => {
+                let bytes = src.len();
+                self.bytes_sent += bytes;
+                let handoff = self.cfg.net.isend_handoff(bytes);
+                let done = now.saturating_add(handoff);
+                self.max_handoff = self.max_handoff.max(handoff);
+                let arrival = self
+                    .torus
+                    .send(now, self.node(rank), self.node(*dst), bytes);
+                q.schedule(arrival, Ev::Arrive { src: rank, dst: *dst, tag: tag.0 });
+                self.record(rank, OpKind::Send, now, done, bytes);
+                done
+            }
+            Op::Recv { src, tag, bytes, .. } => {
+                let key = (*src, rank, tag.0);
+                match self.arrived.get_mut(&key).and_then(|v| v.pop_front()) {
+                    Some(_arr) => {
+                        let done = now.saturating_add(self.pack_time(*bytes));
+                        self.record(rank, OpKind::Recv, now, done, *bytes);
+                        done
+                    }
+                    None => {
+                        self.waiting.insert(key, rank);
+                        return None;
+                    }
+                }
+            }
+            Op::Barrier { comm } => {
+                let ci = comm.0 as usize;
+                let size = self.program.comms[ci].len();
+                self.barrier_count[ci] += 1;
+                if self.barrier_count[ci] == size {
+                    self.barrier_count[ci] = 0;
+                    let done =
+                        now.saturating_add(self.cfg.net.barrier_cost(size as u32));
+                    for w in std::mem::take(&mut self.barrier_waiters[ci]) {
+                        self.pc[w as usize] += 1;
+                        self.record(w, OpKind::Barrier, now, done, 0);
+                        q.schedule(done, Ev::Advance { rank: w });
+                    }
+                    self.record(rank, OpKind::Barrier, now, done, 0);
+                    done
+                } else {
+                    self.barrier_waiters[ci].push(rank);
+                    return None;
+                }
+            }
+            Op::Open { file, create } => {
+                let lat = self.cfg.net.ion_latency;
+                let meta_done = if *create {
+                    // Directory = the step prefix of the file name (files
+                    // of one checkpoint step share a directory).
+                    let name = &self.program.files[file.0 as usize].name;
+                    let prefix = name.split(['.', '/']).next().unwrap_or(name);
+                    let mut dir = 0xcbf29ce484222325u64;
+                    for b in prefix.bytes() {
+                        dir = (dir ^ u64::from(b)).wrapping_mul(0x100000001b3);
+                    }
+                    self.fs.create(now.saturating_add(lat), dir)
+                } else {
+                    self.fs.open(now.saturating_add(lat))
+                };
+                let done = meta_done.saturating_add(lat);
+                self.record(rank, OpKind::Open, now, done, 0);
+                done
+            }
+            Op::WriteAt { file, offset, src } => {
+                let bytes = src.len();
+                let pset = self.cfg.partition.pset_of_rank(rank).0 as usize;
+                let ion_time = transfer_time(bytes, self.cfg.net.ion_pipe_bw());
+                let (_, ion_occ) = self.ion[pset].occupy(now, ion_time);
+                let lat = self.cfg.net.ion_latency;
+                // CIOD forwards in small units (cut-through): the servers
+                // see the head of the stream after ~1 MiB, and the write
+                // retires when both the client stream (paced at
+                // client_stream_bw) and the filesystem commit are done.
+                let head = transfer_time(bytes.min(1 << 20), self.cfg.net.client_stream_bw);
+                let stream_done =
+                    now.saturating_add(transfer_time(bytes, self.cfg.net.client_stream_bw));
+                let fsize = self.program.files[file.0 as usize].size;
+                let fs_done = self.fs.write(
+                    now.saturating_add(head).saturating_add(lat),
+                    rank,
+                    file.0,
+                    *offset,
+                    bytes,
+                    fsize,
+                );
+                let done = fs_done
+                    .max(stream_done)
+                    .max(ion_occ)
+                    .saturating_add(lat);
+                self.record(rank, OpKind::Write, now, done, bytes);
+                done
+            }
+            Op::ReadAt { file, offset, len, .. } => {
+                let lat = self.cfg.net.ion_latency;
+                let fs_done = self.fs.read(now.saturating_add(lat), file.0, *offset, *len);
+                let pset = self.cfg.partition.pset_of_rank(rank).0 as usize;
+                let ion_time = transfer_time(*len, self.cfg.net.ion_pipe_bw());
+                let (_, ion_done) = self.ion[pset].occupy(fs_done, ion_time);
+                let done = ion_done.saturating_add(lat);
+                self.record(rank, OpKind::Read, now, done, *len);
+                done
+            }
+            Op::Close { .. } => {
+                let lat = self.cfg.net.ion_latency;
+                let done = self.fs.close(now.saturating_add(lat)).saturating_add(lat);
+                self.record(rank, OpKind::Close, now, done, 0);
+                done
+            }
+        };
+        self.pc[rank as usize] += 1;
+        Some(done)
+    }
+}
+
+impl Model for Sim<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::Advance { rank } => {
+                if self.pc[rank as usize] >= self.program.ops[rank as usize].len() {
+                    self.finish[rank as usize] = self.finish[rank as usize].max(now);
+                    self.done_ranks += 1;
+                    return;
+                }
+                if let Some(done) = self.execute(rank, now, q) {
+                    q.schedule(done, Ev::Advance { rank });
+                }
+            }
+            Ev::Arrive { src, dst, tag } => {
+                let key = (src, dst, tag);
+                self.arrived.entry(key).or_default().push_back(now);
+                if let Some(w) = self.waiting.remove(&key) {
+                    debug_assert_eq!(w, dst);
+                    // Re-attempt the blocked Recv now that data is here.
+                    if let Some(done) = self.execute(w, now, q) {
+                        q.schedule(done, Ev::Advance { rank: w });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Simulate `program` on the configured machine. The program must be valid
+/// (deadlock-free, matched messages — [`rbio_plan::validate()`] guarantees
+/// this for strategy plans); an invalid program panics.
+pub fn simulate(program: &Program, cfg: &MachineConfig) -> RunMetrics {
+    let nranks = program.nranks();
+    assert_eq!(
+        nranks,
+        cfg.partition.num_ranks(),
+        "program rank count must match the machine partition"
+    );
+    let mut sim = Sim {
+        program,
+        cfg,
+        torus: TorusNet::new(cfg.partition.torus, cfg.net),
+        ion: vec![Serializer::new(); cfg.partition.num_psets() as usize],
+        fs: FileSystemModel::new(cfg.fs, program.files.len() as u32, cfg.seed),
+        pc: vec![0; nranks as usize],
+        finish: vec![SimTime::ZERO; nranks as usize],
+        arrived: HashMap::new(),
+        waiting: HashMap::new(),
+        barrier_count: vec![0; program.comms.len()],
+        barrier_waiters: vec![Vec::new(); program.comms.len()],
+        timeline: Timeline::new(),
+        max_handoff: SimTime::ZERO,
+        bytes_sent: 0,
+        done_ranks: 0,
+    };
+    let mut q = EventQueue::new();
+    for rank in 0..nranks {
+        q.schedule(SimTime::ZERO, Ev::Advance { rank });
+    }
+    engine_run(&mut sim, &mut q);
+    assert_eq!(
+        sim.done_ranks, nranks as usize,
+        "simulation stalled: {} of {} ranks finished (invalid program?)",
+        sim.done_ranks, nranks
+    );
+    let stats = program.stats();
+    RunMetrics::assemble(
+        program,
+        sim.finish,
+        sim.timeline,
+        sim.max_handoff,
+        stats.bytes_written,
+        sim.bytes_sent,
+        sim.fs.stats(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbio_plan::{CommId, DataRef, FileId, ProgramBuilder, Tag};
+    use rbio_topology::PartitionSpec;
+
+    fn machine(ranks: u32) -> MachineConfig {
+        // ranks must be 8*k for this helper: 2 ranks/node, [k,2,2] nodes.
+        let nodes = ranks / 2;
+        assert!(nodes.is_multiple_of(4));
+        MachineConfig::small(PartitionSpec::custom([nodes / 4, 2, 2], 2, 4)).quiet()
+    }
+
+    #[test]
+    fn compute_only_program_times_exactly() {
+        let cfg = machine(8);
+        let mut b = ProgramBuilder::new(vec![0; 8]);
+        for r in 0..8 {
+            b.push(r, Op::Compute { nanos: 1000 * (r as u64 + 1) });
+        }
+        let m = simulate(&b.build(), &cfg);
+        assert_eq!(m.wall.as_nanos(), 8000);
+        assert_eq!(m.per_rank_finish[0].as_nanos(), 1000);
+        assert_eq!(m.per_rank_finish[7].as_nanos(), 8000);
+    }
+
+    #[test]
+    fn message_blocks_receiver_until_arrival() {
+        let cfg = machine(8);
+        let mut b = ProgramBuilder::new(vec![1 << 20, 0, 0, 0, 0, 0, 0, 0]);
+        b.reserve_staging(7, 1 << 20);
+        b.push(0, Op::Compute { nanos: 5_000_000 }); // sender is late
+        b.push(0, Op::Send { dst: 7, tag: Tag(1), src: DataRef::Own { off: 0, len: 1 << 20 } });
+        b.push(7, Op::Recv { src: 0, tag: Tag(1), bytes: 1 << 20, staging_off: 0 });
+        let m = simulate(&b.build(), &cfg);
+        // Receiver cannot finish before the sender's compute + transfer.
+        assert!(m.per_rank_finish[7].as_nanos() > 5_000_000);
+        assert_eq!(m.bytes_sent, 1 << 20);
+    }
+
+    #[test]
+    fn early_sender_does_not_block() {
+        let cfg = machine(8);
+        let mut b = ProgramBuilder::new(vec![1024; 8]);
+        b.reserve_staging(1, 1024);
+        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: DataRef::Own { off: 0, len: 1024 } });
+        b.push(1, Op::Compute { nanos: 50_000_000 });
+        b.push(1, Op::Recv { src: 0, tag: Tag(0), bytes: 1024, staging_off: 0 });
+        let m = simulate(&b.build(), &cfg);
+        // Sender finished long ago (handoff only).
+        assert!(m.per_rank_finish[0] < SimTime::from_millis(1));
+        // Receiver: compute dominates; message already arrived.
+        let r1 = m.per_rank_finish[1];
+        assert!(r1 >= SimTime::from_millis(50) && r1 < SimTime::from_millis(51), "{r1}");
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_members() {
+        let cfg = machine(8);
+        let mut b = ProgramBuilder::new(vec![0; 8]);
+        let c = b.comm((0..8).collect());
+        for r in 0..8u32 {
+            b.push(r, Op::Compute { nanos: 1_000 * u64::from(r) });
+            b.push(r, Op::Barrier { comm: CommId(c.0) });
+            b.push(r, Op::Compute { nanos: 10 });
+        }
+        let m = simulate(&b.build(), &cfg);
+        // All ranks finish within one barrier+compute of each other.
+        let lo = m.per_rank_finish.iter().min().unwrap();
+        let hi = m.per_rank_finish.iter().max().unwrap();
+        assert_eq!(lo, hi, "barrier must align completions");
+        assert!(hi.as_nanos() >= 7_000 + 10);
+    }
+
+    #[test]
+    fn file_io_program_produces_write_metrics() {
+        let cfg = machine(8);
+        let mut b = ProgramBuilder::new(vec![4 << 20; 8]);
+        let f: Vec<FileId> = (0..8).map(|r| b.file(format!("f{r}"), 4 << 20)).collect();
+        for r in 0..8u32 {
+            b.push(r, Op::Open { file: f[r as usize], create: true });
+            b.push(
+                r,
+                Op::WriteAt {
+                    file: f[r as usize],
+                    offset: 0,
+                    src: DataRef::Own { off: 0, len: 4 << 20 },
+                },
+            );
+            b.push(r, Op::Close { file: f[r as usize] });
+        }
+        let m = simulate(&b.build(), &cfg);
+        assert_eq!(m.bytes_written, 8 * (4 << 20));
+        assert!(m.bandwidth_bps() > 0.0);
+        assert!(m.wall > SimTime::ZERO);
+        assert_eq!(m.fs_stats.creates, 8);
+        assert_eq!(m.fs_stats.closes, 8);
+        // Timeline captured the writes.
+        assert_eq!(m.timeline.count_of(rbio_profile::OpKind::Write), 8);
+    }
+
+    #[test]
+    fn same_pset_writers_share_the_ion_pipe() {
+        // 8 ranks, 2 per node, 4 nodes per pset => one pset in [2,2,1].
+        // Two writers in one pset serialize on the ION; two writers in
+        // different psets do not.
+        let mut one_pset = MachineConfig::small(PartitionSpec::custom([2, 2, 1], 2, 4)).quiet();
+        let mut two_psets = MachineConfig::small(PartitionSpec::custom([2, 2, 1], 2, 2)).quiet();
+        // Lift the per-client cap so the shared ION pipe is the binding
+        // constraint under test.
+        one_pset.net.client_stream_bw = 10.0e9;
+        two_psets.net.client_stream_bw = 10.0e9;
+        let bytes = 256u64 << 20; // big enough that the pipe dominates
+        let build = || {
+            let mut b = ProgramBuilder::new(vec![bytes, 0, 0, 0, bytes, 0, 0, 0]);
+            let f0 = b.file("a", bytes);
+            let f1 = b.file("b", bytes);
+            for (r, f) in [(0u32, f0), (4u32, f1)] {
+                b.push(r, Op::Open { file: f, create: true });
+                b.push(r, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: bytes } });
+                b.push(r, Op::Close { file: f });
+            }
+            b.build()
+        };
+        let shared = simulate(&build(), &one_pset);
+        let split = simulate(&build(), &two_psets);
+        assert!(
+            shared.wall > split.wall,
+            "one pset {:?} must be slower than two psets {:?}",
+            shared.wall,
+            split.wall
+        );
+    }
+
+    #[test]
+    fn client_stream_cap_limits_a_single_writer() {
+        let mut cfg = machine(8);
+        cfg.net.client_stream_bw = 10.0e6; // 10 MB/s
+        let bytes = 100u64 << 20; // 100 MB -> at least 10 s
+        let mut b = ProgramBuilder::new(vec![bytes, 0, 0, 0, 0, 0, 0, 0]);
+        let f = b.file("slow", bytes);
+        b.push(0, Op::Open { file: f, create: true });
+        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: bytes } });
+        b.push(0, Op::Close { file: f });
+        let m = simulate(&b.build(), &cfg);
+        let min_secs = bytes as f64 / 10.0e6;
+        assert!(
+            m.wall.as_secs_f64() >= min_secs,
+            "wall {:.2}s must respect the {min_secs:.2}s client cap",
+            m.wall.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn many_to_one_senders_contend_on_the_torus() {
+        // All ranks ship data to rank 0: arrival of the last message must
+        // reflect link serialization near the destination node.
+        let cfg = machine(16);
+        let bytes = 8u64 << 20;
+        let mut b = ProgramBuilder::new(vec![bytes; 16]);
+        b.reserve_staging(0, bytes);
+        for r in 1..16u32 {
+            b.push(r, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: bytes } });
+        }
+        for _ in 1..16u32 {
+            // Order-agnostic receive: match senders in rank order (each
+            // channel holds exactly one message).
+        }
+        for r in 1..16u32 {
+            b.push(0, Op::Recv { src: r, tag: Tag(0), bytes, staging_off: 0 });
+        }
+        let m = simulate(&b.build(), &cfg);
+        // 15 x 8 MB over at most 6 inbound links of 425 MB/s: >= 47 ms even
+        // with perfect spreading.
+        let floor = (15.0 * bytes as f64) / (6.0 * 425.0e6);
+        assert!(
+            m.per_rank_finish[0].as_secs_f64() > floor * 0.8,
+            "rank 0 finished too fast: {:.3}s < {:.3}s",
+            m.per_rank_finish[0].as_secs_f64(),
+            floor
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count")]
+    fn wrong_partition_panics() {
+        let cfg = machine(8);
+        let b = ProgramBuilder::new(vec![0; 4]);
+        simulate(&b.build(), &cfg);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = MachineConfig::small(PartitionSpec::custom([2, 2, 1], 2, 4));
+        let build = || {
+            let mut b = ProgramBuilder::new(vec![1 << 16; 8]);
+            let f = b.file("x", 8 << 16);
+            b.reserve_staging(0, 8 << 16);
+            for r in 1..8u32 {
+                b.push(r, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: 1 << 16 } });
+            }
+            for r in 1..8u32 {
+                b.push(0, Op::Recv { src: r, tag: Tag(0), bytes: 1 << 16, staging_off: (u64::from(r)) << 16 });
+            }
+            b.push(0, Op::Open { file: f, create: true });
+            b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Staging { off: 0, len: 7 << 16 } });
+            b.push(0, Op::Close { file: f });
+            b.build()
+        };
+        let m1 = simulate(&build(), &cfg);
+        let m2 = simulate(&build(), &cfg);
+        assert_eq!(m1.wall, m2.wall);
+        assert_eq!(m1.per_rank_finish, m2.per_rank_finish);
+    }
+}

@@ -1,0 +1,128 @@
+//! File-domain partitioning.
+
+use std::ops::Range;
+
+/// How to slice a file range into aggregator domains.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainConfig {
+    /// Filesystem block size in bytes (GPFS on Intrepid: 4 MiB).
+    pub block_size: u64,
+    /// Round domain boundaries to absolute block multiples. Turning this
+    /// off reproduces the unaligned baseline ROMIO improved upon (and is
+    /// one of our ablation benches).
+    pub align: bool,
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig {
+            block_size: 4 << 20,
+            align: true,
+        }
+    }
+}
+
+/// Partition `range` into `naggs` contiguous, non-overlapping domains that
+/// exactly cover it, in order. With `cfg.align`, interior boundaries are
+/// rounded to absolute multiples of `cfg.block_size` (the first/last
+/// boundaries stay at the range ends). Domains may be empty when the range
+/// is small relative to `naggs` or when alignment collapses a slot.
+pub fn partition_domains(range: Range<u64>, naggs: usize, cfg: &DomainConfig) -> Vec<Range<u64>> {
+    assert!(naggs > 0, "need at least one aggregator");
+    assert!(range.start <= range.end, "invalid range");
+    let total = range.end - range.start;
+    let naggs_u = naggs as u64;
+    let base = total / naggs_u;
+    let rem = total % naggs_u;
+    let mut out = Vec::with_capacity(naggs);
+    let mut cursor = range.start;
+    // Ideal unaligned boundaries: first `rem` domains get one extra byte.
+    let mut ideal_end = range.start;
+    for i in 0..naggs_u {
+        ideal_end += base + u64::from(i < rem);
+        let end = if i == naggs_u - 1 {
+            range.end
+        } else if cfg.align && cfg.block_size > 0 {
+            // Round the interior boundary to the nearest block multiple,
+            // clamped inside the remaining range.
+            let b = cfg.block_size;
+            let down = ideal_end / b * b;
+            let up = down + b;
+            let rounded = if ideal_end - down <= up - ideal_end { down } else { up };
+            rounded.clamp(cursor, range.end)
+        } else {
+            ideal_end
+        };
+        out.push(cursor..end);
+        cursor = end;
+    }
+    debug_assert_eq!(out.last().map(|r| r.end), Some(range.end));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_exactly(domains: &[Range<u64>], range: &Range<u64>) {
+        assert_eq!(domains.first().unwrap().start, range.start);
+        assert_eq!(domains.last().unwrap().end, range.end);
+        for w in domains.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "domains must tile contiguously");
+        }
+    }
+
+    #[test]
+    fn unaligned_even_split() {
+        let cfg = DomainConfig { block_size: 4096, align: false };
+        let d = partition_domains(0..100, 3, &cfg);
+        assert_eq!(d, vec![0..34, 34..67, 67..100]);
+        cover_exactly(&d, &(0..100));
+    }
+
+    #[test]
+    fn aligned_boundaries_are_block_multiples() {
+        let cfg = DomainConfig { block_size: 1000, align: true };
+        let d = partition_domains(0..10_500, 4, &cfg);
+        cover_exactly(&d, &(0..10_500));
+        for w in d.windows(2) {
+            assert_eq!(w[0].end % 1000, 0, "interior boundary must align: {:?}", d);
+        }
+    }
+
+    #[test]
+    fn aligned_with_offset_start() {
+        // Alignment is absolute (GPFS locks absolute block ranges), so a
+        // range starting mid-block still gets block-multiple interior cuts.
+        let cfg = DomainConfig { block_size: 100, align: true };
+        let d = partition_domains(150..950, 2, &cfg);
+        cover_exactly(&d, &(150..950));
+        assert_eq!(d[0].end % 100, 0);
+    }
+
+    #[test]
+    fn more_aggregators_than_blocks_yields_empty_domains() {
+        let cfg = DomainConfig { block_size: 100, align: true };
+        let d = partition_domains(0..150, 8, &cfg);
+        cover_exactly(&d, &(0..150));
+        assert_eq!(d.len(), 8);
+        assert!(d.iter().filter(|r| r.is_empty()).count() >= 6);
+        let total: u64 = d.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(total, 150);
+    }
+
+    #[test]
+    fn empty_range() {
+        let cfg = DomainConfig::default();
+        let d = partition_domains(42..42, 3, &cfg);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn single_aggregator_gets_everything() {
+        let cfg = DomainConfig::default();
+        let d = partition_domains(10..99, 1, &cfg);
+        assert_eq!(d, vec![10..99]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for file-domain partitioning and the two-phase planner.
+
+use proptest::prelude::*;
+use rbio_mpiio::domains::{partition_domains, DomainConfig};
+use rbio_mpiio::{plan_collective_write, CollectiveWrite, Contribution, SrcKind, TwoPhaseConfig};
+use rbio_plan::{validate, CoverageMode, Op, ProgramBuilder};
+
+proptest! {
+    /// Domains always tile the range exactly, in order, and aligned
+    /// interior boundaries are block multiples.
+    #[test]
+    fn domains_tile_exactly(
+        start in 0u64..10_000,
+        len in 0u64..1_000_000,
+        naggs in 1usize..40,
+        block in 1u64..100_000,
+        align in any::<bool>(),
+    ) {
+        let cfg = DomainConfig { block_size: block, align };
+        let d = partition_domains(start..start + len, naggs, &cfg);
+        prop_assert_eq!(d.len(), naggs);
+        prop_assert_eq!(d[0].start, start);
+        prop_assert_eq!(d[naggs - 1].end, start + len);
+        for w in d.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        if align {
+            for w in d.windows(2) {
+                // Interior boundary: either a block multiple or clamped to
+                // the range ends.
+                let b = w[0].end;
+                prop_assert!(
+                    b % block == 0 || b == start || b == start + len,
+                    "boundary {} (block {})",
+                    b,
+                    block
+                );
+            }
+        }
+        // Sizes are balanced when unaligned: max-min <= 1.
+        if !align && len > 0 {
+            let sizes: Vec<u64> = d.iter().map(|r| r.end - r.start).collect();
+            let mx = *sizes.iter().max().unwrap();
+            let mn = *sizes.iter().min().unwrap();
+            prop_assert!(mx - mn <= 1);
+        }
+    }
+
+    /// Any contiguous-by-rank collective write expands to a plan that
+    /// validates with exact coverage, regardless of sizes and tuning.
+    #[test]
+    fn collective_write_always_covers(
+        sizes in proptest::collection::vec(0u64..5_000, 1..20),
+        naggs in 1usize..8,
+        block in 1u64..10_000,
+        cb in 1u64..10_000,
+        align in any::<bool>(),
+    ) {
+        let n = sizes.len() as u32;
+        let naggs = naggs.min(sizes.len());
+        let total: u64 = sizes.iter().sum();
+        let mut b = ProgramBuilder::new(sizes.clone());
+        let file = b.file("f", total);
+        let aggregators: Vec<u32> = (0..naggs as u32).collect();
+        let mut off = 0;
+        let contributions: Vec<Contribution> = sizes
+            .iter()
+            .enumerate()
+            .map(|(r, &len)| {
+                let c = Contribution {
+                    rank: r as u32,
+                    file_off: off,
+                    src_off: 0,
+                    len,
+                    src: SrcKind::Own,
+                };
+                off += len;
+                c
+            })
+            .collect();
+        for &a in &aggregators {
+            b.push(a, Op::Open { file, create: a == 0 });
+        }
+        let stats = plan_collective_write(
+            &mut b,
+            &CollectiveWrite { file, aggregators: aggregators.clone(), contributions, agg_staging_base: 0 },
+            &TwoPhaseConfig {
+                domain: DomainConfig { block_size: block, align },
+                cb_buffer_size: cb,
+                tag: 0,
+            },
+        );
+        for &a in &aggregators {
+            b.push(a, Op::Close { file });
+        }
+        prop_assert_eq!(stats.written_bytes, total);
+        let p = b.build();
+        validate(&p, CoverageMode::ExactWrite).expect("two-phase coverage");
+        prop_assert_eq!(p.stats().bytes_written, total);
+        // Exchange never moves more than the total payload.
+        prop_assert!(stats.exchanged_bytes <= total);
+        let _ = n;
+    }
+}

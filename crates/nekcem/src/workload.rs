@@ -1,0 +1,65 @@
+//! The paper's workload constants.
+
+/// NekCEM's six checkpointed field components (§III-A: "the six components
+/// of the electric field E=(Ex,Ey,Ez) and the magnetic field
+/// H=(Hx,Hy,Hz)").
+pub const FIELD_NAMES: [&str; 6] = ["Ex", "Ey", "Ez", "Hx", "Hy", "Hz"];
+
+/// Computation seconds per solver time step at `np` ranks for the paper's
+/// weak-scaling waveguide cases.
+///
+/// §III-A reports ≈0.13 s/step on 131,072 processors for E=273K / 1.1B
+/// grid points; the 64Ki-rank case runs the same mesh on half the
+/// processors (≈0.26 s/step), and the weak-scaling cases keep grid points
+/// per rank constant, so the per-step time is flat across 16Ki/32Ki/64Ki
+/// ("NekCEM's computational performance scales well on Intrepid so the
+/// computation time is almost the same", §V-B).
+pub fn paper_compute_seconds(_np: u32) -> f64 {
+    0.26
+}
+
+/// Approximate bytes of the global input mesh files (`*.rea` + `*.map`)
+/// for `elements` spectral elements. NekCEM keeps these global (§III-B);
+/// the dominant content is per-element vertex coordinates and mapping
+/// data in text form — roughly half a kilobyte per element.
+pub fn mesh_bytes(elements: u64) -> u64 {
+    elements * 512
+}
+
+/// The §III-B mesh-read data points: (elements, ranks, seconds measured on
+/// Intrepid). Used by the `mesh_read` bench to compare model vs paper.
+pub const MESH_READ_POINTS: [(u64, u32, f64); 2] =
+    [(136_000, 32_768, 7.5), (546_000, 131_072, 28.0)];
+
+/// Rate at which rank 0 parses the formatted (ASCII) mesh input,
+/// bytes/second. The paper's own two data points imply a linear ~9.7 MB/s
+/// (70 MB in 7.5 s, 280 MB in 28 s): reading the global mesh is parse-
+/// bound, not I/O-bound, which is why the paper leaves reads untuned.
+pub fn mesh_parse_rate() -> f64 {
+    9.7e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_fields() {
+        assert_eq!(FIELD_NAMES.len(), 6);
+        assert_eq!(FIELD_NAMES[0], "Ex");
+        assert_eq!(FIELD_NAMES[5], "Hz");
+    }
+
+    #[test]
+    fn compute_time_is_flat_weak_scaling() {
+        assert_eq!(paper_compute_seconds(16384), paper_compute_seconds(65536));
+        assert!(paper_compute_seconds(16384) > 0.1);
+    }
+
+    #[test]
+    fn mesh_sizes_are_plausible() {
+        // ~70 MB for the small mesh, ~280 MB for the large one.
+        assert!(mesh_bytes(136_000) > 50_000_000);
+        assert!(mesh_bytes(546_000) < 500_000_000);
+    }
+}

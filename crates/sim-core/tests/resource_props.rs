@@ -1,0 +1,107 @@
+//! Property tests for the resource-contention primitives.
+
+use proptest::prelude::*;
+use rbio_sim::resources::{CalendarQueue, FairPipe, Serializer};
+use rbio_sim::SimTime;
+
+proptest! {
+    /// A serializer never overlaps grants and never goes back in time.
+    #[test]
+    fn serializer_grants_are_disjoint_and_ordered(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..1_000), 1..50),
+    ) {
+        let mut s = Serializer::new();
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(t, _)| t); // calls must be in time order
+        let mut last_end = 0u64;
+        for (now, dur) in reqs {
+            let (start, end) = s.occupy(SimTime::from_nanos(now), SimTime::from_nanos(dur));
+            prop_assert!(start.as_nanos() >= now);
+            prop_assert!(start.as_nanos() >= last_end, "overlap");
+            prop_assert_eq!(end.as_nanos() - start.as_nanos(), dur);
+            last_end = end.as_nanos();
+        }
+    }
+
+    /// A k-server calendar serves at most k requests concurrently and the
+    /// total busy time is conserved.
+    #[test]
+    fn calendar_queue_conserves_work(
+        k in 1usize..6,
+        durs in proptest::collection::vec(1u64..1000, 1..40),
+    ) {
+        let mut q = CalendarQueue::new(k);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for &d in &durs {
+            let (s, e) = q.request(SimTime::ZERO, SimTime::from_nanos(d));
+            spans.push((s.as_nanos(), e.as_nanos()));
+        }
+        // Concurrency never exceeds k: sweep events.
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for &(s, e) in &spans {
+            events.push((s, 1));
+            events.push((e, -1));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta)); // ends (-1) before starts at ties
+        let mut live = 0i64;
+        for (_, delta) in events {
+            live += delta;
+            prop_assert!(live <= k as i64);
+        }
+        // Makespan is at least total/k (work conservation lower bound).
+        let total: u64 = durs.iter().sum();
+        let makespan = spans.iter().map(|&(_, e)| e).max().expect("nonempty");
+        prop_assert!(makespan >= total / k as u64);
+    }
+
+    /// FairPipe conserves bytes: everything started eventually completes,
+    /// and the total time is at least total_bytes/capacity.
+    #[test]
+    fn fair_pipe_conserves_bytes(
+        flows in proptest::collection::vec((0u64..1_000u64, 1u64..100_000), 1..30),
+        cap_mbps in 1u64..1000,
+    ) {
+        let cap = cap_mbps as f64 * 1e6;
+        let mut p = FairPipe::new(cap);
+        let mut flows = flows;
+        flows.sort_by_key(|&(t, _)| t);
+        let total: u64 = flows.iter().map(|&(_, b)| b).sum();
+        let first = flows[0].0;
+        let mut started = 0usize;
+        let mut completed = 0usize;
+        let mut iter = flows.iter().peekable();
+        let mut last_t = SimTime::ZERO;
+        while completed < flows.len() {
+            // Start any flows due before the next completion.
+            let next_completion = p.next_completion();
+            let next_start = iter.peek().map(|&&(t, _)| SimTime::from_nanos(t));
+            match (next_start, next_completion) {
+                (Some(ts), Some(tc)) if ts <= tc => {
+                    let (_, bytes) = *iter.next().expect("peeked");
+                    p.start(ts, bytes, f64::INFINITY);
+                    started += 1;
+                    last_t = ts;
+                }
+                (Some(ts), None) => {
+                    let (_, bytes) = *iter.next().expect("peeked");
+                    p.start(ts, bytes, f64::INFINITY);
+                    started += 1;
+                    last_t = ts;
+                }
+                (_, Some(tc)) => {
+                    completed += p.collect_completions(tc).len();
+                    last_t = tc;
+                }
+                (None, None) => break,
+            }
+        }
+        prop_assert_eq!(started, flows.len());
+        prop_assert_eq!(completed, flows.len());
+        prop_assert!(p.active() == 0);
+        // Bytes conserved (within fp epsilon).
+        prop_assert!((p.bytes_moved() - total as f64).abs() < 1.0);
+        // Work-conservation bound: finish >= first_start + total/cap.
+        let min_finish = first as f64 / 1e9 + total as f64 / cap;
+        prop_assert!(last_t.as_secs_f64() + 1e-6 >= min_finish);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for torus geometry and partition mapping.
+
+use proptest::prelude::*;
+use rbio_topology::{NodeId, PartitionSpec, Torus3d, NUM_DIRS};
+
+fn arb_torus() -> impl Strategy<Value = Torus3d> {
+    (1u32..9, 1u32..9, 1u32..9).prop_map(|(x, y, z)| Torus3d::new([x, y, z]))
+}
+
+proptest! {
+    /// A route is a chain of valid links from src that ends at dst, with
+    /// length equal to the wrap-around Manhattan distance.
+    #[test]
+    fn route_is_valid_shortest_path(t in arb_torus(), a in 0u32..512, b in 0u32..512) {
+        let n = t.num_nodes();
+        let a = NodeId(a % n);
+        let b = NodeId(b % n);
+        let path = t.route(a, b);
+        prop_assert_eq!(path.len() as u32, t.distance(a, b));
+        let mut cur = a;
+        for l in &path {
+            let src = NodeId(l.0 / NUM_DIRS);
+            prop_assert_eq!(src, cur);
+            cur = t.neighbor(cur, l.0 % NUM_DIRS);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    /// Distance is a metric: symmetric, zero iff equal, triangle holds.
+    #[test]
+    fn distance_is_a_metric(t in arb_torus(), a in 0u32..512, b in 0u32..512, c in 0u32..512) {
+        let n = t.num_nodes();
+        let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert_eq!(t.distance(a, a), 0);
+        if a != b {
+            prop_assert!(t.distance(a, b) > 0);
+        }
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    }
+
+    /// Every rank belongs to exactly one node, one pset; pset rank ranges
+    /// tile the job.
+    #[test]
+    fn partition_tiles_ranks(
+        dims in (1u32..6, 1u32..6, 1u32..6),
+        rpn in 1u32..5,
+        npp in 1u32..9,
+    ) {
+        let p = PartitionSpec::custom([dims.0, dims.1, dims.2], rpn, npp);
+        let mut covered = vec![false; p.num_ranks() as usize];
+        for ps in 0..p.num_psets() {
+            for r in p.ranks_of_pset(rbio_topology::Pset(ps)) {
+                prop_assert!(!covered[r as usize]);
+                covered[r as usize] = true;
+                prop_assert_eq!(p.pset_of_rank(r).0, ps);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+        for rank in 0..p.num_ranks() {
+            let node = p.node_of_rank(rank);
+            prop_assert!(p.ranks_of_node(node).contains(&rank));
+        }
+    }
+
+    /// Aggregator spreading: sorted, distinct, at most one per node.
+    #[test]
+    fn aggregators_distinct_nodes(
+        dims in (1u32..6, 1u32..6, 1u32..6),
+        rpn in 1u32..5,
+        count in 1u32..64,
+    ) {
+        let p = PartitionSpec::custom([dims.0, dims.1, dims.2], rpn, 4);
+        let aggs = p.spread_aggregators(count);
+        prop_assert!(!aggs.is_empty());
+        prop_assert!(aggs.windows(2).all(|w| w[0] < w[1]));
+        let nodes: std::collections::HashSet<u32> =
+            aggs.iter().map(|&r| p.node_of_rank(r).0).collect();
+        prop_assert_eq!(nodes.len(), aggs.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulated Blue Gene/P campaign: replay the paper's five checkpointing
+//! configurations on a virtual Intrepid partition and print a Fig.-5-style
+//! comparison — in seconds of your time instead of a 65,536-core INCITE
+//! allocation.
+//!
+//! Run with: `cargo run --release --example bgp_campaign -- [np]`
+//! (np defaults to 16384; must be a power of two ≥ 256).
+
+use rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy};
+use rbio_repro::rbio;
+use rbio_repro::rbio_machine::{simulate, MachineConfig, ProfileLevel};
+use rbio_repro::rbio_nekcem::workload::{paper_compute_seconds, FIELD_NAMES};
+use rbio_repro::rbio_plan;
+
+fn main() {
+    let np: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np must be an integer"))
+        .unwrap_or(16384);
+
+    // The paper's weak scaling: ~2.38 MB per rank across six fields.
+    let per_field = 2_380_000u64 / FIELD_NAMES.len() as u64;
+    let fields: Vec<(&str, u64)> = FIELD_NAMES.iter().map(|&n| (n, per_field)).collect();
+    let layout = rbio::layout::DataLayout::uniform(np, &fields);
+    let total_gb = layout.total_bytes() as f64 / 1e9;
+    println!("virtual Intrepid: np={np}, checkpoint size {total_gb:.1} GB\n");
+
+    let configs: [(&str, Strategy, f64); 5] = [
+        ("1PFPP", Strategy::OnePfpp, 1.0),
+        ("coIO, nf=1", Strategy::coio(1), 1.0),
+        ("coIO, np:nf=64:1", Strategy::coio(np / 64), 1.0),
+        (
+            "rbIO, 64:1, nf=1",
+            Strategy::RbIo { ng: np / 64, commit: RbIoCommit::CollectiveShared },
+            0.2,
+        ),
+        ("rbIO, 64:1, nf=ng", Strategy::rbio(np / 64), 0.2),
+    ];
+
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>10}",
+        "configuration", "BW (GB/s)", "wall (s)", "app (s)", "ratio"
+    );
+    let tcomp = paper_compute_seconds(np);
+    for (label, strategy, lambda) in configs {
+        let plan = CheckpointSpec::new(layout.clone(), "campaign")
+            .strategy(strategy)
+            .plan()
+            .expect("valid plan");
+        rbio_plan::validate(&plan.program, rbio_plan::CoverageMode::ExactWrite)
+            .expect("validated");
+        let mut machine = MachineConfig::intrepid(np);
+        machine.profile = ProfileLevel::Off;
+        let m = simulate(&plan.program, &machine);
+        let app = m.app_blocking(lambda).as_secs_f64();
+        println!(
+            "{:<20} {:>10.2} {:>12.2} {:>12.2} {:>10.1}",
+            label,
+            m.bandwidth_bps() / 1e9,
+            m.wall.as_secs_f64(),
+            app,
+            app / tcomp,
+        );
+    }
+    println!("\n(BW = total bytes / slowest rank; app = application-visible blocking time;");
+    println!(" ratio = app time / computation time per solver step, cf. the paper's Fig. 7)");
+}

@@ -1,0 +1,69 @@
+//! Parameter tuning on the simulator: what the paper's §V-B/§VII calls
+//! "how to select parameters on a specific machine in order to get the
+//! best performance" — sweep the rbIO writer count, the writer commit
+//! buffer, and domain alignment, and report the best settings.
+//!
+//! Run with: `cargo run --release --example tuning_sweep -- [np]`
+//! (np defaults to 4096 to keep it quick).
+
+use rbio::strategy::{CheckpointSpec, Strategy, Tuning};
+use rbio_repro::rbio;
+use rbio_repro::rbio_machine::{simulate, MachineConfig, ProfileLevel};
+
+fn run_metrics(np: u32, strategy: Strategy, tuning: Tuning) -> rbio_repro::rbio_machine::RunMetrics {
+    let layout = rbio::layout::DataLayout::uniform(np, &[("E", 1_200_000), ("H", 1_200_000)]);
+    let plan = CheckpointSpec::new(layout, "tune")
+        .strategy(strategy)
+        .tuning(tuning)
+        .plan()
+        .expect("valid");
+    let mut machine = MachineConfig::intrepid(np);
+    machine.profile = ProfileLevel::Off;
+    simulate(&plan.program, &machine)
+}
+
+fn run(np: u32, strategy: Strategy, tuning: Tuning) -> f64 {
+    run_metrics(np, strategy, tuning).bandwidth_bps() / 1e9
+}
+
+fn main() {
+    let np: u32 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("np"))
+        .unwrap_or(4096);
+    println!("tuning sweep on a virtual {np}-rank Intrepid partition\n");
+
+    println!("1. rbIO writer count (nf = ng):");
+    let mut best = (0u32, 0.0f64);
+    let mut ng = (np / 256).max(1);
+    while ng <= np / 4 {
+        let bw = run(np, Strategy::rbio(ng), Tuning::default());
+        println!("   ng = {ng:>6}  ->  {bw:>6.2} GB/s");
+        if bw > best.1 {
+            best = (ng, bw);
+        }
+        ng *= 2;
+    }
+    println!("   best: ng = {} ({:.2} GB/s)\n", best.0, best.1);
+
+    println!("2. rbIO writer commit buffer (at best ng):");
+    for mib in [1u64, 4, 16, 64] {
+        let tuning = Tuning { writer_buffer: mib << 20, ..Tuning::default() };
+        let bw = run(np, Strategy::rbio(best.0), tuning);
+        println!("   buffer = {mib:>3} MiB  ->  {bw:>6.2} GB/s");
+    }
+    println!();
+
+    println!("3. coIO file-domain alignment (the §V-B ROMIO optimization, shared file):");
+    for align in [true, false] {
+        let tuning = Tuning { align_domains: align, ..Tuning::default() };
+        let m = run_metrics(np, Strategy::coio(1), tuning);
+        println!(
+            "   align = {align:<5}  ->  {:>6.2} GB/s   (lock RPCs {:>5}, RMW blocks {:>5})",
+            m.bandwidth_bps() / 1e9,
+            m.fs_stats.lock_rpcs,
+            m.fs_stats.rmw_blocks
+        );
+    }
+    println!("\n(alignment removes read-modify-write of shared blocks and trims token traffic)");
+}

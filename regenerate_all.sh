@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact (tables, figures, model validations,
+# ablation studies). Results print to stdout and JSON series land in
+# target/paper-results/. Takes a few minutes on a laptop.
+set -euo pipefail
+
+cargo build --release -p rbio-bench
+
+bins=(
+  fig05_bandwidth
+  fig06_overall_time
+  fig07_ratio
+  fig08_nf_sweep
+  fig09_dist_1pfpp
+  fig10_dist_coio
+  fig11_dist_rbio
+  fig12_activity
+  table1_perceived
+  speedup_model
+  mesh_read
+  pvfs_ablation
+  lustre_future_work
+  production_run
+  multi_step
+  restart_read
+  iolog_report
+)
+
+for b in "${bins[@]}"; do
+  echo
+  echo "########################################################################"
+  echo "## $b"
+  echo "########################################################################"
+  ./target/release/"$b"
+done
+
+echo
+echo "All artifacts regenerated. JSON in target/paper-results/."

@@ -1,0 +1,27 @@
+//! Umbrella crate for the **rbio** reproduction workspace.
+//!
+//! This crate re-exports every member of the workspace so the top-level
+//! integration tests and examples reach the whole system through one
+//! dependency. Start with:
+//!
+//! * [`rbio`] — the checkpointing library itself (strategies, format,
+//!   restart, the real threaded executor, the `rt` runtime, the campaign
+//!   manager, VTK export, the Eq. 1–7 models);
+//! * [`rbio_machine`] — the simulated Blue Gene/P that regenerates the
+//!   paper's 16Ki–64Ki-rank results;
+//! * [`rbio_nekcem`] — the SEDG Maxwell miniapps and workload constants.
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the system inventory and
+//! substitution rationale, and `EXPERIMENTS.md` for paper-vs-measured on
+//! every table and figure.
+
+pub use rbio;
+pub use rbio_gpfs;
+pub use rbio_machine;
+pub use rbio_mpiio;
+pub use rbio_nekcem;
+pub use rbio_net;
+pub use rbio_plan;
+pub use rbio_profile;
+pub use rbio_sim;
+pub use rbio_topology;

@@ -1,0 +1,128 @@
+//! Stress the real threaded executor at a few hundred ranks: heavy
+//! cross-thread message traffic, shared-file writes from many threads, and
+//! byte-exact restart.
+
+use rbio_repro::rbio::exec::{execute, ExecConfig};
+use rbio_repro::rbio::format::materialize_payloads;
+use rbio_repro::rbio::layout::DataLayout;
+use rbio_repro::rbio::restart::read_checkpoint;
+use rbio_repro::rbio::strategy::{CheckpointSpec, Strategy, Tuning};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rbio-stress-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn fill(rank: u32, field: usize, buf: &mut [u8]) {
+    let mut x = u64::from(rank) << 32 | (field as u64) << 16 | 0x9E37;
+    for b in buf.iter_mut() {
+        // xorshift64 keeps this cheap but content-rich.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+}
+
+#[test]
+fn rbio_256_ranks_64k_each() {
+    let np = 256;
+    let layout = DataLayout::uniform(np, &[("Ex", 32 << 10), ("Hy", 32 << 10)]);
+    let dir = tmpdir("rbio");
+    let plan = CheckpointSpec::new(layout.clone(), "big")
+        .strategy(Strategy::rbio(8))
+        .plan()
+        .expect("plan");
+    let payloads = materialize_payloads(&plan, fill);
+    let report = execute(&plan.program, payloads, &ExecConfig::new(&dir)).expect("execute");
+    assert_eq!(report.bytes_written, plan.total_file_bytes());
+    assert_eq!(report.bytes_sent, ((np as u64 - 8) * 64) << 10);
+    let restored = read_checkpoint(&dir, &plan).expect("restart");
+    for rank in (0..np).step_by(37) {
+        for field in 0..2 {
+            let mut want = vec![0u8; 32 << 10];
+            fill(rank, field, &mut want);
+            assert_eq!(restored.field_data(rank, field), &want[..]);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coio_shared_file_exchange_storm() {
+    // One shared file, tiny exchange rounds: thousands of messages.
+    let np = 128;
+    let layout = DataLayout::uniform(np, &[("u", 16 << 10)]);
+    let dir = tmpdir("coio");
+    let plan = CheckpointSpec::new(layout.clone(), "storm")
+        .strategy(Strategy::CoIo { nf: 1, aggregator_ratio: 8 })
+        .tuning(Tuning {
+            cb_buffer_size: 4096, // many rounds per aggregator
+            fs_block_size: 8192,
+            align_domains: true,
+            writer_buffer: 1 << 20,
+        })
+        .plan()
+        .expect("plan");
+    let stats = plan.program.stats();
+    assert!(stats.sends > 500, "want a storm, got {} sends", stats.sends);
+    let payloads = materialize_payloads(&plan, fill);
+    execute(&plan.program, payloads, &ExecConfig::new(&dir)).expect("execute");
+    let restored = read_checkpoint(&dir, &plan).expect("restart");
+    let mut want = vec![0u8; 16 << 10];
+    fill(101, 0, &mut want);
+    assert_eq!(restored.field_data(101, 0), &want[..]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rank_times_are_plausible() {
+    // Workers in rbIO should retire before writers in the real executor
+    // too (they only send).
+    let np = 64;
+    let layout = DataLayout::uniform(np, &[("a", 256 << 10)]);
+    let dir = tmpdir("times");
+    let plan = CheckpointSpec::new(layout, "t")
+        .strategy(Strategy::rbio(2))
+        .plan()
+        .expect("plan");
+    let writers = plan.program.writer_ranks();
+    let payloads = materialize_payloads(&plan, fill);
+    let report = execute(&plan.program, payloads, &ExecConfig::new(&dir)).expect("execute");
+    let worker_max = report
+        .rank_times
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !writers.contains(&(*r as u32)))
+        .map(|(_, &t)| t)
+        .max()
+        .expect("workers");
+    let writer_max = writers
+        .iter()
+        .map(|&w| report.rank_times[w as usize])
+        .max()
+        .expect("writers");
+    assert!(
+        writer_max >= worker_max,
+        "writers {writer_max:?} must outlast workers {worker_max:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fsync_on_close_still_correct() {
+    let np = 16;
+    let layout = DataLayout::uniform(np, &[("a", 4096)]);
+    let dir = tmpdir("fsync");
+    let plan = CheckpointSpec::new(layout, "f")
+        .strategy(Strategy::coio(4))
+        .plan()
+        .expect("plan");
+    let payloads = materialize_payloads(&plan, fill);
+    let mut cfg = ExecConfig::new(&dir);
+    cfg.fsync_on_close = true;
+    execute(&plan.program, payloads, &cfg).expect("execute");
+    read_checkpoint(&dir, &plan).expect("restart");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,169 @@
+//! Failure injection: corrupted, truncated, or missing checkpoint files
+//! must be detected at restart, and damage to one step must not impair
+//! restart from another step — the fault-tolerance properties that make
+//! application-level checkpointing worth its cost.
+
+use rbio_repro::rbio::exec::{execute, ExecConfig, ExecError};
+use rbio_repro::rbio::format::{decode_header, materialize_payloads, FormatError};
+use rbio_repro::rbio::layout::DataLayout;
+use rbio_repro::rbio::restart::{read_checkpoint, read_checkpoint_auto, RestartError};
+use rbio_repro::rbio::strategy::{CheckpointSpec, Strategy};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rbio-fi-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn fill(rank: u32, field: usize, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (rank as usize + field + i) as u8;
+    }
+}
+
+fn write_step(
+    dir: &std::path::Path,
+    layout: &DataLayout,
+    step: u64,
+    strategy: Strategy,
+) -> rbio_repro::rbio::strategy::CheckpointPlan {
+    let plan = CheckpointSpec::new(layout.clone(), format!("s{step:03}"))
+        .strategy(strategy)
+        .step(step)
+        .plan()
+        .expect("plan");
+    let payloads = materialize_payloads(&plan, fill);
+    execute(&plan.program, payloads, &ExecConfig::new(dir)).expect("checkpoint");
+    plan
+}
+
+#[test]
+fn corrupted_header_detected() {
+    let dir = tmpdir("corrupt-hdr");
+    let layout = DataLayout::uniform(8, &[("a", 4096)]);
+    let plan = write_step(&dir, &layout, 1, Strategy::rbio(2));
+    let victim = dir.join(&plan.plan_files[0].name);
+    // Flip a byte inside the header region.
+    let mut bytes = std::fs::read(&victim).expect("read");
+    bytes[40] ^= 0xFF;
+    std::fs::write(&victim, bytes).expect("write");
+    let err = read_checkpoint(&dir, &plan).expect_err("must detect corruption");
+    match err {
+        RestartError::Format { source, .. } => {
+            assert!(matches!(source, FormatError::CrcMismatch | FormatError::BadVersion(_)), "{source}")
+        }
+        other => panic!("expected Format error, got {other}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_data_detected() {
+    let dir = tmpdir("truncate");
+    let layout = DataLayout::uniform(8, &[("a", 8192), ("b", 100)]);
+    let plan = write_step(&dir, &layout, 1, Strategy::coio(2));
+    let victim = dir.join(&plan.plan_files[1].name);
+    let orig = std::fs::metadata(&victim).expect("meta").len();
+    let f = std::fs::OpenOptions::new().write(true).open(&victim).expect("open");
+    f.set_len(orig / 2).expect("truncate");
+    drop(f);
+    let err = read_checkpoint(&dir, &plan).expect_err("must detect truncation");
+    assert!(matches!(err, RestartError::Inconsistent(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deleted_file_detected_by_plan_and_auto_discovery() {
+    let dir = tmpdir("deleted");
+    let layout = DataLayout::uniform(8, &[("a", 1024)]);
+    let plan = write_step(&dir, &layout, 1, Strategy::rbio(4));
+    std::fs::remove_file(dir.join(&plan.plan_files[2].name)).expect("delete");
+    assert!(read_checkpoint(&dir, &plan).is_err());
+    // Auto-discovery sees a rank-coverage gap.
+    let err = read_checkpoint_auto(&dir, "s001").expect_err("gap");
+    assert!(matches!(err, RestartError::Inconsistent(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damage_to_new_step_leaves_old_step_restartable() {
+    // The operational pattern: keep step N-1 until step N is verified.
+    let dir = tmpdir("two-steps");
+    let layout = DataLayout::uniform(8, &[("a", 2048)]);
+    let old_plan = write_step(&dir, &layout, 10, Strategy::rbio(2));
+    let new_plan = write_step(&dir, &layout, 20, Strategy::rbio(2));
+    // The "crash" during step 20: one file half-written.
+    let victim = dir.join(&new_plan.plan_files[1].name);
+    let f = std::fs::OpenOptions::new().write(true).open(&victim).expect("open");
+    f.set_len(10).expect("truncate");
+    drop(f);
+    assert!(read_checkpoint(&dir, &new_plan).is_err(), "new step must fail");
+    let restored = read_checkpoint(&dir, &old_plan).expect("old step must restore");
+    assert_eq!(restored.step, 10);
+    let mut want = vec![0u8; 2048];
+    fill(5, 0, &mut want);
+    assert_eq!(restored.field_data(5, 0), &want[..]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swapped_files_between_steps_detected() {
+    // Restoring a plan against files from a different job shape fails.
+    let dir_a = tmpdir("swap-a");
+    let dir_b = tmpdir("swap-b");
+    let layout_a = DataLayout::uniform(8, &[("a", 1024)]);
+    let layout_b = DataLayout::uniform(16, &[("a", 1024)]);
+    let plan_a = write_step(&dir_a, &layout_a, 1, Strategy::rbio(2));
+    let plan_b = write_step(&dir_b, &layout_b, 1, Strategy::rbio(2));
+    // Same file names (same prefix/count for first two files); copy B's
+    // file over A's and try to restore A.
+    std::fs::copy(
+        dir_b.join(&plan_b.plan_files[0].name),
+        dir_a.join(&plan_a.plan_files[0].name),
+    )
+    .expect("copy");
+    let err = read_checkpoint(&dir_a, &plan_a).expect_err("job shape mismatch");
+    assert!(matches!(err, RestartError::Inconsistent(_)), "{err}");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn executor_surfaces_io_errors_with_rank() {
+    // Point the executor at an unwritable base dir.
+    let layout = DataLayout::uniform(4, &[("a", 64)]);
+    let plan = CheckpointSpec::new(layout, "x").plan().expect("plan");
+    let payloads = materialize_payloads(&plan, fill);
+    let err = execute(
+        &plan.program,
+        payloads,
+        &ExecConfig::new("/proc/definitely/not/writable"),
+    )
+    .expect_err("must fail");
+    assert!(matches!(err, ExecError::Setup(_) | ExecError::Io { .. }), "{err}");
+}
+
+#[test]
+fn stale_files_from_previous_run_are_overwritten() {
+    // create:true truncates, so a shrinking re-checkpoint cannot leave
+    // stale tail bytes that would confuse the reader.
+    let dir = tmpdir("stale");
+    let big = DataLayout::uniform(4, &[("a", 8192)]);
+    write_step(&dir, &big, 1, Strategy::rbio(1));
+    let small = DataLayout::uniform(4, &[("a", 128)]);
+    let plan_small = CheckpointSpec::new(small.clone(), "s001")
+        .strategy(Strategy::rbio(1))
+        .step(2)
+        .plan()
+        .expect("plan");
+    let payloads = materialize_payloads(&plan_small, fill);
+    execute(&plan_small.program, payloads, &ExecConfig::new(&dir)).expect("rewrite");
+    // File on disk must now be exactly the small size.
+    let f = dir.join(&plan_small.plan_files[0].name);
+    let len = std::fs::metadata(&f).expect("meta").len();
+    let header = decode_header(&std::fs::read(&f).expect("read")).expect("header");
+    assert_eq!(len, header.expected_file_size());
+    let restored = read_checkpoint(&dir, &plan_small).expect("restart");
+    assert_eq!(restored.step, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

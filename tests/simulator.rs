@@ -1,0 +1,174 @@
+//! Integration tests of the simulated machine: determinism, consistency
+//! between plan accounting and machine accounting, and the qualitative
+//! orderings the paper's evaluation rests on, at reduced scale so the
+//! whole file runs in seconds.
+
+use rbio_repro::rbio::layout::DataLayout;
+use rbio_repro::rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy};
+use rbio_repro::rbio_machine::{simulate, MachineConfig, ProfileLevel};
+use rbio_repro::rbio_plan::Program;
+
+fn layout(np: u32) -> DataLayout {
+    // The paper's per-rank footprint (~2.4 MB over six fields).
+    DataLayout::uniform(
+        np,
+        &[
+            ("Ex", 396_000),
+            ("Ey", 396_000),
+            ("Ez", 396_000),
+            ("Hx", 396_000),
+            ("Hy", 396_000),
+            ("Hz", 396_000),
+        ],
+    )
+}
+
+fn plan(np: u32, strategy: Strategy) -> Program {
+    CheckpointSpec::new(layout(np), "sim")
+        .strategy(strategy)
+        .plan()
+        .expect("valid plan")
+        .program
+}
+
+fn machine(np: u32) -> MachineConfig {
+    let mut m = MachineConfig::intrepid(np).quiet();
+    m.profile = ProfileLevel::Off;
+    m
+}
+
+const NP: u32 = 1024;
+
+#[test]
+fn simulation_is_deterministic() {
+    let p = plan(NP, Strategy::rbio(NP / 64));
+    let m1 = simulate(&p, &MachineConfig::intrepid(NP));
+    let m2 = simulate(&p, &MachineConfig::intrepid(NP));
+    assert_eq!(m1.wall, m2.wall);
+    assert_eq!(m1.per_rank_finish, m2.per_rank_finish);
+    assert_eq!(m1.bytes_written, m2.bytes_written);
+}
+
+#[test]
+fn different_seeds_differ_but_only_in_noise() {
+    let p = plan(NP, Strategy::coio(NP / 64));
+    let a = simulate(&p, &MachineConfig::intrepid(NP).seed(1));
+    let b = simulate(&p, &MachineConfig::intrepid(NP).seed(2));
+    assert_ne!(a.wall, b.wall, "noise should differ across seeds");
+    // But within a factor ~2 for this small scale (no convoys here).
+    let ratio = a.wall.as_secs_f64() / b.wall.as_secs_f64();
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    // And quiet machines are seed-independent.
+    let qa = simulate(&p, &machine(NP).seed(1));
+    let qb = simulate(&p, &machine(NP).seed(2));
+    assert_eq!(qa.wall, qb.wall);
+}
+
+#[test]
+fn machine_accounting_matches_plan_accounting() {
+    for strategy in [
+        Strategy::OnePfpp,
+        Strategy::coio(NP / 64),
+        Strategy::rbio(NP / 64),
+        Strategy::RbIo { ng: NP / 64, commit: RbIoCommit::CollectiveShared },
+    ] {
+        let p = plan(NP, strategy);
+        let m = simulate(&p, &machine(NP));
+        let stats = p.stats();
+        assert_eq!(m.bytes_written, stats.bytes_written, "{strategy:?}");
+        assert_eq!(m.bytes_sent, stats.bytes_sent, "{strategy:?}");
+        assert_eq!(m.fs_stats.bytes_written, stats.bytes_written, "{strategy:?}");
+        assert_eq!(m.per_rank_finish.len() as u32, NP, "{strategy:?}");
+        assert!(m.wall.as_secs_f64() > 0.0, "{strategy:?}");
+    }
+}
+
+#[test]
+fn pfpp_is_much_slower_than_rbio_at_scale() {
+    // Even at 1Ki ranks the metadata storm shows clearly.
+    let pf = simulate(&plan(4096, Strategy::OnePfpp), &machine(4096));
+    let rb = simulate(&plan(4096, Strategy::rbio(64)), &machine(4096));
+    assert!(
+        pf.wall.as_secs_f64() > 4.0 * rb.wall.as_secs_f64(),
+        "1PFPP {:.2}s vs rbIO {:.2}s",
+        pf.wall.as_secs_f64(),
+        rb.wall.as_secs_f64()
+    );
+}
+
+#[test]
+fn rbio_workers_return_orders_of_magnitude_before_writers() {
+    let m = simulate(&plan(NP, Strategy::rbio(NP / 64)), &machine(NP));
+    let workers = m.worker_max().as_secs_f64();
+    let writers = m.writer_max().as_secs_f64();
+    assert!(
+        workers * 100.0 < writers,
+        "workers {workers:.6}s vs writers {writers:.3}s"
+    );
+    // Perceived bandwidth is far beyond the raw disk bandwidth.
+    assert!(m.perceived_bw_bps() > 20.0 * m.bandwidth_bps());
+}
+
+#[test]
+fn coio_blocks_every_rank_until_the_end() {
+    let m = simulate(&plan(NP, Strategy::coio(NP / 64)), &machine(NP));
+    // With collective semantics, even the "fastest" rank is within a small
+    // factor of the slowest (per-field barriers per group).
+    let min = m
+        .per_rank_finish
+        .iter()
+        .min()
+        .expect("ranks")
+        .as_secs_f64();
+    let max = m.wall.as_secs_f64();
+    assert!(max / min < 10.0, "min {min:.3}s max {max:.3}s");
+}
+
+#[test]
+fn weak_scaling_grows_wall_time_for_blocking_strategies() {
+    let small = simulate(&plan(1024, Strategy::coio(16)), &machine(1024));
+    let big = simulate(&plan(4096, Strategy::coio(64)), &machine(4096));
+    assert!(big.wall > small.wall, "4x data should take longer");
+}
+
+#[test]
+fn perceived_bandwidth_scales_linearly_with_ranks() {
+    let a = simulate(&plan(1024, Strategy::rbio(16)), &machine(1024));
+    let b = simulate(&plan(4096, Strategy::rbio(64)), &machine(4096));
+    let growth = b.perceived_bw_bps() / a.perceived_bw_bps();
+    assert!((growth / 4.0 - 1.0).abs() < 0.25, "growth {growth}");
+}
+
+#[test]
+fn timeline_profile_levels() {
+    let p = plan(NP, Strategy::rbio(NP / 64));
+    let mut cfg = machine(NP);
+    cfg.profile = ProfileLevel::Off;
+    assert!(simulate(&p, &cfg).timeline.is_empty());
+    cfg.profile = ProfileLevel::Writes;
+    let m = simulate(&p, &cfg);
+    assert!(m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Write) > 0);
+    assert_eq!(m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Open), 0);
+    cfg.profile = ProfileLevel::Full;
+    let m = simulate(&p, &cfg);
+    assert!(m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Open) > 0);
+}
+
+#[test]
+fn restart_read_plan_simulates_and_reads_less_time_than_writes() {
+    use rbio_repro::rbio::restart::build_restart_plan;
+    let full = CheckpointSpec::new(layout(NP), "sim")
+        .strategy(Strategy::coio(NP / 64))
+        .plan()
+        .expect("plan");
+    let wm = simulate(&full.program, &machine(NP));
+    let rp = build_restart_plan(&full);
+    let rm = simulate(&rp, &machine(NP));
+    assert!(rm.fs_stats.bytes_read > 0);
+    assert!(
+        rm.wall < wm.wall,
+        "independent reads {:.2}s should beat collective writes {:.2}s",
+        rm.wall.as_secs_f64(),
+        wm.wall.as_secs_f64()
+    );
+}
