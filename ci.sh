@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local CI: exactly what .github/workflows/ci.yml runs.
+# The workspace builds offline — all former crates.io dev-dependencies
+# (proptest, criterion) are vendored as shims/ — so no network is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "ci: all checks passed"

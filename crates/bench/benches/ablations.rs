@@ -43,18 +43,27 @@ fn bench_alignment(c: &mut Criterion) {
     // aggregators and can invert the effect. Show both regimes.
     println!("\n[ablation] coIO file-domain alignment at np={NP}:");
     for (regime, fields) in [
-        ("large domains (2 fields)", &[("E", 1_200_000u64), ("H", 1_200_000)][..]),
-        ("small domains (6 fields)", &[
-            ("Ex", 400_000),
-            ("Ey", 400_000),
-            ("Ez", 400_000),
-            ("Hx", 400_000),
-            ("Hy", 400_000),
-            ("Hz", 400_000),
-        ][..]),
+        (
+            "large domains (2 fields)",
+            &[("E", 1_200_000u64), ("H", 1_200_000)][..],
+        ),
+        (
+            "small domains (6 fields)",
+            &[
+                ("Ex", 400_000),
+                ("Ey", 400_000),
+                ("Ez", 400_000),
+                ("Hx", 400_000),
+                ("Hy", 400_000),
+                ("Hz", 400_000),
+            ][..],
+        ),
     ] {
         for align in [true, false] {
-            let t = Tuning { align_domains: align, ..Tuning::default() };
+            let t = Tuning {
+                align_domains: align,
+                ..Tuning::default()
+            };
             let m = run_layout(Strategy::coio(NP / 64), t, fields);
             println!(
                 "  {regime:<26} align={align:<5} -> {:>6.2} GB/s  (lock RPCs {}, RMW blocks {})",
@@ -68,10 +77,17 @@ fn bench_alignment(c: &mut Criterion) {
     g.sample_size(10);
     for align in [true, false] {
         g.bench_with_input(BenchmarkId::from_parameter(align), &align, |b, &align| {
-            let t = Tuning { align_domains: align, ..Tuning::default() };
+            let t = Tuning {
+                align_domains: align,
+                ..Tuning::default()
+            };
             b.iter(|| {
-                run_layout(Strategy::coio(NP / 64), t, &[("E", 1_200_000), ("H", 1_200_000)])
-                    .bandwidth_bps()
+                run_layout(
+                    Strategy::coio(NP / 64),
+                    t,
+                    &[("E", 1_200_000), ("H", 1_200_000)],
+                )
+                .bandwidth_bps()
             })
         });
     }
@@ -81,15 +97,24 @@ fn bench_alignment(c: &mut Criterion) {
 fn bench_writer_buffer(c: &mut Criterion) {
     println!("\n[ablation] rbIO writer commit buffer at np={NP}:");
     for mib in [1u64, 4, 16, 64] {
-        let t = Tuning { writer_buffer: mib << 20, ..Tuning::default() };
+        let t = Tuning {
+            writer_buffer: mib << 20,
+            ..Tuning::default()
+        };
         let m = run(Strategy::rbio(NP / 64), t);
-        println!("  buffer={mib:>3} MiB -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
+        println!(
+            "  buffer={mib:>3} MiB -> {:>6.2} GB/s",
+            m.bandwidth_bps() / 1e9
+        );
     }
     let mut g = c.benchmark_group("ablation_writer_buffer");
     g.sample_size(10);
     for mib in [1u64, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
-            let t = Tuning { writer_buffer: mib << 20, ..Tuning::default() };
+            let t = Tuning {
+                writer_buffer: mib << 20,
+                ..Tuning::default()
+            };
             b.iter(|| run(Strategy::rbio(NP / 64), t).bandwidth_bps())
         });
     }
@@ -99,16 +124,31 @@ fn bench_writer_buffer(c: &mut Criterion) {
 fn bench_aggregator_ratio(c: &mut Criterion) {
     println!("\n[ablation] coIO aggregator ratio (bgp_nodes_pset) at np={NP}:");
     for ratio in [16u32, 32, 64] {
-        let m = run(Strategy::CoIo { nf: NP / 64, aggregator_ratio: ratio }, Tuning::default());
-        println!("  ratio={ratio:>3}:1 -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
+        let m = run(
+            Strategy::CoIo {
+                nf: NP / 64,
+                aggregator_ratio: ratio,
+            },
+            Tuning::default(),
+        );
+        println!(
+            "  ratio={ratio:>3}:1 -> {:>6.2} GB/s",
+            m.bandwidth_bps() / 1e9
+        );
     }
     let mut g = c.benchmark_group("ablation_aggregator_ratio");
     g.sample_size(10);
     for ratio in [16u32, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
             b.iter(|| {
-                run(Strategy::CoIo { nf: NP / 64, aggregator_ratio: ratio }, Tuning::default())
-                    .bandwidth_bps()
+                run(
+                    Strategy::CoIo {
+                        nf: NP / 64,
+                        aggregator_ratio: ratio,
+                    },
+                    Tuning::default(),
+                )
+                .bandwidth_bps()
             })
         });
     }
@@ -118,7 +158,10 @@ fn bench_aggregator_ratio(c: &mut Criterion) {
 fn bench_cb_buffer(c: &mut Criterion) {
     println!("\n[ablation] ROMIO collective-buffer (exchange round) size at np={NP}:");
     for mib in [4u64, 16, 64] {
-        let t = Tuning { cb_buffer_size: mib << 20, ..Tuning::default() };
+        let t = Tuning {
+            cb_buffer_size: mib << 20,
+            ..Tuning::default()
+        };
         let m = run(Strategy::coio(NP / 64), t);
         println!("  cb={mib:>3} MiB -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
     }
@@ -126,7 +169,10 @@ fn bench_cb_buffer(c: &mut Criterion) {
     g.sample_size(10);
     for mib in [4u64, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, &mib| {
-            let t = Tuning { cb_buffer_size: mib << 20, ..Tuning::default() };
+            let t = Tuning {
+                cb_buffer_size: mib << 20,
+                ..Tuning::default()
+            };
             b.iter(|| run(Strategy::coio(NP / 64), t).bandwidth_bps())
         });
     }
@@ -161,7 +207,13 @@ fn bench_rbio_commit_modes(c: &mut Criterion) {
         ("nf=ng (independent)", RbIoCommit::IndependentPerWriter),
         ("nf=1  (collective) ", RbIoCommit::CollectiveShared),
     ] {
-        let m = run(Strategy::RbIo { ng: NP / 64, commit }, Tuning::default());
+        let m = run(
+            Strategy::RbIo {
+                ng: NP / 64,
+                commit,
+            },
+            Tuning::default(),
+        );
         println!("  {name} -> {:>6.2} GB/s", m.bandwidth_bps() / 1e9);
     }
     let mut g = c.benchmark_group("ablation_rbio_commit");
@@ -171,7 +223,16 @@ fn bench_rbio_commit_modes(c: &mut Criterion) {
         ("collective", RbIoCommit::CollectiveShared),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| run(Strategy::RbIo { ng: NP / 64, commit }, Tuning::default()).bandwidth_bps())
+            b.iter(|| {
+                run(
+                    Strategy::RbIo {
+                        ng: NP / 64,
+                        commit,
+                    },
+                    Tuning::default(),
+                )
+                .bandwidth_bps()
+            })
         });
     }
     g.finish();

@@ -49,7 +49,10 @@ fn bench_torus(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u32;
             for i in 0..10_000u32 {
-                acc += t.distance(NodeId(i % t.num_nodes()), NodeId((i * 7919) % t.num_nodes()));
+                acc += t.distance(
+                    NodeId(i % t.num_nodes()),
+                    NodeId((i * 7919) % t.num_nodes()),
+                );
             }
             acc
         })

@@ -30,14 +30,20 @@ fn main() {
     let bw = |cfg: usize| series[cfg].y[last];
     let notes = vec![
         check("1PFPP is >=20x below rbIO nf=ng", bw(4) / bw(0) > 20.0),
-        check("rbIO nf=ng exceeds 13 GB/s at the largest scale", bw(4) > 13.0),
+        check(
+            "rbIO nf=ng exceeds 13 GB/s at the largest scale",
+            bw(4) > 13.0,
+        ),
         check("rbIO nf=ng >=1.5x rbIO nf=1", bw(4) / bw(3) > 1.5),
         check("coIO nf=1 similar to rbIO nf=1 (within 2x)", {
             let ratio = bw(1) / bw(3);
             (0.5..2.0).contains(&ratio)
         }),
         check("coIO 64:1 beats coIO nf=1", bw(2) > bw(1)),
-        check("rbIO nf=ng no worse than coIO 64:1 at scale", bw(4) >= bw(2) * 0.95),
+        check(
+            "rbIO nf=ng no worse than coIO 64:1 at scale",
+            bw(4) >= bw(2) * 0.95,
+        ),
         check(
             "coIO 64:1 drops at the largest scale (Fig. 10 stragglers)",
             nps.len() < 2 || series[2].y[last] < series[2].y[last - 1],

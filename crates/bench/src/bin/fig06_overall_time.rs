@@ -27,7 +27,12 @@ fn main() {
         rows.push((per_cfg[0].label.clone(), vals));
     }
     let cols: Vec<String> = nps.iter().map(|n| n.to_string()).collect();
-    print_table("Fig. 6: overall time per checkpoint step", &cols, &rows, "seconds");
+    print_table(
+        "Fig. 6: overall time per checkpoint step",
+        &cols,
+        &rows,
+        "seconds",
+    );
 
     let last = nps.len() - 1;
     let t = |cfg: usize, i: usize| series[cfg].y[i];
@@ -38,7 +43,10 @@ fn main() {
             "rbIO nf=ng time is orders of magnitude below 1PFPP",
             t(0, last) / t(4, last) > 100.0,
         ),
-        check("rbIO bars stay relatively flat across scales (<6x)", rb_flat < 6.0),
+        check(
+            "rbIO bars stay relatively flat across scales (<6x)",
+            rb_flat < 6.0,
+        ),
         check(
             "rbIO nf=ng has the smallest application-visible time at scale",
             (0..4).all(|c| t(4, last) <= t(c, last)),

@@ -43,7 +43,11 @@ fn main() {
                 results.sort_by_key(|a| a.0);
                 results[results.len() / 2]
             };
-            eprintln!("np={np:>6} nf={nf:>5}  bw={:>7.2} GB/s  wall={:>7.2}s", r.1, r.0.as_secs_f64());
+            eprintln!(
+                "np={np:>6} nf={nf:>5}  bw={:>7.2} GB/s  wall={:>7.2}s",
+                r.1,
+                r.0.as_secs_f64()
+            );
             y.push(r.1);
         }
         series.push(Series {
@@ -54,7 +58,12 @@ fn main() {
         rows.push((format!("np={np}"), y));
     }
     let cols: Vec<String> = NFS.iter().map(|n| n.to_string()).collect();
-    print_table("Fig. 8: rbIO bandwidth vs number of files (nf=ng)", &cols, &rows, "GB/s");
+    print_table(
+        "Fig. 8: rbIO bandwidth vs number of files (nf=ng)",
+        &cols,
+        &rows,
+        "GB/s",
+    );
 
     // The paper: "this number stays around 1,024 when running on 16K, 32K
     // and 64K processors", with clear degradation toward both extremes.

@@ -33,12 +33,19 @@ fn main() {
     let series = vec![Series {
         label: "1PFPP".into(),
         x: (0..finish.len()).step_by(step).map(|r| r as f64).collect(),
-        y: finish.iter().step_by(step).map(|t| t.as_secs_f64()).collect(),
+        y: finish
+            .iter()
+            .step_by(step)
+            .map(|t| t.as_secs_f64())
+            .collect(),
     }];
     let notes = vec![
         check("slowest rank takes hundreds of seconds", s.max_s > 100.0),
         check("fastest rank finishes within seconds", s.min_s < 5.0),
-        check("huge spread (max/min > 50)", s.max_s / s.min_s.max(1e-9) > 50.0),
+        check(
+            "huge spread (max/min > 50)",
+            s.max_s / s.min_s.max(1e-9) > 50.0,
+        ),
         format!("summary: {s:?}"),
     ];
     FigureData {

@@ -6,8 +6,8 @@
 //!
 //! Usage: `fig10_dist_coio [np]` (default 65536).
 
-use rbio_bench::experiments::{fig5_configs, run_config_tuned};
 use rbio::strategy::Tuning;
+use rbio_bench::experiments::{fig5_configs, run_config_tuned};
 use rbio_bench::report::{check, FigureData, Series};
 use rbio_bench::workload::paper_case;
 use rbio_machine::ProfileLevel;
@@ -25,7 +25,15 @@ fn main() {
     // behind the Fig. 5 drop); scan a few seeds and show the one with the
     // strongest outlier behaviour.
     let r = (0..9u64)
-        .map(|i| run_config_tuned(&case, cfg, ProfileLevel::Off, Tuning::default(), 0x1BEB + 977 * i))
+        .map(|i| {
+            run_config_tuned(
+                &case,
+                cfg,
+                ProfileLevel::Off,
+                Tuning::default(),
+                0x1BEB + 977 * i,
+            )
+        })
         .max_by(|a, b| {
             let ratio = |r: &rbio_bench::experiments::ConfigResult| {
                 let s = rbio_sim::stats::TimingSummary::from_times(&r.metrics.per_rank_finish)
@@ -47,11 +55,21 @@ fn main() {
     let series = vec![Series {
         label: "coIO, np:nf=64:1".into(),
         x: (0..finish.len()).step_by(step).map(|r| r as f64).collect(),
-        y: finish.iter().step_by(step).map(|t| t.as_secs_f64()).collect(),
+        y: finish
+            .iter()
+            .step_by(step)
+            .map(|t| t.as_secs_f64())
+            .collect(),
     }];
     let notes = vec![
-        check("vastly more synchronized than 1PFPP (max < 60s)", s.max_s < 60.0),
-        check("most ranks finish near the median (p50 < 15s)", s.median_s < 15.0),
+        check(
+            "vastly more synchronized than 1PFPP (max < 60s)",
+            s.max_s < 60.0,
+        ),
+        check(
+            "most ranks finish near the median (p50 < 15s)",
+            s.median_s < 15.0,
+        ),
         check(
             "straggler outliers exist (max > 1.5x median)",
             s.max_s > 1.5 * s.median_s,

@@ -22,8 +22,7 @@ fn main() {
     assert!(cfg.label.contains("nf=ng"), "{}", cfg.label);
     let r = run_config(&case, cfg, ProfileLevel::Off);
     let finish = &r.metrics.per_rank_finish;
-    let writers: std::collections::HashSet<u32> =
-        r.metrics.writer_ranks.iter().copied().collect();
+    let writers: std::collections::HashSet<u32> = r.metrics.writer_ranks.iter().copied().collect();
 
     let (mut wx, mut wy, mut kx, mut ky) = (vec![], vec![], vec![], vec![]);
     for (rank, t) in finish.iter().enumerate() {
@@ -56,13 +55,19 @@ fn main() {
     );
 
     let notes = vec![
-        check("two bands: every worker finishes before every writer", ks.max_s < ws.min_s),
+        check(
+            "two bands: every worker finishes before every writer",
+            ks.max_s < ws.min_s,
+        ),
         check("workers finish in well under a second", ks.max_s < 1.0),
         check(
             "writer line is nearly flat (max < 3x min)",
             ws.max_s / ws.min_s.max(1e-9) < 3.0,
         ),
-        check("writers land in the ~10s regime (2..30s)", (2.0..30.0).contains(&ws.max_s)),
+        check(
+            "writers land in the ~10s regime (2..30s)",
+            (2.0..30.0).contains(&ws.max_s),
+        ),
         format!("writers: {ws:?}"),
         format!("workers: {ks:?}"),
     ];
@@ -72,8 +77,16 @@ fn main() {
             "Per-rank I/O time (s), rbIO 64:1 nf=ng, np={np} (simulated; workers decimated x16)"
         ),
         series: vec![
-            Series { label: "writers".into(), x: wx, y: wy },
-            Series { label: "workers".into(), x: kx, y: ky },
+            Series {
+                label: "writers".into(),
+                x: wx,
+                y: wy,
+            },
+            Series {
+                label: "workers".into(),
+                x: kx,
+                y: ky,
+            },
         ],
         notes,
     }

@@ -54,7 +54,11 @@ fn main() {
             mean_busy,
             horizon.as_secs_f64()
         ));
-        series.push(Series { label: cfg.label.to_string(), x, y });
+        series.push(Series {
+            label: cfg.label.to_string(),
+            x,
+            y,
+        });
     }
 
     // rbIO writers should be busier (streaming) than coIO aggregators

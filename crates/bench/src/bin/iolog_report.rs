@@ -49,11 +49,7 @@ fn main() {
     println!("\n--- counter digest (from archived log) ---");
     print!("{}", back.counter_report());
     println!("--- write activity (from archived log) ---");
-    let horizon = back
-        .per_rank_finish(np)
-        .into_iter()
-        .max()
-        .expect("ranks");
+    let horizon = back.per_rank_finish(np).into_iter().max().expect("ranks");
     print!("{}", back.activity_ascii(horizon, 72, 16));
     println!(
         "\nbytes written per log: {} (run metric: {})",

@@ -42,7 +42,10 @@ fn main() {
             let mut machine = MachineConfig::intrepid(np);
             machine.profile = ProfileLevel::Off;
             if lustre {
-                machine.fs = FsConfig { profile: rbio_gpfs::FsProfile::Lustre, ..machine.fs };
+                machine.fs = FsConfig {
+                    profile: rbio_gpfs::FsProfile::Lustre,
+                    ..machine.fs
+                };
             }
             let m = simulate(&plan.program, &machine);
             vals.push(m.bandwidth_bps() / 1e9);
@@ -53,7 +56,11 @@ fn main() {
         );
         gpfs_vals.push(vals[0]);
         lustre_vals.push(vals[1]);
-        series.push(Series { label: cfg.label.to_string(), x: vec![0.0, 1.0], y: vals.clone() });
+        series.push(Series {
+            label: cfg.label.to_string(),
+            x: vec![0.0, 1.0],
+            y: vals.clone(),
+        });
         rows.push((cfg.label.to_string(), vals));
     }
     print_table(
@@ -82,7 +89,10 @@ fn main() {
         simulate(&plan.program, &machine).bandwidth_bps() / 1e9
     };
     println!("\nLustre stripe count sweep:");
-    println!("{:>14} {:>16} {:>16}", "stripe_count", "coIO nf=1", "rbIO nf=ng");
+    println!(
+        "{:>14} {:>16} {:>16}",
+        "stripe_count", "coIO nf=1", "rbIO nf=ng"
+    );
     let mut sweep = Vec::new();
     let mut rb_sweep = Vec::new();
     for stripes in [1u32, 2, 4, 8, 16] {
@@ -103,10 +113,15 @@ fn main() {
             "shared single file hurts more on Lustre than on GPFS (relative)",
             lustre_vals[0] / lustre_vals[3] < gpfs_vals[0] / gpfs_vals[3],
         ),
-        check("wider stripes help the shared file (16 > 1 OST)", sweep[4] > sweep[0]),
+        check(
+            "wider stripes help the shared file (16 > 1 OST)",
+            sweep[4] > sweep[0],
+        ),
         check(
             "file-per-writer is stripe-insensitive (within 5% across 1..16 OSTs)",
-            rb_sweep.iter().all(|&v| (v / rb_sweep[0] - 1.0).abs() < 0.05),
+            rb_sweep
+                .iter()
+                .all(|&v| (v / rb_sweep[0] - 1.0).abs() < 0.05),
         ),
         format!(
             "finding: on Lustre, stripe width only matters for the shared file \

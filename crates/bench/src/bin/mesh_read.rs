@@ -33,12 +33,26 @@ fn main() {
         let file = b.file("mesh.rea", bytes);
         b.reserve_staging(0, bytes);
         // Rank 0 reads the global mesh in 8 MiB chunks...
-        b.push(0, Op::Open { file, create: false });
+        b.push(
+            0,
+            Op::Open {
+                file,
+                create: false,
+            },
+        );
         let chunk = 8u64 << 20;
         let mut off = 0;
         while off < bytes {
             let len = chunk.min(bytes - off);
-            b.push(0, Op::ReadAt { file, offset: off, len, staging_off: off });
+            b.push(
+                0,
+                Op::ReadAt {
+                    file,
+                    offset: off,
+                    len,
+                    staging_off: off,
+                },
+            );
             // Formatted Fortran input: the chunk must be parsed before the
             // next read is issued (parse-bound, ~10 MB/s).
             let parse_ns = (len as f64 / mesh_parse_rate() * 1e9) as u64;
@@ -52,11 +66,29 @@ fn main() {
         let fanout = 64u32.min(np - 1);
         let slice = bytes / u64::from(np);
         for r in 1..=fanout {
-            b.push(0, Op::Send { dst: r, tag: Tag(0), src: DataRef::Staging { off: 0, len: slice.max(1) } });
+            b.push(
+                0,
+                Op::Send {
+                    dst: r,
+                    tag: Tag(0),
+                    src: DataRef::Staging {
+                        off: 0,
+                        len: slice.max(1),
+                    },
+                },
+            );
         }
         for r in 1..=fanout {
             b.reserve_staging(r, slice.max(1));
-            b.push(r, Op::Recv { src: 0, tag: Tag(0), bytes: slice.max(1), staging_off: 0 });
+            b.push(
+                r,
+                Op::Recv {
+                    src: 0,
+                    tag: Tag(0),
+                    bytes: slice.max(1),
+                    staging_off: 0,
+                },
+            );
             // Each stage-1 node forwards to its subtree; modelled as local
             // compute proportional to the remaining fan-out depth.
             b.push(r, Op::Compute { nanos: 2_000_000 });
@@ -69,9 +101,7 @@ fn main() {
         machine.profile = ProfileLevel::Off;
         let m = simulate(&program, &machine);
         let secs = m.wall.as_secs_f64();
-        println!(
-            "{elements:>10} {np_paper:>10} {bytes:>12} {secs_paper:>12.1} {secs:>12.1}"
-        );
+        println!("{elements:>10} {np_paper:>10} {bytes:>12} {secs_paper:>12.1} {secs:>12.1}");
         x.push(elements as f64);
         y.push(secs);
         paper.push(secs_paper);
@@ -79,7 +109,9 @@ fn main() {
     let notes = vec![
         check(
             "model lands within 3x of both paper points",
-            y.iter().zip(&paper).all(|(m, p)| *m > p / 3.0 && *m < p * 3.0),
+            y.iter()
+                .zip(&paper)
+                .all(|(m, p)| *m > p / 3.0 && *m < p * 3.0),
         ),
         check("bigger mesh takes longer", y[1] > y[0]),
         format!("paper: {paper:?} s, model: {y:?} s"),
@@ -87,7 +119,11 @@ fn main() {
     FigureData {
         id: "mesh_read".into(),
         title: "Global mesh read time vs element count (simulated)".into(),
-        series: vec![Series { label: "model".into(), x, y }],
+        series: vec![Series {
+            label: "model".into(),
+            x,
+            y,
+        }],
         notes,
     }
     .save();

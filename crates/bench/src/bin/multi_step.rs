@@ -57,7 +57,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let np: u32 = args.next().map(|a| a.parse().expect("np")).unwrap_or(16384);
     let nc: u64 = args.next().map(|a| a.parse().expect("nc")).unwrap_or(20);
-    let periods: u64 = args.next().map(|a| a.parse().expect("periods")).unwrap_or(10);
+    let periods: u64 = args
+        .next()
+        .map(|a| a.parse().expect("periods"))
+        .unwrap_or(10);
     let case = paper_case(np);
     let tcomp = case.compute_seconds_per_step;
     let compute_total = tcomp * (nc * periods) as f64;

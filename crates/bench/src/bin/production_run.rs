@@ -15,7 +15,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let np: u32 = args.next().map(|a| a.parse().expect("np")).unwrap_or(16384);
     let nc: u64 = args.next().map(|a| a.parse().expect("nc")).unwrap_or(20);
-    let steps: u64 = args.next().map(|a| a.parse().expect("steps")).unwrap_or(1000);
+    let steps: u64 = args
+        .next()
+        .map(|a| a.parse().expect("steps"))
+        .unwrap_or(1000);
     let case = paper_case(np);
     let tcomp = case.compute_seconds_per_step;
 
@@ -47,8 +50,14 @@ fn main() {
     println!("  Eq. 1 closed form:               {eq1:.1}x   (paper: ~25x)");
 
     let notes = vec![
-        check("composition matches Eq. 1 within 1%", (measured / eq1 - 1.0).abs() < 0.01),
-        check("improvement is ~25x (15..60)", (15.0..60.0).contains(&measured)),
+        check(
+            "composition matches Eq. 1 within 1%",
+            (measured / eq1 - 1.0).abs() < 0.01,
+        ),
+        check(
+            "improvement is ~25x (15..60)",
+            (15.0..60.0).contains(&measured),
+        ),
         format!("measured {measured:.2}x, Eq.1 {eq1:.2}x at np={np}, nc={nc}"),
     ];
     FigureData {

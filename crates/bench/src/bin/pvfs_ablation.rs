@@ -38,7 +38,10 @@ fn main() {
             let mut machine = MachineConfig::intrepid(np);
             machine.profile = ProfileLevel::Off;
             if pvfs {
-                machine.fs = FsConfig { profile: rbio_gpfs::FsProfile::Pvfs, ..machine.fs };
+                machine.fs = FsConfig {
+                    profile: rbio_gpfs::FsProfile::Pvfs,
+                    ..machine.fs
+                };
             }
             let m = simulate(&plan.program, &machine);
             vals.push(m.bandwidth_bps() / 1e9);

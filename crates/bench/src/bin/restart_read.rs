@@ -42,7 +42,11 @@ fn main() {
             rm.fs_stats.bytes_read as f64 / tr / 1e9,
         );
         rows.push((cfg.label.to_string(), vec![tw, tr]));
-        series.push(Series { label: cfg.label.to_string(), x: vec![0.0, 1.0], y: vec![tw, tr] });
+        series.push(Series {
+            label: cfg.label.to_string(),
+            x: vec![0.0, 1.0],
+            y: vec![tw, tr],
+        });
         write_times.push(tw);
         read_times.push(tr);
     }

@@ -43,7 +43,10 @@ fn main() {
         base.bw_rbio / 1e9,
         base.bw_perceived / 1e12
     );
-    println!("\n{:>8} {:>14} {:>14} {:>14}", "lambda", "exact (Eq.5)", "approx (Eq.6)", "limit (Eq.7)");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>14}",
+        "lambda", "exact (Eq.5)", "approx (Eq.6)", "limit (Eq.7)"
+    );
     let lambdas = [0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0];
     let mut x = Vec::new();
     let mut exact = Vec::new();
@@ -61,8 +64,14 @@ fn main() {
         approx.push(m.speedup_approx());
     }
 
-    let m0 = SpeedupModel { lambda: 0.0, ..base };
-    let worst = SpeedupModel { bw_rbio: base.bw_coio / 2.0, ..m0 };
+    let m0 = SpeedupModel {
+        lambda: 0.0,
+        ..base
+    };
+    let worst = SpeedupModel {
+        bw_rbio: base.bw_coio / 2.0,
+        ..m0
+    };
     let notes = vec![
         check(
             "λ→0 speedup approaches (np/ng)·BW_rbIO/BW_coIO",
@@ -75,15 +84,26 @@ fn main() {
         check("speedup at λ=0 is large (>40x)", m0.speedup() > 40.0),
         check(
             "Eq.6 approximation tracks Eq.5 within 5% over λ",
-            exact.iter().zip(&approx).all(|(e, a)| (e / a - 1.0).abs() < 0.05),
+            exact
+                .iter()
+                .zip(&approx)
+                .all(|(e, a)| (e / a - 1.0).abs() < 0.05),
         ),
     ];
     FigureData {
         id: "speedup_model".into(),
         title: format!("rbIO-over-coIO blocked-time speedup vs λ at np={np} (Eqs. 2-7)"),
         series: vec![
-            Series { label: "exact (Eq.5)".into(), x: x.clone(), y: exact },
-            Series { label: "approx (Eq.6)".into(), x, y: approx },
+            Series {
+                label: "exact (Eq.5)".into(),
+                x: x.clone(),
+                y: exact,
+            },
+            Series {
+                label: "approx (Eq.6)".into(),
+                x,
+                y: approx,
+            },
         ],
         notes,
     }

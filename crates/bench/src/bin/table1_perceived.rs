@@ -38,7 +38,10 @@ fn main() {
         cycles.push(cyc);
     }
     let mut notes = vec![
-        check("perceived bandwidth is TB/s-class (>100 TB/s)", y.iter().all(|&v| v > 100.0)),
+        check(
+            "perceived bandwidth is TB/s-class (>100 TB/s)",
+            y.iter().all(|&v| v > 100.0),
+        ),
         check(
             "perceived bandwidth grows ~linearly with np (weak scaling)",
             nps.len() < 2 || {
@@ -59,7 +62,11 @@ fn main() {
     FigureData {
         id: "table1".into(),
         title: "Perceived write performance with rbIO (simulated)".into(),
-        series: vec![Series { label: "perceived TB/s".into(), x, y }],
+        series: vec![Series {
+            label: "perceived TB/s".into(),
+            x,
+            y,
+        }],
         notes,
     }
     .save();

@@ -39,7 +39,10 @@ pub fn fig5_configs() -> Vec<PaperConfig> {
         },
         PaperConfig {
             label: "rbIO, np:ng=64:1, nf=1",
-            strategy: |np| Strategy::RbIo { ng: np / 64, commit: RbIoCommit::CollectiveShared },
+            strategy: |np| Strategy::RbIo {
+                ng: np / 64,
+                commit: RbIoCommit::CollectiveShared,
+            },
             lambda: 0.2,
         },
         PaperConfig {
@@ -96,7 +99,15 @@ pub fn run_config_median(
 ) -> ConfigResult {
     assert!(runs >= 1);
     let mut results: Vec<ConfigResult> = (0..runs)
-        .map(|i| run_config_tuned(case, cfg, profile, Tuning::default(), 0x1BEB + 977 * u64::from(i)))
+        .map(|i| {
+            run_config_tuned(
+                case,
+                cfg,
+                profile,
+                Tuning::default(),
+                0x1BEB + 977 * u64::from(i),
+            )
+        })
         .collect();
     results.sort_by_key(|a| a.metrics.wall);
     results.swap_remove(results.len() / 2)
@@ -189,6 +200,9 @@ mod tests {
         assert!(r.bandwidth_gbs() > 0.0);
         assert!(r.overall_seconds() > 0.0);
         assert!(r.ratio() > 0.0);
-        assert_eq!(r.metrics.bytes_written as i64 - r.case.total_bytes as i64 % 1024, r.metrics.bytes_written as i64 - r.case.total_bytes as i64 % 1024);
+        assert_eq!(
+            r.metrics.bytes_written as i64 - r.case.total_bytes as i64 % 1024,
+            r.metrics.bytes_written as i64 - r.case.total_bytes as i64 % 1024
+        );
     }
 }

@@ -1,21 +1,19 @@
 //! Report helpers: aligned tables on stdout plus JSON series under
 //! `target/paper-results/` for EXPERIMENTS.md.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// Where result JSON files land.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper-results");
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
 
 /// A named data series (one legend entry of a figure).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -26,7 +24,7 @@ pub struct Series {
 }
 
 /// A figure's regenerated data plus the paper's reference shape notes.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct FigureData {
     /// Identifier, e.g. `"fig05"`.
     pub id: String,
@@ -38,12 +36,71 @@ pub struct FigureData {
     pub notes: Vec<String>,
 }
 
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; map them to null like serde_json does for
+    // Option<f64>.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+impl Series {
+    fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{\n{indent}  \"label\": {},\n{indent}  \"x\": {},\n{indent}  \"y\": {}\n{indent}}}",
+            json_string(&self.label),
+            json_f64_array(&self.x),
+            json_f64_array(&self.y),
+        )
+    }
+}
+
 impl FigureData {
+    /// Render as pretty-printed JSON (hand-rolled: the build environment
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self.series.iter().map(|s| s.to_json("    ")).collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| json_string(n)).collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"series\": [\n{}\n  ],\n  \"notes\": [{}]\n}}\n",
+            json_string(&self.id),
+            json_string(&self.title),
+            series.join(",\n"),
+            notes.join(", "),
+        )
+    }
+
     /// Write `<id>.json` into [`results_dir`].
     pub fn save(&self) {
         let path = results_dir().join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).expect("serializable");
-        fs::write(&path, json).expect("write results json");
+        fs::write(&path, self.to_json()).expect("write results json");
         println!("[saved {}]", path.display());
     }
 }
@@ -85,7 +142,11 @@ mod tests {
         let f = FigureData {
             id: "test_fig".into(),
             title: "t".into(),
-            series: vec![Series { label: "a".into(), x: vec![1.0], y: vec![2.0] }],
+            series: vec![Series {
+                label: "a".into(),
+                x: vec![1.0],
+                y: vec![2.0],
+            }],
             notes: vec![check("demo", true)],
         };
         f.save();

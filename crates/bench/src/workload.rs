@@ -78,8 +78,7 @@ impl PaperCase {
     pub fn layout(&self) -> DataLayout {
         let per_rank = self.total_bytes / u64::from(self.np);
         let per_field = per_rank / FIELD_NAMES.len() as u64;
-        let fields: Vec<(&str, u64)> =
-            FIELD_NAMES.iter().map(|&n| (n, per_field)).collect();
+        let fields: Vec<(&str, u64)> = FIELD_NAMES.iter().map(|&n| (n, per_field)).collect();
         DataLayout::uniform(self.np, &fields)
     }
 

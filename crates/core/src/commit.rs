@@ -1,0 +1,212 @@
+//! Crash-consistent checkpoint publication, shared by both executors.
+//!
+//! Atomic plan files are written to a `.tmp` sibling of their final name.
+//! When the owning rank has finished its writes (after its `Close`), the
+//! `Op::Commit` step seals the temporary file — appends a [`format`]
+//! checksum footer with a CRC32C per field region — optionally fsyncs, and
+//! publishes it with a single `rename(2)`. A crash at *any* point therefore
+//! leaves either no final file or a complete, checksummed one; a partially
+//! written checkpoint is never observable under its final name.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::format::{self, FooterRegion};
+
+/// Suffix appended to a final path to form its temporary sibling.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// The `.tmp` sibling of `final_path` that writers target before commit.
+pub fn tmp_path(final_path: &Path) -> PathBuf {
+    let mut name = final_path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(TMP_SUFFIX);
+    final_path.with_file_name(name)
+}
+
+/// Seal `tmp` and atomically publish it as `final_path`.
+///
+/// `expected_size` is the plan's logical file size (header + data); the
+/// temporary file must be exactly that long, or the commit fails with
+/// `InvalidData` — a short file means some writer's data never landed.
+///
+/// The footer's regions come from the file's own master header when it
+/// parses (one region per field, plus one for the header itself); a file
+/// without a parseable header (non-checkpoint payloads) gets a single
+/// whole-file region. Either way every byte of the logical file is covered
+/// by exactly one checksum.
+pub fn commit_file(
+    tmp: &Path,
+    final_path: &Path,
+    expected_size: u64,
+    fsync: bool,
+) -> io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(tmp)?;
+    let actual = f.metadata()?.len();
+    if actual != expected_size {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "commit of {}: tmp file is {actual} bytes, plan expects {expected_size}",
+                final_path.display()
+            ),
+        ));
+    }
+    let mut bytes = Vec::with_capacity(actual as usize);
+    f.read_to_end(&mut bytes)?;
+    let regions = footer_regions(&bytes, expected_size);
+    let footer = format::encode_footer(&regions);
+    f.seek(SeekFrom::Start(expected_size))?;
+    f.write_all(&footer)?;
+    if fsync {
+        f.sync_all()?;
+    }
+    drop(f);
+    std::fs::rename(tmp, final_path)?;
+    if fsync {
+        // Persist the rename itself: fsync the containing directory.
+        if let Some(dir) = final_path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-field checksum regions when the header parses and matches the
+/// logical size (the header protects itself with its own CRC32), else one
+/// whole-file region. Matches
+/// [`format::FileHeader::expected_committed_size`]: `nregions == nfields`.
+fn footer_regions(bytes: &[u8], expected_size: u64) -> Vec<FooterRegion> {
+    if let Ok(header) = format::decode_header(bytes) {
+        if header.expected_file_size() == expected_size && !header.fields.is_empty() {
+            return header
+                .fields
+                .iter()
+                .map(|f| region(bytes, f.data_off, f.sizes.iter().sum()))
+                .collect();
+        }
+    }
+    vec![region(bytes, 0, expected_size)]
+}
+
+fn region(bytes: &[u8], off: u64, len: u64) -> FooterRegion {
+    let slice = &bytes[off as usize..(off + len) as usize];
+    FooterRegion {
+        off,
+        len,
+        crc32c: format::crc32c(slice),
+    }
+}
+
+/// Verify the commit footer of a fully read file against `expected_size`
+/// (the logical, pre-footer size). Returns a description of the first
+/// problem, or `None` when every region checks out.
+pub fn verify_committed(bytes: &[u8], expected_size: u64) -> Option<String> {
+    if (bytes.len() as u64) < expected_size {
+        return Some(format!(
+            "file is {} bytes, logical size is {expected_size}",
+            bytes.len()
+        ));
+    }
+    let footer = &bytes[expected_size as usize..];
+    if footer.len() < 8 {
+        return Some("commit footer missing (file never committed?)".into());
+    }
+    let nregions = u32::from_le_bytes(footer[4..8].try_into().expect("len 4")) as usize;
+    let flen = format::footer_len(nregions) as usize;
+    if footer.len() != flen {
+        return Some(format!(
+            "commit footer is {} bytes, expected {flen}",
+            footer.len()
+        ));
+    }
+    let regions = match format::decode_footer(footer) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("commit footer invalid: {e}")),
+    };
+    for (i, r) in regions.iter().enumerate() {
+        let Some(end) = r.off.checked_add(r.len) else {
+            return Some(format!("region {i} overflows"));
+        };
+        if end > expected_size {
+            return Some(format!(
+                "region {i} [{}..{end}) exceeds logical size {expected_size}",
+                r.off
+            ));
+        }
+        let got = format::crc32c(&bytes[r.off as usize..end as usize]);
+        if got != r.crc32c {
+            return Some(format!(
+                "region {i} [{}..{end}) checksum mismatch: stored {:#010x}, computed {got:#010x}",
+                r.off, r.crc32c
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tmp_path_is_sibling() {
+        let p = Path::new("/ck/step0000000001/app.00000.rbio");
+        assert_eq!(
+            tmp_path(p),
+            PathBuf::from("/ck/step0000000001/app.00000.rbio.tmp")
+        );
+    }
+
+    #[test]
+    fn commit_appends_footer_and_renames() {
+        let dir = tempdir("commit_basic");
+        let tmp = dir.join("f.bin.tmp");
+        let fin = dir.join("f.bin");
+        let payload: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        std::fs::write(&tmp, &payload).unwrap();
+        commit_file(&tmp, &fin, 200, false).unwrap();
+        assert!(!tmp.exists(), "tmp must be gone after commit");
+        let bytes = std::fs::read(&fin).unwrap();
+        assert_eq!(bytes.len() as u64, 200 + format::footer_len(1));
+        assert_eq!(&bytes[..200], &payload[..]);
+        assert!(verify_committed(&bytes, 200).is_none());
+    }
+
+    #[test]
+    fn short_tmp_file_refuses_to_commit() {
+        let dir = tempdir("commit_short");
+        let tmp = dir.join("f.bin.tmp");
+        let fin = dir.join("f.bin");
+        std::fs::write(&tmp, [0u8; 10]).unwrap();
+        let err = commit_file(&tmp, &fin, 200, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!fin.exists());
+        assert!(tmp.exists(), "failed commit must leave the tmp file");
+    }
+
+    #[test]
+    fn verify_catches_data_flip() {
+        let dir = tempdir("commit_flip");
+        let tmp = dir.join("f.bin.tmp");
+        let fin = dir.join("f.bin");
+        std::fs::write(&tmp, [7u8; 64]).unwrap();
+        commit_file(&tmp, &fin, 64, false).unwrap();
+        let mut bytes = std::fs::read(&fin).unwrap();
+        bytes[13] ^= 0x01;
+        let why = verify_committed(&bytes, 64).expect("must detect flip");
+        assert!(why.contains("checksum mismatch"), "{why}");
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rbio_commit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+}

@@ -12,12 +12,16 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
+
 use rbio_plan::{DataRef, Op, Program};
 
+use crate::commit;
+use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
 
 /// Executor configuration.
@@ -25,11 +29,21 @@ use crate::format::synthetic_byte;
 pub struct ExecConfig {
     /// Directory all plan file names are resolved against.
     pub base_dir: PathBuf,
-    /// Call `fsync` before closing files (slower, durable).
+    /// Call `fsync` before closing files (slower, durable), and fsync the
+    /// commit footer + rename when publishing atomic files.
     pub fsync_on_close: bool,
     /// Sleep for `Compute` ops' durations (off by default: tests and
     /// benches usually want the I/O path only).
     pub honor_compute: bool,
+    /// Faults to inject (inert by default).
+    pub faults: FaultPlan,
+    /// Retries per `WriteAt` on a transient error before giving up.
+    pub write_retries: u32,
+    /// Initial backoff between retries (doubles each attempt).
+    pub retry_backoff: Duration,
+    /// How long a `Recv` waits with no matching message before failing
+    /// (a lost handoff must surface as a typed error, not a hang).
+    pub recv_timeout: Duration,
 }
 
 impl ExecConfig {
@@ -39,7 +53,17 @@ impl ExecConfig {
             base_dir: base_dir.as_ref().to_path_buf(),
             fsync_on_close: false,
             honor_compute: false,
+            faults: FaultPlan::none(),
+            write_retries: 3,
+            retry_backoff: Duration::from_micros(500),
+            recv_timeout: Duration::from_secs(2),
         }
+    }
+
+    /// Replace the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -55,6 +79,8 @@ pub struct ExecReport {
     pub bytes_written: u64,
     /// Total bytes sent through channels.
     pub bytes_sent: u64,
+    /// Write attempts repeated after a transient error, across all ranks.
+    pub retries: u64,
 }
 
 impl ExecReport {
@@ -97,6 +123,59 @@ impl std::error::Error for ExecError {}
 
 type Msg = (u32, u64, Vec<u8>); // (src, tag, data)
 
+/// An abort-induced error: the rank stopped because a *peer* failed, not
+/// because of its own fault. `execute` prefers reporting the root cause.
+fn abort_error() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "aborted: a peer rank failed")
+}
+
+fn killed_error(rank: u32) -> io::Error {
+    io::Error::other(format!("fault injection: rank {rank} killed"))
+}
+
+/// A barrier whose waiters poll a shared abort flag, so one rank dying
+/// mid-plan (injected fault or real I/O error) releases everyone with an
+/// error instead of wedging the whole executor. `std::sync::Barrier` has
+/// no such escape hatch.
+struct AbortBarrier {
+    n: usize,
+    state: Mutex<(u64, usize)>, // (generation, arrived)
+    cvar: Condvar,
+}
+
+impl AbortBarrier {
+    fn new(n: usize) -> Self {
+        AbortBarrier {
+            n,
+            state: Mutex::new((0, 0)),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, abort: &AtomicBool) -> io::Result<()> {
+        let mut g = self.state.lock().expect("barrier lock");
+        g.1 += 1;
+        if g.1 == self.n {
+            g.0 += 1;
+            g.1 = 0;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let generation = g.0;
+        while g.0 == generation {
+            if abort.load(Ordering::Acquire) {
+                return Err(abort_error());
+            }
+            g = self
+                .cvar
+                .wait_timeout(g, Duration::from_millis(25))
+                .expect("barrier lock")
+                .0;
+        }
+        Ok(())
+    }
+}
+
 struct RankCtx<'a> {
     rank: u32,
     program: &'a Program,
@@ -105,17 +184,17 @@ struct RankCtx<'a> {
     rx: Receiver<Msg>,
     stash: HashMap<(u32, u64), std::collections::VecDeque<Vec<u8>>>,
     senders: &'a [Sender<Msg>],
-    barriers: &'a [Barrier],
+    barriers: &'a [AbortBarrier],
     files: HashMap<u32, File>,
     cfg: &'a ExecConfig,
+    abort: &'a AtomicBool,
+    retries: &'a AtomicU64,
 }
 
 impl RankCtx<'_> {
     fn resolve(&self, r: &DataRef, file_off_hint: u64) -> Vec<u8> {
         match *r {
-            DataRef::Own { off, len } => {
-                self.payload[off as usize..(off + len) as usize].to_vec()
-            }
+            DataRef::Own { off, len } => self.payload[off as usize..(off + len) as usize].to_vec(),
             DataRef::Staging { off, len } => {
                 self.staging[off as usize..(off + len) as usize].to_vec()
             }
@@ -134,7 +213,11 @@ impl RankCtx<'_> {
                         std::thread::sleep(Duration::from_nanos(*nanos));
                     }
                 }
-                Op::Pack { src, staging_off, bytes } => {
+                Op::Pack {
+                    src,
+                    staging_off,
+                    bytes,
+                } => {
                     if let Some(s) = src {
                         match *s {
                             DataRef::Staging { off, len } => {
@@ -154,11 +237,25 @@ impl RankCtx<'_> {
                 }
                 Op::Send { dst, tag, src } => {
                     let data = self.resolve(src, 0);
-                    self.senders[*dst as usize]
+                    if self.cfg.faults.on_send(self.rank, *dst) {
+                        // Injected message loss: the receiver times out.
+                        continue;
+                    }
+                    if self.senders[*dst as usize]
                         .send((self.rank, tag.0, data))
-                        .expect("receiver thread alive until all programs end");
+                        .is_err()
+                    {
+                        // The receiver is gone — it failed and dropped its
+                        // endpoint; surface as an abort-induced error.
+                        return Err(abort_error());
+                    }
                 }
-                Op::Recv { src, tag, bytes, staging_off } => {
+                Op::Recv {
+                    src,
+                    tag,
+                    bytes,
+                    staging_off,
+                } => {
                     let data = self.recv_matching(*src, tag.0)?;
                     if data.len() as u64 != *bytes {
                         return Err(io::Error::other(format!(
@@ -170,13 +267,10 @@ impl RankCtx<'_> {
                         .copy_from_slice(&data);
                 }
                 Op::Barrier { comm } => {
-                    self.barriers[comm.0 as usize].wait();
+                    self.barriers[comm.0 as usize].wait(self.abort)?;
                 }
                 Op::Open { file, create } => {
-                    let path = self
-                        .cfg
-                        .base_dir
-                        .join(&self.program.files[file.0 as usize].name);
+                    let path = self.file_path(file.0);
                     let f = if *create {
                         if let Some(parent) = path.parent() {
                             std::fs::create_dir_all(parent)?;
@@ -194,10 +288,14 @@ impl RankCtx<'_> {
                 }
                 Op::WriteAt { file, offset, src } => {
                     let data = self.resolve(src, *offset);
-                    let f = self.files.get(&file.0).expect("validated: opened");
-                    f.write_all_at(&data, *offset)?;
+                    self.write_with_retry(file.0, *offset, &data)?;
                 }
-                Op::ReadAt { file, offset, len, staging_off } => {
+                Op::ReadAt {
+                    file,
+                    offset,
+                    len,
+                    staging_off,
+                } => {
                     let f = self.files.get(&file.0).expect("validated: opened");
                     let dst = &mut self.staging
                         [*staging_off as usize..*staging_off as usize + *len as usize];
@@ -210,9 +308,53 @@ impl RankCtx<'_> {
                         }
                     }
                 }
+                Op::Commit { file } => {
+                    if self.cfg.faults.on_commit(self.rank) {
+                        // The rank dies after its data writes but before
+                        // the rename: the final name must never appear.
+                        return Err(killed_error(self.rank));
+                    }
+                    let spec = &self.program.files[file.0 as usize];
+                    let final_path = self.cfg.base_dir.join(&spec.name);
+                    let tmp = commit::tmp_path(&final_path);
+                    commit::commit_file(&tmp, &final_path, spec.size, self.cfg.fsync_on_close)?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// Path a rank's file ops target: atomic files live under their `.tmp`
+    /// sibling until the owner's `Commit` renames them into place.
+    fn file_path(&self, file: u32) -> PathBuf {
+        let spec = &self.program.files[file as usize];
+        let path = self.cfg.base_dir.join(&spec.name);
+        if spec.atomic {
+            commit::tmp_path(&path)
+        } else {
+            path
+        }
+    }
+
+    fn write_with_retry(&self, file: u32, offset: u64, data: &[u8]) -> io::Result<()> {
+        let f = self.files.get(&file).expect("validated: opened");
+        match fault::write_at_with_retry(
+            f,
+            self.rank,
+            offset,
+            data,
+            &self.cfg.faults,
+            self.cfg.write_retries,
+            self.cfg.retry_backoff,
+        ) {
+            Ok(attempts) => {
+                self.retries
+                    .fetch_add(u64::from(attempts), Ordering::Relaxed);
+                Ok(())
+            }
+            Err(fault::WriteError::Killed) => Err(killed_error(self.rank)),
+            Err(fault::WriteError::Io(e)) => Err(e),
+        }
     }
 
     fn recv_matching(&mut self, src: u32, tag: u64) -> io::Result<Vec<u8>> {
@@ -221,15 +363,36 @@ impl RankCtx<'_> {
                 return Ok(d);
             }
         }
+        let deadline = Instant::now() + self.cfg.recv_timeout;
         loop {
-            let (s, t, d) = self
-                .rx
-                .recv()
-                .map_err(|_| io::Error::other("message channel closed"))?;
-            if s == src && t == tag {
-                return Ok(d);
+            if self.abort.load(Ordering::Acquire) {
+                return Err(abort_error());
             }
-            self.stash.entry((s, t)).or_default().push_back(d);
+            let slice =
+                Duration::from_millis(25).min(deadline.saturating_duration_since(Instant::now()));
+            match self.rx.recv_timeout(slice) {
+                Ok((s, t, d)) => {
+                    if s == src && t == tag {
+                        return Ok(d);
+                    }
+                    self.stash.entry((s, t)).or_default().push_back(d);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::other("message channel closed"));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "recv timeout: no message from rank {src} tag {tag} \
+                                 within {:?} (lost handoff?)",
+                                self.cfg.recv_timeout
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 }
@@ -277,15 +440,19 @@ pub fn execute(
         txs.push(tx);
         rxs.push(Some(rx));
     }
-    let barriers: Vec<Barrier> = program
+    let barriers: Vec<AbortBarrier> = program
         .comms
         .iter()
-        .map(|m| Barrier::new(m.len()))
+        .map(|m| AbortBarrier::new(m.len()))
         .collect();
     let start_gate = Barrier::new(nranks);
+    let abort = AtomicBool::new(false);
+    let retries = AtomicU64::new(0);
 
     let mut rank_times = vec![Duration::ZERO; nranks];
+    // Prefer a root-cause error (fault/I-O) over abort-induced collateral.
     let mut first_err: Option<ExecError> = None;
+    let mut first_collateral: Option<ExecError> = None;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
@@ -295,6 +462,8 @@ pub fn execute(
             let txs = &txs;
             let barriers = &barriers;
             let start_gate = &start_gate;
+            let abort = &abort;
+            let retries = &retries;
             handles.push(scope.spawn(move || {
                 let mut ctx = RankCtx {
                     rank: rank as u32,
@@ -307,10 +476,16 @@ pub fn execute(
                     barriers,
                     files: HashMap::new(),
                     cfg,
+                    abort,
+                    retries,
                 };
                 start_gate.wait();
                 let t0 = Instant::now();
                 let res = ctx.run();
+                if res.is_err() {
+                    // Release peers stuck in barriers/receives.
+                    abort.store(true, Ordering::Release);
+                }
                 (t0.elapsed(), res)
             }));
         }
@@ -319,8 +494,17 @@ pub fn execute(
                 Ok((dt, Ok(()))) => rank_times[rank] = dt,
                 Ok((dt, Err(e))) => {
                     rank_times[rank] = dt;
-                    if first_err.is_none() {
-                        first_err = Some(ExecError::Io { rank: rank as u32, source: e });
+                    let collateral = e.kind() == io::ErrorKind::Interrupted;
+                    let slot = if collateral {
+                        &mut first_collateral
+                    } else {
+                        &mut first_err
+                    };
+                    if slot.is_none() {
+                        *slot = Some(ExecError::Io {
+                            rank: rank as u32,
+                            source: e,
+                        });
                     }
                 }
                 Err(_) => {
@@ -335,7 +519,7 @@ pub fn execute(
         }
     });
 
-    if let Some(e) = first_err {
+    if let Some(e) = first_err.or(first_collateral) {
         return Err(e);
     }
     let stats = program.stats();
@@ -345,6 +529,7 @@ pub fn execute(
         wall_time,
         bytes_written: stats.bytes_written,
         bytes_sent: stats.bytes_sent,
+        retries: retries.load(Ordering::Relaxed),
     })
 }
 
@@ -363,15 +548,56 @@ mod tests {
     fn direct_writes_land_at_offsets() {
         let mut b = ProgramBuilder::new(vec![4, 4]);
         let f = b.file("out.bin", 8);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: 4 } });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
         b.push(0, Op::Close { file: f });
         // Rank 1 waits for rank 0's close via a message, then appends.
         b.reserve_staging(1, 1);
-        b.push(0, Op::Send { dst: 1, tag: Tag(9), src: DataRef::Own { off: 0, len: 1 } });
-        b.push(1, Op::Recv { src: 0, tag: Tag(9), bytes: 1, staging_off: 0 });
-        b.push(1, Op::Open { file: f, create: false });
-        b.push(1, Op::WriteAt { file: f, offset: 4, src: DataRef::Own { off: 0, len: 4 } });
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(9),
+                src: DataRef::Own { off: 0, len: 1 },
+            },
+        );
+        b.push(
+            1,
+            Op::Recv {
+                src: 0,
+                tag: Tag(9),
+                bytes: 1,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            1,
+            Op::Open {
+                file: f,
+                create: false,
+            },
+        );
+        b.push(
+            1,
+            Op::WriteAt {
+                file: f,
+                offset: 4,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
         b.push(1, Op::Close { file: f });
         let p = b.build();
         validate(&p, CoverageMode::ExactWrite).unwrap();
@@ -392,14 +618,57 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![0, 3, 3]);
         let f = b.file("agg.bin", 6);
         b.reserve_staging(0, 6);
-        b.push(1, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: 3 } });
-        b.push(2, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: 3 } });
+        b.push(
+            1,
+            Op::Send {
+                dst: 0,
+                tag: Tag(0),
+                src: DataRef::Own { off: 0, len: 3 },
+            },
+        );
+        b.push(
+            2,
+            Op::Send {
+                dst: 0,
+                tag: Tag(0),
+                src: DataRef::Own { off: 0, len: 3 },
+            },
+        );
         // Receive rank 2's data *first* (stash must hold rank 1's if it
         // arrives early).
-        b.push(0, Op::Recv { src: 2, tag: Tag(0), bytes: 3, staging_off: 3 });
-        b.push(0, Op::Recv { src: 1, tag: Tag(0), bytes: 3, staging_off: 0 });
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Staging { off: 0, len: 6 } });
+        b.push(
+            0,
+            Op::Recv {
+                src: 2,
+                tag: Tag(0),
+                bytes: 3,
+                staging_off: 3,
+            },
+        );
+        b.push(
+            0,
+            Op::Recv {
+                src: 1,
+                tag: Tag(0),
+                bytes: 3,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Staging { off: 0, len: 6 },
+            },
+        );
         b.push(0, Op::Close { file: f });
         let p = b.build();
         validate(&p, CoverageMode::ExactWrite).unwrap();
@@ -416,8 +685,21 @@ mod tests {
     fn synthetic_writes_are_deterministic() {
         let mut b = ProgramBuilder::new(vec![0]);
         let f = b.file("syn.bin", 16);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Synthetic { len: 16 } });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Synthetic { len: 16 },
+            },
+        );
         b.push(0, Op::Close { file: f });
         let p = b.build();
         let dir = tmpdir("syn");
@@ -439,15 +721,187 @@ mod tests {
     }
 
     #[test]
+    fn injected_transient_write_error_is_retried() {
+        let mut b = ProgramBuilder::new(vec![4]);
+        let f = b.file("retry.bin", 4);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        let p = b.build();
+        let dir = tmpdir("retry");
+        let cfg = ExecConfig::new(&dir).faults(FaultPlan::none().fail_nth_write(0, 0, 2));
+        let rep = execute(&p, vec![vec![1, 2, 3, 4]], &cfg).unwrap();
+        assert_eq!(rep.retries, 2);
+        assert_eq!(
+            std::fs::read(dir.join("retry.bin")).unwrap(),
+            vec![1, 2, 3, 4]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_error_beyond_retry_budget_fails() {
+        let mut b = ProgramBuilder::new(vec![4]);
+        let f = b.file("exhaust.bin", 4);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        let p = b.build();
+        let dir = tmpdir("exhaust");
+        let mut cfg = ExecConfig::new(&dir).faults(FaultPlan::none().fail_nth_write(0, 0, 10));
+        cfg.write_retries = 2;
+        let err = execute(&p, vec![vec![0; 4]], &cfg).unwrap_err();
+        match err {
+            ExecError::Io { rank: 0, source } => {
+                assert_eq!(source.raw_os_error(), Some(5), "EIO expected: {source}")
+            }
+            other => panic!("expected rank-0 Io error, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_file_commits_via_rename() {
+        let mut b = ProgramBuilder::new(vec![8]);
+        let f = b.file_atomic("atomic.bin", 8);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 8 },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        let p = b.build();
+        validate(&p, CoverageMode::ExactWrite).unwrap();
+        let dir = tmpdir("atomic");
+        execute(&p, vec![vec![7u8; 8]], &ExecConfig::new(&dir)).unwrap();
+        assert!(!dir.join("atomic.bin.tmp").exists(), "tmp renamed away");
+        let bytes = std::fs::read(dir.join("atomic.bin")).unwrap();
+        assert_eq!(&bytes[..8], &[7u8; 8]);
+        assert!(
+            crate::commit::verify_committed(&bytes, 8).is_none(),
+            "footer must validate"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_writer_never_publishes_final_file() {
+        let mut b = ProgramBuilder::new(vec![8]);
+        let f = b.file_atomic("victim.bin", 8);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 8 },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        let p = b.build();
+        let dir = tmpdir("killed");
+        // Threshold 4: crossed by the single 8-byte write, so the rank
+        // dies at the commit edge — after its data, before the rename.
+        let cfg = ExecConfig::new(&dir).faults(FaultPlan::none().kill_writer_after_bytes(0, 4));
+        let err = execute(&p, vec![vec![0; 8]], &cfg).unwrap_err();
+        assert!(err.to_string().contains("killed"), "{err}");
+        assert!(
+            !dir.join("victim.bin").exists(),
+            "final name must not appear"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn read_back_via_readat() {
         let mut b = ProgramBuilder::new(vec![8]);
         let f = b.file("rb.bin", 8);
         b.reserve_staging(0, 8);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: 8 } });
-        b.push(0, Op::ReadAt { file: f, offset: 2, len: 4, staging_off: 0 });
-        b.push(0, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Staging { off: 0, len: 4 } });
-        b.push(0, Op::Recv { src: 0, tag: Tag(0), bytes: 4, staging_off: 4 });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 8 },
+            },
+        );
+        b.push(
+            0,
+            Op::ReadAt {
+                file: f,
+                offset: 2,
+                len: 4,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            0,
+            Op::Send {
+                dst: 0,
+                tag: Tag(0),
+                src: DataRef::Staging { off: 0, len: 4 },
+            },
+        );
+        b.push(
+            0,
+            Op::Recv {
+                src: 0,
+                tag: Tag(0),
+                bytes: 4,
+                staging_off: 4,
+            },
+        );
         b.push(0, Op::Close { file: f });
         let p = b.build();
         let dir = tmpdir("rb");

@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the executors.
+//!
+//! A [`FaultPlan`] is a small, cloneable handle (shared via `Arc`) that
+//! both executors consult at their I/O and messaging edges:
+//!
+//! * **kill** — terminate a rank once its cumulative written bytes reach a
+//!   threshold (models a node dying mid-checkpoint, including right before
+//!   the commit rename);
+//! * **transient write error** — fail the K-th `write_at` on a rank with
+//!   `EIO` for a configurable number of attempts, then succeed (models the
+//!   I/O-node hiccups the retry path exists for);
+//! * **message drop** — swallow the N-th worker→writer message on a
+//!   channel (models a lost handoff; the receiver times out with a typed
+//!   error instead of hanging).
+//!
+//! The default plan injects nothing and costs one atomic load per check.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rbio_plan::Rank;
+
+/// What a write-edge fault check decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The rank dies here: abandon its program immediately.
+    Kill,
+    /// This attempt fails with a transient I/O error; retrying may succeed.
+    Error,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// rank → kill once cumulative bytes written reach this threshold.
+    kill_after: HashMap<Rank, u64>,
+    /// rank → cumulative bytes successfully written so far.
+    written: HashMap<Rank, u64>,
+    /// rank → (failing write index, remaining failures) keyed per rank.
+    fail_write: HashMap<Rank, (u64, u32)>,
+    /// rank → index of the next `write_at` (attempt 0 only).
+    write_index: HashMap<Rank, u64>,
+    /// (src, dst) → message index to drop on that channel.
+    drop_msg: HashMap<(Rank, Rank), u64>,
+    /// (src, dst) → messages sent so far on that channel.
+    sent: HashMap<(Rank, Rank), u64>,
+}
+
+/// Shared fault-injection plan. Cloning shares state: the same plan handed
+/// to an executor and inspected by a test observes one set of counters.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    armed: Arc<AtomicBool>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kill `rank` once it has written at least `bytes` cumulative bytes
+    /// (checked before each write; `0` kills on the first write attempt).
+    pub fn kill_writer_after_bytes(self, rank: Rank, bytes: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .kill_after
+            .insert(rank, bytes);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Fail `rank`'s `nth` write (0-based) with a transient error for the
+    /// first `times` attempts; the next retry succeeds.
+    pub fn fail_nth_write(self, rank: Rank, nth: u64, times: u32) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .fail_write
+            .insert(rank, (nth, times));
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Drop the `nth` message (0-based) sent from `src` to `dst`.
+    pub fn drop_message(self, src: Rank, dst: Rank, nth: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .drop_msg
+            .insert((src, dst), nth);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Whether any fault is configured (fast path: one atomic load).
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// Consult the plan before `rank` writes `bytes` (attempt number
+    /// `attempt`, 0 on the first try). `None` means proceed — the plan
+    /// then accounts the bytes as written.
+    pub fn on_write(&self, rank: Rank, bytes: u64, attempt: u32) -> Option<WriteFault> {
+        if !self.is_armed() {
+            return None;
+        }
+        let mut g = self.inner.lock().expect("fault plan lock");
+        if let Some(&threshold) = g.kill_after.get(&rank) {
+            if *g.written.entry(rank).or_insert(0) >= threshold {
+                return Some(WriteFault::Kill);
+            }
+        }
+        // The logical write index advances only on first attempts, so a
+        // retried write keeps its index.
+        let idx = if attempt == 0 {
+            let e = g.write_index.entry(rank).or_insert(0);
+            let idx = *e;
+            *e += 1;
+            idx
+        } else {
+            g.write_index.get(&rank).copied().unwrap_or(1) - 1
+        };
+        if let Some(&(nth, times)) = g.fail_write.get(&rank) {
+            if idx == nth && attempt < times {
+                return Some(WriteFault::Error);
+            }
+        }
+        *g.written.entry(rank).or_insert(0) += bytes;
+        None
+    }
+
+    /// Consult the plan as `rank` is about to commit (rename) a file;
+    /// `true` means the rank dies here — after its data writes, before the
+    /// rename — the worst spot for crash consistency.
+    pub fn on_commit(&self, rank: Rank) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let g = self.inner.lock().expect("fault plan lock");
+        match g.kill_after.get(&rank) {
+            Some(&threshold) => g.written.get(&rank).copied().unwrap_or(0) >= threshold,
+            None => false,
+        }
+    }
+
+    /// Consult the plan as `src` sends a message to `dst`; `true` means
+    /// drop it (the receiver never sees it).
+    pub fn on_send(&self, src: Rank, dst: Rank) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let mut g = self.inner.lock().expect("fault plan lock");
+        let e = g.sent.entry((src, dst)).or_insert(0);
+        let idx = *e;
+        *e += 1;
+        g.drop_msg.get(&(src, dst)) == Some(&idx)
+    }
+}
+
+/// Failure of a fault-checked, retried write.
+#[derive(Debug)]
+pub enum WriteError {
+    /// Fault injection killed the rank; abandon its program.
+    Killed,
+    /// A real or injected I/O error that exhausted the retry budget.
+    Io(io::Error),
+}
+
+/// Errors worth retrying a write for (besides injected ones).
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// `write_all_at` guarded by `faults`, with up to `max_retries` bounded
+/// retries (backoff doubling from `initial_backoff`) on transient errors.
+/// Returns the number of retried attempts. Shared by both executors so
+/// their failure behavior is identical.
+pub fn write_at_with_retry(
+    file: &std::fs::File,
+    rank: Rank,
+    offset: u64,
+    data: &[u8],
+    faults: &FaultPlan,
+    max_retries: u32,
+    initial_backoff: Duration,
+) -> Result<u32, WriteError> {
+    let mut attempt = 0u32;
+    let mut backoff = initial_backoff;
+    loop {
+        match faults.on_write(rank, data.len() as u64, attempt) {
+            Some(WriteFault::Kill) => return Err(WriteError::Killed),
+            Some(WriteFault::Error) => {
+                if attempt >= max_retries {
+                    // EIO: the canonical "device hiccup" errno.
+                    return Err(WriteError::Io(io::Error::from_raw_os_error(5)));
+                }
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+                continue;
+            }
+            None => {}
+        }
+        match file.write_all_at(data, offset) {
+            Ok(()) => return Ok(attempt),
+            Err(e) if attempt < max_retries && is_transient(&e) => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(e) => return Err(WriteError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(!p.is_armed());
+        assert_eq!(p.on_write(0, 1 << 20, 0), None);
+        assert!(!p.on_send(0, 1));
+    }
+
+    #[test]
+    fn kill_threshold_counts_cumulative_bytes() {
+        let p = FaultPlan::none().kill_writer_after_bytes(2, 100);
+        assert_eq!(p.on_write(2, 60, 0), None);
+        assert_eq!(p.on_write(2, 60, 0), None); // 60 < 100 still
+        assert_eq!(p.on_write(2, 1, 0), Some(WriteFault::Kill)); // 120 >= 100
+                                                                 // Other ranks unaffected.
+        assert_eq!(p.on_write(3, 1 << 30, 0), None);
+    }
+
+    #[test]
+    fn kill_at_zero_fires_before_first_write() {
+        let p = FaultPlan::none().kill_writer_after_bytes(0, 0);
+        assert_eq!(p.on_write(0, 1, 0), Some(WriteFault::Kill));
+    }
+
+    #[test]
+    fn nth_write_fails_then_recovers() {
+        let p = FaultPlan::none().fail_nth_write(1, 1, 2);
+        assert_eq!(p.on_write(1, 10, 0), None); // write 0 ok
+        assert_eq!(p.on_write(1, 10, 0), Some(WriteFault::Error)); // write 1, attempt 0
+        assert_eq!(p.on_write(1, 10, 1), Some(WriteFault::Error)); // retry 1
+        assert_eq!(p.on_write(1, 10, 2), None); // retry 2 succeeds
+        assert_eq!(p.on_write(1, 10, 0), None); // write 2 ok
+    }
+
+    #[test]
+    fn commit_kill_fires_once_threshold_reached() {
+        let p = FaultPlan::none().kill_writer_after_bytes(0, 100);
+        assert!(!p.on_commit(0), "threshold not reached yet");
+        assert_eq!(p.on_write(0, 100, 0), None);
+        assert!(p.on_commit(0), "all data written: die before the rename");
+        assert!(!p.on_commit(1));
+    }
+
+    #[test]
+    fn drops_exactly_the_nth_message() {
+        let p = FaultPlan::none().drop_message(5, 0, 1);
+        assert!(!p.on_send(5, 0));
+        assert!(p.on_send(5, 0));
+        assert!(!p.on_send(5, 0));
+        assert!(!p.on_send(0, 5)); // direction matters
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = FaultPlan::none().kill_writer_after_bytes(0, 10);
+        let q = p.clone();
+        assert_eq!(q.on_write(0, 10, 0), None);
+        // p sees q's accounting.
+        assert_eq!(p.on_write(0, 1, 0), Some(WriteFault::Kill));
+    }
+}

@@ -77,7 +77,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -88,6 +92,101 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
+}
+
+/// CRC32C (Castagnoli polynomial, reflected) — used for the commit footer's
+/// per-region data checksums, keeping it distinct from the header's CRC32.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0x82F6_3B78 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Commit-footer magic ("RBFT" as a little-endian u32).
+pub const FOOTER_MAGIC: u32 = u32::from_le_bytes(*b"RBFT");
+
+/// One checksummed byte region of a committed file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FooterRegion {
+    /// Absolute byte offset of the region.
+    pub off: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// CRC32C of the region's bytes.
+    pub crc32c: u32,
+}
+
+/// Length in bytes of a commit footer covering `nregions` regions.
+///
+/// Layout, appended at `expected_file_size()` by the committing rank:
+///
+/// ```text
+/// magic    u32   "RBFT"
+/// nregions u32
+/// per region: off u64, len u64, crc32c u32
+/// footer_crc u32   CRC32C over all preceding footer bytes
+/// ```
+pub fn footer_len(nregions: usize) -> u64 {
+    4 + 4 + 20 * nregions as u64 + 4
+}
+
+/// Encode a commit footer over `regions`.
+pub fn encode_footer(regions: &[FooterRegion]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(footer_len(regions.len()) as usize);
+    out.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
+    for r in regions {
+        out.extend_from_slice(&r.off.to_le_bytes());
+        out.extend_from_slice(&r.len.to_le_bytes());
+        out.extend_from_slice(&r.crc32c.to_le_bytes());
+    }
+    let crc = crc32c(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    debug_assert_eq!(out.len() as u64, footer_len(regions.len()));
+    out
+}
+
+/// Parse a commit footer from `bytes` (the exact footer slice).
+pub fn decode_footer(bytes: &[u8]) -> Result<Vec<FooterRegion>, FormatError> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.u32()? != FOOTER_MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let nregions = c.u32()? as usize;
+    if bytes.len() as u64 != footer_len(nregions) {
+        return Err(FormatError::Truncated);
+    }
+    let mut regions = Vec::with_capacity(nregions);
+    for _ in 0..nregions {
+        regions.push(FooterRegion {
+            off: c.u64()?,
+            len: c.u64()?,
+            crc32c: c.u32()?,
+        });
+    }
+    let stored = c.u32()?;
+    if crc32c(&bytes[..bytes.len() - 4]) != stored {
+        return Err(FormatError::CrcMismatch);
+    }
+    Ok(regions)
 }
 
 /// A parsed master header.
@@ -132,7 +231,18 @@ impl FileHeader {
 
     /// Total size this file should have (header + all field data).
     pub fn expected_file_size(&self) -> u64 {
-        self.header_len + self.fields.iter().map(|f| f.sizes.iter().sum::<u64>()).sum::<u64>()
+        self.header_len
+            + self
+                .fields
+                .iter()
+                .map(|f| f.sizes.iter().sum::<u64>())
+                .sum::<u64>()
+    }
+
+    /// Total size after commit: header + data + the checksum footer the
+    /// committing rank appends (one region per field).
+    pub fn expected_committed_size(&self) -> u64 {
+        self.expected_file_size() + footer_len(self.fields.len())
     }
 }
 
@@ -161,7 +271,9 @@ pub fn header_len(layout: &DataLayout, app: &str, r0: u32, r1: u32) -> u64 {
 /// `r0..r1`.
 pub fn field_data_off(layout: &DataLayout, app: &str, r0: u32, r1: u32, field: usize) -> u64 {
     header_len(layout, app, r0, r1)
-        + (0..field).map(|g| layout.field_total(g, r0, r1)).sum::<u64>()
+        + (0..field)
+            .map(|g| layout.field_total(g, r0, r1))
+            .sum::<u64>()
 }
 
 /// Total size of a file covering `r0..r1` (header + data).
@@ -250,8 +362,11 @@ pub fn decode_header(bytes: &[u8]) -> Result<FileHeader, FormatError> {
         return Err(FormatError::Truncated);
     }
     let body = &bytes[..hlen as usize - 4];
-    let stored_crc =
-        u32::from_le_bytes(bytes[hlen as usize - 4..hlen as usize].try_into().expect("len 4"));
+    let stored_crc = u32::from_le_bytes(
+        bytes[hlen as usize - 4..hlen as usize]
+            .try_into()
+            .expect("len 4"),
+    );
     if crc32(body) != stored_crc {
         return Err(FormatError::CrcMismatch);
     }
@@ -287,7 +402,11 @@ pub fn decode_header(bytes: &[u8]) -> Result<FileHeader, FormatError> {
             k => return Err(FormatError::Inconsistent(format!("size kind {k}"))),
         };
         let data_off = c.u64()?;
-        fields.push(ParsedField { name, sizes, data_off });
+        fields.push(ParsedField {
+            name,
+            sizes,
+            data_off,
+        });
     }
     if c.pos + 4 != hlen as usize {
         return Err(FormatError::Inconsistent(format!(
@@ -354,8 +473,14 @@ mod tests {
         DataLayout::new(
             4,
             vec![
-                FieldSpec { name: "Ex".into(), sizes: FieldSizes::Uniform(100) },
-                FieldSpec { name: "Hy".into(), sizes: FieldSizes::PerRank(vec![1, 2, 3, 4]) },
+                FieldSpec {
+                    name: "Ex".into(),
+                    sizes: FieldSizes::Uniform(100),
+                },
+                FieldSpec {
+                    name: "Hy".into(),
+                    sizes: FieldSizes::PerRank(vec![1, 2, 3, 4]),
+                },
             ],
         )
     }
@@ -365,6 +490,53 @@ mod tests {
         // Standard test vector: CRC32("123456789") = 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_known_vector() {
+        // Standard test vector: CRC32C("123456789") = 0xE3069283.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn footer_round_trip_and_corruption() {
+        let regions = vec![
+            FooterRegion {
+                off: 0,
+                len: 100,
+                crc32c: 0xDEAD_BEEF,
+            },
+            FooterRegion {
+                off: 100,
+                len: 7,
+                crc32c: 1,
+            },
+        ];
+        let enc = encode_footer(&regions);
+        assert_eq!(enc.len() as u64, footer_len(2));
+        assert_eq!(decode_footer(&enc).unwrap(), regions);
+        // Flip a byte anywhere: footer CRC catches it.
+        let mut bad = enc.clone();
+        bad[10] ^= 0xFF;
+        assert!(decode_footer(&bad).is_err());
+        // Truncation is detected.
+        assert!(decode_footer(&enc[..enc.len() - 1]).is_err());
+        // Wrong magic.
+        let mut wrong = enc;
+        wrong[0] ^= 1;
+        assert_eq!(decode_footer(&wrong), Err(FormatError::BadMagic));
+    }
+
+    #[test]
+    fn committed_size_adds_footer() {
+        let l = layout();
+        let h = encode_header(&l, "x", 0, 0, 4);
+        let parsed = decode_header(&h).unwrap();
+        assert_eq!(
+            parsed.expected_committed_size(),
+            parsed.expected_file_size() + footer_len(2)
+        );
     }
 
     #[test]
@@ -420,7 +592,10 @@ mod tests {
         assert_eq!(decode_header(&bad), Err(FormatError::BadMagic));
         let mut badv = h;
         badv[4] = 99;
-        assert!(matches!(decode_header(&badv), Err(FormatError::BadVersion(_)) | Err(FormatError::CrcMismatch)));
+        assert!(matches!(
+            decode_header(&badv),
+            Err(FormatError::BadVersion(_)) | Err(FormatError::CrcMismatch)
+        ));
     }
 
     #[test]
@@ -435,8 +610,11 @@ mod tests {
     #[test]
     fn synthetic_byte_is_deterministic_and_varied() {
         assert_eq!(synthetic_byte(42), synthetic_byte(42));
-        let distinct: std::collections::HashSet<u8> =
-            (0..256u64).map(synthetic_byte).collect();
-        assert!(distinct.len() > 100, "filler should vary: {}", distinct.len());
+        let distinct: std::collections::HashSet<u8> = (0..256u64).map(synthetic_byte).collect();
+        assert!(
+            distinct.len() > 100,
+            "filler should vary: {}",
+            distinct.len()
+        );
     }
 }

@@ -116,7 +116,9 @@ impl DataLayout {
 
     /// Total data bytes (all fields) across ranks `r0..r1`.
     pub fn data_total(&self, r0: u32, r1: u32) -> u64 {
-        (0..self.nfields()).map(|f| self.field_total(f, r0, r1)).sum()
+        (0..self.nfields())
+            .map(|f| self.field_total(f, r0, r1))
+            .sum()
     }
 
     /// Total checkpoint bytes across all ranks (excluding headers).

@@ -43,7 +43,9 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod commit;
 pub mod exec;
+pub mod fault;
 pub mod format;
 pub mod layout;
 pub mod manager;

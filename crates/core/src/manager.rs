@@ -18,8 +18,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::commit;
 use crate::exec::{execute, ExecConfig, ExecError, ExecReport};
-use crate::format::{crc32, materialize_payloads};
+use crate::fault::FaultPlan;
+use crate::format::{crc32, decode_header, footer_len, materialize_payloads};
 use crate::layout::DataLayout;
 use crate::restart::{read_checkpoint, RestartError, RestoredData};
 use crate::strategy::{CheckpointPlan, CheckpointSpec, Strategy, Tuning};
@@ -77,6 +79,9 @@ pub struct ManagerConfig {
     pub app: String,
     /// fsync files before commit (durable but slower).
     pub fsync: bool,
+    /// Fault injection for every step's execution (tests and failure
+    /// drills; [`FaultPlan::none`] in production).
+    pub faults: FaultPlan,
 }
 
 impl ManagerConfig {
@@ -89,6 +94,7 @@ impl ManagerConfig {
             keep: 2,
             app: "nekcem".to_string(),
             fsync: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -141,6 +147,7 @@ impl CheckpointManager {
         let payloads = materialize_payloads(&plan, fill);
         let mut exec_cfg = ExecConfig::new(&self.cfg.dir);
         exec_cfg.fsync_on_close = self.cfg.fsync;
+        exec_cfg.faults = self.cfg.faults.clone();
         let report = execute(&plan.program, payloads, &exec_cfg).map_err(ManagerError::Exec)?;
 
         // Commit marker: per-file expected size + header CRC, then an
@@ -150,7 +157,9 @@ impl CheckpointManager {
         for (i, pf) in plan.plan_files.iter().enumerate() {
             let path = self.cfg.dir.join(&pf.name);
             let meta = fs::metadata(&path)?;
-            let expect = plan.program.files[i].size;
+            // Committed files carry a checksum footer past the plan's
+            // logical size.
+            let expect = plan.program.files[i].size + footer_len(plan.layout.nfields());
             if meta.len() != expect {
                 return Err(ManagerError::CommitMismatch(format!(
                     "{}: {} bytes on disk, plan wrote {}",
@@ -211,7 +220,9 @@ impl CheckpointManager {
             for entry in fs::read_dir(&self.cfg.dir)? {
                 let entry = entry?;
                 let name = entry.file_name().to_string_lossy().into_owned();
-                if name.starts_with(&prefix) && name.ends_with(".rbio") {
+                if name.starts_with(&prefix)
+                    && (name.ends_with(".rbio") || name.ends_with(".rbio.tmp"))
+                {
                     fs::remove_file(entry.path())?;
                 }
             }
@@ -227,7 +238,9 @@ impl CheckpointManager {
             let mut parts = line.split_whitespace();
             let (Some(name), Some(size), Some(crc)) = (parts.next(), parts.next(), parts.next())
             else {
-                return Err(ManagerError::CommitMismatch(format!("bad marker line: {line}")));
+                return Err(ManagerError::CommitMismatch(format!(
+                    "bad marker line: {line}"
+                )));
             };
             let path = self.cfg.dir.join(name);
             let meta = fs::metadata(&path)
@@ -246,14 +259,23 @@ impl CheckpointManager {
                 if head.len() < 16 {
                     return Err(ManagerError::CommitMismatch(format!("{name}: too short")));
                 }
-                let hlen = u64::from_le_bytes(head[8..16].try_into().expect("len 8"))
-                    .min(meta.len());
+                let hlen =
+                    u64::from_le_bytes(head[8..16].try_into().expect("len 8")).min(meta.len());
                 let mut hdr = vec![0u8; hlen as usize];
                 f.read_exact_at(&mut hdr, 0)?;
                 crc32(&hdr)
             };
             if format!("{hdr_crc:08x}") != crc {
-                return Err(ManagerError::CommitMismatch(format!("{name}: header CRC changed")));
+                return Err(ManagerError::CommitMismatch(format!(
+                    "{name}: header CRC changed"
+                )));
+            }
+            // Data integrity: the commit footer's per-field checksums.
+            let bytes = fs::read(&path)?;
+            let header = decode_header(&bytes)
+                .map_err(|e| ManagerError::CommitMismatch(format!("{name}: {e}")))?;
+            if let Some(what) = commit::verify_committed(&bytes, header.expected_file_size()) {
+                return Err(ManagerError::CommitMismatch(format!("{name}: {what}")));
             }
         }
         Ok(())
@@ -324,7 +346,10 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
-        assert!(!names.iter().any(|n| n.starts_with("step0000000001")), "{names:?}");
+        assert!(
+            !names.iter().any(|n| n.starts_with("step0000000001")),
+            "{names:?}"
+        );
         let restored = mgr.restore_latest().expect("restore");
         assert_eq!(restored.step, 4);
         std::fs::remove_dir_all(&dir).ok();
@@ -340,11 +365,17 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap().path())
             .find(|p| {
-                p.file_name().unwrap().to_string_lossy().starts_with("step0000000002")
+                p.file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .starts_with("step0000000002")
                     && p.extension().is_some_and(|e| e == "rbio")
             })
             .expect("step-2 file");
-        let f = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim)
+            .unwrap();
         f.set_len(3).unwrap();
         drop(f);
         assert!(mgr.verify(2).is_err());
@@ -373,6 +404,53 @@ mod tests {
     }
 
     #[test]
+    fn killed_writer_mid_step_falls_back_to_previous_generation() {
+        let (mgr, dir) = mk("kill", 2);
+        mgr.checkpoint(1, fill_for(1)).expect("ck 1");
+        let want = mgr.restore_latest().expect("gen 1");
+
+        // Step 2 with a fault armed: writer rank 4 dies after its first
+        // written byte — at its commit edge, after data, before rename.
+        let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
+        cfg.keep = 2;
+        cfg.faults = FaultPlan::none().kill_writer_after_bytes(4, 1);
+        let mgr2 = CheckpointManager::new(mgr.layout().clone(), cfg).expect("manager");
+        assert!(
+            mgr2.checkpoint(2, fill_for(2)).is_err(),
+            "fault must abort the step"
+        );
+
+        // The torn step never committed; no final file of step 2 may be
+        // half-written (rank 4's stays a .tmp sibling).
+        assert_eq!(mgr.committed_steps().unwrap(), vec![1]);
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            if name.starts_with("step0000000002") && name.ends_with(".rbio") {
+                let bytes = std::fs::read(dir.join(&name)).unwrap();
+                let h = decode_header(&bytes).expect("published file parses");
+                assert!(
+                    commit::verify_committed(&bytes, h.expected_file_size()).is_none(),
+                    "{name}: published but not fully committed"
+                );
+            }
+        }
+
+        // Restart resumes from generation 1, byte-identically.
+        let restored = mgr.restore_latest().expect("fallback");
+        assert_eq!(restored.step, 1);
+        for r in 0..8u32 {
+            for f in 0..2usize {
+                assert_eq!(
+                    restored.field_data(r, f),
+                    want.field_data(r, f),
+                    "rank {r} field {f}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn verify_detects_post_commit_tampering() {
         let (mgr, dir) = mk("tamper", 2);
         mgr.checkpoint(9, fill_for(9)).expect("ck");
@@ -385,7 +463,10 @@ mod tests {
         let mut bytes = std::fs::read(&victim).unwrap();
         bytes[20] ^= 0x5A;
         std::fs::write(&victim, bytes).unwrap();
-        assert!(matches!(mgr.verify(9), Err(ManagerError::CommitMismatch(_))));
+        assert!(matches!(
+            mgr.verify(9),
+            Err(ManagerError::CommitMismatch(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

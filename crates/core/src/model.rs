@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn approx_tracks_exact_across_lambda() {
         for lambda in [0.0, 0.1, 0.3, 0.5, 1.0] {
-            let m = SpeedupModel { lambda, ..SpeedupModel::default() };
+            let m = SpeedupModel {
+                lambda,
+                ..SpeedupModel::default()
+            };
             let rel = m.speedup() / m.speedup_approx();
             assert!((rel - 1.0).abs() < 0.02, "λ={lambda}: exact/approx={rel}");
         }

@@ -17,7 +17,6 @@
 
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 use rbio_plan::{FileId, Op, Program, ProgramBuilder};
@@ -40,6 +39,16 @@ pub enum RestartError {
     /// The set of files does not cover every rank exactly once, or
     /// disagrees about the job shape.
     Inconsistent(String),
+    /// A file is missing its commit footer or fails its checksums: the
+    /// checkpoint was torn by a crash between write and commit, or the
+    /// data rotted afterwards. Restart must fall back to an older
+    /// generation.
+    Torn {
+        /// File path (relative).
+        file: String,
+        /// What the validation pass found.
+        what: String,
+    },
 }
 
 impl From<io::Error> for RestartError {
@@ -54,6 +63,7 @@ impl std::fmt::Display for RestartError {
             RestartError::Io(e) => write!(f, "I/O: {e}"),
             RestartError::Format { file, source } => write!(f, "{file}: {source}"),
             RestartError::Inconsistent(s) => write!(f, "inconsistent checkpoint: {s}"),
+            RestartError::Torn { file, what } => write!(f, "torn checkpoint: {file}: {what}"),
         }
     }
 }
@@ -135,27 +145,38 @@ fn extract(
     out: &mut [Vec<Vec<u8>>],
 ) -> Result<(), RestartError> {
     let path = dir.join(rel);
-    let f = File::open(&path)?;
-    let actual = f.metadata()?.len();
+    let bytes = std::fs::read(&path)?;
+    let actual = bytes.len() as u64;
     if actual < header.expected_file_size() {
         return Err(RestartError::Inconsistent(format!(
             "{rel}: file is {actual} bytes, header expects {}",
             header.expected_file_size()
         )));
     }
+    // Validation pass: every published checkpoint file carries a commit
+    // footer with per-field checksums. A missing or failing footer means
+    // the file was never committed (crash between write and rename) or
+    // rotted afterwards — either way the generation cannot be trusted.
+    if let Some(what) = crate::commit::verify_committed(&bytes, header.expected_file_size()) {
+        return Err(RestartError::Torn {
+            file: rel.to_string(),
+            what,
+        });
+    }
     for rank in header.r0..header.r1 {
         for field in 0..header.fields.len() {
             let (off, len) = header.rank_block(rank, field);
-            let mut buf = vec![0u8; len as usize];
-            f.read_exact_at(&mut buf, off)?;
-            out[rank as usize].push(buf);
+            out[rank as usize].push(bytes[off as usize..(off + len) as usize].to_vec());
         }
     }
     Ok(())
 }
 
 /// Read back the checkpoint a plan wrote under `dir`.
-pub fn read_checkpoint(dir: impl AsRef<Path>, plan: &CheckpointPlan) -> Result<RestoredData, RestartError> {
+pub fn read_checkpoint(
+    dir: impl AsRef<Path>,
+    plan: &CheckpointPlan,
+) -> Result<RestoredData, RestartError> {
     let dir = dir.as_ref();
     let nranks = plan.layout.nranks();
     let mut data: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nranks as usize];
@@ -189,7 +210,12 @@ pub fn read_checkpoint(dir: impl AsRef<Path>, plan: &CheckpointPlan) -> Result<R
     Ok(RestoredData {
         step: step.unwrap_or(0),
         nranks,
-        field_names: plan.layout.fields().iter().map(|f| f.name.clone()).collect(),
+        field_names: plan
+            .layout
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect(),
         data,
     })
 }
@@ -259,7 +285,12 @@ pub fn read_checkpoint_auto(
     for (name, h) in &files {
         extract(dir, name, h, &mut data)?;
     }
-    Ok(RestoredData { step, nranks, field_names, data })
+    Ok(RestoredData {
+        step,
+        nranks,
+        field_names,
+        data,
+    })
 }
 
 /// Build a restart [`Program`]: every rank opens the file covering it and
@@ -279,14 +310,22 @@ pub fn build_restart_plan(plan: &CheckpointPlan) -> Program {
         let hdr = crate::format::header_len(layout, &plan.app, pf.r0, pf.r1);
         for rank in pf.r0..pf.r1 {
             b.reserve_staging(rank, layout.rank_payload_bytes(rank));
-            b.push(rank, Op::Open { file: ids[i], create: false });
+            b.push(
+                rank,
+                Op::Open {
+                    file: ids[i],
+                    create: false,
+                },
+            );
             for f in 0..layout.nfields() {
                 let len = layout.field_bytes(rank, f);
                 if len == 0 {
                     continue;
                 }
                 let field_base = hdr
-                    + (0..f).map(|g| layout.field_total(g, pf.r0, pf.r1)).sum::<u64>();
+                    + (0..f)
+                        .map(|g| layout.field_total(g, pf.r0, pf.r1))
+                        .sum::<u64>();
                 b.push(
                     rank,
                     Op::ReadAt {
@@ -378,6 +417,54 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_data_reported_as_torn() {
+        let layout = DataLayout::uniform(2, &[("x", 512)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("torn-bit");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        // Flip one data byte (well clear of the 32-byte footer): the
+        // footer's field checksum must catch it.
+        let victim = dir.join(&plan.plan_files[0].name);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let idx = bytes.len() - 64;
+        bytes[idx] ^= 0x01;
+        std::fs::write(&victim, bytes).unwrap();
+        let err = read_checkpoint(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn footerless_file_reported_as_torn() {
+        let layout = DataLayout::uniform(2, &[("x", 128)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("torn-nofoot");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        // Chop the footer off: data intact but the commit proof is gone —
+        // indistinguishable from a file renamed by something other than
+        // the commit path.
+        let victim = dir.join(&plan.plan_files[1].name);
+        let hdr = read_header(&victim).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim)
+            .unwrap();
+        f.set_len(hdr.expected_file_size()).unwrap();
+        drop(f);
+        let err = read_checkpoint(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn truncated_file_detected() {
         let layout = DataLayout::uniform(2, &[("x", 1000)]);
         let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
@@ -386,7 +473,10 @@ mod tests {
         execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
         // Truncate the second file mid-data.
         let victim = dir.join(&plan.plan_files[1].name);
-        let f = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim)
+            .unwrap();
         f.set_len(200).unwrap();
         drop(f);
         let err = read_checkpoint(&dir, &plan).unwrap_err();

@@ -18,14 +18,91 @@ use std::fs::OpenOptions;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use rbio_plan::{DataRef, Op, Program};
 
+use crate::commit;
+use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
 
 type Msg = (u32, u64, Vec<u8>);
+
+/// A typed runtime failure, always carrying the failing rank.
+#[derive(Debug)]
+pub enum RtError {
+    /// A peer's thread has exited: its channel endpoint is gone.
+    PeerGone {
+        /// Rank observing the failure.
+        rank: u32,
+        /// The vanished peer.
+        peer: u32,
+    },
+    /// No matching message arrived within the receive timeout (a lost
+    /// handoff — e.g. a dropped worker→writer message).
+    RecvTimeout {
+        /// Rank observing the failure.
+        rank: u32,
+        /// Expected sender.
+        src: u32,
+        /// Expected tag.
+        tag: u64,
+        /// How long the rank waited.
+        waited: Duration,
+    },
+    /// An I/O error in the plan's file ops (retries exhausted).
+    Io {
+        /// Failing rank.
+        rank: u32,
+        /// Underlying error.
+        source: io::Error,
+    },
+    /// Fault injection terminated the rank mid-plan.
+    Killed {
+        /// The killed rank.
+        rank: u32,
+    },
+    /// Plan and runtime state disagree (wrong message size, bad call).
+    PlanMismatch {
+        /// Failing rank.
+        rank: u32,
+        /// Description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::PeerGone { rank, peer } => {
+                write!(f, "rank {rank}: peer rank {peer} is gone")
+            }
+            RtError::RecvTimeout {
+                rank,
+                src,
+                tag,
+                waited,
+            } => write!(
+                f,
+                "rank {rank}: no message from rank {src} tag {tag} within {waited:?}"
+            ),
+            RtError::Io { rank, source } => write!(f, "rank {rank}: {source}"),
+            RtError::Killed { rank } => write!(f, "rank {rank}: killed by fault injection"),
+            RtError::PlanMismatch { rank, what } => write!(f, "rank {rank}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Communicator handle owned by one rank's thread.
 pub struct Comm {
@@ -36,6 +113,7 @@ pub struct Comm {
     stash: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
     world_barrier: Arc<Barrier>,
     reduce_slots: Arc<Vec<Mutex<Vec<f64>>>>,
+    recv_timeout: Duration,
 }
 
 impl Comm {
@@ -49,27 +127,58 @@ impl Comm {
         self.size
     }
 
-    /// Nonblocking-style send (the data is buffered; this call does not
-    /// wait for the receiver — `MPI_Isend` with eager buffering).
-    pub fn send(&self, dst: u32, tag: u64, data: &[u8]) {
-        self.senders[dst as usize]
-            .send((self.rank, tag, data.to_vec()))
-            .expect("peer threads live for the runtime's duration");
+    /// How long `recv` waits before failing with [`RtError::RecvTimeout`]
+    /// (default 2 s). A timeout turns a lost message into a typed error
+    /// instead of a hang.
+    pub fn set_recv_timeout(&mut self, timeout: Duration) {
+        self.recv_timeout = timeout;
     }
 
-    /// Blocking receive matching `(src, tag)`, FIFO per channel.
-    pub fn recv(&mut self, src: u32, tag: u64) -> Vec<u8> {
+    /// Nonblocking-style send (the data is buffered; this call does not
+    /// wait for the receiver — `MPI_Isend` with eager buffering). Fails
+    /// if the destination rank's thread has already exited.
+    pub fn send(&self, dst: u32, tag: u64, data: &[u8]) -> Result<(), RtError> {
+        self.senders[dst as usize]
+            .send((self.rank, tag, data.to_vec()))
+            .map_err(|_| RtError::PeerGone {
+                rank: self.rank,
+                peer: dst,
+            })
+    }
+
+    /// Blocking receive matching `(src, tag)`, FIFO per channel. Fails
+    /// with [`RtError::RecvTimeout`] when nothing arrives in time.
+    pub fn recv(&mut self, src: u32, tag: u64) -> Result<Vec<u8>, RtError> {
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
             if let Some(d) = q.pop_front() {
-                return d;
+                return Ok(d);
             }
         }
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
-            let (s, t, d) = self.rx.recv().expect("channel open");
-            if s == src && t == tag {
-                return d;
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(left) {
+                Ok((s, t, d)) => {
+                    if s == src && t == tag {
+                        return Ok(d);
+                    }
+                    self.stash.entry((s, t)).or_default().push_back(d);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(RtError::RecvTimeout {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        waited: self.recv_timeout,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RtError::PeerGone {
+                        rank: self.rank,
+                        peer: src,
+                    });
+                }
             }
-            self.stash.entry((s, t)).or_default().push_back(d);
         }
     }
 
@@ -96,16 +205,16 @@ impl Comm {
     }
 
     /// Broadcast `data` from `root` to every rank; returns the payload.
-    pub fn broadcast(&mut self, root: u32, data: Option<&[u8]>) -> Vec<u8> {
+    pub fn broadcast(&mut self, root: u32, data: Option<&[u8]>) -> Result<Vec<u8>, RtError> {
         const BCAST_TAG: u64 = u64::MAX - 1;
         if self.rank == root {
             let d = data.expect("root must supply the payload");
             for r in 0..self.size {
                 if r != root {
-                    self.send(r, BCAST_TAG, d);
+                    self.send(r, BCAST_TAG, d)?;
                 }
             }
-            d.to_vec()
+            Ok(d.to_vec())
         } else {
             self.recv(root, BCAST_TAG)
         }
@@ -142,6 +251,7 @@ where
                 stash: HashMap::new(),
                 world_barrier: Arc::clone(&world_barrier),
                 reduce_slots: Arc::clone(&reduce_slots),
+                recv_timeout: Duration::from_secs(2),
             };
             let f = &f;
             handles.push(scope.spawn(move || f(comm)));
@@ -153,6 +263,41 @@ where
     })
 }
 
+/// Configuration for [`checkpoint_rank_with`]: target directory plus the
+/// same durability/fault/retry knobs as [`crate::exec::ExecConfig`].
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Directory all plan file names are resolved against.
+    pub base_dir: PathBuf,
+    /// fsync files on close and fsync the commit footer + rename.
+    pub fsync_on_close: bool,
+    /// Faults to inject (inert by default).
+    pub faults: FaultPlan,
+    /// Retries per `WriteAt` on a transient error before giving up.
+    pub write_retries: u32,
+    /// Initial backoff between retries (doubles each attempt).
+    pub retry_backoff: Duration,
+}
+
+impl RtConfig {
+    /// Config writing under `base_dir`, no fsync, no faults.
+    pub fn new(base_dir: impl AsRef<Path>) -> Self {
+        RtConfig {
+            base_dir: base_dir.as_ref().to_path_buf(),
+            fsync_on_close: false,
+            faults: FaultPlan::none(),
+            write_retries: 3,
+            retry_backoff: Duration::from_micros(500),
+        }
+    }
+
+    /// Replace the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
 /// Execute `rank`'s ops of a checkpoint `program` inside an application
 /// thread, using its [`Comm`] for the messaging ops. Must be called by
 /// *every* rank of the runtime with the same program (a collective call,
@@ -161,21 +306,36 @@ where
 ///
 /// Plan barriers use dedicated tags over `comm` (a flat fan-in/fan-out to
 /// the group's first rank), so they do not interfere with application
-/// messages as long as the application avoids tags ≥ 2⁶².
+/// messages as long as the application avoids tags ≥ 2⁶¹.
 pub fn checkpoint_rank(
     comm: &mut Comm,
     program: &Program,
     payload: &[u8],
     base_dir: impl AsRef<Path>,
-) -> io::Result<()> {
+) -> Result<(), RtError> {
+    checkpoint_rank_with(comm, program, payload, &RtConfig::new(base_dir))
+}
+
+/// [`checkpoint_rank`] with explicit durability/fault/retry configuration.
+pub fn checkpoint_rank_with(
+    comm: &mut Comm,
+    program: &Program,
+    payload: &[u8],
+    cfg: &RtConfig,
+) -> Result<(), RtError> {
     let rank = comm.rank();
-    assert_eq!(comm.size(), program.nranks(), "collective call on all ranks");
+    assert_eq!(
+        comm.size(),
+        program.nranks(),
+        "collective call on all ranks"
+    );
     assert!(
         payload.len() as u64 >= program.payload[rank as usize],
         "payload too small for rank {rank}"
     );
-    let base: PathBuf = base_dir.as_ref().to_path_buf();
-    std::fs::create_dir_all(&base)?;
+    let io_err = |source: io::Error| RtError::Io { rank, source };
+    let base: PathBuf = cfg.base_dir.clone();
+    std::fs::create_dir_all(&base).map_err(io_err)?;
     let mut staging = vec![0u8; program.staging[rank as usize] as usize];
     let mut files: HashMap<u32, std::fs::File> = HashMap::new();
     const BARRIER_TAG_BASE: u64 = 1 << 62;
@@ -192,13 +352,15 @@ pub fn checkpoint_rank(
     for op in &program.ops[rank as usize] {
         match op {
             Op::Compute { .. } => {}
-            Op::Pack { src, staging_off, bytes } => {
+            Op::Pack {
+                src,
+                staging_off,
+                bytes,
+            } => {
                 if let Some(s) = src {
                     match *s {
-                        DataRef::Staging { off, len } => staging.copy_within(
-                            off as usize..(off + len) as usize,
-                            *staging_off as usize,
-                        ),
+                        DataRef::Staging { off, len } => staging
+                            .copy_within(off as usize..(off + len) as usize, *staging_off as usize),
                         _ => {
                             let data = resolve(s, &staging, 0);
                             staging[*staging_off as usize..*staging_off as usize + *bytes as usize]
@@ -209,12 +371,24 @@ pub fn checkpoint_rank(
             }
             Op::Send { dst, tag, src } => {
                 let data = resolve(src, &staging, 0);
-                comm.send(*dst, PLAN_TAG_BASE + tag.0, &data);
+                if cfg.faults.on_send(rank, *dst) {
+                    // Injected message loss: the receiver times out.
+                    continue;
+                }
+                comm.send(*dst, PLAN_TAG_BASE + tag.0, &data)?;
             }
-            Op::Recv { src, tag, bytes, staging_off } => {
-                let data = comm.recv(*src, PLAN_TAG_BASE + tag.0);
+            Op::Recv {
+                src,
+                tag,
+                bytes,
+                staging_off,
+            } => {
+                let data = comm.recv(*src, PLAN_TAG_BASE + tag.0)?;
                 if data.len() as u64 != *bytes {
-                    return Err(io::Error::other("plan recv size mismatch"));
+                    return Err(RtError::PlanMismatch {
+                        rank,
+                        what: format!("plan recv size mismatch: want {bytes}, got {}", data.len()),
+                    });
                 }
                 staging[*staging_off as usize..*staging_off as usize + data.len()]
                     .copy_from_slice(&data);
@@ -227,45 +401,96 @@ pub fn checkpoint_rank(
                 let tag = BARRIER_TAG_BASE + u64::from(cid.0);
                 if rank == leader {
                     for &m in members.iter().skip(1) {
-                        let _ = comm.recv(m, tag);
+                        let _ = comm.recv(m, tag)?;
                     }
                     for &m in members.iter().skip(1) {
-                        comm.send(m, tag, &[]);
+                        comm.send(m, tag, &[])?;
                     }
                 } else {
-                    comm.send(leader, tag, &[]);
-                    let _ = comm.recv(leader, tag);
+                    comm.send(leader, tag, &[])?;
+                    let _ = comm.recv(leader, tag)?;
                 }
             }
             Op::Open { file, create } => {
-                let path = base.join(&program.files[file.0 as usize].name);
+                let spec = &program.files[file.0 as usize];
+                let final_path = base.join(&spec.name);
+                // Atomic files live under their `.tmp` sibling until commit.
+                let path = if spec.atomic {
+                    commit::tmp_path(&final_path)
+                } else {
+                    final_path
+                };
                 let f = if *create {
                     if let Some(parent) = path.parent() {
-                        std::fs::create_dir_all(parent)?;
+                        std::fs::create_dir_all(parent).map_err(io_err)?;
                     }
-                    OpenOptions::new().create(true).truncate(true).write(true).read(true).open(&path)?
+                    OpenOptions::new()
+                        .create(true)
+                        .truncate(true)
+                        .write(true)
+                        .read(true)
+                        .open(&path)
+                        .map_err(io_err)?
                 } else {
-                    OpenOptions::new().write(true).read(true).open(&path)?
+                    OpenOptions::new()
+                        .write(true)
+                        .read(true)
+                        .open(&path)
+                        .map_err(io_err)?
                 };
                 files.insert(file.0, f);
             }
             Op::WriteAt { file, offset, src } => {
                 let data = resolve(src, &staging, *offset);
-                files
+                let f = files
                     .get(&file.0)
-                    .expect("validated plan opens before writing")
-                    .write_all_at(&data, *offset)?;
+                    .expect("validated plan opens before writing");
+                fault::write_at_with_retry(
+                    f,
+                    rank,
+                    *offset,
+                    &data,
+                    &cfg.faults,
+                    cfg.write_retries,
+                    cfg.retry_backoff,
+                )
+                .map_err(|e| match e {
+                    fault::WriteError::Killed => RtError::Killed { rank },
+                    fault::WriteError::Io(source) => RtError::Io { rank, source },
+                })?;
             }
-            Op::ReadAt { file, offset, len, staging_off } => {
+            Op::ReadAt {
+                file,
+                offset,
+                len,
+                staging_off,
+            } => {
                 let dst =
                     &mut staging[*staging_off as usize..*staging_off as usize + *len as usize];
                 files
                     .get(&file.0)
                     .expect("validated plan opens before reading")
-                    .read_exact_at(dst, *offset)?;
+                    .read_exact_at(dst, *offset)
+                    .map_err(io_err)?;
             }
             Op::Close { file } => {
-                files.remove(&file.0);
+                if let Some(f) = files.remove(&file.0) {
+                    if cfg.fsync_on_close {
+                        f.sync_all().map_err(io_err)?;
+                    }
+                }
+            }
+            Op::Commit { file } => {
+                if cfg.faults.on_commit(rank) {
+                    // Die after the data writes, before the rename: the
+                    // final name must never appear.
+                    return Err(RtError::Killed { rank });
+                }
+                let spec = &program.files[file.0 as usize];
+                let final_path = base.join(&spec.name);
+                let tmp = commit::tmp_path(&final_path);
+                commit::commit_file(&tmp, &final_path, spec.size, cfg.fsync_on_close)
+                    .map_err(io_err)?;
             }
         }
     }
@@ -291,8 +516,8 @@ mod tests {
         let results = run(4, |mut comm| {
             let r = comm.rank();
             // Ring: send to the right, receive from the left.
-            comm.send((r + 1) % 4, 7, &[r as u8; 3]);
-            let left = comm.recv((r + 3) % 4, 7);
+            comm.send((r + 1) % 4, 7, &[r as u8; 3]).expect("send");
+            let left = comm.recv((r + 3) % 4, 7).expect("recv");
             comm.barrier();
             left[0]
         });
@@ -303,19 +528,41 @@ mod tests {
     fn out_of_order_tags_are_stashed() {
         let results = run(2, |mut comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, b"one");
-                comm.send(1, 2, b"two");
+                comm.send(1, 1, b"one").expect("send");
+                comm.send(1, 2, b"two").expect("send");
                 0
             } else {
                 // Receive in reverse order.
-                let two = comm.recv(0, 2);
-                let one = comm.recv(0, 1);
+                let two = comm.recv(0, 2).expect("recv");
+                let one = comm.recv(0, 1).expect("recv");
                 assert_eq!(two, b"two");
                 assert_eq!(one, b"one");
                 1
             }
         });
         assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error() {
+        let errs = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.set_recv_timeout(Duration::from_millis(50));
+                // Nobody ever sends on tag 99.
+                Some(comm.recv(1, 99).expect_err("must time out"))
+            } else {
+                None
+            }
+        });
+        match errs[0].as_ref().expect("rank 0 result") {
+            RtError::RecvTimeout {
+                rank: 0,
+                src: 1,
+                tag: 99,
+                ..
+            } => {}
+            other => panic!("expected RecvTimeout, got {other}"),
+        }
     }
 
     #[test]
@@ -326,9 +573,9 @@ mod tests {
         assert!(sums.iter().all(|&s| (s - 15.0).abs() < 1e-12));
         let payloads = run(3, |mut comm| {
             if comm.rank() == 1 {
-                comm.broadcast(1, Some(b"mesh"))
+                comm.broadcast(1, Some(b"mesh")).expect("broadcast")
             } else {
-                comm.broadcast(1, None)
+                comm.broadcast(1, None).expect("broadcast")
             }
         });
         assert!(payloads.iter().all(|p| p == b"mesh"));
@@ -385,11 +632,12 @@ mod tests {
         let dir_ref = &dir;
         let finals = run(4, |mut comm| {
             let r = comm.rank();
-            let mut u = vec![f64::from(r); 16];
+            let mut u = [f64::from(r); 16];
             for _ in 0..3 {
                 // "Solve": average with the left neighbour's edge value.
-                comm.send((r + 1) % 4, 42, &u[15].to_le_bytes());
-                let left = comm.recv((r + 3) % 4, 42);
+                comm.send((r + 1) % 4, 42, &u[15].to_le_bytes())
+                    .expect("send");
+                let left = comm.recv((r + 3) % 4, 42).expect("recv");
                 let left = f64::from_le_bytes(left.try_into().expect("8 bytes"));
                 for v in u.iter_mut() {
                     *v = 0.5 * (*v + left);

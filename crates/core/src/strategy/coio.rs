@@ -6,8 +6,8 @@
 //! into the ROMIO two-phase exchange (`rbio-mpiio`) with one aggregator per
 //! `aggregator_ratio` ranks, domains aligned to filesystem blocks.
 
-use rbio_mpiio::{plan_collective_write, CollectiveWrite, Contribution, SrcKind, TwoPhaseConfig};
 use rbio_mpiio::domains::DomainConfig;
+use rbio_mpiio::{plan_collective_write, CollectiveWrite, Contribution, SrcKind, TwoPhaseConfig};
 use rbio_plan::{DataRef, Op};
 
 use crate::format;
@@ -31,17 +31,31 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, nf: u32, aggregator_ratio: u32) {
         pb.b.push(leader, Op::Open { file, create: true });
         pb.b.push(
             leader,
-            Op::WriteAt { file, offset: 0, src: DataRef::Own { off: 0, len: hdr } },
+            Op::WriteAt {
+                file,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: hdr },
+            },
         );
         pb.b.push_all(group.iter().copied(), Op::Barrier { comm });
         for &r in &group[1..] {
-            pb.b.push(r, Op::Open { file, create: false });
+            pb.b.push(
+                r,
+                Op::Open {
+                    file,
+                    create: false,
+                },
+            );
         }
 
         // Aggregators: every `aggregator_ratio`-th rank of the group (the
         // Blue Gene MPI-IO library spreads them one per node across psets;
         // with 4 ranks/node a stride of 32 lands on every 8th node).
-        let aggregators: Vec<u32> = group.iter().copied().step_by(aggregator_ratio as usize).collect();
+        let aggregators: Vec<u32> = group
+            .iter()
+            .copied()
+            .step_by(aggregator_ratio as usize)
+            .collect();
 
         // One collective write per field.
         for f in 0..layout.nfields() {
@@ -86,6 +100,7 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, nf: u32, aggregator_ratio: u32) {
         for &r in &group {
             pb.b.push(r, Op::Close { file });
         }
+        pb.b.push(leader, Op::Commit { file });
     }
 }
 
@@ -98,7 +113,10 @@ mod tests {
     fn spec(np: u32, nf: u32, ratio: u32) -> CheckpointSpec {
         let layout = DataLayout::uniform(np, &[("Ex", 1000), ("Ey", 500)]);
         CheckpointSpec::new(layout, "t")
-            .strategy(Strategy::CoIo { nf, aggregator_ratio: ratio })
+            .strategy(Strategy::CoIo {
+                nf,
+                aggregator_ratio: ratio,
+            })
             .tuning(Tuning {
                 fs_block_size: 4096,
                 align_domains: true,
@@ -172,7 +190,10 @@ mod tests {
         // 10 ranks into 3 files: groups of 4/3/3.
         let layout = DataLayout::uniform(10, &[("x", 777)]);
         let plan = CheckpointSpec::new(layout, "t")
-            .strategy(Strategy::CoIo { nf: 3, aggregator_ratio: 2 })
+            .strategy(Strategy::CoIo {
+                nf: 3,
+                aggregator_ratio: 2,
+            })
             .plan()
             .unwrap();
         assert_eq!(plan.plan_files.len(), 3);

@@ -55,12 +55,18 @@ pub enum Strategy {
 impl Strategy {
     /// coIO with the Blue Gene default 32:1 aggregator ratio.
     pub fn coio(nf: u32) -> Strategy {
-        Strategy::CoIo { nf, aggregator_ratio: 32 }
+        Strategy::CoIo {
+            nf,
+            aggregator_ratio: 32,
+        }
     }
 
     /// rbIO with independent per-writer files (`nf = ng`).
     pub fn rbio(ng: u32) -> Strategy {
-        Strategy::RbIo { ng, commit: RbIoCommit::IndependentPerWriter }
+        Strategy::RbIo {
+            ng,
+            commit: RbIoCommit::IndependentPerWriter,
+        }
     }
 
     /// Short human-readable label used in reports (“1PFPP”, “coIO nf=8”, …).
@@ -68,10 +74,16 @@ impl Strategy {
         match self {
             Strategy::OnePfpp => "1PFPP".to_string(),
             Strategy::CoIo { nf, .. } => format!("coIO nf={nf}"),
-            Strategy::RbIo { ng, commit: RbIoCommit::IndependentPerWriter } => {
+            Strategy::RbIo {
+                ng,
+                commit: RbIoCommit::IndependentPerWriter,
+            } => {
                 format!("rbIO ng={ng} nf=ng")
             }
-            Strategy::RbIo { ng, commit: RbIoCommit::CollectiveShared } => {
+            Strategy::RbIo {
+                ng,
+                commit: RbIoCommit::CollectiveShared,
+            } => {
                 format!("rbIO ng={ng} nf=1")
             }
         }
@@ -155,7 +167,10 @@ impl CheckpointSpec {
         let np = self.layout.nranks();
         match self.strategy {
             Strategy::OnePfpp => {}
-            Strategy::CoIo { nf, aggregator_ratio } => {
+            Strategy::CoIo {
+                nf,
+                aggregator_ratio,
+            } => {
                 if nf == 0 || nf > np {
                     return Err(PlanError::BadParam(format!("coIO nf={nf} with np={np}")));
                 }
@@ -172,7 +187,10 @@ impl CheckpointSpec {
         let mut b = PlanBuilder::new(self);
         match self.strategy {
             Strategy::OnePfpp => pfpp::build(&mut b),
-            Strategy::CoIo { nf, aggregator_ratio } => coio::build(&mut b, nf, aggregator_ratio),
+            Strategy::CoIo {
+                nf,
+                aggregator_ratio,
+            } => coio::build(&mut b, nf, aggregator_ratio),
             Strategy::RbIo { ng, commit } => rbio_strategy::build(&mut b, ng, commit),
         }
         let plan = b.finish();
@@ -284,7 +302,10 @@ impl<'a> PlanBuilder<'a> {
             b: ProgramBuilder::new(payload),
             plan_files: Vec::new(),
             payload_meta: vec![
-                RankPayloadMeta { header_for_file: None, header_len: 0 };
+                RankPayloadMeta {
+                    header_for_file: None,
+                    header_len: 0
+                };
                 np as usize
             ],
         }
@@ -296,11 +317,16 @@ impl<'a> PlanBuilder<'a> {
         let spec = self.spec;
         let name = format!("{}.{:05}.rbio", spec.prefix, self.plan_files.len());
         let size = format::file_size(&spec.layout, &spec.app, r0, r1);
-        let id = self.b.file(name.clone(), size);
+        // Checkpoint files publish atomically: writes land in a `.tmp`
+        // sibling and the owner's `Op::Commit` renames it into place.
+        let id = self.b.file_atomic(name.clone(), size);
         self.plan_files.push(PlanFile { name, r0, r1 });
         let hlen = format::header_len(&spec.layout, &spec.app, r0, r1);
         let meta = &mut self.payload_meta[owner as usize];
-        assert!(meta.header_for_file.is_none(), "rank {owner} already owns a file header");
+        assert!(
+            meta.header_for_file.is_none(),
+            "rank {owner} already owns a file header"
+        );
         meta.header_for_file = Some(self.plan_files.len() - 1);
         meta.header_len = hlen;
         id
@@ -356,7 +382,11 @@ mod tests {
         assert_eq!(Strategy::coio(8).label(), "coIO nf=8");
         assert_eq!(Strategy::rbio(4).label(), "rbIO ng=4 nf=ng");
         assert_eq!(
-            Strategy::RbIo { ng: 4, commit: RbIoCommit::CollectiveShared }.label(),
+            Strategy::RbIo {
+                ng: 4,
+                commit: RbIoCommit::CollectiveShared
+            }
+            .label(),
             "rbIO ng=4 nf=1"
         );
     }
@@ -370,8 +400,10 @@ mod tests {
         assert!(matches!(spec.plan(), Err(PlanError::BadParam(_))));
         let spec = CheckpointSpec::new(layout.clone(), "t").strategy(Strategy::rbio(0));
         assert!(matches!(spec.plan(), Err(PlanError::BadParam(_))));
-        let spec = CheckpointSpec::new(layout, "t")
-            .strategy(Strategy::CoIo { nf: 2, aggregator_ratio: 0 });
+        let spec = CheckpointSpec::new(layout, "t").strategy(Strategy::CoIo {
+            nf: 2,
+            aggregator_ratio: 0,
+        });
         assert!(matches!(spec.plan(), Err(PlanError::BadParam(_))));
     }
 }

@@ -43,6 +43,7 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>) {
             );
         }
         pb.b.push(rank, Op::Close { file });
+        pb.b.push(rank, Op::Commit { file });
     }
 }
 
@@ -67,7 +68,10 @@ mod tests {
         assert_eq!(stats.sends, 0);
         assert_eq!(stats.barriers, 0);
         // Every rank owns its file's header.
-        assert!(plan.payload_meta.iter().all(|m| m.header_for_file.is_some()));
+        assert!(plan
+            .payload_meta
+            .iter()
+            .all(|m| m.header_for_file.is_some()));
         assert_eq!(plan.program.writer_ranks().len(), 6);
     }
 

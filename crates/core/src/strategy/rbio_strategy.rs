@@ -53,14 +53,18 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
         let hdr = pb.payload_base(writer);
         let prefix = if per_writer_file.is_some() { hdr } else { 0 };
         image_base[gi] = prefix;
-        let image_off =
-            |f: usize| -> u64 { (0..f).map(|g| layout.field_total(g, g0, g1)).sum() };
-        let image_len: u64 = (0..layout.nfields()).map(|f| layout.field_total(f, g0, g1)).sum();
+        let image_off = |f: usize| -> u64 { (0..f).map(|g| layout.field_total(g, g0, g1)).sum() };
+        let image_len: u64 = (0..layout.nfields())
+            .map(|f| layout.field_total(f, g0, g1))
+            .sum();
         // Scratch slot after the image: workers' packages land here before
         // the writer reorders them ("the writer aggregates the data from
         // all workers in its group, reorders data blocks" — §IV-C).
         let scratch_off = prefix + image_len;
-        let scratch_len = (g0 + 1..g1).map(|r| layout.rank_payload_bytes(r)).max().unwrap_or(0);
+        let scratch_len = (g0 + 1..g1)
+            .map(|r| layout.rank_payload_bytes(r))
+            .max()
+            .unwrap_or(0);
         pb.b.reserve_staging(writer, scratch_off + scratch_len);
 
         // Workers: ONE nonblocking send of the whole packed payload. Their
@@ -118,7 +122,12 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
             }
             pb.b.push(
                 writer,
-                Op::Recv { src: r, tag: Tag(0), bytes: total, staging_off: scratch_off },
+                Op::Recv {
+                    src: r,
+                    tag: Tag(0),
+                    bytes: total,
+                    staging_off: scratch_off,
+                },
             );
             for f in 0..layout.nfields() {
                 let len = layout.field_bytes(r, f);
@@ -161,6 +170,7 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
                 off += len;
             }
             pb.b.push(writer, Op::Close { file });
+            pb.b.push(writer, Op::Commit { file });
         }
     }
 
@@ -174,16 +184,30 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
         pb.b.push(leader, Op::Open { file, create: true });
         pb.b.push(
             leader,
-            Op::WriteAt { file, offset: 0, src: DataRef::Own { off: 0, len: hdr } },
+            Op::WriteAt {
+                file,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: hdr },
+            },
         );
         pb.b.push_all(writers.iter().copied(), Op::Barrier { comm });
         for &w in &writers[1..] {
-            pb.b.push(w, Op::Open { file, create: false });
+            pb.b.push(
+                w,
+                Op::Open {
+                    file,
+                    create: false,
+                },
+            );
         }
         // Round buffers live after each writer's group image in staging.
         let image_total: Vec<u64> = groups
             .iter()
-            .map(|&(g0, g1)| (0..layout.nfields()).map(|f| layout.field_total(f, g0, g1)).sum())
+            .map(|&(g0, g1)| {
+                (0..layout.nfields())
+                    .map(|f| layout.field_total(f, g0, g1))
+                    .sum()
+            })
             .collect();
         let agg_staging_base = image_total.iter().copied().max().unwrap_or(0);
         for f in 0..layout.nfields() {
@@ -229,6 +253,10 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
         for &w in &writers {
             pb.b.push(w, Op::Close { file });
         }
+        // The global leader owns the shared file and publishes it. A rename
+        // while peers still hold (now-closed or soon-closed) descriptors is
+        // fine on POSIX: their fds stay valid, only the name moves.
+        pb.b.push(leader, Op::Commit { file });
     }
 }
 
@@ -263,7 +291,10 @@ mod tests {
         // Workers only send: no opens, no barriers on worker ranks.
         for r in [1u32, 2, 3, 5, 6, 7] {
             let ops = &plan.program.ops[r as usize];
-            assert!(ops.iter().all(|o| matches!(o, Op::Send { .. })), "rank {r}: {ops:?}");
+            assert!(
+                ops.iter().all(|o| matches!(o, Op::Send { .. })),
+                "rank {r}: {ops:?}"
+            );
             assert_eq!(ops.len(), 1); // one package send per worker
         }
         assert_eq!(plan.program.stats().barriers, 0);
@@ -304,7 +335,10 @@ mod tests {
     #[test]
     fn collective_shared_single_file() {
         let plan = CheckpointSpec::new(layout(16), "t")
-            .strategy(Strategy::RbIo { ng: 4, commit: RbIoCommit::CollectiveShared })
+            .strategy(Strategy::RbIo {
+                ng: 4,
+                commit: RbIoCommit::CollectiveShared,
+            })
             .tuning(tuning())
             .plan()
             .unwrap();
@@ -319,7 +353,9 @@ mod tests {
             .count();
         assert_eq!(barriers_w0, 4);
         // Workers still only send.
-        assert!(plan.program.ops[1].iter().all(|o| matches!(o, Op::Send { .. })));
+        assert!(plan.program.ops[1]
+            .iter()
+            .all(|o| matches!(o, Op::Send { .. })));
     }
 
     #[test]
@@ -353,13 +389,22 @@ mod tests {
         let l = DataLayout::new(
             12,
             vec![
-                FieldSpec { name: "v".into(), sizes: FieldSizes::PerRank(sizes) },
-                FieldSpec { name: "u".into(), sizes: FieldSizes::Uniform(64) },
+                FieldSpec {
+                    name: "v".into(),
+                    sizes: FieldSizes::PerRank(sizes),
+                },
+                FieldSpec {
+                    name: "u".into(),
+                    sizes: FieldSizes::Uniform(64),
+                },
             ],
         );
         for strat in [
             Strategy::rbio(3),
-            Strategy::RbIo { ng: 3, commit: RbIoCommit::CollectiveShared },
+            Strategy::RbIo {
+                ng: 3,
+                commit: RbIoCommit::CollectiveShared,
+            },
         ] {
             let plan = CheckpointSpec::new(l.clone(), "t")
                 .strategy(strat)

@@ -95,7 +95,12 @@ impl VtkGrid {
 
     /// Write as a legacy `.vtk` file. `binary` selects the (big-endian)
     /// binary encoding; ASCII otherwise.
-    pub fn write_legacy(&self, path: impl AsRef<Path>, title: &str, binary: bool) -> Result<(), VtkError> {
+    pub fn write_legacy(
+        &self,
+        path: impl AsRef<Path>,
+        title: &str,
+        binary: bool,
+    ) -> Result<(), VtkError> {
         self.validate()?;
         let f = std::fs::File::create(path)?;
         let mut w = io::BufWriter::new(f);
@@ -253,7 +258,10 @@ mod tests {
     fn validation_catches_bad_input() {
         let mut g = unit_cube();
         g.hexes[0][3] = 99;
-        assert!(matches!(g.validate(), Err(VtkError::BadCell { point: 99, .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(VtkError::BadCell { point: 99, .. })
+        ));
         let mut g = unit_cube();
         g.fields[0].1.pop();
         assert!(matches!(g.validate(), Err(VtkError::BadFieldLen { .. })));

@@ -266,8 +266,7 @@ impl FileSystemModel {
         if p > 0.0 && self.rng.chance(p) {
             self.stats.interference_bursts += 1;
             let frac = self.rng.uniform_range(0.4, 1.0);
-            let burst =
-                SimTime::from_secs_f64(self.cfg.array_noise_max.as_secs_f64() * frac);
+            let burst = SimTime::from_secs_f64(self.cfg.array_noise_max.as_secs_f64() * frac);
             let free = self.arrays[array as usize].free_at();
             self.arrays[array as usize].occupy(free, burst);
         }
@@ -349,14 +348,16 @@ impl FileSystemModel {
             }
             // Tail block partially overwritten (distinct from the head
             // block, and not a pure append at end-of-file).
-            if !(offset + len).is_multiple_of(b) && (offset + len) < file_size && offset % b + len > b {
+            if !(offset + len).is_multiple_of(b)
+                && (offset + len) < file_size
+                && offset % b + len > b
+            {
                 rmw_blocks += 1;
             }
             if rmw_blocks > 0 {
                 self.stats.rmw_blocks += rmw_blocks;
                 let fetch = SimTime::from_secs_f64(
-                    (self.cfg.server_overhead.as_secs_f64()
-                        + b as f64 / self.cfg.array_read_bw)
+                    (self.cfg.server_overhead.as_secs_f64() + b as f64 / self.cfg.array_read_bw)
                         * rmw_blocks as f64
                         * self.jitter(),
                 );
@@ -372,7 +373,11 @@ impl FileSystemModel {
             let lock_lo = offset / b * b;
             let lock_hi = (offset + len).div_ceil(b) * b;
             let ft = &mut self.tokens[file as usize];
-            let acq = ft.acquire(client, lock_lo..lock_hi.min(file_size.max(lock_hi)), file_size);
+            let acq = ft.acquire(
+                client,
+                lock_lo..lock_hi.min(file_size.max(lock_hi)),
+                file_size,
+            );
             if acq.rpcs > 0 {
                 self.lock_clients.insert(client);
                 self.stats.lock_rpcs += acq.rpcs;
@@ -394,9 +399,7 @@ impl FileSystemModel {
                 // group's file stalls that group only (the Fig. 10
                 // outliers), while nf=1 funnels everyone through the one
                 // afflicted manager.
-                if acq.rpcs > 1
-                    && self.lock_clients.len() as u32 > self.cfg.lock_convoy_threshold
-                {
+                if acq.rpcs > 1 && self.lock_clients.len() as u32 > self.cfg.lock_convoy_threshold {
                     let until = &mut self.convoy_until[file as usize];
                     if t >= *until && self.rng.chance(self.cfg.lock_stall_prob) {
                         self.stats.lock_stalls += 1;
@@ -439,10 +442,9 @@ impl FileSystemModel {
                 let prev = self.ost_last_writer.insert(key, client);
                 if prev.is_some_and(|p| p != client) {
                     self.stats.lock_rpcs += 1;
-                    overhead = overhead
-                        .saturating_add(SimTime::from_secs_f64(
-                            self.cfg.lustre_lock_switch.as_secs_f64() * self.jitter(),
-                        ));
+                    overhead = overhead.saturating_add(SimTime::from_secs_f64(
+                        self.cfg.lustre_lock_switch.as_secs_f64() * self.jitter(),
+                    ));
                 }
             }
             let (_, srv_done) = self.servers[chunk.server as usize].occupy(t, overhead);
@@ -467,10 +469,15 @@ impl FileSystemModel {
         self.stats.bytes_read += len;
         let shift = stripe_shift(file, self.cfg.nsd_servers);
         let mut finish = now;
-        for chunk in stripe_chunks_shifted(offset, len, self.cfg.block_size, self.cfg.nsd_servers, shift) {
+        for chunk in stripe_chunks_shifted(
+            offset,
+            len,
+            self.cfg.block_size,
+            self.cfg.nsd_servers,
+            shift,
+        ) {
             let noise = self.jitter() * self.maybe_outlier();
-            let overhead =
-                SimTime::from_secs_f64(self.cfg.server_overhead.as_secs_f64() * noise);
+            let overhead = SimTime::from_secs_f64(self.cfg.server_overhead.as_secs_f64() * noise);
             let (_, srv_done) = self.servers[chunk.server as usize].occupy(now, overhead);
             let array = (chunk.server / (self.cfg.nsd_servers / self.cfg.ddn_arrays).max(1))
                 .min(self.cfg.ddn_arrays - 1);
@@ -618,7 +625,10 @@ mod tests {
 
     #[test]
     fn outliers_are_rare_but_present() {
-        let cfg = FsConfig { outlier_prob: 0.05, ..FsConfig::default() };
+        let cfg = FsConfig {
+            outlier_prob: 0.05,
+            ..FsConfig::default()
+        };
         let mut fs = FileSystemModel::new(cfg, 1, 99);
         for i in 0..2000u64 {
             fs.write(SimTime::from_micros(i), 0, 0, i * 4096, 4096, 1 << 40);
@@ -645,7 +655,14 @@ mod tests {
         let mut fs = FileSystemModel::new(cfg, 1, 1);
         // One client streaming: no lock traffic.
         for i in 0..8u64 {
-            fs.write(SimTime::ZERO, 0, 0, i * cfg.block_size, cfg.block_size, 1 << 30);
+            fs.write(
+                SimTime::ZERO,
+                0,
+                0,
+                i * cfg.block_size,
+                cfg.block_size,
+                1 << 30,
+            );
         }
         assert_eq!(fs.stats().lock_rpcs, 0);
         // A second client touching the same objects bounces extent locks.

@@ -69,7 +69,14 @@ mod tests {
     #[test]
     fn single_block_single_chunk() {
         let c = stripe_chunks(0, 100, 4096, 8);
-        assert_eq!(c, vec![Chunk { server: 0, offset: 0, len: 100 }]);
+        assert_eq!(
+            c,
+            vec![Chunk {
+                server: 0,
+                offset: 0,
+                len: 100
+            }]
+        );
     }
 
     #[test]

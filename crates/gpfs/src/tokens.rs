@@ -98,7 +98,11 @@ impl FileTokens {
             }
             revoked_holders += 1;
             if t.start < desired_lo {
-                next.push(Token { client: t.client, start: t.start, end: desired_lo });
+                next.push(Token {
+                    client: t.client,
+                    start: t.start,
+                    end: desired_lo,
+                });
             }
         }
         // The grant runs from desired_lo — extended down over the free gap
@@ -120,14 +124,20 @@ impl FileTokens {
                 true
             }
         });
-        next.push(Token { client, start: lo, end: hi });
+        next.push(Token {
+            client,
+            start: lo,
+            end: hi,
+        });
         next.sort_by_key(|t| t.start);
         debug_assert!(
             next.windows(2).all(|w| w[0].end <= w[1].start),
             "tokens must stay disjoint: {next:?}"
         );
         self.tokens = next;
-        Acquisition { rpcs: 1 + revoked_holders }
+        Acquisition {
+            rpcs: 1 + revoked_holders,
+        }
     }
 }
 
@@ -152,7 +162,7 @@ mod tests {
         ft.acquire(0, 0..10, 1000);
         let a = ft.acquire(1, 500..510, 1000);
         assert_eq!(a.rpcs, 2); // 1 acquire + 1 revoke of client 0
-        // Client 0 keeps [0,500); client 1 holds [500,1000).
+                               // Client 0 keeps [0,500); client 1 holds [500,1000).
         assert!(ft.covers(0, &(0..500)));
         assert!(!ft.covers(0, &(0..501)));
         assert!(ft.covers(1, &(500..1000)));
@@ -191,7 +201,7 @@ mod tests {
     #[test]
     fn multiple_holders_revoked_in_one_acquire() {
         let mut ft = FileTokens::new();
-        ft.acquire(0, 0..10, 1000);    // 0:[0,1000)
+        ft.acquire(0, 0..10, 1000); // 0:[0,1000)
         ft.acquire(1, 500..510, 1000); // 0:[0,500), 1:[500,1000)
         let a = ft.acquire(2, 200..260, 1000); // revokes part of 0, all of 1
         assert_eq!(a.rpcs, 3);
@@ -229,6 +239,49 @@ mod tests {
     }
 
     #[test]
+    fn regression_replay_rpc_bound_with_single_byte_ranges() {
+        // Deterministic replay of the case recorded in the old
+        // token_props.proptest-regressions file (seed
+        // fb5399a6..., shrunk to the op list below, file_end 1200).
+        // Checks the same three properties as the property test.
+        let ops: &[(u32, u64, u64)] = &[
+            (0, 0, 1),
+            (1, 121, 1),
+            (0, 122, 1),
+            (0, 122, 1),
+            (1, 123, 1),
+            (0, 124, 1),
+            (0, 124, 1),
+            (0, 124, 1),
+            (1, 125, 1),
+            (2, 126, 1),
+            (3, 0, 1),
+        ];
+        let file_end = 1200;
+        let mut ft = FileTokens::new();
+        for &(client, start, len) in ops {
+            let range = start..(start + len).min(file_end);
+            if range.is_empty() {
+                continue;
+            }
+            let tokens_before = ft.token_count() as u64;
+            let acq = ft.acquire(client, range.clone(), file_end);
+            assert!(
+                ft.covers(client, &range),
+                "client {client} not covering {range:?}"
+            );
+            let again = ft.acquire(client, range.clone(), file_end);
+            assert_eq!(again.rpcs, 0);
+            assert!(
+                acq.rpcs <= 1 + tokens_before,
+                "rpcs {} tokens {}",
+                acq.rpcs,
+                tokens_before
+            );
+        }
+    }
+
+    #[test]
     fn covers_empty_state() {
         let ft = FileTokens::new();
         assert!(!ft.covers(0, &(0..1)));
@@ -239,7 +292,7 @@ mod tests {
         let mut ft = FileTokens::new();
         ft.acquire(0, 0..10, 100);
         ft.acquire(1, 50..60, 100); // 0:[0,50), 1:[50,100)
-        // Client 1 acquires right at its boundary; still one token after.
+                                    // Client 1 acquires right at its boundary; still one token after.
         ft.acquire(1, 60..70, 100);
         assert_eq!(ft.token_count(), 2);
     }

@@ -39,7 +39,11 @@ impl RunMetrics {
         bytes_sent: u64,
         fs_stats: FsStats,
     ) -> Self {
-        let wall = per_rank_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let wall = per_rank_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
         RunMetrics {
             writer_ranks: program.writer_ranks(),
             per_rank_finish,
@@ -75,8 +79,7 @@ impl RunMetrics {
     /// Latest finish among non-writer ranks (the lower band of Fig. 11 —
     /// rbIO workers return after their handoff).
     pub fn worker_max(&self) -> SimTime {
-        let writers: std::collections::HashSet<u32> =
-            self.writer_ranks.iter().copied().collect();
+        let writers: std::collections::HashSet<u32> = self.writer_ranks.iter().copied().collect();
         self.per_rank_finish
             .iter()
             .enumerate()
@@ -106,7 +109,9 @@ impl RunMetrics {
     pub fn app_blocking(&self, lambda: f64) -> SimTime {
         let w = self.worker_max();
         let overlap = self.writer_max().saturating_sub(w);
-        w.saturating_add(SimTime::from_secs_f64(overlap.as_secs_f64() * lambda.clamp(0.0, 1.0)))
+        w.saturating_add(SimTime::from_secs_f64(
+            overlap.as_secs_f64() * lambda.clamp(0.0, 1.0),
+        ))
     }
 
     /// Distribution summary of the per-rank finish times.
@@ -124,13 +129,30 @@ mod tests {
         // Rank 1 is the writer (has a WriteAt); ranks 0 and 2 are workers.
         let mut b = ProgramBuilder::new(vec![10; 3]);
         let f = b.file("x", 10);
-        b.push(1, Op::Open { file: f, create: true });
-        b.push(1, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: 10 } });
+        b.push(
+            1,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            1,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 10 },
+            },
+        );
         b.push(1, Op::Close { file: f });
         let p = b.build();
         RunMetrics::assemble(
             &p,
-            vec![SimTime::from_millis(2), SimTime::from_millis(100), SimTime::from_millis(4)],
+            vec![
+                SimTime::from_millis(2),
+                SimTime::from_millis(100),
+                SimTime::from_millis(4),
+            ],
             Timeline::new(),
             SimTime::from_micros(150),
             1000,

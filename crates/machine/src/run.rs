@@ -87,11 +87,20 @@ impl Sim<'_> {
                 let arrival = self
                     .torus
                     .send(now, self.node(rank), self.node(*dst), bytes);
-                q.schedule(arrival, Ev::Arrive { src: rank, dst: *dst, tag: tag.0 });
+                q.schedule(
+                    arrival,
+                    Ev::Arrive {
+                        src: rank,
+                        dst: *dst,
+                        tag: tag.0,
+                    },
+                );
                 self.record(rank, OpKind::Send, now, done, bytes);
                 done
             }
-            Op::Recv { src, tag, bytes, .. } => {
+            Op::Recv {
+                src, tag, bytes, ..
+            } => {
                 let key = (*src, rank, tag.0);
                 match self.arrived.get_mut(&key).and_then(|v| v.pop_front()) {
                     Some(_arr) => {
@@ -111,8 +120,7 @@ impl Sim<'_> {
                 self.barrier_count[ci] += 1;
                 if self.barrier_count[ci] == size {
                     self.barrier_count[ci] = 0;
-                    let done =
-                        now.saturating_add(self.cfg.net.barrier_cost(size as u32));
+                    let done = now.saturating_add(self.cfg.net.barrier_cost(size as u32));
                     for w in std::mem::take(&mut self.barrier_waiters[ci]) {
                         self.pc[w as usize] += 1;
                         self.record(w, OpKind::Barrier, now, done, 0);
@@ -166,14 +174,13 @@ impl Sim<'_> {
                     bytes,
                     fsize,
                 );
-                let done = fs_done
-                    .max(stream_done)
-                    .max(ion_occ)
-                    .saturating_add(lat);
+                let done = fs_done.max(stream_done).max(ion_occ).saturating_add(lat);
                 self.record(rank, OpKind::Write, now, done, bytes);
                 done
             }
-            Op::ReadAt { file, offset, len, .. } => {
+            Op::ReadAt {
+                file, offset, len, ..
+            } => {
                 let lat = self.cfg.net.ion_latency;
                 let fs_done = self.fs.read(now.saturating_add(lat), file.0, *offset, *len);
                 let pset = self.cfg.partition.pset_of_rank(rank).0 as usize;
@@ -187,6 +194,15 @@ impl Sim<'_> {
                 let lat = self.cfg.net.ion_latency;
                 let done = self.fs.close(now.saturating_add(lat)).saturating_add(lat);
                 self.record(rank, OpKind::Close, now, done, 0);
+                done
+            }
+            Op::Commit { .. } => {
+                // Footer write + rename: two metadata round-trips to the
+                // filesystem (reopen the file, publish the new name).
+                let lat = self.cfg.net.ion_latency;
+                let opened = self.fs.open(now.saturating_add(lat));
+                let done = self.fs.close(opened).saturating_add(lat);
+                self.record(rank, OpKind::Commit, now, done, 0);
                 done
             }
         };
@@ -292,7 +308,12 @@ mod tests {
         let cfg = machine(8);
         let mut b = ProgramBuilder::new(vec![0; 8]);
         for r in 0..8 {
-            b.push(r, Op::Compute { nanos: 1000 * (r as u64 + 1) });
+            b.push(
+                r,
+                Op::Compute {
+                    nanos: 1000 * (r as u64 + 1),
+                },
+            );
         }
         let m = simulate(&b.build(), &cfg);
         assert_eq!(m.wall.as_nanos(), 8000);
@@ -306,8 +327,26 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![1 << 20, 0, 0, 0, 0, 0, 0, 0]);
         b.reserve_staging(7, 1 << 20);
         b.push(0, Op::Compute { nanos: 5_000_000 }); // sender is late
-        b.push(0, Op::Send { dst: 7, tag: Tag(1), src: DataRef::Own { off: 0, len: 1 << 20 } });
-        b.push(7, Op::Recv { src: 0, tag: Tag(1), bytes: 1 << 20, staging_off: 0 });
+        b.push(
+            0,
+            Op::Send {
+                dst: 7,
+                tag: Tag(1),
+                src: DataRef::Own {
+                    off: 0,
+                    len: 1 << 20,
+                },
+            },
+        );
+        b.push(
+            7,
+            Op::Recv {
+                src: 0,
+                tag: Tag(1),
+                bytes: 1 << 20,
+                staging_off: 0,
+            },
+        );
         let m = simulate(&b.build(), &cfg);
         // Receiver cannot finish before the sender's compute + transfer.
         assert!(m.per_rank_finish[7].as_nanos() > 5_000_000);
@@ -319,15 +358,33 @@ mod tests {
         let cfg = machine(8);
         let mut b = ProgramBuilder::new(vec![1024; 8]);
         b.reserve_staging(1, 1024);
-        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: DataRef::Own { off: 0, len: 1024 } });
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(0),
+                src: DataRef::Own { off: 0, len: 1024 },
+            },
+        );
         b.push(1, Op::Compute { nanos: 50_000_000 });
-        b.push(1, Op::Recv { src: 0, tag: Tag(0), bytes: 1024, staging_off: 0 });
+        b.push(
+            1,
+            Op::Recv {
+                src: 0,
+                tag: Tag(0),
+                bytes: 1024,
+                staging_off: 0,
+            },
+        );
         let m = simulate(&b.build(), &cfg);
         // Sender finished long ago (handoff only).
         assert!(m.per_rank_finish[0] < SimTime::from_millis(1));
         // Receiver: compute dominates; message already arrived.
         let r1 = m.per_rank_finish[1];
-        assert!(r1 >= SimTime::from_millis(50) && r1 < SimTime::from_millis(51), "{r1}");
+        assert!(
+            r1 >= SimTime::from_millis(50) && r1 < SimTime::from_millis(51),
+            "{r1}"
+        );
     }
 
     #[test]
@@ -336,7 +393,12 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![0; 8]);
         let c = b.comm((0..8).collect());
         for r in 0..8u32 {
-            b.push(r, Op::Compute { nanos: 1_000 * u64::from(r) });
+            b.push(
+                r,
+                Op::Compute {
+                    nanos: 1_000 * u64::from(r),
+                },
+            );
             b.push(r, Op::Barrier { comm: CommId(c.0) });
             b.push(r, Op::Compute { nanos: 10 });
         }
@@ -354,16 +416,30 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![4 << 20; 8]);
         let f: Vec<FileId> = (0..8).map(|r| b.file(format!("f{r}"), 4 << 20)).collect();
         for r in 0..8u32 {
-            b.push(r, Op::Open { file: f[r as usize], create: true });
+            b.push(
+                r,
+                Op::Open {
+                    file: f[r as usize],
+                    create: true,
+                },
+            );
             b.push(
                 r,
                 Op::WriteAt {
                     file: f[r as usize],
                     offset: 0,
-                    src: DataRef::Own { off: 0, len: 4 << 20 },
+                    src: DataRef::Own {
+                        off: 0,
+                        len: 4 << 20,
+                    },
                 },
             );
-            b.push(r, Op::Close { file: f[r as usize] });
+            b.push(
+                r,
+                Op::Close {
+                    file: f[r as usize],
+                },
+            );
         }
         let m = simulate(&b.build(), &cfg);
         assert_eq!(m.bytes_written, 8 * (4 << 20));
@@ -392,8 +468,21 @@ mod tests {
             let f0 = b.file("a", bytes);
             let f1 = b.file("b", bytes);
             for (r, f) in [(0u32, f0), (4u32, f1)] {
-                b.push(r, Op::Open { file: f, create: true });
-                b.push(r, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: bytes } });
+                b.push(
+                    r,
+                    Op::Open {
+                        file: f,
+                        create: true,
+                    },
+                );
+                b.push(
+                    r,
+                    Op::WriteAt {
+                        file: f,
+                        offset: 0,
+                        src: DataRef::Own { off: 0, len: bytes },
+                    },
+                );
                 b.push(r, Op::Close { file: f });
             }
             b.build()
@@ -415,8 +504,21 @@ mod tests {
         let bytes = 100u64 << 20; // 100 MB -> at least 10 s
         let mut b = ProgramBuilder::new(vec![bytes, 0, 0, 0, 0, 0, 0, 0]);
         let f = b.file("slow", bytes);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: bytes } });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: bytes },
+            },
+        );
         b.push(0, Op::Close { file: f });
         let m = simulate(&b.build(), &cfg);
         let min_secs = bytes as f64 / 10.0e6;
@@ -436,14 +538,29 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![bytes; 16]);
         b.reserve_staging(0, bytes);
         for r in 1..16u32 {
-            b.push(r, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: bytes } });
+            b.push(
+                r,
+                Op::Send {
+                    dst: 0,
+                    tag: Tag(0),
+                    src: DataRef::Own { off: 0, len: bytes },
+                },
+            );
         }
         for _ in 1..16u32 {
             // Order-agnostic receive: match senders in rank order (each
             // channel holds exactly one message).
         }
         for r in 1..16u32 {
-            b.push(0, Op::Recv { src: r, tag: Tag(0), bytes, staging_off: 0 });
+            b.push(
+                0,
+                Op::Recv {
+                    src: r,
+                    tag: Tag(0),
+                    bytes,
+                    staging_off: 0,
+                },
+            );
         }
         let m = simulate(&b.build(), &cfg);
         // 15 x 8 MB over at most 6 inbound links of 425 MB/s: >= 47 ms even
@@ -473,13 +590,47 @@ mod tests {
             let f = b.file("x", 8 << 16);
             b.reserve_staging(0, 8 << 16);
             for r in 1..8u32 {
-                b.push(r, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: 1 << 16 } });
+                b.push(
+                    r,
+                    Op::Send {
+                        dst: 0,
+                        tag: Tag(0),
+                        src: DataRef::Own {
+                            off: 0,
+                            len: 1 << 16,
+                        },
+                    },
+                );
             }
             for r in 1..8u32 {
-                b.push(0, Op::Recv { src: r, tag: Tag(0), bytes: 1 << 16, staging_off: (u64::from(r)) << 16 });
+                b.push(
+                    0,
+                    Op::Recv {
+                        src: r,
+                        tag: Tag(0),
+                        bytes: 1 << 16,
+                        staging_off: (u64::from(r)) << 16,
+                    },
+                );
             }
-            b.push(0, Op::Open { file: f, create: true });
-            b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Staging { off: 0, len: 7 << 16 } });
+            b.push(
+                0,
+                Op::Open {
+                    file: f,
+                    create: true,
+                },
+            );
+            b.push(
+                0,
+                Op::WriteAt {
+                    file: f,
+                    offset: 0,
+                    src: DataRef::Staging {
+                        off: 0,
+                        len: 7 << 16,
+                    },
+                },
+            );
             b.push(0, Op::Close { file: f });
             b.build()
         };

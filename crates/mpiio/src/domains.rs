@@ -48,7 +48,11 @@ pub fn partition_domains(range: Range<u64>, naggs: usize, cfg: &DomainConfig) ->
             let b = cfg.block_size;
             let down = ideal_end / b * b;
             let up = down + b;
-            let rounded = if ideal_end - down <= up - ideal_end { down } else { up };
+            let rounded = if ideal_end - down <= up - ideal_end {
+                down
+            } else {
+                up
+            };
             rounded.clamp(cursor, range.end)
         } else {
             ideal_end
@@ -74,7 +78,10 @@ mod tests {
 
     #[test]
     fn unaligned_even_split() {
-        let cfg = DomainConfig { block_size: 4096, align: false };
+        let cfg = DomainConfig {
+            block_size: 4096,
+            align: false,
+        };
         let d = partition_domains(0..100, 3, &cfg);
         assert_eq!(d, vec![0..34, 34..67, 67..100]);
         cover_exactly(&d, &(0..100));
@@ -82,7 +89,10 @@ mod tests {
 
     #[test]
     fn aligned_boundaries_are_block_multiples() {
-        let cfg = DomainConfig { block_size: 1000, align: true };
+        let cfg = DomainConfig {
+            block_size: 1000,
+            align: true,
+        };
         let d = partition_domains(0..10_500, 4, &cfg);
         cover_exactly(&d, &(0..10_500));
         for w in d.windows(2) {
@@ -94,7 +104,10 @@ mod tests {
     fn aligned_with_offset_start() {
         // Alignment is absolute (GPFS locks absolute block ranges), so a
         // range starting mid-block still gets block-multiple interior cuts.
-        let cfg = DomainConfig { block_size: 100, align: true };
+        let cfg = DomainConfig {
+            block_size: 100,
+            align: true,
+        };
         let d = partition_domains(150..950, 2, &cfg);
         cover_exactly(&d, &(150..950));
         assert_eq!(d[0].end % 100, 0);
@@ -102,7 +115,10 @@ mod tests {
 
     #[test]
     fn more_aggregators_than_blocks_yields_empty_domains() {
-        let cfg = DomainConfig { block_size: 100, align: true };
+        let cfg = DomainConfig {
+            block_size: 100,
+            align: true,
+        };
         let d = partition_domains(0..150, 8, &cfg);
         cover_exactly(&d, &(0..150));
         assert_eq!(d.len(), 8);

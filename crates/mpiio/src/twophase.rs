@@ -300,7 +300,13 @@ mod tests {
             .collect();
         // Open/close around it so validation passes.
         for &a in &aggregators {
-            b.push(a, Op::Open { file, create: a == 0 });
+            b.push(
+                a,
+                Op::Open {
+                    file,
+                    create: a == 0,
+                },
+            );
         }
         let stats = plan_collective_write(
             b,
@@ -324,7 +330,10 @@ mod tests {
         let sz = 1000u64;
         let mut b = ProgramBuilder::new(vec![sz; n as usize]);
         let cfg = TwoPhaseConfig {
-            domain: DomainConfig { block_size: 4096, align: true },
+            domain: DomainConfig {
+                block_size: 4096,
+                align: true,
+            },
             cb_buffer_size: 3000,
             tag: 5,
         };
@@ -357,7 +366,10 @@ mod tests {
         let block = 2048u64;
         let mut b = ProgramBuilder::new(vec![sz; n as usize]);
         let cfg = TwoPhaseConfig {
-            domain: DomainConfig { block_size: block, align: true },
+            domain: DomainConfig {
+                block_size: block,
+                align: true,
+            },
             cb_buffer_size: 1 << 20,
             tag: 0,
         };
@@ -384,13 +396,43 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![200, 200]);
         let file = b.file("f", 400);
         let contributions = vec![
-            Contribution { rank: 0, file_off: 0, src_off: 0, len: 100, src: SrcKind::Own },
-            Contribution { rank: 0, file_off: 200, src_off: 100, len: 100, src: SrcKind::Own },
-            Contribution { rank: 1, file_off: 100, src_off: 0, len: 100, src: SrcKind::Own },
-            Contribution { rank: 1, file_off: 300, src_off: 100, len: 100, src: SrcKind::Own },
+            Contribution {
+                rank: 0,
+                file_off: 0,
+                src_off: 0,
+                len: 100,
+                src: SrcKind::Own,
+            },
+            Contribution {
+                rank: 0,
+                file_off: 200,
+                src_off: 100,
+                len: 100,
+                src: SrcKind::Own,
+            },
+            Contribution {
+                rank: 1,
+                file_off: 100,
+                src_off: 0,
+                len: 100,
+                src: SrcKind::Own,
+            },
+            Contribution {
+                rank: 1,
+                file_off: 300,
+                src_off: 100,
+                len: 100,
+                src: SrcKind::Own,
+            },
         ];
         for a in [0u32, 1] {
-            b.push(a, Op::Open { file, create: a == 0 });
+            b.push(
+                a,
+                Op::Open {
+                    file,
+                    create: a == 0,
+                },
+            );
         }
         let stats = plan_collective_write(
             &mut b,
@@ -401,7 +443,10 @@ mod tests {
                 agg_staging_base: 0,
             },
             &TwoPhaseConfig {
-                domain: DomainConfig { block_size: 100, align: true },
+                domain: DomainConfig {
+                    block_size: 100,
+                    align: true,
+                },
                 cb_buffer_size: 1 << 20,
                 tag: 3,
             },
@@ -424,8 +469,20 @@ mod tests {
                 file,
                 aggregators: vec![0],
                 contributions: vec![
-                    Contribution { rank: 0, file_off: 0, src_off: 0, len: 50, src: SrcKind::Own },
-                    Contribution { rank: 1, file_off: 50, src_off: 0, len: 50, src: SrcKind::Own },
+                    Contribution {
+                        rank: 0,
+                        file_off: 0,
+                        src_off: 0,
+                        len: 50,
+                        src: SrcKind::Own,
+                    },
+                    Contribution {
+                        rank: 1,
+                        file_off: 50,
+                        src_off: 0,
+                        len: 50,
+                        src: SrcKind::Own,
+                    },
                 ],
                 agg_staging_base: 1000,
             },
@@ -460,7 +517,10 @@ mod tests {
         let n = 8u32;
         let mut b = ProgramBuilder::new(vec![777; n as usize]);
         let cfg = TwoPhaseConfig {
-            domain: DomainConfig { block_size: 4096, align: false },
+            domain: DomainConfig {
+                block_size: 4096,
+                align: false,
+            },
             cb_buffer_size: 1024,
             tag: 9,
         };

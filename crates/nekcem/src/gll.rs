@@ -23,7 +23,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
     // the endpoints separately).
     let dp = if (1.0 - x * x).abs() < 1e-14 {
         // lim of n(n+1)/2 * x^(n-1)-ish endpoint derivative:
-        let sign = if x > 0.0 { 1.0 } else { f64::from(if n.is_multiple_of(2) { -1 } else { 1 }) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            f64::from(if n.is_multiple_of(2) { -1 } else { 1 })
+        };
         sign * (n * (n + 1)) as f64 / 2.0
     } else {
         (n as f64) * (x * p - p_prev) / (x * x - 1.0)
@@ -193,7 +197,11 @@ mod tests {
         let mut out = vec![0.0; n + 1];
         matvec(&d, &v, &mut out);
         for (i, &x) in pts.iter().enumerate() {
-            assert!((out[i] - x.cos()).abs() < 1e-12, "i={i} err={}", (out[i] - x.cos()).abs());
+            assert!(
+                (out[i] - x.cos()).abs() < 1e-12,
+                "i={i} err={}",
+                (out[i] - x.cos()).abs()
+            );
         }
     }
 }

@@ -113,7 +113,10 @@ impl Maxwell1d {
     /// Exact plane-wave solution at the current time (for error checks).
     pub fn plane_wave_exact(&self, mode: u32) -> Vec<f64> {
         let k = std::f64::consts::TAU * f64::from(mode) / self.length;
-        self.x.iter().map(|&x| (k * (x - self.time)).sin()).collect()
+        self.x
+            .iter()
+            .map(|&x| (k * (x - self.time)).sin())
+            .collect()
     }
 
     /// A CFL-stable time step: `dt = cfl · h / N²` (GLL nodes cluster as
@@ -175,9 +178,9 @@ impl Maxwell1d {
                 let e_star = 0.5 * ((e[lm] + h[lm]) + (e[rp] - h[rp]));
                 let h_star = 0.5 * ((e[lm] + h[lm]) - (e[rp] - h[rp]));
                 let lift = rx / w0; // w_0 == w_N on GLL grids
-                // Strong form correction: +lift·(f − f*) at the right face
-                // of the left element, −lift·(f − f*) at the left face of
-                // the right element; f_E = H, f_H = E.
+                                    // Strong form correction: +lift·(f − f*) at the right face
+                                    // of the left element, −lift·(f − f*) at the left face of
+                                    // the right element; f_E = H, f_H = E.
                 out[lm] += lift * (h[lm] - h_star);
                 out[n + lm] += lift * (e[lm] - e_star);
                 out[rp] -= lift * (h[rp] - h_star);
@@ -251,7 +254,10 @@ mod tests {
         let mut s = Maxwell1d::new(8, 6, 1.0);
         // A rough (underresolved) initial condition sheds energy through
         // the upwind dissipation; energy must never grow.
-        s.set_initial(|x| if (0.25..0.5).contains(&x) { 1.0 } else { 0.0 }, |_| 0.0);
+        s.set_initial(
+            |x| if (0.25..0.5).contains(&x) { 1.0 } else { 0.0 },
+            |_| 0.0,
+        );
         let dt = s.stable_dt(0.3);
         let mut prev = s.energy();
         for _ in 0..200 {

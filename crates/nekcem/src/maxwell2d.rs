@@ -125,9 +125,7 @@ impl Maxwell2d {
         self.coords
             .iter()
             .enumerate()
-            .map(|(g, &(x, y))| {
-                (self.state[g] - (kx * x + ky * y - om * self.time).sin()).abs()
-            })
+            .map(|(g, &(x, y))| (self.state[g] - (kx * x + ky * y - om * self.time).sin()).abs())
             .fold(0.0, f64::max)
     }
 
@@ -225,7 +223,13 @@ impl Maxwell2d {
                     let south = ((ey + k - 1) % k) * k + ex;
                     for j in 0..np {
                         // East face (i = N), neighbor's west column (i = 0).
-                        face(base + j * np + (np - 1), east * per_elem + j * np, 1.0, 0.0, out);
+                        face(
+                            base + j * np + (np - 1),
+                            east * per_elem + j * np,
+                            1.0,
+                            0.0,
+                            out,
+                        );
                         // West face (i = 0), neighbor's east column.
                         face(
                             base + j * np,

@@ -119,7 +119,9 @@ mod tests {
         let mut u = [0.0];
         let mut res = [0.0];
         for s in 0..steps {
-            lsrk4_step(&mut u, &mut res, s as f64 * dt, dt, |t, _, k| k[0] = t.cos());
+            lsrk4_step(&mut u, &mut res, s as f64 * dt, dt, |t, _, k| {
+                k[0] = t.cos()
+            });
         }
         assert!((u[0] - 1.0f64.sin()).abs() < 1e-9);
     }

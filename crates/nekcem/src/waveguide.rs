@@ -117,10 +117,10 @@ impl Waveguide {
         let kx = std::f64::consts::PI / self.a;
         let phase = self.omega * t - self.beta * z;
         match field {
-            1 => (kx * x).sin() * phase.sin(),                       // Ey
+            1 => (kx * x).sin() * phase.sin(), // Ey
             3 => -(self.beta / self.omega) * (kx * x).sin() * phase.sin(), // Hx
-            5 => (kx / self.omega) * (kx * x).cos() * phase.cos(),   // Hz
-            _ => 0.0,                                                // Ex, Ez, Hy
+            5 => (kx / self.omega) * (kx * x).cos() * phase.cos(), // Hz
+            _ => 0.0,                          // Ex, Ez, Hy
         }
     }
 
@@ -205,9 +205,8 @@ impl Waveguide {
                         }
                     }
                 }
-                let id = |i: usize, j: usize, k: usize| -> u32 {
-                    base + (i + np * (j + np * k)) as u32
-                };
+                let id =
+                    |i: usize, j: usize, k: usize| -> u32 { base + (i + np * (j + np * k)) as u32 };
                 for k in 0..np - 1 {
                     for j in 0..np - 1 {
                         for i in 0..np - 1 {
@@ -323,7 +322,10 @@ mod tests {
         let mut buf = vec![0u8; w.field_bytes(0) as usize];
         for field in [0usize, 2, 4] {
             w.fill_field(0, field, 0.7, &mut buf);
-            assert!(buf.iter().all(|&b| b == 0), "field {field} should be identically zero");
+            assert!(
+                buf.iter().all(|&b| b == 0),
+                "field {field} should be identically zero"
+            );
         }
     }
 
@@ -352,7 +354,9 @@ mod tests {
         // And it renders to legacy VTK.
         let mut buf = Vec::new();
         grid.write_to(&mut buf, "waveguide", false).expect("write");
-        assert!(String::from_utf8(buf).unwrap().contains("SCALARS Ey double 1"));
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("SCALARS Ey double 1"));
     }
 
     #[test]

@@ -143,8 +143,7 @@ impl TorusNet {
         let mut head = inject;
         let mut tail = inject;
         for link in path {
-            let (start, end) = self.links[link.0 as usize]
-                .occupy(head, ser);
+            let (start, end) = self.links[link.0 as usize].occupy(head, ser);
             head = start.saturating_add(self.cfg.torus_hop_latency);
             tail = end;
         }
@@ -187,7 +186,7 @@ mod tests {
         let a = t.node(Coord { x: 0, y: 0, z: 0 });
         let b = t.node(Coord { x: 2, y: 0, z: 0 }); // 2 hops
         let arrival = n.send(SimTime::ZERO, a, b, 1_000_000); // 1 MB at 1 GB/s = 1 ms
-        // serialization 1ms; starts staggered by 100ns; +100ns delivery.
+                                                              // serialization 1ms; starts staggered by 100ns; +100ns delivery.
         let expect = 1_000_000 + 100 + 100;
         assert_eq!(arrival.as_nanos(), expect);
     }

@@ -51,7 +51,8 @@ pub fn append_program(base: &mut Program, step: Program, step_index: u64) {
                 Op::Open { file, .. }
                 | Op::WriteAt { file, .. }
                 | Op::ReadAt { file, .. }
-                | Op::Close { file } => file.0 += file_off,
+                | Op::Close { file }
+                | Op::Commit { file } => file.0 += file_off,
                 Op::Compute { .. } | Op::Pack { .. } => {}
             }
             target.push(op);
@@ -78,11 +79,46 @@ mod tests {
         let f = b.file(name, 16);
         let c = b.comm(vec![0, 1]);
         b.reserve_staging(0, 8);
-        b.push(1, Op::Send { dst: 0, tag: Tag(0), src: DataRef::Own { off: 0, len: 8 } });
-        b.push(0, Op::Recv { src: 1, tag: Tag(0), bytes: 8, staging_off: 0 });
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: DataRef::Own { off: 0, len: 8 } });
-        b.push(0, Op::WriteAt { file: f, offset: 8, src: DataRef::Staging { off: 0, len: 8 } });
+        b.push(
+            1,
+            Op::Send {
+                dst: 0,
+                tag: Tag(0),
+                src: DataRef::Own { off: 0, len: 8 },
+            },
+        );
+        b.push(
+            0,
+            Op::Recv {
+                src: 1,
+                tag: Tag(0),
+                bytes: 8,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 8 },
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 8,
+                src: DataRef::Staging { off: 0, len: 8 },
+            },
+        );
         b.push(0, Op::Close { file: f });
         b.push_all([0, 1], Op::Barrier { comm: c });
         b.build()

@@ -46,9 +46,9 @@ impl DataRef {
     /// Length of the referenced bytes.
     pub fn len(&self) -> u64 {
         match *self {
-            DataRef::Own { len, .. } | DataRef::Staging { len, .. } | DataRef::Synthetic { len } => {
-                len
-            }
+            DataRef::Own { len, .. }
+            | DataRef::Staging { len, .. }
+            | DataRef::Synthetic { len } => len,
         }
     }
 
@@ -137,6 +137,13 @@ pub enum Op {
     /// Close a file (flushes; on close-after-create the metadata service is
     /// touched again).
     Close {
+        /// The file.
+        file: FileId,
+    },
+    /// Atomically publish a finished checkpoint file: seal the temporary
+    /// sibling (checksum footer) and `rename(2)` it onto its final name.
+    /// Exactly one rank — the file's owner — commits, after its `Close`.
+    Commit {
         /// The file.
         file: FileId,
     },

@@ -9,7 +9,12 @@ pub struct FileSpec {
     /// Path, relative to the checkpoint directory.
     pub name: String,
     /// Expected final size in bytes (write plans must cover it exactly).
+    /// This is the *logical* size — header plus data. Atomic files gain a
+    /// checksum footer beyond `size` at commit time.
     pub size: u64,
+    /// Whether the file is published atomically: written to a `.tmp`
+    /// sibling and `rename(2)`d into place by a single `Op::Commit`.
+    pub atomic: bool,
 }
 
 /// A complete plan: one sequential op list per rank, plus the shared
@@ -53,6 +58,7 @@ impl Program {
                         s.bytes_read += len;
                     }
                     Op::Close { .. } => s.closes += 1,
+                    Op::Commit { .. } => s.commits += 1,
                     Op::Barrier { .. } => s.barriers += 1,
                     _ => {}
                 }
@@ -90,6 +96,8 @@ pub struct ProgramStats {
     pub reads: u64,
     /// Total `Close` ops.
     pub closes: u64,
+    /// Total `Commit` ops.
+    pub commits: u64,
     /// Total `Barrier` ops.
     pub barriers: u64,
     /// Total bytes written to files.
@@ -139,6 +147,18 @@ impl ProgramBuilder {
         self.files.push(FileSpec {
             name: name.into(),
             size,
+            atomic: false,
+        });
+        FileId(self.files.len() as u32 - 1)
+    }
+
+    /// Register an atomically-published file (written to a `.tmp` sibling,
+    /// sealed + renamed by exactly one `Op::Commit`); returns its id.
+    pub fn file_atomic(&mut self, name: impl Into<String>, size: u64) -> FileId {
+        self.files.push(FileSpec {
+            name: name.into(),
+            size,
+            atomic: true,
         });
         FileId(self.files.len() as u32 - 1)
     }
@@ -194,7 +214,13 @@ mod tests {
         let world = b.comm(vec![1, 0, 0]);
         assert_eq!(b.nranks(), 2);
         assert_eq!(b.payload_of(1), 100);
-        b.push(0, Op::Open { file: f, create: true });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
         b.push(
             0,
             Op::WriteAt {

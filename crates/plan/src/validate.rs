@@ -94,21 +94,39 @@ pub enum ValidateError {
 impl std::fmt::Display for ValidateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ValidateError::OutOfBounds { rank, op_index, what } => {
+            ValidateError::OutOfBounds {
+                rank,
+                op_index,
+                what,
+            } => {
                 write!(f, "rank {rank} op {op_index}: out of bounds: {what}")
             }
-            ValidateError::BadIndex { rank, op_index, what } => {
+            ValidateError::BadIndex {
+                rank,
+                op_index,
+                what,
+            } => {
                 write!(f, "rank {rank} op {op_index}: bad index: {what}")
             }
             ValidateError::FileDiscipline { rank, what } => {
                 write!(f, "rank {rank}: file discipline: {what}")
             }
-            ValidateError::MessageSizeMismatch { src, dst, want, got } => write!(
+            ValidateError::MessageSizeMismatch {
+                src,
+                dst,
+                want,
+                got,
+            } => write!(
                 f,
                 "message {src}->{dst}: receiver wants {want} bytes, sender posted {got}"
             ),
             ValidateError::Deadlock { stuck } => {
-                write!(f, "deadlock: {} ranks stuck (first: {:?})", stuck.len(), stuck.first())
+                write!(
+                    f,
+                    "deadlock: {} ranks stuck (first: {:?})",
+                    stuck.len(),
+                    stuck.first()
+                )
             }
             ValidateError::UnconsumedMessages { count } => {
                 write!(f, "{count} posted messages never received")
@@ -129,11 +147,7 @@ pub fn validate(program: &Program, mode: CoverageMode) -> Result<(), ValidateErr
     Ok(())
 }
 
-fn dataref_in_bounds(
-    r: &DataRef,
-    payload: u64,
-    staging: u64,
-) -> Result<(), String> {
+fn dataref_in_bounds(r: &DataRef, payload: u64, staging: u64) -> Result<(), String> {
     match *r {
         DataRef::Own { off, len } => {
             if off.checked_add(len).is_none_or(|end| end > payload) {
@@ -142,7 +156,9 @@ fn dataref_in_bounds(
         }
         DataRef::Staging { off, len } => {
             if off.checked_add(len).is_none_or(|end| end > staging) {
-                return Err(format!("Staging[{off}..+{len}] exceeds staging of {staging}"));
+                return Err(format!(
+                    "Staging[{off}..+{len}] exceeds staging of {staging}"
+                ));
             }
         }
         DataRef::Synthetic { .. } => {}
@@ -168,17 +184,26 @@ fn check_bounds(p: &Program) -> Result<(), ValidateError> {
         };
         for (i, op) in ops.iter().enumerate() {
             match op {
-                Op::Pack { src, staging_off, bytes } => {
+                Op::Pack {
+                    src,
+                    staging_off,
+                    bytes,
+                } => {
                     if let Some(s) = src {
                         dataref_in_bounds(s, payload, staging).map_err(|e| oob(i, e))?;
                         if s.len() != *bytes {
-                            return Err(oob(i, format!("Pack src len {} != bytes {bytes}", s.len())));
+                            return Err(oob(
+                                i,
+                                format!("Pack src len {} != bytes {bytes}", s.len()),
+                            ));
                         }
                     }
                     if staging_off.checked_add(*bytes).is_none_or(|e| e > staging) {
                         return Err(oob(
                             i,
-                            format!("Pack dest [{staging_off}..+{bytes}] exceeds staging {staging}"),
+                            format!(
+                                "Pack dest [{staging_off}..+{bytes}] exceeds staging {staging}"
+                            ),
                         ));
                     }
                 }
@@ -188,14 +213,21 @@ fn check_bounds(p: &Program) -> Result<(), ValidateError> {
                     }
                     dataref_in_bounds(src, payload, staging).map_err(|e| oob(i, e))?;
                 }
-                Op::Recv { src, bytes, staging_off, .. } => {
+                Op::Recv {
+                    src,
+                    bytes,
+                    staging_off,
+                    ..
+                } => {
                     if *src >= nranks {
                         return Err(badix(i, format!("recv src {src} >= nranks {nranks}")));
                     }
                     if staging_off.checked_add(*bytes).is_none_or(|e| e > staging) {
                         return Err(oob(
                             i,
-                            format!("Recv dest [{staging_off}..+{bytes}] exceeds staging {staging}"),
+                            format!(
+                                "Recv dest [{staging_off}..+{bytes}] exceeds staging {staging}"
+                            ),
                         ));
                     }
                 }
@@ -210,7 +242,7 @@ fn check_bounds(p: &Program) -> Result<(), ValidateError> {
                         ));
                     }
                 }
-                Op::Open { file, .. } | Op::Close { file } => {
+                Op::Open { file, .. } | Op::Close { file } | Op::Commit { file } => {
                     if file.0 as usize >= p.files.len() {
                         return Err(badix(i, format!("file {} not registered", file.0)));
                     }
@@ -231,7 +263,12 @@ fn check_bounds(p: &Program) -> Result<(), ValidateError> {
                         ));
                     }
                 }
-                Op::ReadAt { file, offset, len, staging_off } => {
+                Op::ReadAt {
+                    file,
+                    offset,
+                    len,
+                    staging_off,
+                } => {
                     let Some(spec) = p.files.get(file.0 as usize) else {
                         return Err(badix(i, format!("file {} not registered", file.0)));
                     };
@@ -256,11 +293,23 @@ fn check_bounds(p: &Program) -> Result<(), ValidateError> {
 }
 
 fn check_file_discipline(p: &Program) -> Result<(), ValidateError> {
+    // Global commit count per file (exactly one rank — the owner — commits
+    // an atomic file; non-atomic files are never committed).
+    let mut commits: Vec<u64> = vec![0; p.files.len()];
     for (rank, ops) in p.ops.iter().enumerate() {
         let rank = rank as Rank;
         let mut open: Vec<bool> = vec![false; p.files.len()];
         for op in ops {
             match op {
+                Op::Commit { file } => {
+                    if open[file.0 as usize] {
+                        return Err(ValidateError::FileDiscipline {
+                            rank,
+                            what: format!("commit of file {} while it is still open", file.0),
+                        });
+                    }
+                    commits[file.0 as usize] += 1;
+                }
                 Op::Open { file, .. } => {
                     if open[file.0 as usize] {
                         return Err(ValidateError::FileDiscipline {
@@ -279,13 +328,12 @@ fn check_file_discipline(p: &Program) -> Result<(), ValidateError> {
                     }
                     open[file.0 as usize] = false;
                 }
-                Op::WriteAt { file, .. } | Op::ReadAt { file, .. }
-                    if !open[file.0 as usize] => {
-                        return Err(ValidateError::FileDiscipline {
-                            rank,
-                            what: format!("I/O on unopened file {}", file.0),
-                        });
-                    }
+                Op::WriteAt { file, .. } | Op::ReadAt { file, .. } if !open[file.0 as usize] => {
+                    return Err(ValidateError::FileDiscipline {
+                        rank,
+                        what: format!("I/O on unopened file {}", file.0),
+                    });
+                }
                 _ => {}
             }
         }
@@ -293,6 +341,18 @@ fn check_file_discipline(p: &Program) -> Result<(), ValidateError> {
             return Err(ValidateError::FileDiscipline {
                 rank,
                 what: format!("file {f} left open at program end"),
+            });
+        }
+    }
+    for (f, (&n, spec)) in commits.iter().zip(&p.files).enumerate() {
+        let want = u64::from(spec.atomic);
+        if n != want {
+            return Err(ValidateError::FileDiscipline {
+                rank: 0,
+                what: format!(
+                    "file {f} ({}): {n} commits, want {want} (atomic: {})",
+                    spec.name, spec.atomic
+                ),
             });
         }
     }
@@ -337,7 +397,9 @@ fn abstract_execute(p: &Program) -> Result<(), ValidateError> {
                     }
                     pc[rank as usize] += 1;
                 }
-                Op::Recv { src, tag, bytes, .. } => {
+                Op::Recv {
+                    src, tag, bytes, ..
+                } => {
                     let key = (*src, rank, tag.0);
                     let avail = channels.get_mut(&key).and_then(|q| q.pop_front());
                     match avail {
@@ -473,8 +535,21 @@ mod tests {
         let f0 = b.file("a", 10);
         let f1 = b.file("b", 10);
         for (r, f) in [(0u32, f0), (1u32, f1)] {
-            b.push(r, Op::Open { file: f, create: true });
-            b.push(r, Op::WriteAt { file: f, offset: 0, src: own(10) });
+            b.push(
+                r,
+                Op::Open {
+                    file: f,
+                    create: true,
+                },
+            );
+            b.push(
+                r,
+                Op::WriteAt {
+                    file: f,
+                    offset: 0,
+                    src: own(10),
+                },
+            );
             b.push(r, Op::Close { file: f });
         }
         validate(&b.build(), CoverageMode::ExactWrite).unwrap();
@@ -485,13 +560,45 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![10, 10]);
         let f = b.file("shared", 20);
         b.reserve_staging(0, 20);
-        b.push(1, Op::Send { dst: 0, tag: Tag(1), src: own(10) });
-        b.push(0, Op::Pack { src: Some(own(10)), staging_off: 0, bytes: 10 });
-        b.push(0, Op::Recv { src: 1, tag: Tag(1), bytes: 10, staging_off: 10 });
-        b.push(0, Op::Open { file: f, create: true });
+        b.push(
+            1,
+            Op::Send {
+                dst: 0,
+                tag: Tag(1),
+                src: own(10),
+            },
+        );
         b.push(
             0,
-            Op::WriteAt { file: f, offset: 0, src: DataRef::Staging { off: 0, len: 20 } },
+            Op::Pack {
+                src: Some(own(10)),
+                staging_off: 0,
+                bytes: 10,
+            },
+        );
+        b.push(
+            0,
+            Op::Recv {
+                src: 1,
+                tag: Tag(1),
+                bytes: 10,
+                staging_off: 10,
+            },
+        );
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Staging { off: 0, len: 20 },
+            },
         );
         b.push(0, Op::Close { file: f });
         validate(&b.build(), CoverageMode::ExactWrite).unwrap();
@@ -501,8 +608,21 @@ mod tests {
     fn detects_gap_and_overlap() {
         let mut b = ProgramBuilder::new(vec![10]);
         let f = b.file("a", 20);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: own(10) });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(10),
+            },
+        );
         b.push(0, Op::Close { file: f });
         let err = validate(&b.build(), CoverageMode::ExactWrite).unwrap_err();
         assert!(matches!(err, ValidateError::Coverage { .. }), "{err}");
@@ -510,8 +630,21 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![10, 10]);
         let f = b.file("a", 10);
         for r in 0..2u32 {
-            b.push(r, Op::Open { file: f, create: r == 0 });
-            b.push(r, Op::WriteAt { file: f, offset: 0, src: own(10) });
+            b.push(
+                r,
+                Op::Open {
+                    file: f,
+                    create: r == 0,
+                },
+            );
+            b.push(
+                r,
+                Op::WriteAt {
+                    file: f,
+                    offset: 0,
+                    src: own(10),
+                },
+            );
             b.push(r, Op::Close { file: f });
         }
         let err = validate(&b.build(), CoverageMode::ExactWrite).unwrap_err();
@@ -525,7 +658,15 @@ mod tests {
     fn detects_deadlock_recv_without_send() {
         let mut b = ProgramBuilder::new(vec![0, 0]);
         b.reserve_staging(0, 10);
-        b.push(0, Op::Recv { src: 1, tag: Tag(0), bytes: 10, staging_off: 0 });
+        b.push(
+            0,
+            Op::Recv {
+                src: 1,
+                tag: Tag(0),
+                bytes: 10,
+                staging_off: 0,
+            },
+        );
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
         assert!(matches!(err, ValidateError::Deadlock { .. }), "{err}");
     }
@@ -536,10 +677,40 @@ mod tests {
         let mut b = ProgramBuilder::new(vec![5, 5]);
         b.reserve_staging(0, 5);
         b.reserve_staging(1, 5);
-        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: own(5) });
-        b.push(1, Op::Send { dst: 0, tag: Tag(0), src: own(5) });
-        b.push(0, Op::Recv { src: 1, tag: Tag(0), bytes: 5, staging_off: 0 });
-        b.push(1, Op::Recv { src: 0, tag: Tag(0), bytes: 5, staging_off: 0 });
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(0),
+                src: own(5),
+            },
+        );
+        b.push(
+            1,
+            Op::Send {
+                dst: 0,
+                tag: Tag(0),
+                src: own(5),
+            },
+        );
+        b.push(
+            0,
+            Op::Recv {
+                src: 1,
+                tag: Tag(0),
+                bytes: 5,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            1,
+            Op::Recv {
+                src: 0,
+                tag: Tag(0),
+                bytes: 5,
+                staging_off: 0,
+            },
+        );
         validate(&b.build(), CoverageMode::None).unwrap();
     }
 
@@ -547,18 +718,46 @@ mod tests {
     fn detects_size_mismatch() {
         let mut b = ProgramBuilder::new(vec![5, 5]);
         b.reserve_staging(1, 10);
-        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: own(5) });
-        b.push(1, Op::Recv { src: 0, tag: Tag(0), bytes: 10, staging_off: 0 });
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(0),
+                src: own(5),
+            },
+        );
+        b.push(
+            1,
+            Op::Recv {
+                src: 0,
+                tag: Tag(0),
+                bytes: 10,
+                staging_off: 0,
+            },
+        );
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
-        assert!(matches!(err, ValidateError::MessageSizeMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, ValidateError::MessageSizeMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn detects_unconsumed_message() {
         let mut b = ProgramBuilder::new(vec![5, 5]);
-        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: own(5) });
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(0),
+                src: own(5),
+            },
+        );
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
-        assert!(matches!(err, ValidateError::UnconsumedMessages { count: 1 }), "{err}");
+        assert!(
+            matches!(err, ValidateError::UnconsumedMessages { count: 1 }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -588,14 +787,27 @@ mod tests {
         // Write without open.
         let mut b = ProgramBuilder::new(vec![5]);
         let f = b.file("a", 5);
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: own(5) });
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
         assert!(matches!(err, ValidateError::FileDiscipline { .. }), "{err}");
 
         // Left open.
         let mut b = ProgramBuilder::new(vec![5]);
         let f = b.file("a", 5);
-        b.push(0, Op::Open { file: f, create: true });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
         assert!(matches!(err, ValidateError::FileDiscipline { .. }), "{err}");
     }
@@ -604,8 +816,21 @@ mod tests {
     fn out_of_bounds_dataref() {
         let mut b = ProgramBuilder::new(vec![5]);
         let f = b.file("a", 100);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: own(6) });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(6),
+            },
+        );
         b.push(0, Op::Close { file: f });
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
         assert!(matches!(err, ValidateError::OutOfBounds { .. }), "{err}");
@@ -615,8 +840,21 @@ mod tests {
     fn write_past_file_end() {
         let mut b = ProgramBuilder::new(vec![5]);
         let f = b.file("a", 4);
-        b.push(0, Op::Open { file: f, create: true });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: own(5) });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
         b.push(0, Op::Close { file: f });
         let err = validate(&b.build(), CoverageMode::None).unwrap_err();
         assert!(matches!(err, ValidateError::OutOfBounds { .. }), "{err}");
@@ -626,11 +864,151 @@ mod tests {
     fn read_mode_forbids_writes() {
         let mut b = ProgramBuilder::new(vec![5]);
         let f = b.file("a", 5);
-        b.push(0, Op::Open { file: f, create: false });
-        b.push(0, Op::WriteAt { file: f, offset: 0, src: own(5) });
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: false,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
         b.push(0, Op::Close { file: f });
         let err = validate(&b.build(), CoverageMode::Read).unwrap_err();
         assert!(matches!(err, ValidateError::Coverage { .. }), "{err}");
+    }
+
+    #[test]
+    fn atomic_file_requires_exactly_one_commit() {
+        // Missing commit.
+        let mut b = ProgramBuilder::new(vec![5]);
+        let f = b.file_atomic("a", 5);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        let err = validate(&b.build(), CoverageMode::ExactWrite).unwrap_err();
+        assert!(matches!(err, ValidateError::FileDiscipline { .. }), "{err}");
+
+        // Exactly one commit after close: valid.
+        let mut b = ProgramBuilder::new(vec![5]);
+        let f = b.file_atomic("a", 5);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        validate(&b.build(), CoverageMode::ExactWrite).unwrap();
+    }
+
+    #[test]
+    fn commit_while_open_or_duplicated_is_rejected() {
+        // Commit while the file is still open on the committing rank.
+        let mut b = ProgramBuilder::new(vec![5]);
+        let f = b.file_atomic("a", 5);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
+        b.push(0, Op::Commit { file: f });
+        b.push(0, Op::Close { file: f });
+        let err = validate(&b.build(), CoverageMode::ExactWrite).unwrap_err();
+        match &err {
+            ValidateError::FileDiscipline { what, .. } => {
+                assert!(what.contains("still open"), "{what}")
+            }
+            other => panic!("expected discipline error, got {other}"),
+        }
+
+        // Two ranks both commit the same file.
+        let mut b = ProgramBuilder::new(vec![5, 0]);
+        let f = b.file_atomic("a", 5);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        b.push(1, Op::Commit { file: f });
+        let err = validate(&b.build(), CoverageMode::ExactWrite).unwrap_err();
+        assert!(matches!(err, ValidateError::FileDiscipline { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_atomic_file_rejects_commit() {
+        let mut b = ProgramBuilder::new(vec![5]);
+        let f = b.file("a", 5);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: own(5),
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        let err = validate(&b.build(), CoverageMode::ExactWrite).unwrap_err();
+        assert!(matches!(err, ValidateError::FileDiscipline { .. }), "{err}");
     }
 
     #[test]
@@ -638,10 +1016,40 @@ mod tests {
         // Two messages on the same channel must match in order.
         let mut b = ProgramBuilder::new(vec![10, 0]);
         b.reserve_staging(1, 10);
-        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: DataRef::Own { off: 0, len: 4 } });
-        b.push(0, Op::Send { dst: 1, tag: Tag(0), src: DataRef::Own { off: 4, len: 6 } });
-        b.push(1, Op::Recv { src: 0, tag: Tag(0), bytes: 4, staging_off: 0 });
-        b.push(1, Op::Recv { src: 0, tag: Tag(0), bytes: 6, staging_off: 4 });
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(0),
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(
+            0,
+            Op::Send {
+                dst: 1,
+                tag: Tag(0),
+                src: DataRef::Own { off: 4, len: 6 },
+            },
+        );
+        b.push(
+            1,
+            Op::Recv {
+                src: 0,
+                tag: Tag(0),
+                bytes: 4,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            1,
+            Op::Recv {
+                src: 0,
+                tag: Tag(0),
+                bytes: 6,
+                staging_off: 4,
+            },
+        );
         validate(&b.build(), CoverageMode::None).unwrap();
     }
 }

@@ -33,11 +33,15 @@ pub enum OpKind {
     Pack,
     /// Application computation.
     Compute,
+    /// Atomic checkpoint publication (footer + rename, metadata).
+    Commit,
+    /// A write attempt repeated after a transient error.
+    Retry,
 }
 
 impl OpKind {
     /// All kinds, for iteration in reports.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 11] = [
         OpKind::Open,
         OpKind::Write,
         OpKind::Read,
@@ -47,6 +51,8 @@ impl OpKind {
         OpKind::Barrier,
         OpKind::Pack,
         OpKind::Compute,
+        OpKind::Commit,
+        OpKind::Retry,
     ];
 
     /// Short label.
@@ -61,6 +67,8 @@ impl OpKind {
             OpKind::Barrier => "barrier",
             OpKind::Pack => "pack",
             OpKind::Compute => "compute",
+            OpKind::Commit => "commit",
+            OpKind::Retry => "retry",
         }
     }
 }
@@ -99,7 +107,13 @@ impl Timeline {
     /// Record one interval.
     pub fn record(&mut self, rank: u32, kind: OpKind, start: SimTime, end: SimTime, bytes: u64) {
         debug_assert!(end >= start);
-        self.intervals.push(Interval { rank, kind, start, end, bytes });
+        self.intervals.push(Interval {
+            rank,
+            kind,
+            start,
+            end,
+            bytes,
+        });
     }
 
     /// All intervals, in recording order.
@@ -158,7 +172,10 @@ impl Timeline {
             std::collections::BTreeMap::new();
         for iv in &self.intervals {
             if iv.kind == OpKind::Write {
-                per_rank.entry(iv.rank).or_default().push((iv.start, iv.end, iv.bytes));
+                per_rank
+                    .entry(iv.rank)
+                    .or_default()
+                    .push((iv.start, iv.end, iv.bytes));
             }
         }
         per_rank
@@ -173,7 +190,11 @@ impl Timeline {
     /// Counter summary table as text (a Darshan-log-like digest).
     pub fn counter_report(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "{:<10} {:>10} {:>16} {:>14}", "op", "count", "bytes", "busy (s)");
+        let _ = writeln!(
+            s,
+            "{:<10} {:>10} {:>16} {:>14}",
+            "op", "count", "bytes", "busy (s)"
+        );
         for kind in OpKind::ALL {
             let count = self.count_of(kind);
             if count == 0 {
@@ -266,7 +287,12 @@ pub fn read_csv(r: impl BufRead) -> io::Result<Timeline> {
             continue; // header
         }
         let mut f = line.split(',');
-        let bad = || io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {line}", lineno + 1));
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {line}", lineno + 1),
+            )
+        };
         let rank: u32 = f.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
         let kind = f.next().and_then(OpKind::from_label).ok_or_else(bad)?;
         let start: u64 = f.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
@@ -275,7 +301,13 @@ pub fn read_csv(r: impl BufRead) -> io::Result<Timeline> {
         if end < start {
             return Err(bad());
         }
-        tl.record(rank, kind, SimTime::from_nanos(start), SimTime::from_nanos(end), bytes);
+        tl.record(
+            rank,
+            kind,
+            SimTime::from_nanos(start),
+            SimTime::from_nanos(end),
+            bytes,
+        );
     }
     Ok(tl)
 }

@@ -173,7 +173,11 @@ impl FairPipe {
         self.flows.push(Flow {
             id,
             remaining: bytes as f64,
-            rate_cap: if rate_cap > 0.0 { rate_cap } else { f64::INFINITY },
+            rate_cap: if rate_cap > 0.0 {
+                rate_cap
+            } else {
+                f64::INFINITY
+            },
             rate: 0.0,
         });
         self.recompute_rates();

@@ -32,7 +32,10 @@ impl PartitionSpec {
     /// which covers every configuration in the paper (16Ki–64Ki ranks).
     pub fn intrepid_vn(np: u32) -> Self {
         assert!(np.is_power_of_two(), "np must be a power of two, got {np}");
-        assert!(np >= 256, "np must be at least one pset (256 ranks), got {np}");
+        assert!(
+            np >= 256,
+            "np must be at least one pset (256 ranks), got {np}"
+        );
         let nodes = np / 4;
         let dims = near_cubic_dims(nodes);
         PartitionSpec {

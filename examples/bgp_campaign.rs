@@ -31,7 +31,10 @@ fn main() {
         ("coIO, np:nf=64:1", Strategy::coio(np / 64), 1.0),
         (
             "rbIO, 64:1, nf=1",
-            Strategy::RbIo { ng: np / 64, commit: RbIoCommit::CollectiveShared },
+            Strategy::RbIo {
+                ng: np / 64,
+                commit: RbIoCommit::CollectiveShared,
+            },
             0.2,
         ),
         ("rbIO, 64:1, nf=ng", Strategy::rbio(np / 64), 0.2),
@@ -47,8 +50,7 @@ fn main() {
             .strategy(strategy)
             .plan()
             .expect("valid plan");
-        rbio_plan::validate(&plan.program, rbio_plan::CoverageMode::ExactWrite)
-            .expect("validated");
+        rbio_plan::validate(&plan.program, rbio_plan::CoverageMode::ExactWrite).expect("validated");
         let mut machine = MachineConfig::intrepid(np);
         machine.profile = ProfileLevel::Off;
         let m = simulate(&plan.program, &machine);

@@ -38,8 +38,8 @@ fn main() {
     // Execute for real: one thread per rank, actual files.
     let dir = std::env::temp_dir().join("rbio-quickstart");
     std::fs::remove_dir_all(&dir).ok();
-    let report = execute(&plan.program, payloads, &ExecConfig::new(&dir))
-        .expect("checkpoint succeeds");
+    let report =
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).expect("checkpoint succeeds");
     println!(
         "wrote {} bytes in {:.2?} ({:.1} MB/s aggregate), slowest rank {:.2?}",
         report.bytes_written,

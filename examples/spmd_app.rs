@@ -21,10 +21,14 @@ fn layout() -> DataLayout {
 fn advance(comm: &mut rbio::rt::Comm, u: &mut [f64]) {
     let r = comm.rank();
     let n = comm.size();
-    comm.send((r + 1) % n, 1, &u[CELLS - 1].to_le_bytes());
-    comm.send((r + n - 1) % n, 2, &u[0].to_le_bytes());
-    let left = f64::from_le_bytes(comm.recv((r + n - 1) % n, 1).try_into().expect("8 bytes"));
-    let right = f64::from_le_bytes(comm.recv((r + 1) % n, 2).try_into().expect("8 bytes"));
+    comm.send((r + 1) % n, 1, &u[CELLS - 1].to_le_bytes())
+        .expect("halo send");
+    comm.send((r + n - 1) % n, 2, &u[0].to_le_bytes())
+        .expect("halo send");
+    let left_bytes = comm.recv((r + n - 1) % n, 1).expect("halo recv");
+    let right_bytes = comm.recv((r + 1) % n, 2).expect("halo recv");
+    let left = f64::from_le_bytes(left_bytes.try_into().expect("8 bytes"));
+    let right = f64::from_le_bytes(right_bytes.try_into().expect("8 bytes"));
     let mut next = u.to_vec();
     for i in 0..CELLS {
         let l = if i == 0 { left } else { u[i - 1] };
@@ -58,7 +62,7 @@ fn main() {
                 if r == 0 {
                     let mut all = vec![bytes.clone()];
                     for src in 1..NRANKS {
-                        all.push(comm.recv(src, 99));
+                        all.push(comm.recv(src, 99).expect("state gather"));
                     }
                     mgr.checkpoint(step, |rank, _field, buf| {
                         buf.copy_from_slice(&all[rank as usize]);
@@ -66,7 +70,7 @@ fn main() {
                     .expect("checkpoint");
                     println!("  committed step {step}");
                 } else {
-                    comm.send(0, 99, &bytes);
+                    comm.send(0, 99, &bytes).expect("state gather");
                 }
                 comm.barrier();
             }
@@ -74,7 +78,10 @@ fn main() {
         u
     });
     let sum_before: f64 = states.iter().flat_map(|u| u.iter()).sum();
-    println!("phase 1 done; committed steps: {:?}", manager.committed_steps().unwrap());
+    println!(
+        "phase 1 done; committed steps: {:?}",
+        manager.committed_steps().unwrap()
+    );
 
     // Phase 2: the job "crashes". A new job restores the latest committed
     // step and recomputes the remainder.
@@ -82,7 +89,7 @@ fn main() {
     let restored = manager.restore_latest().expect("restore");
     println!("  restored step {}", restored.step);
     assert_eq!(restored.step, 30);
-    let resumed = rbio::rt::run(NRANKS, |mut comm| {
+    let resumed = rbio::rt::run(NRANKS, |comm| {
         let r = comm.rank();
         let data = restored.field_data(r, 0);
         let mut u: Vec<f64> = data

@@ -10,7 +10,11 @@ use rbio::strategy::{CheckpointSpec, Strategy, Tuning};
 use rbio_repro::rbio;
 use rbio_repro::rbio_machine::{simulate, MachineConfig, ProfileLevel};
 
-fn run_metrics(np: u32, strategy: Strategy, tuning: Tuning) -> rbio_repro::rbio_machine::RunMetrics {
+fn run_metrics(
+    np: u32,
+    strategy: Strategy,
+    tuning: Tuning,
+) -> rbio_repro::rbio_machine::RunMetrics {
     let layout = rbio::layout::DataLayout::uniform(np, &[("E", 1_200_000), ("H", 1_200_000)]);
     let plan = CheckpointSpec::new(layout, "tune")
         .strategy(strategy)
@@ -48,7 +52,10 @@ fn main() {
 
     println!("2. rbIO writer commit buffer (at best ng):");
     for mib in [1u64, 4, 16, 64] {
-        let tuning = Tuning { writer_buffer: mib << 20, ..Tuning::default() };
+        let tuning = Tuning {
+            writer_buffer: mib << 20,
+            ..Tuning::default()
+        };
         let bw = run(np, Strategy::rbio(best.0), tuning);
         println!("   buffer = {mib:>3} MiB  ->  {bw:>6.2} GB/s");
     }
@@ -56,7 +63,10 @@ fn main() {
 
     println!("3. coIO file-domain alignment (the §V-B ROMIO optimization, shared file):");
     for align in [true, false] {
-        let tuning = Tuning { align_domains: align, ..Tuning::default() };
+        let tuning = Tuning {
+            align_domains: align,
+            ..Tuning::default()
+        };
         let m = run_metrics(np, Strategy::coio(1), tuning);
         println!(
             "   align = {align:<5}  ->  {:>6.2} GB/s   (lock RPCs {:>5}, RMW blocks {:>5})",

@@ -37,7 +37,13 @@ fn main() {
         ("1PFPP", Strategy::OnePfpp),
         ("coIO nf=4", Strategy::coio(4)),
         ("rbIO ng=4 nf=ng", Strategy::rbio(4)),
-        ("rbIO ng=4 nf=1", Strategy::RbIo { ng: 4, commit: RbIoCommit::CollectiveShared }),
+        (
+            "rbIO ng=4 nf=1",
+            Strategy::RbIo {
+                ng: 4,
+                commit: RbIoCommit::CollectiveShared,
+            },
+        ),
     ];
     let base = std::env::temp_dir().join("rbio-waveguide");
     std::fs::remove_dir_all(&base).ok();
@@ -59,10 +65,11 @@ fn main() {
             .plan()
             .expect("valid plan");
         let t_snap = sim_time;
-        let payloads =
-            materialize_payloads(&plan, |rank, field, buf| wg.fill_field(rank, field, t_snap, buf));
-        let report = execute(&plan.program, payloads, &ExecConfig::new(&base))
-            .expect("checkpoint succeeds");
+        let payloads = materialize_payloads(&plan, |rank, field, buf| {
+            wg.fill_field(rank, field, t_snap, buf)
+        });
+        let report =
+            execute(&plan.program, payloads, &ExecConfig::new(&base)).expect("checkpoint succeeds");
         println!(
             "step {step:>4} [{name:<16}] {:>3} files, {:>6.1} MB in {:>8.2?} ({:>7.1} MB/s), solver err {:.2e}",
             plan.plan_files.len(),
@@ -93,14 +100,16 @@ fn main() {
     // Post-processing reuse (§III-B): restore the last checkpoint and
     // export it as a ParaView-ready legacy VTK file.
     let last_plan = CheckpointSpec::new(layout.clone(), "wg000100")
-        .strategy(Strategy::RbIo { ng: 4, commit: RbIoCommit::CollectiveShared })
+        .strategy(Strategy::RbIo {
+            ng: 4,
+            commit: RbIoCommit::CollectiveShared,
+        })
         .step(100)
         .plan()
         .expect("plan");
     let restored = read_checkpoint(&base, &last_plan).expect("restore for viz");
-    let grid = wg.vtk_grid(|rank, field| {
-        rbio::vtk::decode_f64_field(restored.field_data(rank, field))
-    });
+    let grid =
+        wg.vtk_grid(|rank, field| rbio::vtk::decode_f64_field(restored.field_data(rank, field)));
     let vtk_path = base.join("waveguide_step100.vtk");
     grid.write_legacy(&vtk_path, "NekCEM waveguide checkpoint, step 100", true)
         .expect("vtk export");

@@ -1,0 +1,253 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the `[[bench]]` targets link against this in-tree shim. It keeps
+//! criterion's API shape (`criterion_group!` / `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, `black_box`) but the
+//! measurement loop is deliberately simple: a short warm-up, then
+//! `sample_size` timed samples of the closure, reporting the mean and
+//! min per-iteration wall time (plus throughput when configured). There
+//! is no statistical analysis, no HTML report, and no baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, as in real criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation: scales the printed rate line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier; only the formatted text is used here.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::from_parameter(p)` labels the benchmark with `p`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    /// Two-part id (function name + parameter).
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up round, untimed.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        best = best.min(b.elapsed);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    let mut line = format!(
+        "bench {full:<48} mean {:>12} min {:>12}",
+        fmt_time(mean),
+        fmt_time(best.as_secs_f64()),
+    );
+    if let Some(tp) = throughput {
+        let (amount, unit) = match tp {
+            Throughput::Bytes(n) => (n as f64 / (1 << 20) as f64, "MiB/s"),
+            Throughput::Elements(n) => (n as f64 / 1.0e6, "Melem/s"),
+        };
+        if mean > 0.0 {
+            line.push_str(&format!("  {:>10.2} {unit}", amount / mean));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1.0e-3 {
+        format!("{:.3} ms", secs * 1.0e3)
+    } else if secs >= 1.0e-6 {
+        format!("{:.3} us", secs * 1.0e6)
+    } else {
+        format!("{:.1} ns", secs * 1.0e9)
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, id, DEFAULT_SAMPLE_SIZE, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            Some(&self.name),
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut f: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher, &D),
+    {
+        run_one(
+            Some(&self.name),
+            &id.to_string(),
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// No-op in the shim (results print as they run).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function("counting", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+        assert_eq!(ran, 3);
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

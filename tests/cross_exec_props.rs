@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use rbio_repro::rbio::exec::{execute, ExecConfig};
-use rbio_repro::rbio::format::materialize_payloads;
+use rbio_repro::rbio::format::{footer_len, materialize_payloads};
 use rbio_repro::rbio::layout::{DataLayout, FieldSizes, FieldSpec};
 use rbio_repro::rbio::rt;
 use rbio_repro::rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy as Ckpt, Tuning};
@@ -15,7 +15,9 @@ use rbio_repro::rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy as Ckpt, T
 fn fill(rank: u32, field: usize, buf: &mut [u8]) {
     let mut x = (u64::from(rank) << 24) ^ ((field as u64) << 8) ^ 0x5DEECE66D;
     for b in buf.iter_mut() {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *b = (x >> 33) as u8;
     }
 }
@@ -88,8 +90,13 @@ proptest! {
         for (i, pf) in plan.plan_files.iter().enumerate() {
             let a = std::fs::read(dir_a.join(&pf.name)).expect("exec file");
             let b = std::fs::read(dir_b.join(&pf.name)).expect("rt file");
-            prop_assert_eq!(a.len() as u64, plan.program.files[i].size);
+            // Logical bytes plus the deterministic commit footer.
+            let committed = plan.program.files[i].size + footer_len(plan.layout.nfields());
+            prop_assert_eq!(a.len() as u64, committed);
             prop_assert_eq!(a, b, "file {} differs between executors", pf.name);
+            // Neither executor may leave an uncommitted sibling behind.
+            prop_assert!(!dir_a.join(format!("{}.tmp", pf.name)).exists());
+            prop_assert!(!dir_b.join(format!("{}.tmp", pf.name)).exists());
         }
         std::fs::remove_dir_all(&dir_a).ok();
         std::fs::remove_dir_all(&dir_b).ok();

@@ -56,7 +56,10 @@ fn coio_shared_file_exchange_storm() {
     let layout = DataLayout::uniform(np, &[("u", 16 << 10)]);
     let dir = tmpdir("coio");
     let plan = CheckpointSpec::new(layout.clone(), "storm")
-        .strategy(Strategy::CoIo { nf: 1, aggregator_ratio: 8 })
+        .strategy(Strategy::CoIo {
+            nf: 1,
+            aggregator_ratio: 8,
+        })
         .tuning(Tuning {
             cb_buffer_size: 4096, // many rounds per aggregator
             fs_block_size: 8192,

@@ -3,7 +3,9 @@
 //! restart from another step — the fault-tolerance properties that make
 //! application-level checkpointing worth its cost.
 
+use proptest::prelude::*;
 use rbio_repro::rbio::exec::{execute, ExecConfig, ExecError};
+use rbio_repro::rbio::fault::FaultPlan;
 use rbio_repro::rbio::format::{decode_header, materialize_payloads, FormatError};
 use rbio_repro::rbio::layout::DataLayout;
 use rbio_repro::rbio::restart::{read_checkpoint, read_checkpoint_auto, RestartError};
@@ -50,7 +52,13 @@ fn corrupted_header_detected() {
     let err = read_checkpoint(&dir, &plan).expect_err("must detect corruption");
     match err {
         RestartError::Format { source, .. } => {
-            assert!(matches!(source, FormatError::CrcMismatch | FormatError::BadVersion(_)), "{source}")
+            assert!(
+                matches!(
+                    source,
+                    FormatError::CrcMismatch | FormatError::BadVersion(_)
+                ),
+                "{source}"
+            )
         }
         other => panic!("expected Format error, got {other}"),
     }
@@ -64,7 +72,10 @@ fn truncated_data_detected() {
     let plan = write_step(&dir, &layout, 1, Strategy::coio(2));
     let victim = dir.join(&plan.plan_files[1].name);
     let orig = std::fs::metadata(&victim).expect("meta").len();
-    let f = std::fs::OpenOptions::new().write(true).open(&victim).expect("open");
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .expect("open");
     f.set_len(orig / 2).expect("truncate");
     drop(f);
     let err = read_checkpoint(&dir, &plan).expect_err("must detect truncation");
@@ -94,10 +105,16 @@ fn damage_to_new_step_leaves_old_step_restartable() {
     let new_plan = write_step(&dir, &layout, 20, Strategy::rbio(2));
     // The "crash" during step 20: one file half-written.
     let victim = dir.join(&new_plan.plan_files[1].name);
-    let f = std::fs::OpenOptions::new().write(true).open(&victim).expect("open");
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .expect("open");
     f.set_len(10).expect("truncate");
     drop(f);
-    assert!(read_checkpoint(&dir, &new_plan).is_err(), "new step must fail");
+    assert!(
+        read_checkpoint(&dir, &new_plan).is_err(),
+        "new step must fail"
+    );
     let restored = read_checkpoint(&dir, &old_plan).expect("old step must restore");
     assert_eq!(restored.step, 10);
     let mut want = vec![0u8; 2048];
@@ -140,7 +157,10 @@ fn executor_surfaces_io_errors_with_rank() {
         &ExecConfig::new("/proc/definitely/not/writable"),
     )
     .expect_err("must fail");
-    assert!(matches!(err, ExecError::Setup(_) | ExecError::Io { .. }), "{err}");
+    assert!(
+        matches!(err, ExecError::Setup(_) | ExecError::Io { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -158,12 +178,94 @@ fn stale_files_from_previous_run_are_overwritten() {
         .expect("plan");
     let payloads = materialize_payloads(&plan_small, fill);
     execute(&plan_small.program, payloads, &ExecConfig::new(&dir)).expect("rewrite");
-    // File on disk must now be exactly the small size.
+    // File on disk must now be exactly the small size (plus footer).
     let f = dir.join(&plan_small.plan_files[0].name);
     let len = std::fs::metadata(&f).expect("meta").len();
     let header = decode_header(&std::fs::read(&f).expect("read")).expect("header");
-    assert_eq!(len, header.expected_file_size());
+    assert_eq!(len, header.expected_committed_size());
     let restored = read_checkpoint(&dir, &plan_small).expect("restart");
     assert_eq!(restored.step, 2);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_worker_message_times_out_instead_of_hanging() {
+    // rbio(1): ranks 1..4 hand their payload to writer 0. Drop rank 1's
+    // package: the writer's recv must time out with a diagnosis, and every
+    // rank must unwind — not deadlock.
+    let dir = tmpdir("drop-msg");
+    let layout = DataLayout::uniform(4, &[("a", 256)]);
+    let plan = CheckpointSpec::new(layout, "s001")
+        .strategy(Strategy::rbio(1))
+        .plan()
+        .expect("plan");
+    let payloads = materialize_payloads(&plan, fill);
+    let mut cfg = ExecConfig::new(&dir);
+    cfg.faults = FaultPlan::none().drop_message(1, 0, 0);
+    cfg.recv_timeout = std::time::Duration::from_millis(100);
+    let err = execute(&plan.program, payloads, &cfg).expect_err("must time out");
+    assert!(err.to_string().contains("lost handoff"), "{err}");
+    // No file was published.
+    assert!(!dir.join(&plan.plan_files[0].name).exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The crash-consistency contract: whatever rank is killed at whatever
+    /// byte threshold, restart either loads a complete generation or
+    /// reports a typed error — and the previous generation always restores
+    /// byte-identically.
+    #[test]
+    fn any_fault_point_restores_prior_generation_or_errors_typed(
+        kill_rank in 0u32..6,
+        threshold in 1u64..20_000,
+    ) {
+        let dir = tmpdir(&format!("prop-{kill_rank}-{threshold}"));
+        let layout = DataLayout::uniform(6, &[("a", 2048), ("b", 512)]);
+        let gen1 = write_step(&dir, &layout, 1, Strategy::rbio(2));
+        let want = read_checkpoint(&dir, &gen1).expect("gen 1");
+
+        let plan2 = CheckpointSpec::new(layout.clone(), "s002")
+            .strategy(Strategy::rbio(2))
+            .step(2)
+            .plan()
+            .expect("plan");
+        let payloads = materialize_payloads(&plan2, fill);
+        let mut cfg = ExecConfig::new(&dir);
+        cfg.faults = FaultPlan::none().kill_writer_after_bytes(kill_rank, threshold);
+        let res = execute(&plan2.program, payloads, &cfg);
+
+        match read_checkpoint(&dir, &plan2) {
+            Ok(r2) => {
+                // Complete generation: the fault never fired (worker rank,
+                // or threshold past the rank's total writes).
+                prop_assert!(res.is_ok(), "execute failed but restart read a full generation");
+                prop_assert_eq!(r2.step, 2);
+            }
+            Err(e) => {
+                prop_assert!(res.is_err(), "execute succeeded but restart failed: {}", e);
+                prop_assert!(
+                    matches!(
+                        e,
+                        RestartError::Torn { .. }
+                            | RestartError::Io(_)
+                            | RestartError::Inconsistent(_)
+                    ),
+                    "untyped restart failure: {}",
+                    e
+                );
+            }
+        }
+
+        // Generation 1 is untouched by generation 2's crash.
+        let again = read_checkpoint(&dir, &gen1).expect("gen 1 intact");
+        for r in 0..6u32 {
+            for f in 0..2usize {
+                prop_assert_eq!(again.field_data(r, f), want.field_data(r, f));
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

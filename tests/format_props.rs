@@ -25,7 +25,10 @@ fn arb_layout() -> BoxedStrategy<DataLayout> {
                     sizes
                         .into_iter()
                         .enumerate()
-                        .map(|(i, s)| FieldSpec { name: format!("field_{i}"), sizes: s })
+                        .map(|(i, s)| FieldSpec {
+                            name: format!("field_{i}"),
+                            sizes: s,
+                        })
                         .collect(),
                 )
             })

@@ -12,37 +12,40 @@ use rbio_repro::rbio_plan::{validate, CoverageMode, Op};
 // Our Strategy enum is imported as `Ckpt` so it does not shadow
 // proptest's Strategy trait.
 fn arb_layout() -> BoxedStrategy<DataLayout> {
-    (2u32..24, 1usize..4).prop_flat_map(|(np, nfields)| {
-        proptest::collection::vec(
-            prop_oneof![
-                (0u64..5000).prop_map(FieldSizes::Uniform),
-                proptest::collection::vec(0u64..5000, np as usize).prop_map(FieldSizes::PerRank),
-            ],
-            nfields,
-        )
-        .prop_map(move |sizes| {
-            DataLayout::new(
-                np,
-                sizes
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, s)| FieldSpec { name: format!("f{i}"), sizes: s })
-                    .collect(),
+    (2u32..24, 1usize..4)
+        .prop_flat_map(|(np, nfields)| {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0u64..5000).prop_map(FieldSizes::Uniform),
+                    proptest::collection::vec(0u64..5000, np as usize)
+                        .prop_map(FieldSizes::PerRank),
+                ],
+                nfields,
             )
+            .prop_map(move |sizes| {
+                DataLayout::new(
+                    np,
+                    sizes
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| FieldSpec {
+                            name: format!("f{i}"),
+                            sizes: s,
+                        })
+                        .collect(),
+                )
+            })
         })
-    })
-    .boxed()
+        .boxed()
 }
 
 fn arb_tuning() -> impl proptest::strategy::Strategy<Value = Tuning> {
-    (1u64..9000, any::<bool>(), 1u64..9000, 1u64..9000).prop_map(
-        |(block, align, cb, wb)| Tuning {
-            fs_block_size: block,
-            align_domains: align,
-            cb_buffer_size: cb,
-            writer_buffer: wb,
-        },
-    )
+    (1u64..9000, any::<bool>(), 1u64..9000, 1u64..9000).prop_map(|(block, align, cb, wb)| Tuning {
+        fs_block_size: block,
+        align_domains: align,
+        cb_buffer_size: cb,
+        writer_buffer: wb,
+    })
 }
 
 proptest! {

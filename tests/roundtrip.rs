@@ -24,9 +24,15 @@ fn all_strategies(np: u32) -> Vec<Strategy> {
     vec![
         Strategy::OnePfpp,
         Strategy::coio(1),
-        Strategy::CoIo { nf: np / 4, aggregator_ratio: 2 },
+        Strategy::CoIo {
+            nf: np / 4,
+            aggregator_ratio: 2,
+        },
         Strategy::rbio(np / 8),
-        Strategy::RbIo { ng: np / 8, commit: RbIoCommit::CollectiveShared },
+        Strategy::RbIo {
+            ng: np / 8,
+            commit: RbIoCommit::CollectiveShared,
+        },
     ]
 }
 
@@ -56,7 +62,27 @@ fn every_strategy_round_trips_uniform_layout() {
         let payloads = materialize_payloads(&plan, fill);
         let report = execute(&plan.program, payloads, &ExecConfig::new(&dir))
             .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
-        assert_eq!(report.bytes_written, plan.total_file_bytes(), "{strategy:?}");
+        assert_eq!(
+            report.bytes_written,
+            plan.total_file_bytes(),
+            "{strategy:?}"
+        );
+        // Every published file carries a valid commit footer, and no
+        // uncommitted `.tmp` sibling survives a clean run.
+        for pf in &plan.plan_files {
+            let bytes = std::fs::read(dir.join(&pf.name)).expect("published file");
+            let header = rbio_repro::rbio::format::decode_header(&bytes).expect("header");
+            assert_eq!(
+                rbio_repro::rbio::commit::verify_committed(&bytes, header.expected_file_size()),
+                None,
+                "{strategy:?}: {}",
+                pf.name
+            );
+            assert!(
+                !dir.join(format!("{}.tmp", pf.name)).exists(),
+                "{strategy:?}"
+            );
+        }
         let restored = read_checkpoint(&dir, &plan).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
         assert_eq!(restored.step, 42);
         verify_all(&restored, &layout);
@@ -72,8 +98,14 @@ fn every_strategy_round_trips_ragged_layout() {
     let layout = DataLayout::new(
         np,
         vec![
-            FieldSpec { name: "v".into(), sizes: FieldSizes::PerRank(sizes.clone()) },
-            FieldSpec { name: "w".into(), sizes: FieldSizes::Uniform(301) },
+            FieldSpec {
+                name: "v".into(),
+                sizes: FieldSizes::PerRank(sizes.clone()),
+            },
+            FieldSpec {
+                name: "w".into(),
+                sizes: FieldSizes::Uniform(301),
+            },
             FieldSpec {
                 name: "z".into(),
                 sizes: FieldSizes::PerRank(sizes.iter().rev().copied().collect()),

@@ -70,14 +70,20 @@ fn machine_accounting_matches_plan_accounting() {
         Strategy::OnePfpp,
         Strategy::coio(NP / 64),
         Strategy::rbio(NP / 64),
-        Strategy::RbIo { ng: NP / 64, commit: RbIoCommit::CollectiveShared },
+        Strategy::RbIo {
+            ng: NP / 64,
+            commit: RbIoCommit::CollectiveShared,
+        },
     ] {
         let p = plan(NP, strategy);
         let m = simulate(&p, &machine(NP));
         let stats = p.stats();
         assert_eq!(m.bytes_written, stats.bytes_written, "{strategy:?}");
         assert_eq!(m.bytes_sent, stats.bytes_sent, "{strategy:?}");
-        assert_eq!(m.fs_stats.bytes_written, stats.bytes_written, "{strategy:?}");
+        assert_eq!(
+            m.fs_stats.bytes_written, stats.bytes_written,
+            "{strategy:?}"
+        );
         assert_eq!(m.per_rank_finish.len() as u32, NP, "{strategy:?}");
         assert!(m.wall.as_secs_f64() > 0.0, "{strategy:?}");
     }
@@ -114,12 +120,7 @@ fn coio_blocks_every_rank_until_the_end() {
     let m = simulate(&plan(NP, Strategy::coio(NP / 64)), &machine(NP));
     // With collective semantics, even the "fastest" rank is within a small
     // factor of the slowest (per-field barriers per group).
-    let min = m
-        .per_rank_finish
-        .iter()
-        .min()
-        .expect("ranks")
-        .as_secs_f64();
+    let min = m.per_rank_finish.iter().min().expect("ranks").as_secs_f64();
     let max = m.wall.as_secs_f64();
     assert!(max / min < 10.0, "min {min:.3}s max {max:.3}s");
 }
@@ -148,7 +149,10 @@ fn timeline_profile_levels() {
     cfg.profile = ProfileLevel::Writes;
     let m = simulate(&p, &cfg);
     assert!(m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Write) > 0);
-    assert_eq!(m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Open), 0);
+    assert_eq!(
+        m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Open),
+        0
+    );
     cfg.profile = ProfileLevel::Full;
     let m = simulate(&p, &cfg);
     assert!(m.timeline.count_of(rbio_repro::rbio_profile::OpKind::Open) > 0);
