@@ -2,8 +2,14 @@
 # Full local CI: exactly what .github/workflows/ci.yml runs.
 # The workspace builds offline — all former crates.io dev-dependencies
 # (proptest, criterion) are vendored as shims/ — so no network is needed.
+# Pass --slow to also run the workflow's slow tier: release tests with
+# the #[ignore]d sweeps included, plus the multi_step campaign that
+# produces target/paper-results/multi_step.json.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+SLOW=0
+[[ "${1:-}" == "--slow" ]] && SLOW=1
 
 echo "== build =="
 cargo build --workspace --all-targets
@@ -16,5 +22,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fmt =="
 cargo fmt --check
+
+if [[ "$SLOW" == 1 ]]; then
+  echo "== test (release, --include-ignored) =="
+  cargo test --release -q --workspace -- --include-ignored
+
+  echo "== multi_step campaign (depth 2) =="
+  cargo run --release -p rbio-bench --bin multi_step -- 16384 20 10 2
+  ls -l target/paper-results/multi_step.json
+fi
 
 echo "ci: all checks passed"

@@ -238,6 +238,46 @@ fn bench_rbio_commit_modes(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_pipeline_depth(c: &mut Criterion) {
+    // Depth 1 is the serial write path; depth 2 double-buffers the
+    // writers so the disk flush of image k overlaps the aggregation of
+    // image k+1 (recorded as OpKind::Overlap). Deeper pipelines add
+    // buffers but no further overlap once the flusher is saturated.
+    println!("\n[ablation] rbIO writer pipeline depth at np={NP}:");
+    for depth in [1u32, 2, 4] {
+        let case = scaled_case(NP);
+        let plan = CheckpointSpec::new(case.layout(), "abl")
+            .strategy(Strategy::rbio(NP / 64))
+            .plan()
+            .expect("valid");
+        let mut m = MachineConfig::intrepid(NP).pipeline_depth(depth);
+        m.profile = ProfileLevel::Writes;
+        let metrics = simulate(&plan.program, &m);
+        println!(
+            "  depth={depth} -> {:>6.2} GB/s  (overlapped flush {:>6.3} s)",
+            metrics.bandwidth_bps() / 1e9,
+            metrics.overlapped_time().as_secs_f64()
+        );
+    }
+    let mut g = c.benchmark_group("ablation_pipeline_depth");
+    g.sample_size(10);
+    for depth in [1u32, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let case = scaled_case(NP);
+                let plan = CheckpointSpec::new(case.layout(), "abl")
+                    .strategy(Strategy::rbio(NP / 64))
+                    .plan()
+                    .expect("valid");
+                let mut m = MachineConfig::intrepid(NP).pipeline_depth(depth);
+                m.profile = ProfileLevel::Off;
+                simulate(&plan.program, &m).bandwidth_bps()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_alignment,
@@ -245,6 +285,7 @@ criterion_group!(
     bench_aggregator_ratio,
     bench_cb_buffer,
     bench_lambda,
-    bench_rbio_commit_modes
+    bench_rbio_commit_modes,
+    bench_pipeline_depth
 );
 criterion_main!(benches);

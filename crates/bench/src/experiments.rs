@@ -138,6 +138,24 @@ pub fn run_config_tuned(
     }
 }
 
+/// Simulate one configuration on a caller-built machine (for profiling
+/// and pipeline-depth studies where the stock `intrepid` machine is not
+/// enough).
+pub fn run_config_on(case: &PaperCase, cfg: &PaperConfig, machine: &MachineConfig) -> ConfigResult {
+    let layout = case.layout();
+    let plan = CheckpointSpec::new(layout, format!("step{:06}", 100))
+        .strategy((cfg.strategy)(case.np))
+        .plan()
+        .expect("paper configurations produce valid plans");
+    let metrics = simulate(&plan.program, machine);
+    ConfigResult {
+        label: cfg.label.to_string(),
+        case: *case,
+        metrics,
+        lambda: cfg.lambda,
+    }
+}
+
 /// The shared Figs. 5/6/7 grid: every configuration × every requested rank
 /// count, median-of-`runs` seeds. Results are indexed `[config][np]`.
 pub fn run_fig567_grid(nps: &[u32], runs: u32) -> Vec<Vec<ConfigResult>> {

@@ -13,7 +13,7 @@ use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
@@ -23,6 +23,7 @@ use rbio_plan::{DataRef, Op, Program};
 use crate::commit;
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
+use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +45,18 @@ pub struct ExecConfig {
     /// How long a `Recv` waits with no matching message before failing
     /// (a lost handoff must surface as a typed error, not a hang).
     pub recv_timeout: Duration,
+    /// Outstanding background flush jobs per writer. `1` (the default)
+    /// is the fully serial path; `≥ 2` defers `WriteAt`/`Close`/`Commit`
+    /// to the shared [`FlushPool`] so field *k+1* aggregation overlaps
+    /// field *k*'s disk write (2 = double buffering). Output is
+    /// byte-identical at any depth: data is snapshotted at issue, jobs
+    /// run FIFO per writer, and the pipeline drains at plan barriers,
+    /// reads, and end of program.
+    pub pipeline_depth: u32,
+    /// When set, background jobs sleep a seed-derived pseudo-random
+    /// duration before running — a deterministic way for equivalence
+    /// tests to sweep cross-rank interleavings.
+    pub pipeline_jitter: Option<u64>,
 }
 
 impl ExecConfig {
@@ -57,12 +70,26 @@ impl ExecConfig {
             write_retries: 3,
             retry_backoff: Duration::from_micros(500),
             recv_timeout: Duration::from_secs(2),
+            pipeline_depth: 1,
+            pipeline_jitter: None,
         }
     }
 
     /// Replace the fault plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Set the writer pipeline depth (1 = serial, 2 = double buffering).
+    pub fn pipeline_depth(mut self, depth: u32) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Set the background-job jitter seed for interleaving sweeps.
+    pub fn pipeline_jitter(mut self, seed: u64) -> Self {
+        self.pipeline_jitter = Some(seed);
         self
     }
 }
@@ -133,6 +160,13 @@ fn killed_error(rank: u32) -> io::Error {
     io::Error::other(format!("fault injection: rank {rank} killed"))
 }
 
+fn pipe_error(e: PipelineError) -> io::Error {
+    match e {
+        PipelineError::Killed { rank } => killed_error(rank),
+        PipelineError::Io(source) => source,
+    }
+}
+
 /// A barrier whose waiters poll a shared abort flag, so one rank dying
 /// mid-plan (injected fault or real I/O error) releases everyone with an
 /// error instead of wedging the whole executor. `std::sync::Barrier` has
@@ -185,10 +219,12 @@ struct RankCtx<'a> {
     stash: HashMap<(u32, u64), std::collections::VecDeque<Vec<u8>>>,
     senders: &'a [Sender<Msg>],
     barriers: &'a [AbortBarrier],
-    files: HashMap<u32, File>,
+    files: HashMap<u32, Arc<File>>,
     cfg: &'a ExecConfig,
     abort: &'a AtomicBool,
     retries: &'a AtomicU64,
+    /// Background flush pipeline (`pipeline_depth >= 2` only).
+    pipe: Option<WriterHandle>,
 }
 
 impl RankCtx<'_> {
@@ -267,6 +303,10 @@ impl RankCtx<'_> {
                         .copy_from_slice(&data);
                 }
                 Op::Barrier { comm } => {
+                    // Barriers carry cross-rank happens-before edges (e.g.
+                    // "all collective writes land before the owner
+                    // commits"), so the pipeline must be empty on entry.
+                    self.drain_pipe()?;
                     self.barriers[comm.0 as usize].wait(self.abort)?;
                 }
                 Op::Open { file, create } => {
@@ -284,11 +324,22 @@ impl RankCtx<'_> {
                     } else {
                         OpenOptions::new().write(true).read(true).open(&path)?
                     };
-                    self.files.insert(file.0, f);
+                    self.files.insert(file.0, Arc::new(f));
                 }
                 Op::WriteAt { file, offset, src } => {
+                    // `resolve` snapshots the bytes, so a deferred flush
+                    // never races with later Pack/Recv staging reuse.
                     let data = self.resolve(src, *offset);
-                    self.write_with_retry(file.0, *offset, &data)?;
+                    if self.pipe.is_some() {
+                        let f = Arc::clone(self.files.get(&file.0).expect("validated: opened"));
+                        self.submit(FlushJob::Write {
+                            file: f,
+                            offset: *offset,
+                            data,
+                        })?;
+                    } else {
+                        self.write_with_retry(file.0, *offset, &data)?;
+                    }
                 }
                 Op::ReadAt {
                     file,
@@ -296,6 +347,8 @@ impl RankCtx<'_> {
                     len,
                     staging_off,
                 } => {
+                    // Read-after-write: pending flushes must land first.
+                    self.drain_pipe()?;
                     let f = self.files.get(&file.0).expect("validated: opened");
                     let dst = &mut self.staging
                         [*staging_off as usize..*staging_off as usize + *len as usize];
@@ -303,23 +356,58 @@ impl RankCtx<'_> {
                 }
                 Op::Close { file } => {
                     if let Some(f) = self.files.remove(&file.0) {
-                        if self.cfg.fsync_on_close {
+                        if self.pipe.is_some() {
+                            self.submit(FlushJob::Close {
+                                file: f,
+                                fsync: self.cfg.fsync_on_close,
+                            })?;
+                        } else if self.cfg.fsync_on_close {
                             f.sync_all()?;
                         }
                     }
                 }
                 Op::Commit { file } => {
-                    if self.cfg.faults.on_commit(self.rank) {
-                        // The rank dies after its data writes but before
-                        // the rename: the final name must never appear.
-                        return Err(killed_error(self.rank));
-                    }
                     let spec = &self.program.files[file.0 as usize];
                     let final_path = self.cfg.base_dir.join(&spec.name);
                     let tmp = commit::tmp_path(&final_path);
-                    commit::commit_file(&tmp, &final_path, spec.size, self.cfg.fsync_on_close)?;
+                    if self.pipe.is_some() {
+                        // The commit fault check and the rename both run
+                        // inside the job, after this writer's data writes
+                        // (FIFO) — commit stays the last op on the owner.
+                        self.submit(FlushJob::Commit {
+                            tmp,
+                            final_path,
+                            size: spec.size,
+                            fsync: self.cfg.fsync_on_close,
+                        })?;
+                    } else {
+                        if self.cfg.faults.on_commit(self.rank) {
+                            // The rank dies after its data writes but
+                            // before the rename: the final name must
+                            // never appear.
+                            return Err(killed_error(self.rank));
+                        }
+                        commit::commit_file(&tmp, &final_path, spec.size, self.cfg.fsync_on_close)?;
+                    }
                 }
             }
+        }
+        self.drain_pipe()?;
+        Ok(())
+    }
+
+    fn submit(&self, job: FlushJob) -> io::Result<()> {
+        self.pipe
+            .as_ref()
+            .expect("pipelined path")
+            .submit(job)
+            .map_err(pipe_error)
+    }
+
+    fn drain_pipe(&self) -> io::Result<()> {
+        if let Some(p) = &self.pipe {
+            let retried = p.drain().map_err(pipe_error)?;
+            self.retries.fetch_add(retried, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -465,6 +553,16 @@ pub fn execute(
             let abort = &abort;
             let retries = &retries;
             handles.push(scope.spawn(move || {
+                let pipe = (cfg.pipeline_depth >= 2).then(|| {
+                    FlushPool::global().register(
+                        rank as u32,
+                        cfg.pipeline_depth,
+                        cfg.faults.clone(),
+                        cfg.write_retries,
+                        cfg.retry_backoff,
+                        cfg.pipeline_jitter,
+                    )
+                });
                 let mut ctx = RankCtx {
                     rank: rank as u32,
                     program,
@@ -478,6 +576,7 @@ pub fn execute(
                     cfg,
                     abort,
                     retries,
+                    pipe,
                 };
                 start_gate.wait();
                 let t0 = Instant::now();
@@ -852,6 +951,116 @@ mod tests {
         assert!(
             !dir.join("victim.bin").exists(),
             "final name must not appear"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipelined_atomic_commit_matches_serial_output() {
+        let mut b = ProgramBuilder::new(vec![16]);
+        let f = b.file_atomic("p.bin", 16);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        for k in 0..4u64 {
+            b.push(
+                0,
+                Op::WriteAt {
+                    file: f,
+                    offset: k * 4,
+                    src: DataRef::Own { off: k * 4, len: 4 },
+                },
+            );
+        }
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        let p = b.build();
+        validate(&p, CoverageMode::ExactWrite).unwrap();
+        let payload: Vec<u8> = (0..16).collect();
+
+        let dir_s = tmpdir("pipe-serial");
+        execute(&p, vec![payload.clone()], &ExecConfig::new(&dir_s)).unwrap();
+        let dir_p = tmpdir("pipe-deep");
+        let cfg = ExecConfig::new(&dir_p).pipeline_depth(2).pipeline_jitter(7);
+        execute(&p, vec![payload], &cfg).unwrap();
+
+        let a = std::fs::read(dir_s.join("p.bin")).unwrap();
+        let b2 = std::fs::read(dir_p.join("p.bin")).unwrap();
+        assert_eq!(a, b2, "pipelined output must be byte-identical");
+        assert!(!dir_p.join("p.bin.tmp").exists());
+        std::fs::remove_dir_all(&dir_s).ok();
+        std::fs::remove_dir_all(&dir_p).ok();
+    }
+
+    #[test]
+    fn pipelined_killed_writer_never_publishes_final_file() {
+        let mut b = ProgramBuilder::new(vec![8]);
+        let f = b.file_atomic("pvictim.bin", 8);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 8 },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        b.push(0, Op::Commit { file: f });
+        let p = b.build();
+        let dir = tmpdir("pipe-killed");
+        let cfg = ExecConfig::new(&dir)
+            .faults(FaultPlan::none().kill_writer_after_bytes(0, 4))
+            .pipeline_depth(4);
+        let err = execute(&p, vec![vec![0; 8]], &cfg).unwrap_err();
+        assert!(err.to_string().contains("killed"), "{err}");
+        assert!(
+            !dir.join("pvictim.bin").exists(),
+            "final name must not appear"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pipelined_background_retries_are_counted() {
+        let mut b = ProgramBuilder::new(vec![4]);
+        let f = b.file("pretry.bin", 4);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        let p = b.build();
+        let dir = tmpdir("pipe-retry");
+        let cfg = ExecConfig::new(&dir)
+            .faults(FaultPlan::none().fail_nth_write(0, 0, 2))
+            .pipeline_depth(2);
+        let rep = execute(&p, vec![vec![1, 2, 3, 4]], &cfg).unwrap();
+        assert_eq!(rep.retries, 2);
+        assert_eq!(
+            std::fs::read(dir.join("pretry.bin")).unwrap(),
+            vec![1, 2, 3, 4]
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -50,6 +50,7 @@ pub mod format;
 pub mod layout;
 pub mod manager;
 pub mod model;
+pub mod pipeline;
 pub mod restart;
 pub mod rt;
 pub mod strategy;

@@ -1,0 +1,535 @@
+//! Background flush pipeline shared by both real executors.
+//!
+//! The paper's rbIO writers win by overlap: aggregation of the next
+//! package proceeds while the previous one is on its way to disk. This
+//! module provides that overlap for [`crate::exec`] and [`crate::rt`]: a
+//! small process-wide pool of flush threads serves per-writer FIFO queues
+//! of deferred file work ([`FlushJob`]), with bounded depth (double
+//! buffering at depth 2) and first-error latching.
+//!
+//! Correctness relies on three properties, each enforced here or by the
+//! callers:
+//!
+//! 1. **Snapshot at issue** — a `Write` job owns its bytes (`Vec<u8>`),
+//!    copied out of payload/staging before submission, so later `Pack`
+//!    and `Recv` ops can reuse the staging buffer freely.
+//! 2. **Per-writer FIFO** — one pool thread at a time drains a writer's
+//!    queue in order, so the [`FaultPlan`] byte accounting and the
+//!    write→close→commit ordering are exactly the serial executor's.
+//!    In particular the commit job can never run before (or after a
+//!    failure of) the data writes it seals.
+//! 3. **Drain points** — callers drain before plan barriers, before
+//!    `ReadAt`, and at end of program, so cross-rank happens-before edges
+//!    (e.g. "all collective writes land before the owner commits") carry
+//!    over from the serial semantics.
+//!
+//! A latched error poisons the writer: all later jobs are skipped (never
+//! executed), and the error surfaces at the next `submit` or `drain`.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use rbio_plan::Rank;
+
+use crate::commit;
+use crate::fault::{self, FaultPlan};
+
+/// Why a writer's background pipeline failed.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Fault injection killed the rank in a background job.
+    Killed {
+        /// The killed rank.
+        rank: Rank,
+    },
+    /// A real or injected I/O error that exhausted the retry budget.
+    Io(io::Error),
+}
+
+/// One unit of deferred writer work, executed in submission order.
+pub enum FlushJob {
+    /// Flush one buffered chunk to the file.
+    Write {
+        /// Open target file (the `.tmp` sibling for atomic files).
+        file: Arc<File>,
+        /// Absolute file offset.
+        offset: u64,
+        /// The chunk, snapshotted at issue time.
+        data: Vec<u8>,
+    },
+    /// Close the file (the job drops the final handle; optional fsync).
+    Close {
+        /// The handle being retired.
+        file: Arc<File>,
+        /// fsync before closing.
+        fsync: bool,
+    },
+    /// Seal and publish an atomic file (footer + rename) — always the
+    /// last job a writer submits for that file.
+    Commit {
+        /// The `.tmp` sibling holding the data.
+        tmp: PathBuf,
+        /// The final published name.
+        final_path: PathBuf,
+        /// Logical (pre-footer) size the tmp file must have.
+        size: u64,
+        /// fsync footer and directory.
+        fsync: bool,
+    },
+}
+
+/// Immutable per-writer execution context, set at registration.
+#[derive(Clone)]
+struct WriterCtx {
+    rank: Rank,
+    faults: FaultPlan,
+    write_retries: u32,
+    retry_backoff: Duration,
+    /// Deterministic interleaving perturbation: when set, each job sleeps
+    /// a seed-derived pseudo-random duration (< 200 µs) before running,
+    /// so equivalence tests can sweep schedules reproducibly.
+    jitter_seed: Option<u64>,
+}
+
+struct WriterState {
+    ctx: WriterCtx,
+    queue: VecDeque<FlushJob>,
+    /// Queued jobs plus the one (if any) a pool thread is executing.
+    in_flight: usize,
+    /// A pool thread is currently draining this writer's queue.
+    active: bool,
+    /// The writer sits in the runnable queue awaiting a pool thread.
+    /// Together with `active` this guarantees at most one thread ever
+    /// drains a writer: without it, two submits racing ahead of a busy
+    /// pool would enqueue the writer twice and two threads would then
+    /// pop jobs from the same queue concurrently, breaking FIFO (e.g. a
+    /// commit running beside the write it is supposed to seal).
+    enqueued: bool,
+    /// First failure; once set, every later job is skipped.
+    error: Option<PipelineError>,
+    /// Retried write attempts accumulated by background jobs.
+    retries: u64,
+    /// Jobs executed so far (jitter sequence number).
+    seq: u64,
+    /// Slot is registered to a live handle.
+    occupied: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    writers: Vec<WriterState>,
+    free: Vec<usize>,
+    runnable: VecDeque<usize>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signaled when a writer becomes runnable.
+    work: Condvar,
+    /// Signaled when a job completes (backpressure / drain wakeups).
+    done: Condvar,
+}
+
+/// The process-wide flush thread pool.
+pub struct FlushPool {
+    shared: Arc<Shared>,
+}
+
+impl FlushPool {
+    /// The global pool (created on first use; threads are detached and
+    /// live for the process).
+    pub fn global() -> &'static FlushPool {
+        static POOL: OnceLock<FlushPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 8);
+            let shared = Arc::new(Shared {
+                inner: Mutex::new(Inner::default()),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            });
+            for i in 0..threads {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rbio-flush-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn flush worker");
+            }
+            FlushPool { shared }
+        })
+    }
+
+    /// Register one writer pipeline of `depth` outstanding jobs
+    /// (depth 2 = double buffering). `depth` must be ≥ 1.
+    pub fn register(
+        &self,
+        rank: Rank,
+        depth: u32,
+        faults: FaultPlan,
+        write_retries: u32,
+        retry_backoff: Duration,
+        jitter_seed: Option<u64>,
+    ) -> WriterHandle {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        let ctx = WriterCtx {
+            rank,
+            faults,
+            write_retries,
+            retry_backoff,
+            jitter_seed,
+        };
+        let state = WriterState {
+            ctx,
+            queue: VecDeque::new(),
+            in_flight: 0,
+            active: false,
+            enqueued: false,
+            error: None,
+            retries: 0,
+            seq: 0,
+            occupied: true,
+        };
+        let mut g = self.shared.inner.lock().expect("pool lock");
+        let wid = match g.free.pop() {
+            Some(w) => {
+                g.writers[w] = state;
+                w
+            }
+            None => {
+                g.writers.push(state);
+                g.writers.len() - 1
+            }
+        };
+        WriterHandle {
+            shared: Arc::clone(&self.shared),
+            wid,
+            depth: depth as usize,
+        }
+    }
+}
+
+/// One rank's submission endpoint into the pool. Jobs run FIFO; `submit`
+/// blocks while `depth` jobs are outstanding; `drain` waits for an empty
+/// pipeline and reports the first latched error.
+pub struct WriterHandle {
+    shared: Arc<Shared>,
+    wid: usize,
+    depth: usize,
+}
+
+impl WriterHandle {
+    /// Enqueue `job`, blocking while the pipeline is full. Fails fast
+    /// with the latched error if an earlier job already failed.
+    pub fn submit(&self, job: FlushJob) -> Result<(), PipelineError> {
+        let mut g = self.shared.inner.lock().expect("pool lock");
+        loop {
+            let w = &mut g.writers[self.wid];
+            if let Some(e) = w.error.take() {
+                return Err(e);
+            }
+            if w.in_flight < self.depth {
+                break;
+            }
+            g = self.shared.done.wait(g).expect("pool lock");
+        }
+        let w = &mut g.writers[self.wid];
+        w.queue.push_back(job);
+        w.in_flight += 1;
+        if !w.active && !w.enqueued {
+            w.enqueued = true;
+            g.runnable.push_back(self.wid);
+            self.shared.work.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Wait for every submitted job to finish. Returns the background
+    /// retry count on success, or the first latched error.
+    pub fn drain(&self) -> Result<u64, PipelineError> {
+        let mut g = self.shared.inner.lock().expect("pool lock");
+        while g.writers[self.wid].in_flight > 0 {
+            g = self.shared.done.wait(g).expect("pool lock");
+        }
+        let w = &mut g.writers[self.wid];
+        let retries = std::mem::take(&mut w.retries);
+        match w.error.take() {
+            Some(e) => Err(e),
+            None => Ok(retries),
+        }
+    }
+}
+
+impl Drop for WriterHandle {
+    fn drop(&mut self) {
+        // Quiesce (jobs hold no reference to the handle, but the slot
+        // must not be reused while its queue drains), then free the slot.
+        let mut g = self.shared.inner.lock().expect("pool lock");
+        while g.writers[self.wid].in_flight > 0 {
+            g = self.shared.done.wait(g).expect("pool lock");
+        }
+        let w = &mut g.writers[self.wid];
+        w.occupied = false;
+        w.error = None;
+        w.queue.clear();
+        g.free.push(self.wid);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut g = shared.inner.lock().expect("pool lock");
+    loop {
+        let wid = loop {
+            if let Some(w) = g.runnable.pop_front() {
+                break w;
+            }
+            g = shared.work.wait(g).expect("pool lock");
+        };
+        g.writers[wid].enqueued = false;
+        g.writers[wid].active = true;
+        loop {
+            let w = &mut g.writers[wid];
+            let Some(job) = w.queue.pop_front() else {
+                w.active = false;
+                break;
+            };
+            let skip = w.error.is_some() || !w.occupied;
+            let ctx = w.ctx.clone();
+            let seq = w.seq;
+            w.seq += 1;
+            drop(g);
+            let res = if skip { Ok(0) } else { run_job(&ctx, seq, job) };
+            g = shared.inner.lock().expect("pool lock");
+            let w = &mut g.writers[wid];
+            match res {
+                Ok(attempts) => w.retries += u64::from(attempts),
+                Err(e) => {
+                    if w.error.is_none() {
+                        w.error = Some(e);
+                    }
+                }
+            }
+            w.in_flight -= 1;
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// splitmix64: a tiny, well-mixed PRNG step for jitter derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineError> {
+    if let Some(seed) = ctx.jitter_seed {
+        let h = splitmix64(seed ^ (u64::from(ctx.rank) << 32) ^ seq);
+        std::thread::sleep(Duration::from_micros(h % 200));
+    }
+    match job {
+        FlushJob::Write { file, offset, data } => fault::write_at_with_retry(
+            &file,
+            ctx.rank,
+            offset,
+            &data,
+            &ctx.faults,
+            ctx.write_retries,
+            ctx.retry_backoff,
+        )
+        .map_err(|e| match e {
+            fault::WriteError::Killed => PipelineError::Killed { rank: ctx.rank },
+            fault::WriteError::Io(source) => PipelineError::Io(source),
+        }),
+        FlushJob::Close { file, fsync } => {
+            if fsync {
+                file.sync_all().map_err(PipelineError::Io)?;
+            }
+            drop(file);
+            Ok(0)
+        }
+        FlushJob::Commit {
+            tmp,
+            final_path,
+            size,
+            fsync,
+        } => {
+            if ctx.faults.on_commit(ctx.rank) {
+                // Die after the data writes, before the rename: the
+                // final name must never appear.
+                return Err(PipelineError::Killed { rank: ctx.rank });
+            }
+            commit::commit_file(&tmp, &final_path, size, fsync)
+                .map(|()| 0)
+                .map_err(PipelineError::Io)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::os::unix::fs::FileExt as _;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("rbio-pipe-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn open_rw(p: &std::path::Path) -> Arc<File> {
+        Arc::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .read(true)
+                .write(true)
+                .open(p)
+                .expect("open"),
+        )
+    }
+
+    fn handle(rank: Rank, depth: u32, faults: FaultPlan) -> WriterHandle {
+        FlushPool::global().register(rank, depth, faults, 3, Duration::from_micros(100), None)
+    }
+
+    #[test]
+    fn jobs_execute_in_fifo_order() {
+        let dir = tmpdir("fifo");
+        let file = open_rw(&dir.join("f"));
+        let h = handle(0, 2, FaultPlan::none());
+        // Overlapping writes: later jobs must win, proving order.
+        for i in 0..20u8 {
+            h.submit(FlushJob::Write {
+                file: Arc::clone(&file),
+                offset: 0,
+                data: vec![i; 8],
+            })
+            .expect("submit");
+        }
+        h.drain().expect("drain");
+        let mut buf = [0u8; 8];
+        file.read_exact_at(&mut buf, 0).expect("read");
+        assert_eq!(buf, [19u8; 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rapid_double_submit_never_double_drains() {
+        let dir = tmpdir("race");
+        let file = open_rw(&dir.join("f"));
+        // Submitting several conflicting writes back-to-back parks them
+        // all on the queue before any pool thread claims the writer; a
+        // single drainer must still run them FIFO. (Regression: a double
+        // runnable enqueue once let two threads drain the same writer
+        // concurrently, and with per-job jitter the earlier write could
+        // land last.)
+        let h =
+            FlushPool::global().register(0, 4, FaultPlan::none(), 3, Duration::ZERO, Some(0xFEED));
+        for round in 0..200u64 {
+            for i in 0..4u8 {
+                h.submit(FlushJob::Write {
+                    file: Arc::clone(&file),
+                    offset: 0,
+                    data: vec![i.wrapping_add(round as u8); 32],
+                })
+                .expect("submit");
+            }
+            h.drain().expect("drain");
+            let mut buf = [0u8; 32];
+            file.read_exact_at(&mut buf, 0).expect("read");
+            assert_eq!(buf, [3u8.wrapping_add(round as u8); 32], "round {round}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_latches_and_poisons_later_jobs() {
+        let dir = tmpdir("poison");
+        let file = open_rw(&dir.join("f.tmp"));
+        // Kill rank 7 immediately: the first write latches Killed, and
+        // the commit job must be skipped — no final file appears.
+        let h = handle(7, 4, FaultPlan::none().kill_writer_after_bytes(7, 0));
+        h.submit(FlushJob::Write {
+            file: Arc::clone(&file),
+            offset: 0,
+            data: vec![1; 64],
+        })
+        .expect("submit");
+        // The kill surfaces exactly once: at this submit if the write
+        // already ran (the commit is then never enqueued), else at drain
+        // (the commit is enqueued but skipped by the poisoned pipeline).
+        let err = match h.submit(FlushJob::Commit {
+            tmp: dir.join("f.tmp"),
+            final_path: dir.join("f"),
+            size: 64,
+            fsync: false,
+        }) {
+            Err(e) => {
+                h.drain().expect("nothing else failed");
+                e
+            }
+            Ok(()) => h.drain().expect_err("must latch the kill"),
+        };
+        assert!(matches!(err, PipelineError::Killed { rank: 7 }));
+        assert!(!dir.join("f").exists(), "final name must not appear");
+        // The pipeline is reusable after drain cleared the error.
+        h.submit(FlushJob::Close { file, fsync: false })
+            .expect("submit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn depth_bounds_outstanding_jobs_without_deadlock() {
+        let dir = tmpdir("depth");
+        // More writers than pool threads, each pushing more jobs than its
+        // depth: every pipeline must still drain.
+        let handles: Vec<WriterHandle> = (0..16).map(|r| handle(r, 2, FaultPlan::none())).collect();
+        let files: Vec<Arc<File>> = (0..16)
+            .map(|r| open_rw(&dir.join(format!("f{r}"))))
+            .collect();
+        for (r, h) in handles.iter().enumerate() {
+            for k in 0..8u64 {
+                h.submit(FlushJob::Write {
+                    file: Arc::clone(&files[r]),
+                    offset: k * 4,
+                    data: vec![r as u8; 4],
+                })
+                .expect("submit");
+            }
+        }
+        for (r, h) in handles.iter().enumerate() {
+            h.drain().expect("drain");
+            let mut buf = Vec::new();
+            File::open(dir.join(format!("f{r}")))
+                .expect("open")
+                .read_to_end(&mut buf)
+                .expect("read");
+            assert_eq!(buf, vec![r as u8; 32]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_retries_are_reported_by_drain() {
+        let dir = tmpdir("retries");
+        let file = open_rw(&dir.join("f"));
+        let h = handle(3, 2, FaultPlan::none().fail_nth_write(3, 0, 2));
+        h.submit(FlushJob::Write {
+            file,
+            offset: 0,
+            data: vec![9; 16],
+        })
+        .expect("submit");
+        assert_eq!(h.drain().expect("drain"), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

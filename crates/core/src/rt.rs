@@ -27,6 +27,7 @@ use rbio_plan::{DataRef, Op, Program};
 use crate::commit;
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
+use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
 
 type Msg = (u32, u64, Vec<u8>);
 
@@ -277,6 +278,14 @@ pub struct RtConfig {
     pub write_retries: u32,
     /// Initial backoff between retries (doubles each attempt).
     pub retry_backoff: Duration,
+    /// Outstanding background flush jobs per writer, served by the
+    /// shared [`FlushPool`] worker threads. `1` (default) is the serial
+    /// path; `≥ 2` overlaps aggregation with disk writes while keeping
+    /// output byte-identical (see [`crate::pipeline`]).
+    pub pipeline_depth: u32,
+    /// Seed-derived jitter before each background job, for deterministic
+    /// interleaving sweeps in equivalence tests.
+    pub pipeline_jitter: Option<u64>,
 }
 
 impl RtConfig {
@@ -288,12 +297,26 @@ impl RtConfig {
             faults: FaultPlan::none(),
             write_retries: 3,
             retry_backoff: Duration::from_micros(500),
+            pipeline_depth: 1,
+            pipeline_jitter: None,
         }
     }
 
     /// Replace the fault plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Set the writer pipeline depth (1 = serial, 2 = double buffering).
+    pub fn pipeline_depth(mut self, depth: u32) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Set the background-job jitter seed for interleaving sweeps.
+    pub fn pipeline_jitter(mut self, seed: u64) -> Self {
+        self.pipeline_jitter = Some(seed);
         self
     }
 }
@@ -337,9 +360,33 @@ pub fn checkpoint_rank_with(
     let base: PathBuf = cfg.base_dir.clone();
     std::fs::create_dir_all(&base).map_err(io_err)?;
     let mut staging = vec![0u8; program.staging[rank as usize] as usize];
-    let mut files: HashMap<u32, std::fs::File> = HashMap::new();
+    let mut files: HashMap<u32, Arc<std::fs::File>> = HashMap::new();
     const BARRIER_TAG_BASE: u64 = 1 << 62;
     const PLAN_TAG_BASE: u64 = 1 << 61;
+
+    // The "small worker thread pool behind rt": writer groups hand their
+    // flushes to the shared pool so they progress concurrently with the
+    // foreground aggregation of the next package.
+    let pipe: Option<WriterHandle> = (cfg.pipeline_depth >= 2).then(|| {
+        FlushPool::global().register(
+            rank,
+            cfg.pipeline_depth,
+            cfg.faults.clone(),
+            cfg.write_retries,
+            cfg.retry_backoff,
+            cfg.pipeline_jitter,
+        )
+    });
+    let pipe_err = |e: PipelineError| match e {
+        PipelineError::Killed { rank } => RtError::Killed { rank },
+        PipelineError::Io(source) => RtError::Io { rank, source },
+    };
+    let drain = |pipe: &Option<WriterHandle>| -> Result<(), RtError> {
+        match pipe {
+            Some(p) => p.drain().map(|_| ()).map_err(pipe_err),
+            None => Ok(()),
+        }
+    };
 
     let resolve = |r: &DataRef, staging: &[u8], off_hint: u64| -> Vec<u8> {
         match *r {
@@ -394,6 +441,9 @@ pub fn checkpoint_rank_with(
                     .copy_from_slice(&data);
             }
             Op::Barrier { comm: cid } => {
+                // Pending flushes must land before this rank reports in:
+                // peers past the barrier may rely on our writes.
+                drain(&pipe)?;
                 // Flat fan-in/fan-out over the group's first rank, using a
                 // per-comm tag so concurrent groups stay independent.
                 let members = &program.comms[cid.0 as usize];
@@ -438,26 +488,37 @@ pub fn checkpoint_rank_with(
                         .open(&path)
                         .map_err(io_err)?
                 };
-                files.insert(file.0, f);
+                files.insert(file.0, Arc::new(f));
             }
             Op::WriteAt { file, offset, src } => {
+                // `resolve` snapshots the bytes, so a deferred flush never
+                // races with later Pack/Recv staging reuse.
                 let data = resolve(src, &staging, *offset);
                 let f = files
                     .get(&file.0)
                     .expect("validated plan opens before writing");
-                fault::write_at_with_retry(
-                    f,
-                    rank,
-                    *offset,
-                    &data,
-                    &cfg.faults,
-                    cfg.write_retries,
-                    cfg.retry_backoff,
-                )
-                .map_err(|e| match e {
-                    fault::WriteError::Killed => RtError::Killed { rank },
-                    fault::WriteError::Io(source) => RtError::Io { rank, source },
-                })?;
+                if let Some(p) = &pipe {
+                    p.submit(FlushJob::Write {
+                        file: Arc::clone(f),
+                        offset: *offset,
+                        data,
+                    })
+                    .map_err(pipe_err)?;
+                } else {
+                    fault::write_at_with_retry(
+                        f,
+                        rank,
+                        *offset,
+                        &data,
+                        &cfg.faults,
+                        cfg.write_retries,
+                        cfg.retry_backoff,
+                    )
+                    .map_err(|e| match e {
+                        fault::WriteError::Killed => RtError::Killed { rank },
+                        fault::WriteError::Io(source) => RtError::Io { rank, source },
+                    })?;
+                }
             }
             Op::ReadAt {
                 file,
@@ -465,6 +526,8 @@ pub fn checkpoint_rank_with(
                 len,
                 staging_off,
             } => {
+                // Read-after-write: pending flushes must land first.
+                drain(&pipe)?;
                 let dst =
                     &mut staging[*staging_off as usize..*staging_off as usize + *len as usize];
                 files
@@ -475,25 +538,45 @@ pub fn checkpoint_rank_with(
             }
             Op::Close { file } => {
                 if let Some(f) = files.remove(&file.0) {
-                    if cfg.fsync_on_close {
+                    if let Some(p) = &pipe {
+                        p.submit(FlushJob::Close {
+                            file: f,
+                            fsync: cfg.fsync_on_close,
+                        })
+                        .map_err(pipe_err)?;
+                    } else if cfg.fsync_on_close {
                         f.sync_all().map_err(io_err)?;
                     }
                 }
             }
             Op::Commit { file } => {
-                if cfg.faults.on_commit(rank) {
-                    // Die after the data writes, before the rename: the
-                    // final name must never appear.
-                    return Err(RtError::Killed { rank });
-                }
                 let spec = &program.files[file.0 as usize];
                 let final_path = base.join(&spec.name);
                 let tmp = commit::tmp_path(&final_path);
-                commit::commit_file(&tmp, &final_path, spec.size, cfg.fsync_on_close)
-                    .map_err(io_err)?;
+                if let Some(p) = &pipe {
+                    // Fault check and rename run inside the job, after
+                    // this writer's data writes (FIFO per writer) —
+                    // commit stays the last op on the owner.
+                    p.submit(FlushJob::Commit {
+                        tmp,
+                        final_path,
+                        size: spec.size,
+                        fsync: cfg.fsync_on_close,
+                    })
+                    .map_err(pipe_err)?;
+                } else {
+                    if cfg.faults.on_commit(rank) {
+                        // Die after the data writes, before the rename:
+                        // the final name must never appear.
+                        return Err(RtError::Killed { rank });
+                    }
+                    commit::commit_file(&tmp, &final_path, spec.size, cfg.fsync_on_close)
+                        .map_err(io_err)?;
+                }
             }
         }
     }
+    drain(&pipe)?;
     Ok(())
 }
 
@@ -616,6 +699,45 @@ mod tests {
             }
             std::fs::remove_dir_all(&dir_exec).ok();
             std::fs::remove_dir_all(&dir_rt).ok();
+        }
+    }
+
+    #[test]
+    fn pipelined_rt_matches_serial_rt_byte_for_byte() {
+        let layout = DataLayout::uniform(8, &[("Ex", 2048), ("Hy", 512)]);
+        let fill = |rank: u32, field: usize, buf: &mut [u8]| {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (rank as usize * 31 + field * 7 + i) as u8;
+            }
+        };
+        for strategy in [Strategy::rbio(2), Strategy::coio(2), Strategy::OnePfpp] {
+            let plan = CheckpointSpec::new(layout.clone(), "rtp")
+                .strategy(strategy)
+                .plan()
+                .expect("plan");
+            let payloads = materialize_payloads(&plan, fill);
+            let tag = format!("{strategy:?}").replace([' ', ':', '{', '}'], "");
+            let dir_serial = tmpdir(&format!("ps-{tag}"));
+            let dir_pipe = tmpdir(&format!("pp-{tag}"));
+            let program = &plan.program;
+            let payloads_ref = &payloads;
+            for (dir, depth) in [(&dir_serial, 1u32), (&dir_pipe, 3)] {
+                let cfg = RtConfig::new(dir).pipeline_depth(depth).pipeline_jitter(11);
+                let cfg_ref = &cfg;
+                run(8, |mut comm| {
+                    let rank = comm.rank();
+                    checkpoint_rank_with(&mut comm, program, &payloads_ref[rank as usize], cfg_ref)
+                        .expect("rt checkpoint");
+                });
+            }
+            for pf in &plan.plan_files {
+                let a = std::fs::read(dir_serial.join(&pf.name)).expect("serial file");
+                let b = std::fs::read(dir_pipe.join(&pf.name)).expect("pipelined file");
+                assert_eq!(a, b, "{strategy:?}: {} differs", pf.name);
+                assert!(!dir_pipe.join(format!("{}.tmp", pf.name)).exists());
+            }
+            std::fs::remove_dir_all(&dir_serial).ok();
+            std::fs::remove_dir_all(&dir_pipe).ok();
         }
     }
 

@@ -57,25 +57,40 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, nf: u32, aggregator_ratio: u32) {
             .step_by(aggregator_ratio as usize)
             .collect();
 
-        // One collective write per field.
-        for f in 0..layout.nfields() {
-            let field_base = format::field_data_off(&layout, &app, g0, g1, f);
-            let contributions: Vec<Contribution> = group
-                .iter()
-                .filter_map(|&r| {
-                    let len = layout.field_bytes(r, f);
-                    if len == 0 {
-                        return None;
-                    }
-                    Some(Contribution {
-                        rank: r,
-                        file_off: field_base + layout.field_rank_off(f, g0, r),
-                        src_off: pb.payload_base(r) + layout.payload_field_off(r, f),
-                        len,
-                        src: SrcKind::Own,
+        // Contributions of each field's collective write.
+        let per_field: Vec<Vec<Contribution>> = (0..layout.nfields())
+            .map(|f| {
+                let field_base = format::field_data_off(&layout, &app, g0, g1, f);
+                group
+                    .iter()
+                    .filter_map(|&r| {
+                        let len = layout.field_bytes(r, f);
+                        if len == 0 {
+                            return None;
+                        }
+                        Some(Contribution {
+                            rank: r,
+                            file_off: field_base + layout.field_rank_off(f, g0, r),
+                            src_off: pb.payload_base(r) + layout.payload_field_off(r, f),
+                            len,
+                            src: SrcKind::Own,
+                        })
                     })
-                })
-                .collect();
+                    .collect()
+            })
+            .collect();
+        let two_phase = |tag: u64| TwoPhaseConfig {
+            domain: DomainConfig {
+                block_size: tuning.fs_block_size,
+                align: tuning.align_domains,
+            },
+            cb_buffer_size: tuning.cb_buffer_size,
+            tag,
+        };
+        if tuning.coalesce_fields {
+            // One batched collective covering every field: a single
+            // exchange and a single barrier per file.
+            let contributions: Vec<Contribution> = per_field.into_iter().flatten().collect();
             plan_collective_write(
                 &mut pb.b,
                 &CollectiveWrite {
@@ -84,18 +99,26 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, nf: u32, aggregator_ratio: u32) {
                     contributions,
                     agg_staging_base: 0,
                 },
-                &TwoPhaseConfig {
-                    domain: DomainConfig {
-                        block_size: tuning.fs_block_size,
-                        align: tuning.align_domains,
-                    },
-                    cb_buffer_size: tuning.cb_buffer_size,
-                    tag: f as u64,
-                },
+                &two_phase(0),
             );
-            // The collective returns synchronized: a field must be committed
-            // before the next begins (paper §V-B).
             pb.b.push_all(group.iter().copied(), Op::Barrier { comm });
+        } else {
+            // One collective write per field.
+            for (f, contributions) in per_field.into_iter().enumerate() {
+                plan_collective_write(
+                    &mut pb.b,
+                    &CollectiveWrite {
+                        file,
+                        aggregators: aggregators.clone(),
+                        contributions,
+                        agg_staging_base: 0,
+                    },
+                    &two_phase(f as u64),
+                );
+                // The collective returns synchronized: a field must be
+                // committed before the next begins (paper §V-B).
+                pb.b.push_all(group.iter().copied(), Op::Barrier { comm });
+            }
         }
         for &r in &group {
             pb.b.push(r, Op::Close { file });
@@ -122,6 +145,7 @@ mod tests {
                 align_domains: true,
                 cb_buffer_size: 8192,
                 writer_buffer: 8192,
+                ..Tuning::default()
             })
     }
 
@@ -182,6 +206,23 @@ mod tests {
         assert_eq!(
             plan.total_file_bytes(),
             plan.layout.total_bytes() + header_bytes
+        );
+    }
+
+    #[test]
+    fn coalesced_fields_single_barrier_and_same_bytes() {
+        let mut s = spec(8, 1, 8);
+        s.tuning.coalesce_fields = true;
+        let plan = s.plan().unwrap();
+        let barriers_rank0 = plan.program.ops[0]
+            .iter()
+            .filter(|o| matches!(o, Op::Barrier { .. }))
+            .count();
+        // 1 open barrier + 1 batched collective (vs 1 + 2 fields).
+        assert_eq!(barriers_rank0, 2);
+        assert_eq!(
+            plan.total_file_bytes(),
+            spec(8, 1, 8).plan().unwrap().total_file_bytes()
         );
     }
 

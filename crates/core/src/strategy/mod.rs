@@ -100,7 +100,21 @@ pub struct Tuning {
     /// ROMIO collective buffer size (exchange round granularity).
     pub cb_buffer_size: u64,
     /// rbIO writer commit buffer: aggregated bytes per independent write.
+    /// Also caps the size of a single 1PFPP `WriteAt` (large fields chunk).
     pub writer_buffer: u64,
+    /// Coalesce all fields of a collective commit (coIO, rbIO `nf = 1`)
+    /// into ONE batched collective write — a single exchange and a single
+    /// barrier per file instead of one per field. `false` (default) keeps
+    /// the paper's flush-per-field semantics ("all the processors commit
+    /// data by fields"); `true` trades them for fewer synchronization
+    /// points, feeding the pipelined writers one large handoff per step.
+    pub coalesce_fields: bool,
+    /// Cap on concurrently-committing independent rbIO writers, after
+    /// Fig. 8's `nf ≈ 1024` sweet spot: creating many files at once
+    /// degrades past that point, so when `ng` exceeds this the writers
+    /// open/write/commit in waves of `nf_sweet`, chained by token
+    /// messages. `None` (default) = unlimited (all writers concurrent).
+    pub nf_sweet: Option<u32>,
 }
 
 impl Default for Tuning {
@@ -110,6 +124,8 @@ impl Default for Tuning {
             align_domains: true,
             cb_buffer_size: 16 << 20,
             writer_buffer: 16 << 20,
+            coalesce_fields: false,
+            nf_sweet: None,
         }
     }
 }

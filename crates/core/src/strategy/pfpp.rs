@@ -13,6 +13,9 @@ use crate::strategy::PlanBuilder;
 pub(crate) fn build(pb: &mut PlanBuilder<'_>) {
     let layout = pb.spec.layout.clone();
     let app = pb.spec.app.clone();
+    // Large fields chunk at the writer buffer size so a pipelined writer
+    // can overlap the flush of one chunk with staging the next.
+    let chunk = pb.spec.tuning.writer_buffer.max(1);
     for rank in 0..layout.nranks() {
         let file = pb.add_file(rank, rank + 1, rank);
         let hdr = pb.payload_base(rank);
@@ -30,17 +33,24 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>) {
             if len == 0 {
                 continue;
             }
-            pb.b.push(
-                rank,
-                Op::WriteAt {
-                    file,
-                    offset: format::field_data_off(&layout, &app, rank, rank + 1, f),
-                    src: DataRef::Own {
-                        off: hdr + layout.payload_field_off(rank, f),
-                        len,
+            let base = format::field_data_off(&layout, &app, rank, rank + 1, f);
+            let src_base = hdr + layout.payload_field_off(rank, f);
+            let mut off = 0u64;
+            while off < len {
+                let piece = chunk.min(len - off);
+                pb.b.push(
+                    rank,
+                    Op::WriteAt {
+                        file,
+                        offset: base + off,
+                        src: DataRef::Own {
+                            off: src_base + off,
+                            len: piece,
+                        },
                     },
-                },
-            );
+                );
+                off += piece;
+            }
         }
         pb.b.push(rank, Op::Close { file });
         pb.b.push(rank, Op::Commit { file });
@@ -81,5 +91,20 @@ mod tests {
         let plan = CheckpointSpec::new(layout, "t").plan().unwrap();
         // Header + 1 nonempty field per rank.
         assert_eq!(plan.program.stats().writes, 4);
+    }
+
+    #[test]
+    fn large_fields_chunk_at_writer_buffer() {
+        use crate::strategy::Tuning;
+        let layout = DataLayout::uniform(2, &[("big", 10_000)]);
+        let plan = CheckpointSpec::new(layout, "t")
+            .tuning(Tuning {
+                writer_buffer: 4096,
+                ..Tuning::default()
+            })
+            .plan()
+            .unwrap();
+        // Header + ceil(10000/4096) = 3 field chunks per rank.
+        assert_eq!(plan.program.stats().writes, 2 * 4);
     }
 }

@@ -29,6 +29,11 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
     let np = layout.nranks();
     let groups = split_groups(np, ng);
     let writers: Vec<u32> = groups.iter().map(|&(g0, _)| g0).collect();
+    // Fig. 8: concurrent file creation has a sweet spot around nf ≈ 1024.
+    // When ng exceeds `nf_sweet`, independent writers open/write/commit in
+    // waves of that size, chained by 1-byte token messages: writer i holds
+    // off until writer i - nf_sweet has published its file.
+    let wave = tuning.nf_sweet.filter(|&k| k > 0 && k < ng);
 
     // The shared-file mode needs the global file registered first (owned by
     // the global leader, writer 0).
@@ -64,7 +69,9 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
         let scratch_len = (g0 + 1..g1)
             .map(|r| layout.rank_payload_bytes(r))
             .max()
-            .unwrap_or(0);
+            .unwrap_or(0)
+            // Wave tokens land in the scratch slot too (1 byte).
+            .max(u64::from(wave.is_some()));
         pb.b.reserve_staging(writer, scratch_off + scratch_len);
 
         // Workers: ONE nonblocking send of the whole packed payload. Their
@@ -154,6 +161,21 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
         if let Some(file) = per_writer_file {
             let file_size = format::file_size(&layout, &app, g0, g1);
             debug_assert_eq!(file_size, prefix + image_len);
+            if let Some(k) = wave {
+                // Not in the first wave: wait for the writer k groups
+                // earlier to finish its commit before creating our file.
+                if gi as u32 >= k {
+                    pb.b.push(
+                        writer,
+                        Op::Recv {
+                            src: writers[gi - k as usize],
+                            tag: Tag(1),
+                            bytes: 1,
+                            staging_off: scratch_off,
+                        },
+                    );
+                }
+            }
             pb.b.push(writer, Op::Open { file, create: true });
             let chunk = tuning.writer_buffer.max(1);
             let mut off = 0u64;
@@ -171,6 +193,20 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
             }
             pb.b.push(writer, Op::Close { file });
             pb.b.push(writer, Op::Commit { file });
+            if let Some(k) = wave {
+                // Release the writer k groups later into the next wave.
+                let next = gi + k as usize;
+                if next < writers.len() {
+                    pb.b.push(
+                        writer,
+                        Op::Send {
+                            dst: writers[next],
+                            tag: Tag(1),
+                            src: DataRef::Synthetic { len: 1 },
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -210,26 +246,42 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
             })
             .collect();
         let agg_staging_base = image_total.iter().copied().max().unwrap_or(0);
-        for f in 0..layout.nfields() {
-            let field_base = format::field_data_off(&layout, &app, 0, np, f);
-            let contributions: Vec<Contribution> = groups
-                .iter()
-                .enumerate()
-                .filter_map(|(gi, &(g0, g1))| {
-                    let len = layout.field_total(f, g0, g1);
-                    if len == 0 {
-                        return None;
-                    }
-                    let image_off: u64 = (0..f).map(|g| layout.field_total(g, g0, g1)).sum();
-                    Some(Contribution {
-                        rank: writers[gi],
-                        file_off: field_base + layout.field_rank_off(f, 0, g0),
-                        src_off: image_off,
-                        len,
-                        src: SrcKind::Staging,
+        let per_field: Vec<Vec<Contribution>> = (0..layout.nfields())
+            .map(|f| {
+                let field_base = format::field_data_off(&layout, &app, 0, np, f);
+                groups
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(gi, &(g0, g1))| {
+                        let len = layout.field_total(f, g0, g1);
+                        if len == 0 {
+                            return None;
+                        }
+                        let image_off: u64 = (0..f).map(|g| layout.field_total(g, g0, g1)).sum();
+                        Some(Contribution {
+                            rank: writers[gi],
+                            file_off: field_base + layout.field_rank_off(f, 0, g0),
+                            src_off: image_off,
+                            len,
+                            src: SrcKind::Staging,
+                        })
                     })
-                })
-                .collect();
+                    .collect()
+            })
+            .collect();
+        let two_phase = |tag: u64| TwoPhaseConfig {
+            domain: DomainConfig {
+                block_size: tuning.fs_block_size,
+                align: tuning.align_domains,
+            },
+            // Tags: worker->writer used 0..nfields; offset past them.
+            cb_buffer_size: tuning.cb_buffer_size,
+            tag,
+        };
+        if tuning.coalesce_fields {
+            // All fields batched into one collective: one exchange, one
+            // barrier, one large handoff for the pipelined writers.
+            let contributions: Vec<Contribution> = per_field.into_iter().flatten().collect();
             plan_collective_write(
                 &mut pb.b,
                 &CollectiveWrite {
@@ -238,17 +290,23 @@ pub(crate) fn build(pb: &mut PlanBuilder<'_>, ng: u32, commit: RbIoCommit) {
                     contributions,
                     agg_staging_base,
                 },
-                &TwoPhaseConfig {
-                    domain: DomainConfig {
-                        block_size: tuning.fs_block_size,
-                        align: tuning.align_domains,
-                    },
-                    // Tags: worker->writer used 0..nfields; offset past them.
-                    cb_buffer_size: tuning.cb_buffer_size,
-                    tag: (layout.nfields() + f) as u64,
-                },
+                &two_phase(layout.nfields() as u64),
             );
             pb.b.push_all(writers.iter().copied(), Op::Barrier { comm });
+        } else {
+            for (f, contributions) in per_field.into_iter().enumerate() {
+                plan_collective_write(
+                    &mut pb.b,
+                    &CollectiveWrite {
+                        file,
+                        aggregators: writers.clone(),
+                        contributions,
+                        agg_staging_base,
+                    },
+                    &two_phase((layout.nfields() + f) as u64),
+                );
+                pb.b.push_all(writers.iter().copied(), Op::Barrier { comm });
+            }
         }
         for &w in &writers {
             pb.b.push(w, Op::Close { file });
@@ -276,6 +334,7 @@ mod tests {
             align_domains: true,
             cb_buffer_size: 4096,
             writer_buffer: 2048,
+            ..Tuning::default()
         }
     }
 
@@ -413,5 +472,97 @@ mod tests {
                 .unwrap();
             assert!(plan.total_file_bytes() > l.total_bytes());
         }
+    }
+
+    #[test]
+    fn nf_sweet_schedules_writers_in_waves() {
+        let mut t = tuning();
+        t.nf_sweet = Some(2);
+        let plan = CheckpointSpec::new(layout(16), "t")
+            .strategy(Strategy::rbio(4))
+            .tuning(t)
+            .plan()
+            .unwrap();
+        // Writers 0,4 go first; 8,12 each wait on a token; 0,4 each send
+        // one. Workers are untouched.
+        let tokens_sent = |r: u32| {
+            plan.program.ops[r as usize]
+                .iter()
+                .filter(|o| matches!(o, Op::Send { src, .. } if src.len() == 1))
+                .count()
+        };
+        let tokens_recv = |r: u32| {
+            plan.program.ops[r as usize]
+                .iter()
+                .filter(|o| matches!(o, Op::Recv { bytes: 1, .. }))
+                .count()
+        };
+        assert_eq!(
+            (1, 1, 0, 0),
+            (
+                tokens_sent(0),
+                tokens_sent(4),
+                tokens_sent(8),
+                tokens_sent(12)
+            )
+        );
+        assert_eq!(
+            (0, 0, 1, 1),
+            (
+                tokens_recv(0),
+                tokens_recv(4),
+                tokens_recv(8),
+                tokens_recv(12)
+            )
+        );
+        // The token wait precedes the writer's Open.
+        let ops8 = &plan.program.ops[8];
+        let recv_idx = ops8
+            .iter()
+            .position(|o| matches!(o, Op::Recv { bytes: 1, .. }))
+            .unwrap();
+        let open_idx = ops8
+            .iter()
+            .position(|o| matches!(o, Op::Open { .. }))
+            .unwrap();
+        assert!(recv_idx < open_idx);
+    }
+
+    #[test]
+    fn nf_sweet_at_or_above_ng_is_a_no_op() {
+        let mut t = tuning();
+        t.nf_sweet = Some(4);
+        let with = CheckpointSpec::new(layout(16), "t")
+            .strategy(Strategy::rbio(4))
+            .tuning(t)
+            .plan()
+            .unwrap();
+        let without = CheckpointSpec::new(layout(16), "t")
+            .strategy(Strategy::rbio(4))
+            .tuning(tuning())
+            .plan()
+            .unwrap();
+        assert_eq!(with.program.ops, without.program.ops);
+    }
+
+    #[test]
+    fn coalesced_shared_commit_has_one_field_barrier() {
+        let mut t = tuning();
+        t.coalesce_fields = true;
+        let plan = CheckpointSpec::new(layout(16), "t")
+            .strategy(Strategy::RbIo {
+                ng: 4,
+                commit: RbIoCommit::CollectiveShared,
+            })
+            .tuning(t)
+            .plan()
+            .unwrap();
+        // 1 open barrier + 1 batched-collective barrier (vs 1 + 3 fields).
+        let barriers_w0 = plan.program.ops[0]
+            .iter()
+            .filter(|o| matches!(o, Op::Barrier { .. }))
+            .count();
+        assert_eq!(barriers_w0, 2);
+        assert_eq!(plan.plan_files.len(), 1);
     }
 }

@@ -34,6 +34,14 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Timeline verbosity.
     pub profile: ProfileLevel,
+    /// Writer pipeline depth: outstanding background data flushes (i.e.
+    /// staging buffers) per rank; metadata jobs hold no buffer.
+    /// `1` (default) models the serial write path; `≥ 2` models
+    /// double-buffered writers whose foreground cost per `WriteAt` is
+    /// only the staging copy, with the disk flush running on a per-rank
+    /// background flusher (recorded as `OpKind::Overlap`). Mirrors
+    /// `pipeline_depth` on the real executors.
+    pub pipeline_depth: u32,
 }
 
 impl MachineConfig {
@@ -48,6 +56,7 @@ impl MachineConfig {
             pack_overhead: SimTime::from_micros(2),
             seed: 0x1BEB,
             profile: ProfileLevel::Writes,
+            pipeline_depth: 1,
         }
     }
 
@@ -61,6 +70,7 @@ impl MachineConfig {
             pack_overhead: SimTime::from_micros(2),
             seed: 42,
             profile: ProfileLevel::Full,
+            pipeline_depth: 1,
         }
     }
 
@@ -75,6 +85,12 @@ impl MachineConfig {
     /// Replace the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the writer pipeline depth (1 = serial, 2 = double buffering).
+    pub fn pipeline_depth(mut self, depth: u32) -> Self {
+        self.pipeline_depth = depth.max(1);
         self
     }
 }

@@ -100,6 +100,39 @@ impl RunMetrics {
         }
     }
 
+    /// Perceived write bandwidth from the recorded profiling timeline:
+    /// the bytes of all `Send` intervals over the longest single `Send`
+    /// interval. With pipelined writers the timeline is the ground truth
+    /// (overlapped flushes show up as `Overlap`, not as handoff time), so
+    /// prefer this over [`Self::perceived_bw_bps`] whenever the run was
+    /// profiled; falls back to the analytic value when the profile level
+    /// recorded no sends.
+    pub fn perceived_bw_profiled_bps(&self) -> f64 {
+        let bytes = self.timeline.bytes_of(rbio_profile::OpKind::Send);
+        let slowest = self
+            .timeline
+            .longest_of(rbio_profile::OpKind::Send)
+            .as_secs_f64();
+        if bytes > 0 && slowest > 0.0 {
+            bytes as f64 / slowest
+        } else {
+            self.perceived_bw_bps()
+        }
+    }
+
+    /// Total background-flush time the pipelined writers overlapped with
+    /// foreground work (sum of all `Overlap` intervals; zero for serial
+    /// runs or unprofiled runs).
+    pub fn overlapped_time(&self) -> SimTime {
+        self.timeline
+            .intervals()
+            .iter()
+            .filter(|iv| iv.kind == rbio_profile::OpKind::Overlap)
+            .fold(SimTime::ZERO, |acc, iv| {
+                acc.saturating_add(iv.end.saturating_sub(iv.start))
+            })
+    }
+
     /// The checkpoint time the *application* observes. For rbIO the
     /// dedicated writers overlap their flush with the next compute phase,
     /// so the application-visible time is the workers' handoff plus the
@@ -184,6 +217,52 @@ mod tests {
         assert_eq!(m.app_blocking(1.0), SimTime::from_millis(100));
         let half = m.app_blocking(0.5);
         assert_eq!(half, SimTime::from_millis(52));
+    }
+
+    #[test]
+    fn profiled_perceived_bw_uses_send_intervals() {
+        let mut m = metrics();
+        // No sends recorded: falls back to the analytic definition.
+        assert!((m.perceived_bw_profiled_bps() - m.perceived_bw_bps()).abs() < 1e-6);
+        // Two handoffs of 300 + 200 bytes; slowest takes 150 us.
+        use rbio_profile::OpKind;
+        m.timeline.record(
+            0,
+            OpKind::Send,
+            SimTime::ZERO,
+            SimTime::from_micros(150),
+            300,
+        );
+        m.timeline.record(
+            2,
+            OpKind::Send,
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+            200,
+        );
+        assert!((m.perceived_bw_profiled_bps() - 500.0 / 150e-6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overlapped_time_sums_overlap_intervals() {
+        let mut m = metrics();
+        assert_eq!(m.overlapped_time(), SimTime::ZERO);
+        use rbio_profile::OpKind;
+        m.timeline.record(
+            1,
+            OpKind::Overlap,
+            SimTime::ZERO,
+            SimTime::from_millis(3),
+            10,
+        );
+        m.timeline.record(
+            1,
+            OpKind::Overlap,
+            SimTime::from_millis(5),
+            SimTime::from_millis(9),
+            10,
+        );
+        assert_eq!(m.overlapped_time(), SimTime::from_millis(7));
     }
 
     #[test]

@@ -18,6 +18,21 @@ enum Ev {
     Advance { rank: u32 },
     /// A message reached its destination node.
     Arrive { src: u32, dst: u32, tag: u64 },
+    /// `rank`'s background flusher starts its next queued job. Costing
+    /// happens here, at the job's true start time, so background I/O
+    /// contends with foreground ops in causal order.
+    FlushStart { rank: u32 },
+    /// A background flush job finished (`data` = it held a staging
+    /// buffer, freeing a pipeline slot).
+    FlushDone { rank: u32, data: bool },
+}
+
+/// One deferred unit of writer work on the simulated background flusher
+/// (mirror of the real executors' `FlushJob`, minus the payload bytes).
+enum FlushReq {
+    Write { file: u32, offset: u64, bytes: u64 },
+    Close,
+    Commit,
 }
 
 struct Sim<'a> {
@@ -39,6 +54,21 @@ struct Sim<'a> {
     max_handoff: SimTime,
     bytes_sent: u64,
     done_ranks: usize,
+    /// Queued background jobs per rank with their issue (ready) times
+    /// (pipeline_depth >= 2 only); the head job is dispatched by
+    /// `Ev::FlushStart` in FIFO order.
+    flush_queue: Vec<VecDeque<(SimTime, FlushReq)>>,
+    /// A `FlushStart`/`FlushDone` chain is in flight for this rank.
+    flush_running: Vec<bool>,
+    /// Queued + running background jobs (any kind).
+    flush_outstanding: Vec<usize>,
+    /// Outstanding *data* flushes only (jobs that own a staging buffer).
+    /// `pipeline_depth` bounds these: metadata jobs (close/commit) ride
+    /// the flusher FIFO but hold no buffer.
+    flush_data_outstanding: Vec<usize>,
+    /// The rank's foreground is parked (blocked on a slot, a drain point,
+    /// or end-of-program) and must be re-advanced on the next FlushDone.
+    flush_wake: Vec<bool>,
 }
 
 impl Sim<'_> {
@@ -49,7 +79,9 @@ impl Sim<'_> {
     fn record(&mut self, rank: u32, kind: OpKind, start: SimTime, end: SimTime, bytes: u64) {
         let keep = match self.cfg.profile {
             ProfileLevel::Off => false,
-            ProfileLevel::Writes => matches!(kind, OpKind::Write | OpKind::Send),
+            ProfileLevel::Writes => {
+                matches!(kind, OpKind::Write | OpKind::Send | OpKind::Overlap)
+            }
             ProfileLevel::Full => true,
         };
         if keep {
@@ -63,10 +95,97 @@ impl Sim<'_> {
             .saturating_add(transfer_time(bytes, self.cfg.mem_bw))
     }
 
+    /// The full ION + client-stream + filesystem cost of one file write
+    /// issued at `start`; returns its completion time.
+    fn disk_write(
+        &mut self,
+        rank: u32,
+        file: u32,
+        offset: u64,
+        bytes: u64,
+        start: SimTime,
+    ) -> SimTime {
+        let pset = self.cfg.partition.pset_of_rank(rank).0 as usize;
+        let ion_time = transfer_time(bytes, self.cfg.net.ion_pipe_bw());
+        let (_, ion_occ) = self.ion[pset].occupy(start, ion_time);
+        let lat = self.cfg.net.ion_latency;
+        // CIOD forwards in small units (cut-through): the servers
+        // see the head of the stream after ~1 MiB, and the write
+        // retires when both the client stream (paced at
+        // client_stream_bw) and the filesystem commit are done.
+        let head = transfer_time(bytes.min(1 << 20), self.cfg.net.client_stream_bw);
+        let stream_done = start.saturating_add(transfer_time(bytes, self.cfg.net.client_stream_bw));
+        let fsize = self.program.files[file as usize].size;
+        let fs_done = self.fs.write(
+            start.saturating_add(head).saturating_add(lat),
+            rank,
+            file,
+            offset,
+            bytes,
+            fsize,
+        );
+        fs_done.max(stream_done).max(ion_occ).saturating_add(lat)
+    }
+
+    /// Backpressure at a pipelined write: when `depth` staging buffers
+    /// are still being flushed, park the rank until the next FlushDone
+    /// and report "blocked".
+    fn flush_slot_blocked(&mut self, rank: u32) -> bool {
+        if self.flush_data_outstanding[rank as usize] >= self.cfg.pipeline_depth as usize {
+            self.flush_wake[rank as usize] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain point (barrier / read-after-write): when flushes are still
+    /// in flight, park the rank until the next FlushDone and report
+    /// "blocked".
+    fn flush_drain_blocked(&mut self, rank: u32) -> bool {
+        if self.flush_outstanding[rank as usize] > 0 {
+            self.flush_wake[rank as usize] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Enqueue one background job on `rank`'s flusher. Jobs run FIFO;
+    /// each is costed by `Ev::FlushStart` at its true start time (never
+    /// eagerly), so background I/O hits the shared filesystem and ION
+    /// models in the same causal order the event loop sees.
+    fn flush_enqueue(&mut self, rank: u32, ready: SimTime, req: FlushReq, q: &mut EventQueue<Ev>) {
+        self.flush_outstanding[rank as usize] += 1;
+        if matches!(req, FlushReq::Write { .. }) {
+            self.flush_data_outstanding[rank as usize] += 1;
+        }
+        self.flush_queue[rank as usize].push_back((ready, req));
+        if !self.flush_running[rank as usize] {
+            self.flush_running[rank as usize] = true;
+            q.schedule(ready, Ev::FlushStart { rank });
+        }
+    }
+
     /// Execute `rank`'s current op at `now`. Returns `Some(done)` when the
     /// op completes at `done` (pc already advanced), `None` when blocked.
     fn execute(&mut self, rank: u32, now: SimTime, q: &mut EventQueue<Ev>) -> Option<SimTime> {
         let op = &self.program.ops[rank as usize][self.pc[rank as usize]];
+        let pipelined = self.cfg.pipeline_depth >= 2;
+        if pipelined {
+            // Mirror the real pipeline's blocking points: writes wait for
+            // a free staging buffer (close/commit hold none — they ride
+            // the flusher FIFO); barriers and reads drain the pipeline.
+            match op {
+                Op::WriteAt { .. } if self.flush_slot_blocked(rank) => {
+                    return None;
+                }
+                Op::Barrier { .. } | Op::ReadAt { .. } if self.flush_drain_blocked(rank) => {
+                    return None;
+                }
+                _ => {}
+            }
+        }
         let done = match op {
             Op::Compute { nanos } => {
                 let done = now.saturating_add(SimTime::from_nanos(*nanos));
@@ -154,29 +273,27 @@ impl Sim<'_> {
             }
             Op::WriteAt { file, offset, src } => {
                 let bytes = src.len();
-                let pset = self.cfg.partition.pset_of_rank(rank).0 as usize;
-                let ion_time = transfer_time(bytes, self.cfg.net.ion_pipe_bw());
-                let (_, ion_occ) = self.ion[pset].occupy(now, ion_time);
-                let lat = self.cfg.net.ion_latency;
-                // CIOD forwards in small units (cut-through): the servers
-                // see the head of the stream after ~1 MiB, and the write
-                // retires when both the client stream (paced at
-                // client_stream_bw) and the filesystem commit are done.
-                let head = transfer_time(bytes.min(1 << 20), self.cfg.net.client_stream_bw);
-                let stream_done =
-                    now.saturating_add(transfer_time(bytes, self.cfg.net.client_stream_bw));
-                let fsize = self.program.files[file.0 as usize].size;
-                let fs_done = self.fs.write(
-                    now.saturating_add(head).saturating_add(lat),
-                    rank,
-                    file.0,
-                    *offset,
-                    bytes,
-                    fsize,
-                );
-                let done = fs_done.max(stream_done).max(ion_occ).saturating_add(lat);
-                self.record(rank, OpKind::Write, now, done, bytes);
-                done
+                if pipelined {
+                    // Foreground cost is only the double-buffer staging
+                    // copy; the disk path runs on the background flusher.
+                    let fg_done = now.saturating_add(self.pack_time(bytes));
+                    self.flush_enqueue(
+                        rank,
+                        fg_done,
+                        FlushReq::Write {
+                            file: file.0,
+                            offset: *offset,
+                            bytes,
+                        },
+                        q,
+                    );
+                    self.record(rank, OpKind::Write, now, fg_done, bytes);
+                    fg_done
+                } else {
+                    let done = self.disk_write(rank, file.0, *offset, bytes, now);
+                    self.record(rank, OpKind::Write, now, done, bytes);
+                    done
+                }
             }
             Op::ReadAt {
                 file, offset, len, ..
@@ -192,18 +309,30 @@ impl Sim<'_> {
             }
             Op::Close { .. } => {
                 let lat = self.cfg.net.ion_latency;
-                let done = self.fs.close(now.saturating_add(lat)).saturating_add(lat);
-                self.record(rank, OpKind::Close, now, done, 0);
-                done
+                if pipelined {
+                    self.flush_enqueue(rank, now, FlushReq::Close, q);
+                    self.record(rank, OpKind::Close, now, now, 0);
+                    now
+                } else {
+                    let done = self.fs.close(now.saturating_add(lat)).saturating_add(lat);
+                    self.record(rank, OpKind::Close, now, done, 0);
+                    done
+                }
             }
             Op::Commit { .. } => {
                 // Footer write + rename: two metadata round-trips to the
                 // filesystem (reopen the file, publish the new name).
                 let lat = self.cfg.net.ion_latency;
-                let opened = self.fs.open(now.saturating_add(lat));
-                let done = self.fs.close(opened).saturating_add(lat);
-                self.record(rank, OpKind::Commit, now, done, 0);
-                done
+                if pipelined {
+                    self.flush_enqueue(rank, now, FlushReq::Commit, q);
+                    self.record(rank, OpKind::Commit, now, now, 0);
+                    now
+                } else {
+                    let opened = self.fs.open(now.saturating_add(lat));
+                    let done = self.fs.close(opened).saturating_add(lat);
+                    self.record(rank, OpKind::Commit, now, done, 0);
+                    done
+                }
             }
         };
         self.pc[rank as usize] += 1;
@@ -218,12 +347,57 @@ impl Model for Sim<'_> {
         match ev {
             Ev::Advance { rank } => {
                 if self.pc[rank as usize] >= self.program.ops[rank as usize].len() {
+                    // A rank is not done until its background flusher is:
+                    // park until the last FlushDone re-advances us.
+                    if self.flush_outstanding[rank as usize] > 0 {
+                        self.flush_wake[rank as usize] = true;
+                        return;
+                    }
                     self.finish[rank as usize] = self.finish[rank as usize].max(now);
                     self.done_ranks += 1;
                     return;
                 }
                 if let Some(done) = self.execute(rank, now, q) {
                     q.schedule(done, Ev::Advance { rank });
+                }
+            }
+            Ev::FlushStart { rank } => {
+                let (_, req) = self.flush_queue[rank as usize]
+                    .pop_front()
+                    .expect("FlushStart with an empty queue");
+                let lat = self.cfg.net.ion_latency;
+                let (done, bytes) = match req {
+                    FlushReq::Write {
+                        file,
+                        offset,
+                        bytes,
+                    } => (self.disk_write(rank, file, offset, bytes, now), bytes),
+                    FlushReq::Close => (
+                        self.fs.close(now.saturating_add(lat)).saturating_add(lat),
+                        0,
+                    ),
+                    FlushReq::Commit => {
+                        let opened = self.fs.open(now.saturating_add(lat));
+                        (self.fs.close(opened).saturating_add(lat), 0)
+                    }
+                };
+                let data = bytes > 0;
+                self.record(rank, OpKind::Overlap, now, done, bytes);
+                q.schedule(done, Ev::FlushDone { rank, data });
+            }
+            Ev::FlushDone { rank, data } => {
+                self.flush_outstanding[rank as usize] -= 1;
+                if data {
+                    self.flush_data_outstanding[rank as usize] -= 1;
+                }
+                match self.flush_queue[rank as usize].front() {
+                    Some(&(ready, _)) => {
+                        q.schedule(ready.max(now), Ev::FlushStart { rank });
+                    }
+                    None => self.flush_running[rank as usize] = false,
+                }
+                if std::mem::take(&mut self.flush_wake[rank as usize]) {
+                    q.schedule(now, Ev::Advance { rank });
                 }
             }
             Ev::Arrive { src, dst, tag } => {
@@ -267,6 +441,11 @@ pub fn simulate(program: &Program, cfg: &MachineConfig) -> RunMetrics {
         max_handoff: SimTime::ZERO,
         bytes_sent: 0,
         done_ranks: 0,
+        flush_queue: (0..nranks).map(|_| VecDeque::new()).collect(),
+        flush_running: vec![false; nranks as usize],
+        flush_outstanding: vec![0; nranks as usize],
+        flush_data_outstanding: vec![0; nranks as usize],
+        flush_wake: vec![false; nranks as usize],
     };
     let mut q = EventQueue::new();
     for rank in 0..nranks {
@@ -638,5 +817,96 @@ mod tests {
         let m2 = simulate(&build(), &cfg);
         assert_eq!(m1.wall, m2.wall);
         assert_eq!(m1.per_rank_finish, m2.per_rank_finish);
+    }
+
+    /// One writer alternating aggregation (`Pack`) and `WriteAt` over many
+    /// fields. Serially each period costs pack + disk; pipelined, the disk
+    /// flush of field k overlaps the aggregation of field k+1.
+    fn pack_write_program(nfields: u64, bytes: u64) -> Program {
+        let mut b = ProgramBuilder::new(vec![0; 8]);
+        let f = b.file("ckpt", nfields * bytes);
+        b.reserve_staging(0, bytes);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        for k in 0..nfields {
+            b.push(
+                0,
+                Op::Pack {
+                    src: None,
+                    staging_off: 0,
+                    bytes,
+                },
+            );
+            b.push(
+                0,
+                Op::WriteAt {
+                    file: f,
+                    offset: k * bytes,
+                    src: DataRef::Synthetic { len: bytes },
+                },
+            );
+        }
+        b.push(0, Op::Close { file: f });
+        b.build()
+    }
+
+    #[test]
+    fn pipelined_writer_overlaps_aggregation_with_flush() {
+        // Disk period ~2x the aggregation period: the pipelined writer
+        // should approach max(pack + copy, disk) = disk per field, i.e.
+        // about 1.5x over serial pack + disk.
+        let mut cfg = machine(8);
+        cfg.mem_bw = 1.0e9;
+        cfg.net.client_stream_bw = 0.5e9;
+        let prog = pack_write_program(16, 8 << 20);
+        let serial = simulate(&prog, &cfg);
+        let piped = simulate(&prog, &cfg.clone().pipeline_depth(2));
+        let ratio = serial.wall.as_secs_f64() / piped.wall.as_secs_f64();
+        assert!(
+            ratio >= 1.3,
+            "depth 2 must be >= 1.3x faster: serial {:?}, piped {:?} (ratio {ratio:.2})",
+            serial.wall,
+            piped.wall
+        );
+        // Background flushes are visible to the profiler: one Overlap
+        // interval per write plus one for the deferred close.
+        assert_eq!(piped.timeline.count_of(OpKind::Overlap), 17);
+        assert_eq!(serial.timeline.count_of(OpKind::Overlap), 0);
+    }
+
+    #[test]
+    fn pipelined_rank_finish_includes_background_flushes() {
+        // A single write has nothing to overlap with: the rank cannot
+        // finish before its background flush lands, so depth 2 must not
+        // report a faster wall than serial.
+        let cfg = machine(8);
+        let prog = pack_write_program(1, 32 << 20);
+        let serial = simulate(&prog, &cfg);
+        let piped = simulate(&prog, &cfg.clone().pipeline_depth(2));
+        assert!(
+            piped.wall.as_secs_f64() >= serial.wall.as_secs_f64() * 0.99,
+            "no-overlap program must not speed up: serial {:?}, piped {:?}",
+            serial.wall,
+            piped.wall
+        );
+        assert_eq!(piped.bytes_written, serial.bytes_written);
+    }
+
+    #[test]
+    fn pipelined_depth_bounds_outstanding_flushes_deterministically() {
+        let cfg = machine(8).pipeline_depth(4);
+        let prog = pack_write_program(12, 4 << 20);
+        let m1 = simulate(&prog, &cfg);
+        let m2 = simulate(&prog, &cfg);
+        assert_eq!(m1.wall, m2.wall);
+        assert_eq!(m1.per_rank_finish, m2.per_rank_finish);
+        // Deeper pipelines never lose to shallower ones on this program.
+        let d2 = simulate(&prog, &cfg.clone().pipeline_depth(2));
+        assert!(m1.wall <= d2.wall);
     }
 }

@@ -37,11 +37,16 @@ pub enum OpKind {
     Commit,
     /// A write attempt repeated after a transient error.
     Retry,
+    /// Background work (flush/close/commit) a pipelined writer overlaps
+    /// with its foreground aggregation; the interval covers the hidden
+    /// portion, so writer busy time = Write + Overlap while the rank's
+    /// critical path only carries Write.
+    Overlap,
 }
 
 impl OpKind {
     /// All kinds, for iteration in reports.
-    pub const ALL: [OpKind; 11] = [
+    pub const ALL: [OpKind; 12] = [
         OpKind::Open,
         OpKind::Write,
         OpKind::Read,
@@ -53,6 +58,7 @@ impl OpKind {
         OpKind::Compute,
         OpKind::Commit,
         OpKind::Retry,
+        OpKind::Overlap,
     ];
 
     /// Short label.
@@ -69,6 +75,7 @@ impl OpKind {
             OpKind::Compute => "compute",
             OpKind::Commit => "commit",
             OpKind::Retry => "retry",
+            OpKind::Overlap => "overlap",
         }
     }
 }
@@ -163,6 +170,18 @@ impl Timeline {
             .filter(|iv| iv.rank == rank && iv.kind == kind)
             .map(|iv| iv.end - iv.start)
             .sum()
+    }
+
+    /// Duration of the longest single interval of `kind` across all ranks
+    /// (`SimTime::ZERO` when none was recorded). The perceived-bandwidth
+    /// counters use this for the slowest observed handoff.
+    pub fn longest_of(&self, kind: OpKind) -> SimTime {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.kind == kind)
+            .map(|iv| iv.end - iv.start)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Write-activity rows (Fig. 12): for each rank that wrote, the sorted
@@ -407,6 +426,26 @@ mod tests {
         assert!(read_csv(std::io::BufReader::new(bad.as_bytes())).is_err());
         let bad2 = "rank,op,start_ns,end_ns,bytes\n1,frobnicate,0,5,0\n";
         assert!(read_csv(std::io::BufReader::new(bad2.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn longest_of_picks_the_slowest_single_interval() {
+        let tl = sample();
+        assert_eq!(tl.longest_of(OpKind::Write), t(4)); // [1,5)
+        assert_eq!(tl.longest_of(OpKind::Send), t(2));
+        assert_eq!(tl.longest_of(OpKind::Overlap), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overlap_kind_round_trips_through_csv() {
+        let mut tl = Timeline::new();
+        tl.record(3, OpKind::Overlap, t(2), t(7), 4096);
+        let mut buf = Vec::new();
+        write_csv(&tl, &mut buf).unwrap();
+        let back = read_csv(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.count_of(OpKind::Overlap), 1);
+        assert_eq!(back.bytes_of(OpKind::Overlap), 4096);
+        assert_eq!(back.busy_of(3, OpKind::Overlap), t(5));
     }
 
     #[test]

@@ -494,9 +494,11 @@ macro_rules! prop_oneof {
     };
 }
 
-/// The property-test entry macro. Mirrors real proptest's surface:
+/// The property-test entry macro. Mirrors real proptest's surface
+/// (illustration only — `--include-ignored` must not compile this against
+/// the shim, whose macro is only importable from a dependent crate):
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
 ///

@@ -63,6 +63,7 @@ proptest! {
                 align_domains: block % 2 == 0,
                 cb_buffer_size: cb,
                 writer_buffer: cb.max(512),
+                ..Tuning::default()
             })
             .plan()
             .expect("valid plan");

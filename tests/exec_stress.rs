@@ -65,6 +65,7 @@ fn coio_shared_file_exchange_storm() {
             fs_block_size: 8192,
             align_domains: true,
             writer_buffer: 1 << 20,
+            ..Tuning::default()
         })
         .plan()
         .expect("plan");

@@ -213,16 +213,19 @@ fn dropped_worker_message_times_out_instead_of_hanging() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The crash-consistency contract: whatever rank is killed at whatever
-    /// byte threshold, restart either loads a complete generation or
+    /// The crash-consistency contract — on the serial AND pipelined write
+    /// paths: whatever rank is killed at whatever byte threshold, at any
+    /// pipeline depth, restart either loads a complete generation or
     /// reports a typed error — and the previous generation always restores
     /// byte-identically.
     #[test]
     fn any_fault_point_restores_prior_generation_or_errors_typed(
         kill_rank in 0u32..6,
         threshold in 1u64..20_000,
+        depth_pick in 0u8..3,
     ) {
-        let dir = tmpdir(&format!("prop-{kill_rank}-{threshold}"));
+        let depth = [1u32, 2, 4][depth_pick as usize];
+        let dir = tmpdir(&format!("prop-{kill_rank}-{threshold}-{depth}"));
         let layout = DataLayout::uniform(6, &[("a", 2048), ("b", 512)]);
         let gen1 = write_step(&dir, &layout, 1, Strategy::rbio(2));
         let want = read_checkpoint(&dir, &gen1).expect("gen 1");
@@ -233,7 +236,7 @@ proptest! {
             .plan()
             .expect("plan");
         let payloads = materialize_payloads(&plan2, fill);
-        let mut cfg = ExecConfig::new(&dir);
+        let mut cfg = ExecConfig::new(&dir).pipeline_depth(depth).pipeline_jitter(threshold);
         cfg.faults = FaultPlan::none().kill_writer_after_bytes(kill_rank, threshold);
         let res = execute(&plan2.program, payloads, &cfg);
 
@@ -267,5 +270,59 @@ proptest! {
             }
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Exhaustive pipelined fault-point sweep for CI's `--include-ignored`
+/// job: every writer rank x a ladder of byte thresholds x depths 2 and 4.
+/// Any kill point must leave the prior generation byte-identical and the
+/// new one either complete or failing with a typed restart error.
+#[test]
+#[ignore = "exhaustive fault sweep; run with --include-ignored"]
+fn pipelined_fault_sweep_never_publishes_torn_files() {
+    let layout = DataLayout::uniform(6, &[("a", 2048), ("b", 512)]);
+    for depth in [2u32, 4] {
+        for kill_rank in [0u32, 3] {
+            for threshold in [1u64, 100, 2048, 5000, 10_000, 20_000] {
+                let dir = tmpdir(&format!("sweep-{depth}-{kill_rank}-{threshold}"));
+                let gen1 = write_step(&dir, &layout, 1, Strategy::rbio(2));
+                let want = read_checkpoint(&dir, &gen1).expect("gen 1");
+
+                let plan2 = CheckpointSpec::new(layout.clone(), "s002")
+                    .strategy(Strategy::rbio(2))
+                    .step(2)
+                    .plan()
+                    .expect("plan");
+                let payloads = materialize_payloads(&plan2, fill);
+                let mut cfg = ExecConfig::new(&dir)
+                    .pipeline_depth(depth)
+                    .pipeline_jitter(threshold ^ u64::from(kill_rank));
+                cfg.faults = FaultPlan::none().kill_writer_after_bytes(kill_rank, threshold);
+                let res = execute(&plan2.program, payloads, &cfg);
+
+                match read_checkpoint(&dir, &plan2) {
+                    Ok(_) => assert!(res.is_ok(), "killed run read back complete"),
+                    Err(e) => {
+                        assert!(res.is_err(), "ok run failed restart: {e}");
+                        assert!(
+                            matches!(
+                                e,
+                                RestartError::Torn { .. }
+                                    | RestartError::Io(_)
+                                    | RestartError::Inconsistent(_)
+                            ),
+                            "untyped: {e}"
+                        );
+                    }
+                }
+                let again = read_checkpoint(&dir, &gen1).expect("gen 1 intact");
+                for r in 0..6u32 {
+                    for f in 0..2usize {
+                        assert_eq!(again.field_data(r, f), want.field_data(r, f));
+                    }
+                }
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
     }
 }

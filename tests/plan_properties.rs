@@ -45,6 +45,7 @@ fn arb_tuning() -> impl proptest::strategy::Strategy<Value = Tuning> {
         align_domains: align,
         cb_buffer_size: cb,
         writer_buffer: wb,
+        ..Tuning::default()
     })
 }
 
