@@ -30,6 +30,11 @@ if [[ "$SLOW" == 1 ]]; then
   echo "== multi_step campaign (depth 2) =="
   cargo run --release -p rbio-bench --bin multi_step -- 16384 20 10 2
   ls -l target/paper-results/multi_step.json
+
+  echo "== datapath metrics (copies/byte + CRC throughput) =="
+  cargo run --release -p rbio-bench --bin datapath
+  cp target/paper-results/datapath.json BENCH_datapath.json
+  ls -l BENCH_datapath.json
 fi
 
 echo "ci: all checks passed"

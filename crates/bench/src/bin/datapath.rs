@@ -1,0 +1,197 @@
+//! Datapath metrics: copies per checkpoint byte (deep-copy vs zero-copy,
+//! serial and pipelined) across the three strategies, plus slice-by-8
+//! CRC32C throughput vs the scalar oracle.
+//!
+//! The zero-copy claim is structural: a worker's payload byte is wrapped
+//! once in a refcounted buffer and travels payload → channel → staging →
+//! disk with exactly the one aggregation copy the plan IR mandates (plus
+//! a snapshot copy when the write is deferred to the flush pipeline). The
+//! legacy deep-copy path re-materialized the bytes at every hop (~3
+//! copies per byte). This binary measures both with the process-wide
+//! `rbio_profile::counters` and saves `datapath.json` for EXPERIMENTS.md;
+//! CI exports it as `BENCH_datapath.json`.
+//!
+//! Usage: `datapath [np]` (default 16).
+
+use std::time::Instant;
+
+use rbio::buf::CopyMode;
+use rbio::exec::{execute, ExecConfig};
+use rbio::format::{crc32c, crc32c_scalar, materialize_payloads};
+use rbio::layout::DataLayout;
+use rbio::strategy::{CheckpointSpec, Strategy};
+use rbio_bench::report::{check, print_table, FigureData, Series};
+use rbio_profile::counters;
+
+fn fill(rank: u32, field: usize, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (rank as usize * 13 + field * 5 + i) as u8;
+    }
+}
+
+/// Run one checkpoint under `mode` and return copies per checkpoint byte.
+fn ratio_for(np: u32, strategy: Strategy, mode: CopyMode, depth: u32, tag: &str) -> f64 {
+    let layout = DataLayout::uniform(np, &[("Ex", 64 * 1024), ("Hy", 32 * 1024)]);
+    let plan = CheckpointSpec::new(layout, "dp")
+        .strategy(strategy)
+        .plan()
+        .expect("valid plan");
+    let payloads = materialize_payloads(&plan, fill);
+    let dir = std::env::temp_dir().join(format!(
+        "rbio-datapath-{tag}-{}-{}",
+        depth,
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = ExecConfig::new(&dir).copy_mode(mode).pipeline_depth(depth);
+    let before = counters::snapshot();
+    execute(&plan.program, payloads, &cfg).expect("exec");
+    let delta = counters::snapshot().delta_since(&before);
+    std::fs::remove_dir_all(&dir).ok();
+    delta.copies_per_checkpoint_byte()
+}
+
+/// Best-of-N wall time for one CRC pass over `data`, in GiB/s.
+fn crc_gibps(data: &[u8], passes: u32, f: impl Fn(&[u8]) -> u32) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0u32;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        sink ^= f(data);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    // Keep the checksum observable so the loop cannot be elided.
+    assert_ne!(sink, 1);
+    data.len() as f64 / best / (1u64 << 30) as f64
+}
+
+fn main() {
+    let np: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+
+    let strategies: Vec<(&str, Strategy)> = vec![
+        ("1PFPP", Strategy::OnePfpp),
+        ("coIO nf=4", Strategy::coio(4)),
+        ("rbIO ng=4", Strategy::rbio(4)),
+    ];
+    let variants: Vec<(&str, CopyMode, u32)> = vec![
+        ("deep-copy serial", CopyMode::DeepCopy, 1),
+        ("zero-copy serial", CopyMode::ZeroCopy, 1),
+        ("zero-copy pipelined", CopyMode::ZeroCopy, 3),
+    ];
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for (vlabel, mode, depth) in &variants {
+        let ys: Vec<f64> = strategies
+            .iter()
+            .map(|(slabel, s)| {
+                ratio_for(
+                    np,
+                    *s,
+                    *mode,
+                    *depth,
+                    &format!("{slabel}-{vlabel}").replace([' ', '='], ""),
+                )
+            })
+            .collect();
+        rows.push((vlabel.to_string(), ys.clone()));
+        series.push(Series {
+            label: vlabel.to_string(),
+            x: (0..strategies.len()).map(|i| i as f64).collect(),
+            y: ys,
+        });
+    }
+    print_table(
+        &format!("copies per checkpoint byte, np={np}"),
+        &strategies
+            .iter()
+            .map(|(l, _)| l.to_string())
+            .collect::<Vec<_>>(),
+        &rows,
+        "copies/byte",
+    );
+
+    // CRC throughput: 8 MiB, best of 7 passes each.
+    let data: Vec<u8> = (0..(8usize << 20))
+        .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+        .collect();
+    let scalar = crc_gibps(&data, 7, crc32c_scalar);
+    let sliced = crc_gibps(&data, 7, crc32c);
+    let speedup = sliced / scalar;
+    println!(
+        "\ncrc32c on 8 MiB: scalar {scalar:.2} GiB/s, slice-by-8 {sliced:.2} GiB/s \
+         ({speedup:.2}x)"
+    );
+    series.push(Series {
+        label: "crc32c GiB/s (scalar, slice-by-8)".into(),
+        x: vec![0.0, 1.0],
+        y: vec![scalar, sliced],
+    });
+
+    let mut notes = Vec::new();
+    for (i, (slabel, _)) in strategies.iter().enumerate() {
+        let deep = rows[0].1[i];
+        let zero = rows[1].1[i];
+        notes.push(check(
+            &format!("{slabel}: zero-copy reduces copies/byte ({zero:.3} < {deep:.3})"),
+            zero < deep,
+        ));
+    }
+    // rbIO keeps two plan-mandated staging copies per aggregated byte
+    // (recv → staging, then the field-reorder re-pack); everything else
+    // — send, write, snapshot-on-serial — is zero-copy.
+    notes.push(check(
+        &format!(
+            "rbIO zero-copy serial ≤ 2 copies/byte (got {:.3})",
+            rows[1].1[2]
+        ),
+        rows[1].1[2] <= 2.0,
+    ));
+    notes.push(check(
+        &format!("slice-by-8 crc32c ≥ 2x scalar on 8 MiB (got {speedup:.2}x)"),
+        speedup >= 2.0,
+    ));
+
+    FigureData {
+        id: "datapath".into(),
+        title: format!(
+            "Datapath copy accounting (copies per checkpoint byte) and CRC32C \
+             throughput, np={np}; x = strategy index (1PFPP, coIO, rbIO)"
+        ),
+        series,
+        notes,
+    }
+    .save();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs in the bin's own test process, so the process-wide counters
+    /// see only this workload (plus nothing else — there is exactly one
+    /// test in this binary).
+    #[test]
+    fn zero_copy_reduces_copies_for_every_strategy() {
+        for (tag, strategy) in [
+            ("t1pfpp", Strategy::OnePfpp),
+            ("tcoio", Strategy::coio(2)),
+            ("trbio", Strategy::rbio(2)),
+        ] {
+            let deep = ratio_for(8, strategy, CopyMode::DeepCopy, 1, &format!("{tag}d"));
+            let zero = ratio_for(8, strategy, CopyMode::ZeroCopy, 1, &format!("{tag}z"));
+            assert!(
+                zero < deep,
+                "{tag}: zero-copy {zero:.3} must beat deep-copy {deep:.3} copies/byte"
+            );
+            // Deep-copy re-materializes at least once per written byte
+            // (1PFPP ≈ 1, aggregating strategies ≈ 3–4); zero-copy keeps
+            // only the plan-mandated staging copies (recv aggregation and
+            // the rbIO field-reorder re-pack), ≤ 2 per byte.
+            assert!(deep >= 0.9, "{tag}: deep-copy ratio too low: {deep:.3}");
+            assert!(zero <= 2.0, "{tag}: zero-copy ratio too high: {zero:.3}");
+        }
+    }
+}

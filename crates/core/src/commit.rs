@@ -103,9 +103,15 @@ fn region(bytes: &[u8], off: u64, len: u64) -> FooterRegion {
     }
 }
 
+/// Files below this logical size verify their regions serially; larger
+/// ones fan the per-region CRC computation out across worker threads
+/// (restart verification is CPU-bound once the file is in page cache).
+const PARALLEL_VERIFY_MIN: u64 = 4 << 20;
+
 /// Verify the commit footer of a fully read file against `expected_size`
 /// (the logical, pre-footer size). Returns a description of the first
-/// problem, or `None` when every region checks out.
+/// problem (under parallel verification, the lowest-indexed failing
+/// region), or `None` when every region checks out.
 pub fn verify_committed(bytes: &[u8], expected_size: u64) -> Option<String> {
     if (bytes.len() as u64) < expected_size {
         return Some(format!(
@@ -129,6 +135,8 @@ pub fn verify_committed(bytes: &[u8], expected_size: u64) -> Option<String> {
         Ok(r) => r,
         Err(e) => return Some(format!("commit footer invalid: {e}")),
     };
+    // Bounds first (cheap, serial) so the checksum passes below can slice
+    // without further checks.
     for (i, r) in regions.iter().enumerate() {
         let Some(end) = r.off.checked_add(r.len) else {
             return Some(format!("region {i} overflows"));
@@ -139,15 +147,62 @@ pub fn verify_committed(bytes: &[u8], expected_size: u64) -> Option<String> {
                 r.off
             ));
         }
-        let got = format::crc32c(&bytes[r.off as usize..end as usize]);
-        if got != r.crc32c {
-            return Some(format!(
-                "region {i} [{}..{end}) checksum mismatch: stored {:#010x}, computed {got:#010x}",
-                r.off, r.crc32c
-            ));
-        }
     }
-    None
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(regions.len())
+        .min(8);
+    if expected_size < PARALLEL_VERIFY_MIN || workers <= 1 {
+        return regions
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| check_region(bytes, i, r));
+    }
+    // Work-stealing fan-out: workers claim region indices from a shared
+    // counter, so one huge region cannot serialize the rest behind it.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let firsts: Vec<Option<(usize, String)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut first: Option<(usize, String)> = None;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= regions.len() {
+                            return first;
+                        }
+                        if let Some(why) = check_region(bytes, i, &regions[i]) {
+                            if first.as_ref().is_none_or(|(j, _)| i < *j) {
+                                first = Some((i, why));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verify worker must not panic"))
+            .collect()
+    });
+    firsts
+        .into_iter()
+        .flatten()
+        .min_by_key(|(i, _)| *i)
+        .map(|(_, why)| why)
+}
+
+/// Checksum one bounds-checked footer region.
+fn check_region(bytes: &[u8], i: usize, r: &FooterRegion) -> Option<String> {
+    let end = r.off + r.len;
+    let got = format::crc32c(&bytes[r.off as usize..end as usize]);
+    (got != r.crc32c).then(|| {
+        format!(
+            "region {i} [{}..{end}) checksum mismatch: stored {:#010x}, computed {got:#010x}",
+            r.off, r.crc32c
+        )
+    })
 }
 
 #[cfg(test)]

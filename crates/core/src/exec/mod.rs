@@ -19,11 +19,58 @@ use std::time::{Duration, Instant};
 use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
 
 use rbio_plan::{DataRef, Op, Program};
+use rbio_profile::counters;
 
+use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
 use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
+
+/// Cap one coalesced vectored write at this many bytes…
+const MAX_COALESCE_BYTES: u64 = 8 << 20;
+/// …and this many chunks (well under any `IOV_MAX`).
+const MAX_COALESCE_OPS: usize = 64;
+
+/// Byte length a `DataRef` describes.
+pub(crate) fn src_len(r: &DataRef) -> u64 {
+    match *r {
+        DataRef::Own { len, .. } | DataRef::Staging { len, .. } | DataRef::Synthetic { len } => len,
+    }
+}
+
+/// The source of a `WriteAt` op (callers guarantee the variant).
+pub(crate) fn write_src(op: &Op) -> &DataRef {
+    match op {
+        Op::WriteAt { src, .. } => src,
+        _ => unreachable!("write run contains only WriteAt ops"),
+    }
+}
+
+/// Length of the maximal coalescible run of `WriteAt` ops starting at
+/// `ops[i]`: same file, byte-contiguous offsets, bounded size. Shared by
+/// both executors so their batching (and thus their syscall pattern) is
+/// identical.
+pub(crate) fn write_run_len(ops: &[Op], i: usize, file: u32, offset: u64) -> usize {
+    let mut end = i + 1;
+    let mut next = offset + src_len(write_src(&ops[i]));
+    let mut total = src_len(write_src(&ops[i]));
+    while end < ops.len() && end - i < MAX_COALESCE_OPS && total < MAX_COALESCE_BYTES {
+        match &ops[end] {
+            Op::WriteAt {
+                file: f2,
+                offset: o2,
+                src: s2,
+            } if f2.0 == file && *o2 == next => {
+                next += src_len(s2);
+                total += src_len(s2);
+                end += 1;
+            }
+            _ => break,
+        }
+    }
+    end
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +104,12 @@ pub struct ExecConfig {
     /// duration before running — a deterministic way for equivalence
     /// tests to sweep cross-rank interleavings.
     pub pipeline_jitter: Option<u64>,
+    /// How payload bytes travel to disk. [`CopyMode::ZeroCopy`] (the
+    /// default) moves refcounted [`Bytes`] slices and coalesces
+    /// contiguous writes; [`CopyMode::DeepCopy`] deep-copies at every
+    /// hop — the legacy datapath, kept as the baseline for equivalence
+    /// tests and the bytes-copied benchmark.
+    pub copy_mode: CopyMode,
 }
 
 impl ExecConfig {
@@ -72,6 +125,7 @@ impl ExecConfig {
             recv_timeout: Duration::from_secs(2),
             pipeline_depth: 1,
             pipeline_jitter: None,
+            copy_mode: CopyMode::ZeroCopy,
         }
     }
 
@@ -90,6 +144,12 @@ impl ExecConfig {
     /// Set the background-job jitter seed for interleaving sweeps.
     pub fn pipeline_jitter(mut self, seed: u64) -> Self {
         self.pipeline_jitter = Some(seed);
+        self
+    }
+
+    /// Select the datapath copy discipline.
+    pub fn copy_mode(mut self, mode: CopyMode) -> Self {
+        self.copy_mode = mode;
         self
     }
 }
@@ -148,7 +208,7 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-type Msg = (u32, u64, Vec<u8>); // (src, tag, data)
+type Msg = (u32, u64, Bytes); // (src, tag, data)
 
 /// An abort-induced error: the rank stopped because a *peer* failed, not
 /// because of its own fault. `execute` prefers reporting the root cause.
@@ -213,10 +273,10 @@ impl AbortBarrier {
 struct RankCtx<'a> {
     rank: u32,
     program: &'a Program,
-    payload: &'a [u8],
+    payload: &'a Bytes,
     staging: Vec<u8>,
     rx: Receiver<Msg>,
-    stash: HashMap<(u32, u64), std::collections::VecDeque<Vec<u8>>>,
+    stash: HashMap<(u32, u64), std::collections::VecDeque<Bytes>>,
     senders: &'a [Sender<Msg>],
     barriers: &'a [AbortBarrier],
     files: HashMap<u32, Arc<File>>,
@@ -228,21 +288,48 @@ struct RankCtx<'a> {
 }
 
 impl RankCtx<'_> {
-    fn resolve(&self, r: &DataRef, file_off_hint: u64) -> Vec<u8> {
-        match *r {
-            DataRef::Own { off, len } => self.payload[off as usize..(off + len) as usize].to_vec(),
-            DataRef::Staging { off, len } => {
-                self.staging[off as usize..(off + len) as usize].to_vec()
-            }
-            DataRef::Synthetic { len } => (0..len)
-                .map(|i| synthetic_byte(file_off_hint + i))
-                .collect(),
+    /// Materialize `r` as an owned, immutable [`Bytes`] snapshot — what a
+    /// `Send` or a deferred (pipelined) write needs. Under `ZeroCopy` a
+    /// payload reference is an O(1) refcounted slice (payloads are never
+    /// mutated during a run); only staging references copy, because
+    /// staging is reused by later `Pack`/`Recv` ops. Under `DeepCopy`
+    /// everything copies, as the seed datapath did. Every memcpy either
+    /// way is charged to [`counters::add_bytes_copied`].
+    fn resolve_owned(&self, r: &DataRef, file_off_hint: u64) -> Bytes {
+        match self.cfg.copy_mode {
+            CopyMode::DeepCopy => match *r {
+                DataRef::Own { off, len } => {
+                    counters::add_bytes_copied(len);
+                    Bytes::from_vec(self.payload[off as usize..(off + len) as usize].to_vec())
+                }
+                DataRef::Staging { off, len } => {
+                    counters::add_bytes_copied(len);
+                    Bytes::from_vec(self.staging[off as usize..(off + len) as usize].to_vec())
+                }
+                DataRef::Synthetic { len } => Bytes::from_vec(
+                    (0..len)
+                        .map(|i| synthetic_byte(file_off_hint + i))
+                        .collect(),
+                ),
+            },
+            CopyMode::ZeroCopy => match *r {
+                DataRef::Own { off, len } => self.payload.slice(off as usize..(off + len) as usize),
+                DataRef::Staging { off, len } => BufPool::global()
+                    .copy_from_slice(&self.staging[off as usize..(off + len) as usize]),
+                DataRef::Synthetic { len } => BufPool::global()
+                    .from_fn(len as usize, |i| synthetic_byte(file_off_hint + i as u64)),
+            },
         }
     }
 
     fn run(&mut self) -> io::Result<()> {
-        // Clone the op list handle to sidestep borrow tangles; ops are small.
-        for op in &self.program.ops[self.rank as usize] {
+        // Copy out the `&'a Program` reference so indexed op access does
+        // not hold a borrow of `self` across `&mut self` calls.
+        let program = self.program;
+        let ops = &program.ops[self.rank as usize];
+        let mut i = 0;
+        while i < ops.len() {
+            let op = &ops[i];
             match op {
                 Op::Compute { nanos } => {
                     if self.cfg.honor_compute {
@@ -257,13 +344,15 @@ impl RankCtx<'_> {
                     if let Some(s) = src {
                         match *s {
                             DataRef::Staging { off, len } => {
+                                counters::add_bytes_copied(len);
                                 self.staging.copy_within(
                                     off as usize..(off + len) as usize,
                                     *staging_off as usize,
                                 );
                             }
                             _ => {
-                                let data = self.resolve(s, 0);
+                                let data = self.resolve_owned(s, 0);
+                                counters::add_bytes_copied(*bytes);
                                 self.staging[*staging_off as usize
                                     ..*staging_off as usize + *bytes as usize]
                                     .copy_from_slice(&data);
@@ -272,9 +361,10 @@ impl RankCtx<'_> {
                     }
                 }
                 Op::Send { dst, tag, src } => {
-                    let data = self.resolve(src, 0);
+                    let data = self.resolve_owned(src, 0);
                     if self.cfg.faults.on_send(self.rank, *dst) {
                         // Injected message loss: the receiver times out.
+                        i += 1;
                         continue;
                     }
                     if self.senders[*dst as usize]
@@ -299,6 +389,9 @@ impl RankCtx<'_> {
                             data.len()
                         )));
                     }
+                    // The one aggregation copy the plan IR mandates: the
+                    // received chunk lands in this writer's staging image.
+                    counters::add_bytes_copied(data.len() as u64);
                     self.staging[*staging_off as usize..*staging_off as usize + data.len()]
                         .copy_from_slice(&data);
                 }
@@ -326,20 +419,13 @@ impl RankCtx<'_> {
                     };
                     self.files.insert(file.0, Arc::new(f));
                 }
-                Op::WriteAt { file, offset, src } => {
-                    // `resolve` snapshots the bytes, so a deferred flush
-                    // never races with later Pack/Recv staging reuse.
-                    let data = self.resolve(src, *offset);
-                    if self.pipe.is_some() {
-                        let f = Arc::clone(self.files.get(&file.0).expect("validated: opened"));
-                        self.submit(FlushJob::Write {
-                            file: f,
-                            offset: *offset,
-                            data,
-                        })?;
-                    } else {
-                        self.write_with_retry(file.0, *offset, &data)?;
-                    }
+                Op::WriteAt {
+                    file,
+                    offset,
+                    src: _,
+                } => {
+                    i = self.handle_write_run(ops, i, file.0, *offset)?;
+                    continue;
                 }
                 Op::ReadAt {
                     file,
@@ -391,9 +477,134 @@ impl RankCtx<'_> {
                     }
                 }
             }
+            i += 1;
         }
         self.drain_pipe()?;
         Ok(())
+    }
+
+    /// Execute the coalescible run of `WriteAt` ops starting at `ops[i]`;
+    /// returns the index of the first op not consumed.
+    ///
+    /// Coalescing turns byte-contiguous same-file writes into one
+    /// vectored write. It is skipped when faults are armed — the
+    /// [`FaultPlan`] counts logical writes and its semantics are
+    /// specified against plan ops, one write per op — and under
+    /// `DeepCopy`, which preserves the legacy one-op-one-write shape.
+    fn handle_write_run(
+        &mut self,
+        ops: &[Op],
+        i: usize,
+        file: u32,
+        offset: u64,
+    ) -> io::Result<usize> {
+        let coalesce = self.cfg.copy_mode == CopyMode::ZeroCopy && !self.cfg.faults.is_armed();
+        let end = if coalesce {
+            write_run_len(ops, i, file, offset)
+        } else {
+            i + 1
+        };
+        let total: u64 = ops[i..end].iter().map(|o| src_len(write_src(o))).sum();
+        counters::add_checkpoint_bytes(total);
+
+        if self.pipe.is_some() {
+            // Deferred flush: snapshot each source as owned `Bytes` so the
+            // background write never races with later staging reuse.
+            let f = Arc::clone(self.files.get(&file).expect("validated: opened"));
+            if end == i + 1 {
+                let data = self.resolve_owned(write_src(&ops[i]), offset);
+                self.submit(FlushJob::Write {
+                    file: f,
+                    offset,
+                    data,
+                })?;
+            } else {
+                let mut bufs = Vec::with_capacity(end - i);
+                let mut off = offset;
+                for o in &ops[i..end] {
+                    let s = write_src(o);
+                    bufs.push(self.resolve_owned(s, off));
+                    off += src_len(s);
+                }
+                self.submit(FlushJob::WriteV {
+                    file: f,
+                    offset,
+                    bufs,
+                })?;
+            }
+            return Ok(end);
+        }
+
+        if end == i + 1 {
+            // Serial single write: the write completes before the op
+            // retires, so ZeroCopy writes straight from the borrowed
+            // source — no snapshot at all.
+            match (self.cfg.copy_mode, write_src(&ops[i])) {
+                (CopyMode::ZeroCopy, &DataRef::Own { off, len }) => {
+                    let data = &self.payload[off as usize..(off + len) as usize];
+                    self.write_with_retry(file, offset, data)?;
+                }
+                (CopyMode::ZeroCopy, &DataRef::Staging { off, len }) => {
+                    let data = &self.staging[off as usize..(off + len) as usize];
+                    self.write_with_retry(file, offset, data)?;
+                }
+                (_, src) => {
+                    let data = self.resolve_owned(src, offset);
+                    self.write_with_retry(file, offset, &data)?;
+                }
+            }
+            return Ok(end);
+        }
+
+        // Serial coalesced run: gather borrowed slices (plus generated
+        // synthetic chunks) and issue one vectored write.
+        enum Chunk {
+            Payload(usize, usize),
+            Staging(usize, usize),
+            Owned(Bytes),
+        }
+        let mut chunks = Vec::with_capacity(end - i);
+        let mut off = offset;
+        for o in &ops[i..end] {
+            match *write_src(o) {
+                DataRef::Own { off: po, len } => {
+                    chunks.push(Chunk::Payload(po as usize, len as usize))
+                }
+                DataRef::Staging { off: so, len } => {
+                    chunks.push(Chunk::Staging(so as usize, len as usize))
+                }
+                DataRef::Synthetic { len } => chunks.push(Chunk::Owned(
+                    BufPool::global().from_fn(len as usize, |k| synthetic_byte(off + k as u64)),
+                )),
+            }
+            off += src_len(write_src(o));
+        }
+        let slices: Vec<&[u8]> = chunks
+            .iter()
+            .map(|c| match c {
+                Chunk::Payload(o, l) => &self.payload[*o..*o + *l],
+                Chunk::Staging(o, l) => &self.staging[*o..*o + *l],
+                Chunk::Owned(b) => b.as_ref(),
+            })
+            .collect();
+        let f = self.files.get(&file).expect("validated: opened");
+        match fault::write_vectored_at(
+            f,
+            self.rank,
+            offset,
+            &slices,
+            &self.cfg.faults,
+            self.cfg.write_retries,
+            self.cfg.retry_backoff,
+        ) {
+            Ok(attempts) => {
+                self.retries
+                    .fetch_add(u64::from(attempts), Ordering::Relaxed);
+                Ok(end)
+            }
+            Err(fault::WriteError::Killed) => Err(killed_error(self.rank)),
+            Err(fault::WriteError::Io(e)) => Err(e),
+        }
     }
 
     fn submit(&self, job: FlushJob) -> io::Result<()> {
@@ -445,7 +656,7 @@ impl RankCtx<'_> {
         }
     }
 
-    fn recv_matching(&mut self, src: u32, tag: u64) -> io::Result<Vec<u8>> {
+    fn recv_matching(&mut self, src: u32, tag: u64) -> io::Result<Bytes> {
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
             if let Some(d) = q.pop_front() {
                 return Ok(d);
@@ -520,6 +731,10 @@ pub fn execute(
     }
     std::fs::create_dir_all(&cfg.base_dir)
         .map_err(|e| ExecError::Setup(format!("create base dir: {e}")))?;
+
+    // Wrap each payload once; every rank-side reference is a refcounted
+    // slice of this single allocation (no per-op copies under ZeroCopy).
+    let payloads: Vec<Bytes> = payloads.into_iter().map(Bytes::from_vec).collect();
 
     let mut txs = Vec::with_capacity(nranks);
     let mut rxs = Vec::with_capacity(nranks);

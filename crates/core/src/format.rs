@@ -69,53 +69,98 @@ impl std::fmt::Display for FormatError {
 
 impl std::error::Error for FormatError {}
 
-/// CRC32 (IEEE 802.3 polynomial, reflected).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
+/// IEEE 802.3 polynomial (reflected) — master-header CRC32.
+const CRC32_POLY: u32 = 0xEDB8_8320;
+/// Castagnoli polynomial (reflected) — commit-footer CRC32C.
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+/// Build the slice-by-8 lookup tables for a reflected CRC polynomial.
+/// `tables[0]` is the classic byte-at-a-time table; `tables[k][b]` folds a
+/// byte that sits `k` positions ahead in an 8-byte block.
+fn build_crc_tables(poly: u32) -> Box<[[u32; 256]; 8]> {
+    let mut t = Box::new([[0u32; 256]; 8]);
+    for i in 0..256usize {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { poly ^ (c >> 1) } else { c >> 1 };
         }
-        t
-    });
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        t[0][i] = c;
     }
-    !crc
+    for i in 0..256usize {
+        let mut c = t[0][i];
+        for k in 1..8 {
+            c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+            t[k][i] = c;
+        }
+    }
+    t
+}
+
+/// Slice-by-8 CRC update: process 8 input bytes per iteration with eight
+/// independent table lookups (Intel's "slicing-by-8"), falling back to
+/// byte-at-a-time for the 0–7 byte tail. `crc` is the running pre-inverted
+/// state (`!0` at the start of a message).
+#[inline]
+fn crc_update_sliced(tables: &[[u32; 256]; 8], mut crc: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().expect("len 4")) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().expect("len 4"));
+        crc = tables[7][(lo & 0xFF) as usize]
+            ^ tables[6][((lo >> 8) & 0xFF) as usize]
+            ^ tables[5][((lo >> 16) & 0xFF) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xFF) as usize]
+            ^ tables[2][((hi >> 8) & 0xFF) as usize]
+            ^ tables[1][((hi >> 16) & 0xFF) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = tables[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+fn crc32_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
+    TABLES.get_or_init(|| build_crc_tables(CRC32_POLY))
+}
+
+fn crc32c_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
+    TABLES.get_or_init(|| build_crc_tables(CRC32C_POLY))
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), slice-by-8.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc_update_sliced(crc32_tables(), !0, bytes)
 }
 
 /// CRC32C (Castagnoli polynomial, reflected) — used for the commit footer's
 /// per-region data checksums, keeping it distinct from the header's CRC32.
+/// Slice-by-8.
 pub fn crc32c(bytes: &[u8]) -> u32 {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0x82F6_3B78 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
-        }
-        t
-    });
+    !crc_update_sliced(crc32c_tables(), !0, bytes)
+}
+
+/// Byte-at-a-time CRC32 reference implementation. Kept as the oracle the
+/// property tests compare the slice-by-8 path against; not used on the
+/// checkpoint datapath.
+pub fn crc32_scalar(bytes: &[u8]) -> u32 {
+    let t = &crc32_tables()[0];
     let mut crc = !0u32;
     for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        crc = t[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Byte-at-a-time CRC32C reference implementation (test oracle).
+pub fn crc32c_scalar(bytes: &[u8]) -> u32 {
+    let t = &crc32c_tables()[0];
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = t[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -151,6 +196,7 @@ pub fn footer_len(nregions: usize) -> u64 {
 /// Encode a commit footer over `regions`.
 pub fn encode_footer(regions: &[FooterRegion]) -> Vec<u8> {
     let mut out = Vec::with_capacity(footer_len(regions.len()) as usize);
+    let cap = out.capacity();
     out.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
     out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
     for r in regions {
@@ -161,6 +207,7 @@ pub fn encode_footer(regions: &[FooterRegion]) -> Vec<u8> {
     let crc = crc32c(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     debug_assert_eq!(out.len() as u64, footer_len(regions.len()));
+    debug_assert_eq!(out.capacity(), cap, "footer_len pre-sized exactly");
     out
 }
 
@@ -285,6 +332,7 @@ pub fn file_size(layout: &DataLayout, app: &str, r0: u32, r1: u32) -> u64 {
 pub fn encode_header(layout: &DataLayout, app: &str, step: u64, r0: u32, r1: u32) -> Vec<u8> {
     let hlen = header_len(layout, app, r0, r1);
     let mut out = Vec::with_capacity(hlen as usize);
+    let cap = out.capacity();
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&hlen.to_le_bytes());
@@ -315,6 +363,7 @@ pub fn encode_header(layout: &DataLayout, app: &str, step: u64, r0: u32, r1: u32
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     debug_assert_eq!(out.len() as u64, hlen);
+    debug_assert_eq!(out.capacity(), cap, "header_len pre-sized exactly");
     out
 }
 
@@ -497,6 +546,32 @@ mod tests {
         // Standard test vector: CRC32C("123456789") = 0xE3069283.
         assert_eq!(crc32c(b"123456789"), 0xE306_9283);
         assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn scalar_oracles_match_known_vectors() {
+        assert_eq!(crc32_scalar(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32c_scalar(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32_scalar(b""), 0);
+        assert_eq!(crc32c_scalar(b""), 0);
+    }
+
+    #[test]
+    fn sliced_crc_equals_scalar_on_all_tail_lengths() {
+        // Every length 0..=64 exercises the empty input, sub-block inputs
+        // (1–7 bytes), and each 1–15 byte tail after full 8-byte blocks.
+        let data: Vec<u8> = (0..64u64).map(synthetic_byte).collect();
+        for len in 0..=data.len() {
+            let s = &data[..len];
+            assert_eq!(crc32(s), crc32_scalar(s), "crc32 len {len}");
+            assert_eq!(crc32c(s), crc32c_scalar(s), "crc32c len {len}");
+        }
+        // Misaligned starts: slice-by-8 reads u32s from arbitrary offsets.
+        for start in 0..8 {
+            let s = &data[start..];
+            assert_eq!(crc32(s), crc32_scalar(s), "crc32 start {start}");
+            assert_eq!(crc32c(s), crc32c_scalar(s), "crc32c start {start}");
+        }
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! Correctness relies on three properties, each enforced here or by the
 //! callers:
 //!
-//! 1. **Snapshot at issue** — a `Write` job owns its bytes (`Vec<u8>`),
-//!    copied out of payload/staging before submission, so later `Pack`
-//!    and `Recv` ops can reuse the staging buffer freely.
+//! 1. **Snapshot at issue** — a `Write` job owns its bytes as an immutable
+//!    [`Bytes`] slice: either a zero-copy view of storage that will never
+//!    be mutated again (a payload slice), or a pooled copy taken out of
+//!    mutable staging before submission, so later `Pack` and `Recv` ops
+//!    can reuse the staging buffer freely.
 //! 2. **Per-writer FIFO** — one pool thread at a time drains a writer's
 //!    queue in order, so the [`FaultPlan`] byte accounting and the
 //!    write→close→commit ordering are exactly the serial executor's.
@@ -35,6 +37,7 @@ use std::time::Duration;
 
 use rbio_plan::Rank;
 
+use crate::buf::Bytes;
 use crate::commit;
 use crate::fault::{self, FaultPlan};
 
@@ -58,8 +61,20 @@ pub enum FlushJob {
         file: Arc<File>,
         /// Absolute file offset.
         offset: u64,
-        /// The chunk, snapshotted at issue time.
-        data: Vec<u8>,
+        /// The chunk, snapshotted at issue time (an immutable slice —
+        /// zero-copy for payload data, a pooled copy for staging data).
+        data: Bytes,
+    },
+    /// Flush several chunks destined for contiguous offsets as one
+    /// vectored write (one syscall, one logical write for fault
+    /// accounting — only submitted when no faults are armed).
+    WriteV {
+        /// Open target file (the `.tmp` sibling for atomic files).
+        file: Arc<File>,
+        /// Absolute file offset of the first chunk.
+        offset: u64,
+        /// The chunks, back to back.
+        bufs: Vec<Bytes>,
     },
     /// Close the file (the job drops the final handle; optional fsync).
     Close {
@@ -347,6 +362,22 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
             fault::WriteError::Killed => PipelineError::Killed { rank: ctx.rank },
             fault::WriteError::Io(source) => PipelineError::Io(source),
         }),
+        FlushJob::WriteV { file, offset, bufs } => {
+            let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_ref()).collect();
+            fault::write_vectored_at(
+                &file,
+                ctx.rank,
+                offset,
+                &slices,
+                &ctx.faults,
+                ctx.write_retries,
+                ctx.retry_backoff,
+            )
+            .map_err(|e| match e {
+                fault::WriteError::Killed => PipelineError::Killed { rank: ctx.rank },
+                fault::WriteError::Io(source) => PipelineError::Io(source),
+            })
+        }
         FlushJob::Close { file, fsync } => {
             if fsync {
                 file.sync_all().map_err(PipelineError::Io)?;
@@ -411,7 +442,7 @@ mod tests {
             h.submit(FlushJob::Write {
                 file: Arc::clone(&file),
                 offset: 0,
-                data: vec![i; 8],
+                data: Bytes::from_vec(vec![i; 8]),
             })
             .expect("submit");
         }
@@ -439,7 +470,7 @@ mod tests {
                 h.submit(FlushJob::Write {
                     file: Arc::clone(&file),
                     offset: 0,
-                    data: vec![i.wrapping_add(round as u8); 32],
+                    data: Bytes::from_vec(vec![i.wrapping_add(round as u8); 32]),
                 })
                 .expect("submit");
             }
@@ -461,7 +492,7 @@ mod tests {
         h.submit(FlushJob::Write {
             file: Arc::clone(&file),
             offset: 0,
-            data: vec![1; 64],
+            data: Bytes::from_vec(vec![1; 64]),
         })
         .expect("submit");
         // The kill surfaces exactly once: at this submit if the write
@@ -501,7 +532,7 @@ mod tests {
                 h.submit(FlushJob::Write {
                     file: Arc::clone(&files[r]),
                     offset: k * 4,
-                    data: vec![r as u8; 4],
+                    data: Bytes::from_vec(vec![r as u8; 4]),
                 })
                 .expect("submit");
             }
@@ -526,7 +557,7 @@ mod tests {
         h.submit(FlushJob::Write {
             file,
             offset: 0,
-            data: vec![9; 16],
+            data: Bytes::from_vec(vec![9; 16]),
         })
         .expect("submit");
         assert_eq!(h.drain().expect("drain"), 2);

@@ -18,11 +18,19 @@
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rbio_plan::{FileId, Op, Program, ProgramBuilder};
 
+use crate::buf::Bytes;
 use crate::format::{decode_header, FileHeader, FormatError};
 use crate::strategy::CheckpointPlan;
+
+/// Cap on concurrent per-file restart readers. Each worker holds one
+/// whole file image in memory while slicing it, so this also bounds peak
+/// restart memory to `MAX_RESTART_WORKERS` file images.
+const MAX_RESTART_WORKERS: usize = 8;
 
 /// Errors reading a checkpoint back.
 #[derive(Debug)]
@@ -79,14 +87,16 @@ pub struct RestoredData {
     pub nranks: u32,
     /// Field names, in order.
     pub field_names: Vec<String>,
-    /// `data[rank][field]` = that rank's bytes for that field.
-    data: Vec<Vec<Vec<u8>>>,
+    /// `data[rank][field]` = that rank's bytes for that field — a
+    /// refcounted slice of the file image it was read from, so restoring
+    /// never copies the data out of the read buffer.
+    data: Vec<Vec<Bytes>>,
 }
 
 impl RestoredData {
     /// A rank's bytes for one field.
     pub fn field_data(&self, rank: u32, field: usize) -> &[u8] {
-        &self.data[rank as usize][field]
+        self.data[rank as usize][field].as_ref()
     }
 
     /// Total restored bytes.
@@ -138,14 +148,16 @@ fn read_up_to(f: &mut File, buf: &mut [u8]) -> io::Result<usize> {
     Ok(n)
 }
 
-fn extract(
+/// Read, verify, and slice one checkpoint file: returns
+/// `blocks[rank - r0][field]`, each block a zero-copy slice of the single
+/// file image read here.
+fn extract_file(
     dir: &Path,
     rel: &str,
     header: &FileHeader,
-    out: &mut [Vec<Vec<u8>>],
-) -> Result<(), RestartError> {
+) -> Result<Vec<Vec<Bytes>>, RestartError> {
     let path = dir.join(rel);
-    let bytes = std::fs::read(&path)?;
+    let bytes = Bytes::from_vec(std::fs::read(&path)?);
     let actual = bytes.len() as u64;
     if actual < header.expected_file_size() {
         return Err(RestartError::Inconsistent(format!(
@@ -163,13 +175,72 @@ fn extract(
             what,
         });
     }
+    let mut out = Vec::with_capacity((header.r1 - header.r0) as usize);
     for rank in header.r0..header.r1 {
+        let mut row = Vec::with_capacity(header.fields.len());
         for field in 0..header.fields.len() {
             let (off, len) = header.rank_block(rank, field);
-            out[rank as usize].push(bytes[off as usize..(off + len) as usize].to_vec());
+            row.push(bytes.slice(off as usize..(off + len) as usize));
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Per-file extraction result: one row of zero-copy field blocks per rank
+/// covered by the file.
+type FileBlocks = Result<Vec<Vec<Bytes>>, RestartError>;
+
+/// Extract every file of a checkpoint, fanning the per-file work (read +
+/// checksum verification + slicing) out across up to
+/// [`MAX_RESTART_WORKERS`] threads. Files cover disjoint rank ranges, so
+/// the merge is a straight append per rank; the first failing file (by
+/// listed order) wins error reporting, matching the serial path.
+fn extract_all(
+    dir: &Path,
+    files: &[(String, FileHeader)],
+    nranks: u32,
+) -> Result<Vec<Vec<Bytes>>, RestartError> {
+    let mut data: Vec<Vec<Bytes>> = vec![Vec::new(); nranks as usize];
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(files.len())
+        .min(MAX_RESTART_WORKERS);
+    let mut results: Vec<Option<FileBlocks>> = if workers <= 1 {
+        files
+            .iter()
+            .map(|(name, h)| Some(extract_file(dir, name, h)))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FileBlocks>>> =
+            files.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= files.len() {
+                        break;
+                    }
+                    let (name, h) = &files[i];
+                    let res = extract_file(dir, name, h);
+                    *slots[i].lock().expect("no poisoned slots") = Some(res);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("no poisoned slots"))
+            .collect()
+    };
+    for ((_, h), slot) in files.iter().zip(results.iter_mut()) {
+        let blocks = slot.take().expect("every file slot filled")?;
+        for (k, row) in blocks.into_iter().enumerate() {
+            data[h.r0 as usize + k].extend(row);
         }
     }
-    Ok(())
+    Ok(data)
 }
 
 /// Read back the checkpoint a plan wrote under `dir`.
@@ -179,7 +250,9 @@ pub fn read_checkpoint(
 ) -> Result<RestoredData, RestartError> {
     let dir = dir.as_ref();
     let nranks = plan.layout.nranks();
-    let mut data: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nranks as usize];
+    // Headers first (small reads, serial): shape checks must all pass
+    // before the heavy per-file extraction fans out.
+    let mut files: Vec<(String, FileHeader)> = Vec::with_capacity(plan.plan_files.len());
     let mut step = None;
     for pf in &plan.plan_files {
         let header = read_header(&dir.join(&pf.name))?;
@@ -196,8 +269,9 @@ pub fn read_checkpoint(
             )));
         }
         step = Some(header.step);
-        extract(dir, &pf.name, &header, &mut data)?;
+        files.push((pf.name.clone(), header));
     }
+    let data = extract_all(dir, &files, nranks)?;
     for (r, d) in data.iter().enumerate() {
         if d.len() != plan.layout.nfields() {
             return Err(RestartError::Inconsistent(format!(
@@ -281,10 +355,7 @@ pub fn read_checkpoint_auto(
             "files cover ranks [0,{cursor}) of {nranks}"
         )));
     }
-    let mut data: Vec<Vec<Vec<u8>>> = vec![Vec::new(); nranks as usize];
-    for (name, h) in &files {
-        extract(dir, name, h, &mut data)?;
-    }
+    let data = extract_all(dir, &files, nranks)?;
     Ok(RestoredData {
         step,
         nranks,

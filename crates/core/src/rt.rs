@@ -23,13 +23,16 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use rbio_plan::{DataRef, Op, Program};
+use rbio_profile::counters;
 
+use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
+use crate::exec::{src_len, write_run_len, write_src};
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
 use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
 
-type Msg = (u32, u64, Vec<u8>);
+type Msg = (u32, u64, Bytes);
 
 /// A typed runtime failure, always carrying the failing rank.
 #[derive(Debug)]
@@ -111,7 +114,7 @@ pub struct Comm {
     size: u32,
     senders: Arc<Vec<Sender<Msg>>>,
     rx: Receiver<Msg>,
-    stash: HashMap<(u32, u64), VecDeque<Vec<u8>>>,
+    stash: HashMap<(u32, u64), VecDeque<Bytes>>,
     world_barrier: Arc<Barrier>,
     reduce_slots: Arc<Vec<Mutex<Vec<f64>>>>,
     recv_timeout: Duration,
@@ -136,11 +139,18 @@ impl Comm {
     }
 
     /// Nonblocking-style send (the data is buffered; this call does not
-    /// wait for the receiver — `MPI_Isend` with eager buffering). Fails
-    /// if the destination rank's thread has already exited.
+    /// wait for the receiver — `MPI_Isend` with eager buffering: the one
+    /// copy into the eager buffer happens here). Fails if the destination
+    /// rank's thread has already exited.
     pub fn send(&self, dst: u32, tag: u64, data: &[u8]) -> Result<(), RtError> {
+        self.send_bytes(dst, tag, Bytes::from_vec(data.to_vec()))
+    }
+
+    /// [`Comm::send`] for callers that already own the bytes: the buffer
+    /// moves into the channel with no copy at all.
+    pub fn send_bytes(&self, dst: u32, tag: u64, data: Bytes) -> Result<(), RtError> {
         self.senders[dst as usize]
-            .send((self.rank, tag, data.to_vec()))
+            .send((self.rank, tag, data))
             .map_err(|_| RtError::PeerGone {
                 rank: self.rank,
                 peer: dst,
@@ -150,6 +160,12 @@ impl Comm {
     /// Blocking receive matching `(src, tag)`, FIFO per channel. Fails
     /// with [`RtError::RecvTimeout`] when nothing arrives in time.
     pub fn recv(&mut self, src: u32, tag: u64) -> Result<Vec<u8>, RtError> {
+        self.recv_bytes(src, tag).map(Bytes::into_vec)
+    }
+
+    /// [`Comm::recv`] without the `Vec` conversion: the returned handle
+    /// is the sender's buffer, not a copy.
+    pub fn recv_bytes(&mut self, src: u32, tag: u64) -> Result<Bytes, RtError> {
         if let Some(q) = self.stash.get_mut(&(src, tag)) {
             if let Some(d) = q.pop_front() {
                 return Ok(d);
@@ -286,6 +302,8 @@ pub struct RtConfig {
     /// Seed-derived jitter before each background job, for deterministic
     /// interleaving sweeps in equivalence tests.
     pub pipeline_jitter: Option<u64>,
+    /// Datapath copy discipline — see [`crate::exec::ExecConfig::copy_mode`].
+    pub copy_mode: CopyMode,
 }
 
 impl RtConfig {
@@ -299,12 +317,19 @@ impl RtConfig {
             retry_backoff: Duration::from_micros(500),
             pipeline_depth: 1,
             pipeline_jitter: None,
+            copy_mode: CopyMode::ZeroCopy,
         }
     }
 
     /// Replace the fault plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Select the datapath copy discipline.
+    pub fn copy_mode(mut self, mode: CopyMode) -> Self {
+        self.copy_mode = mode;
         self
     }
 
@@ -388,15 +413,50 @@ pub fn checkpoint_rank_with(
         }
     };
 
-    let resolve = |r: &DataRef, staging: &[u8], off_hint: u64| -> Vec<u8> {
-        match *r {
-            DataRef::Own { off, len } => payload[off as usize..(off + len) as usize].to_vec(),
-            DataRef::Staging { off, len } => staging[off as usize..(off + len) as usize].to_vec(),
-            DataRef::Synthetic { len } => (0..len).map(|i| synthetic_byte(off_hint + i)).collect(),
-        }
+    let write_err = |e: fault::WriteError| match e {
+        fault::WriteError::Killed => RtError::Killed { rank },
+        fault::WriteError::Io(source) => RtError::Io { rank, source },
     };
 
-    for op in &program.ops[rank as usize] {
+    let mode = cfg.copy_mode;
+    // Owned snapshot of a data reference, for sends and deferred writes.
+    // Unlike `exec`, this runtime borrows `payload` from the application
+    // with an unknown lifetime, so owning payload bytes costs one copy —
+    // the MPI eager-buffer copy, charged to the counters honestly.
+    let resolve =
+        |r: &DataRef, staging: &[u8], off_hint: u64| -> Bytes {
+            match mode {
+                CopyMode::DeepCopy => {
+                    let v: Vec<u8> = match *r {
+                        DataRef::Own { off, len } => {
+                            counters::add_bytes_copied(len);
+                            payload[off as usize..(off + len) as usize].to_vec()
+                        }
+                        DataRef::Staging { off, len } => {
+                            counters::add_bytes_copied(len);
+                            staging[off as usize..(off + len) as usize].to_vec()
+                        }
+                        DataRef::Synthetic { len } => {
+                            (0..len).map(|i| synthetic_byte(off_hint + i)).collect()
+                        }
+                    };
+                    Bytes::from_vec(v)
+                }
+                CopyMode::ZeroCopy => match *r {
+                    DataRef::Own { off, len } => BufPool::global()
+                        .copy_from_slice(&payload[off as usize..(off + len) as usize]),
+                    DataRef::Staging { off, len } => BufPool::global()
+                        .copy_from_slice(&staging[off as usize..(off + len) as usize]),
+                    DataRef::Synthetic { len } => BufPool::global()
+                        .from_fn(len as usize, |i| synthetic_byte(off_hint + i as u64)),
+                },
+            }
+        };
+
+    let ops = &program.ops[rank as usize];
+    let mut i = 0;
+    while i < ops.len() {
+        let op = &ops[i];
         match op {
             Op::Compute { .. } => {}
             Op::Pack {
@@ -406,10 +466,16 @@ pub fn checkpoint_rank_with(
             } => {
                 if let Some(s) = src {
                     match *s {
-                        DataRef::Staging { off, len } => staging
-                            .copy_within(off as usize..(off + len) as usize, *staging_off as usize),
+                        DataRef::Staging { off, len } => {
+                            counters::add_bytes_copied(len);
+                            staging.copy_within(
+                                off as usize..(off + len) as usize,
+                                *staging_off as usize,
+                            )
+                        }
                         _ => {
                             let data = resolve(s, &staging, 0);
+                            counters::add_bytes_copied(*bytes);
                             staging[*staging_off as usize..*staging_off as usize + *bytes as usize]
                                 .copy_from_slice(&data);
                         }
@@ -420,9 +486,10 @@ pub fn checkpoint_rank_with(
                 let data = resolve(src, &staging, 0);
                 if cfg.faults.on_send(rank, *dst) {
                     // Injected message loss: the receiver times out.
+                    i += 1;
                     continue;
                 }
-                comm.send(*dst, PLAN_TAG_BASE + tag.0, &data)?;
+                comm.send_bytes(*dst, PLAN_TAG_BASE + tag.0, data)?;
             }
             Op::Recv {
                 src,
@@ -430,13 +497,15 @@ pub fn checkpoint_rank_with(
                 bytes,
                 staging_off,
             } => {
-                let data = comm.recv(*src, PLAN_TAG_BASE + tag.0)?;
+                let data = comm.recv_bytes(*src, PLAN_TAG_BASE + tag.0)?;
                 if data.len() as u64 != *bytes {
                     return Err(RtError::PlanMismatch {
                         rank,
                         what: format!("plan recv size mismatch: want {bytes}, got {}", data.len()),
                     });
                 }
+                // The one aggregation copy the plan IR mandates.
+                counters::add_bytes_copied(data.len() as u64);
                 staging[*staging_off as usize..*staging_off as usize + data.len()]
                     .copy_from_slice(&data);
             }
@@ -451,14 +520,14 @@ pub fn checkpoint_rank_with(
                 let tag = BARRIER_TAG_BASE + u64::from(cid.0);
                 if rank == leader {
                     for &m in members.iter().skip(1) {
-                        let _ = comm.recv(m, tag)?;
+                        let _ = comm.recv_bytes(m, tag)?;
                     }
                     for &m in members.iter().skip(1) {
-                        comm.send(m, tag, &[])?;
+                        comm.send_bytes(m, tag, Bytes::new())?;
                     }
                 } else {
-                    comm.send(leader, tag, &[])?;
-                    let _ = comm.recv(leader, tag)?;
+                    comm.send_bytes(leader, tag, Bytes::new())?;
+                    let _ = comm.recv_bytes(leader, tag)?;
                 }
             }
             Op::Open { file, create } => {
@@ -491,34 +560,139 @@ pub fn checkpoint_rank_with(
                 files.insert(file.0, Arc::new(f));
             }
             Op::WriteAt { file, offset, src } => {
-                // `resolve` snapshots the bytes, so a deferred flush never
-                // races with later Pack/Recv staging reuse.
-                let data = resolve(src, &staging, *offset);
+                // Coalesce byte-contiguous same-file writes into one
+                // vectored write (skipped when faults are armed: the
+                // FaultPlan counts logical writes per plan op, and under
+                // DeepCopy, which keeps the legacy one-op-one-write shape).
+                let coalesce = mode == CopyMode::ZeroCopy && !cfg.faults.is_armed();
+                let end = if coalesce {
+                    write_run_len(ops, i, file.0, *offset)
+                } else {
+                    i + 1
+                };
+                let total: u64 = ops[i..end].iter().map(|o| src_len(write_src(o))).sum();
+                counters::add_checkpoint_bytes(total);
                 let f = files
                     .get(&file.0)
                     .expect("validated plan opens before writing");
                 if let Some(p) = &pipe {
-                    p.submit(FlushJob::Write {
-                        file: Arc::clone(f),
-                        offset: *offset,
-                        data,
-                    })
-                    .map_err(pipe_err)?;
+                    // Deferred flush: snapshot each source as owned bytes
+                    // so the background write never races with later
+                    // Pack/Recv staging reuse.
+                    if end == i + 1 {
+                        let data = resolve(src, &staging, *offset);
+                        p.submit(FlushJob::Write {
+                            file: Arc::clone(f),
+                            offset: *offset,
+                            data,
+                        })
+                        .map_err(pipe_err)?;
+                    } else {
+                        let mut bufs = Vec::with_capacity(end - i);
+                        let mut off = *offset;
+                        for o in &ops[i..end] {
+                            let s = write_src(o);
+                            bufs.push(resolve(s, &staging, off));
+                            off += src_len(s);
+                        }
+                        p.submit(FlushJob::WriteV {
+                            file: Arc::clone(f),
+                            offset: *offset,
+                            bufs,
+                        })
+                        .map_err(pipe_err)?;
+                    }
+                } else if end == i + 1 {
+                    // Serial single write: completes before the op
+                    // retires, so ZeroCopy writes straight from the
+                    // borrowed source — no snapshot.
+                    match (mode, src) {
+                        (CopyMode::ZeroCopy, &DataRef::Own { off, len }) => {
+                            let data = &payload[off as usize..(off + len) as usize];
+                            fault::write_at_with_retry(
+                                f,
+                                rank,
+                                *offset,
+                                data,
+                                &cfg.faults,
+                                cfg.write_retries,
+                                cfg.retry_backoff,
+                            )
+                            .map_err(write_err)?;
+                        }
+                        (CopyMode::ZeroCopy, &DataRef::Staging { off, len }) => {
+                            let data = &staging[off as usize..(off + len) as usize];
+                            fault::write_at_with_retry(
+                                f,
+                                rank,
+                                *offset,
+                                data,
+                                &cfg.faults,
+                                cfg.write_retries,
+                                cfg.retry_backoff,
+                            )
+                            .map_err(write_err)?;
+                        }
+                        (_, s) => {
+                            let data = resolve(s, &staging, *offset);
+                            fault::write_at_with_retry(
+                                f,
+                                rank,
+                                *offset,
+                                &data,
+                                &cfg.faults,
+                                cfg.write_retries,
+                                cfg.retry_backoff,
+                            )
+                            .map_err(write_err)?;
+                        }
+                    }
                 } else {
-                    fault::write_at_with_retry(
+                    // Serial coalesced run: gather borrowed slices (plus
+                    // generated synthetic chunks), one vectored write.
+                    enum Chunk {
+                        Payload(usize, usize),
+                        Staging(usize, usize),
+                        Owned(Bytes),
+                    }
+                    let mut chunks = Vec::with_capacity(end - i);
+                    let mut off = *offset;
+                    for o in &ops[i..end] {
+                        match *write_src(o) {
+                            DataRef::Own { off: po, len } => {
+                                chunks.push(Chunk::Payload(po as usize, len as usize))
+                            }
+                            DataRef::Staging { off: so, len } => {
+                                chunks.push(Chunk::Staging(so as usize, len as usize))
+                            }
+                            DataRef::Synthetic { len } => chunks.push(Chunk::Owned(
+                                BufPool::global()
+                                    .from_fn(len as usize, |k| synthetic_byte(off + k as u64)),
+                            )),
+                        }
+                        off += src_len(write_src(o));
+                    }
+                    let slices: Vec<&[u8]> = chunks
+                        .iter()
+                        .map(|c| match c {
+                            Chunk::Payload(o, l) => &payload[*o..*o + *l],
+                            Chunk::Staging(o, l) => &staging[*o..*o + *l],
+                            Chunk::Owned(b) => b.as_ref(),
+                        })
+                        .collect();
+                    fault::write_vectored_at(
                         f,
                         rank,
                         *offset,
-                        &data,
+                        &slices,
                         &cfg.faults,
                         cfg.write_retries,
                         cfg.retry_backoff,
                     )
-                    .map_err(|e| match e {
-                        fault::WriteError::Killed => RtError::Killed { rank },
-                        fault::WriteError::Io(source) => RtError::Io { rank, source },
-                    })?;
+                    .map_err(write_err)?;
                 }
+                i = end;
+                continue;
             }
             Op::ReadAt {
                 file,
@@ -575,6 +749,7 @@ pub fn checkpoint_rank_with(
                 }
             }
         }
+        i += 1;
     }
     drain(&pipe)?;
     Ok(())

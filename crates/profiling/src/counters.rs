@@ -1,0 +1,105 @@
+//! Process-wide datapath copy accounting.
+//!
+//! The rbIO pitch is that a worker's checkpoint bytes are touched as few
+//! times as possible between the application buffer and the writer's file
+//! image. These counters pin that numerically: every memcpy on the
+//! checkpoint datapath (payload → channel, channel → staging, staging →
+//! flush snapshot, …) adds to `bytes_copied`, and every byte handed to a
+//! file write adds to `checkpoint_bytes`. The ratio
+//! `bytes_copied / checkpoint_bytes` is the *copies per checkpoint byte*
+//! reported by the `datapath` bench — ~3 on the legacy deep-copy path,
+//! ≤ ~1 on the zero-copy path.
+//!
+//! The counters are process-wide atomics (relaxed ordering: they are
+//! statistics, not synchronization). Measurement protocol: [`reset`], run
+//! the workload, [`snapshot`] — or take a snapshot before and after and
+//! subtract with [`CopySnapshot::delta_since`] when other work may run
+//! concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+static CHECKPOINT_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the datapath copy counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopySnapshot {
+    /// Total bytes memcpy'd on the checkpoint datapath.
+    pub bytes_copied: u64,
+    /// Total bytes handed to checkpoint file writes.
+    pub checkpoint_bytes: u64,
+}
+
+impl CopySnapshot {
+    /// Copies per checkpoint byte: the headline datapath metric.
+    /// Returns 0.0 when no checkpoint bytes were written.
+    pub fn copies_per_checkpoint_byte(&self) -> f64 {
+        if self.checkpoint_bytes == 0 {
+            0.0
+        } else {
+            self.bytes_copied as f64 / self.checkpoint_bytes as f64
+        }
+    }
+
+    /// The counter growth between `prev` (earlier) and `self` (later).
+    pub fn delta_since(&self, prev: &CopySnapshot) -> CopySnapshot {
+        CopySnapshot {
+            bytes_copied: self.bytes_copied.saturating_sub(prev.bytes_copied),
+            checkpoint_bytes: self.checkpoint_bytes.saturating_sub(prev.checkpoint_bytes),
+        }
+    }
+}
+
+/// Account `n` bytes memcpy'd on the checkpoint datapath.
+#[inline]
+pub fn add_bytes_copied(n: u64) {
+    BYTES_COPIED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` bytes handed to a checkpoint file write.
+#[inline]
+pub fn add_checkpoint_bytes(n: u64) {
+    CHECKPOINT_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read both counters.
+pub fn snapshot() -> CopySnapshot {
+    CopySnapshot {
+        bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
+        checkpoint_bytes: CHECKPOINT_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero both counters. Only meaningful when the caller owns the process
+/// (benches); concurrent tests should use [`CopySnapshot::delta_since`].
+pub fn reset() {
+    BYTES_COPIED.store(0, Ordering::Relaxed);
+    CHECKPOINT_BYTES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_and_ratio() {
+        let before = snapshot();
+        add_bytes_copied(300);
+        add_checkpoint_bytes(100);
+        let d = snapshot().delta_since(&before);
+        // Other tests in this process may add concurrently, so the delta
+        // is a lower bound, never less than what we added.
+        assert!(d.bytes_copied >= 300);
+        assert!(d.checkpoint_bytes >= 100);
+        let r = CopySnapshot {
+            bytes_copied: 300,
+            checkpoint_bytes: 100,
+        };
+        assert!((r.copies_per_checkpoint_byte() - 3.0).abs() < 1e-12);
+        let zero = CopySnapshot {
+            bytes_copied: 5,
+            checkpoint_bytes: 0,
+        };
+        assert_eq!(zero.copies_per_checkpoint_byte(), 0.0);
+    }
+}

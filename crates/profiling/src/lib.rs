@@ -7,6 +7,8 @@
 //! distribution series, activity Gantt rows, and counter summaries are
 //! derived.
 
+pub mod counters;
+
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 

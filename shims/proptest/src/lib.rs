@@ -347,6 +347,20 @@ pub mod arbitrary {
         }
     }
 
+    impl Strategy for AnyOf<u8> {
+        type Value = u8;
+        fn generate(&self, rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u8 {
+        type Strategy = AnyOf<u8>;
+        fn arbitrary() -> Self::Strategy {
+            AnyOf::default()
+        }
+    }
+
     impl Strategy for AnyOf<bool> {
         type Value = bool;
         fn generate(&self, rng: &mut TestRng) -> bool {
