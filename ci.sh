@@ -17,6 +17,17 @@ cargo build --workspace --all-targets
 echo "== test =="
 cargo test -q --workspace
 
+echo "== rbio-check fast schedule sweep (256 seeds) =="
+# Deterministic schedule exploration of the concurrency harness's four
+# program families. Any failure prints the seed and the exact schedule;
+# replay it with: rbio-check replay --program <pX> --schedule "..."
+RBC=target/debug/rbio-check
+"$RBC" sweep --program p1 --seeds 128
+"$RBC" sweep --program p1 --seeds 64 --preempt
+"$RBC" sweep --program p2 --seeds 16
+"$RBC" sweep --program p3 --seeds 16
+"$RBC" sweep --program p4 --seeds 32
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -26,6 +37,15 @@ cargo fmt --check
 if [[ "$SLOW" == 1 ]]; then
   echo "== test (release, --include-ignored) =="
   cargo test --release -q --workspace -- --include-ignored
+
+  echo "== rbio-check deep schedule sweep (4096 seeds, release) =="
+  cargo build --release -p rbio-check
+  RBC=target/release/rbio-check
+  "$RBC" sweep --program p1 --seeds 2048
+  "$RBC" sweep --program p1 --seeds 1024 --preempt
+  "$RBC" sweep --program p2 --seeds 512
+  "$RBC" sweep --program p3 --seeds 256
+  "$RBC" sweep --program p4 --seeds 256
 
   echo "== multi_step campaign (depth 2) =="
   cargo run --release -p rbio-bench --bin multi_step -- 16384 20 10 2

@@ -1,0 +1,290 @@
+//! The single-token cooperative controller.
+//!
+//! Every registered thread is serialized onto one run token: a thread
+//! runs only while it is `current`, and hands the token back at every
+//! [`Point`] the runtime is instrumented with. The controller picks the
+//! next thread from a [`Policy`] — seeded random, bounded-preemption, or
+//! a pinned replay of a recorded schedule — so an entire concurrent run
+//! is a pure function of the policy. Events emitted at shared-state
+//! transitions are replayed through the shadow [`Model`], which records
+//! invariant violations without stopping the run.
+//!
+//! Liveness backstop: a run that exceeds its step budget (a policy that
+//! keeps picking a blocked thread, or a genuine product deadlock) is
+//! *aborted*, not hung — the token is abandoned, every parked thread is
+//! released to free-run the program to completion under the OS
+//! scheduler, and a `StepBudget` violation is recorded.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use rbio::sched::{Event, Point, Sched};
+
+use crate::model::{Model, Violation, ViolationKind};
+use crate::policy::Policy;
+
+thread_local! {
+    /// This thread's scheduler identity; `None` means uncontrolled.
+    static NAME: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+fn my_name() -> Option<String> {
+    NAME.with(|n| n.borrow().clone())
+}
+
+/// State of one controlled run, reset by `begin_run`.
+struct RunState {
+    policy: Policy,
+    step_budget: usize,
+    /// The schedule: the chosen thread name at every decision point.
+    trace: Vec<String>,
+    /// Debug renderings of every emitted [`Event`], in order.
+    events: Vec<String>,
+    model: Model,
+    violations: Vec<Violation>,
+    aborted: bool,
+}
+
+#[derive(Default)]
+struct Ctl {
+    /// Threads blocked in `register`/`yield_point`, by name, with the
+    /// point each parked at. Sorted (BTreeMap) so candidate order is
+    /// deterministic.
+    parked: BTreeMap<String, Point>,
+    /// Every thread holding a scheduler identity, parked or running.
+    registered: BTreeSet<String>,
+    /// The thread holding the run token.
+    current: Option<String>,
+    /// Controlled threads announced with `spawning` but not yet
+    /// registered; no schedule decision is made while any are pending,
+    /// so choices never depend on OS thread-startup timing.
+    pending_spawns: usize,
+    /// Yield context of a decision deferred on pending spawns, so the
+    /// eventual decision uses the same context either way.
+    deferred_ctx: Option<(String, Point)>,
+    run: Option<RunState>,
+}
+
+/// What `end_run` hands back to the harness.
+pub struct RunReport {
+    /// The schedule actually taken (one name per decision).
+    pub trace: Vec<String>,
+    /// Every event, rendered, in emission order.
+    pub events: Vec<String>,
+    /// Invariant violations found by the shadow model (and the
+    /// controller's own `StepBudget`).
+    pub violations: Vec<Violation>,
+    /// The run blew its step budget and finished free-running.
+    pub aborted: bool,
+    /// A pinned policy had to fall back (schedule did not fit the run).
+    pub diverged: bool,
+}
+
+/// The deterministic scheduler installed via [`rbio::sched::install`].
+pub struct Controller {
+    /// True from `begin_run` to `end_run` (drives `sched::controlled()`).
+    active: AtomicBool,
+    state: Mutex<Ctl>,
+    cv: Condvar,
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Controller {
+    /// A controller with no active run.
+    pub fn new() -> Self {
+        Controller {
+            active: AtomicBool::new(false),
+            state: Mutex::new(Ctl::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-proof lock: a panicking worker must not wedge the harness.
+    fn lock(&self) -> MutexGuard<'_, Ctl> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, Ctl>) -> MutexGuard<'a, Ctl> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Start a controlled run. Blocks until every thread left over from
+    /// a previous run (pool workers; free-running threads of an aborted
+    /// run) has parked, so the starting state is identical for every
+    /// run with the same policy.
+    pub fn begin_run(&self, policy: Policy, step_budget: usize) {
+        let mut g = self.lock();
+        while g.run.is_some() || g.pending_spawns > 0 || g.parked.len() != g.registered.len() {
+            g = self.wait(g);
+        }
+        g.current = None;
+        g.deferred_ctx = None;
+        g.run = Some(RunState {
+            policy,
+            step_budget,
+            trace: Vec::new(),
+            events: Vec::new(),
+            model: Model::default(),
+            violations: Vec::new(),
+            aborted: false,
+        });
+        self.active.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Finish the run and collect its report. Must be called by the
+    /// token holder (the driver) after the program body returned, while
+    /// it is still registered — every other thread is then parked, so
+    /// abandoning the token cannot wake anyone spuriously.
+    pub fn end_run(&self) -> RunReport {
+        let mut g = self.lock();
+        let run = g.run.take().expect("end_run without begin_run");
+        g.current = None;
+        g.deferred_ctx = None;
+        self.active.store(false, Ordering::Release);
+        self.cv.notify_all();
+        RunReport {
+            trace: run.trace,
+            events: run.events,
+            violations: run.violations,
+            aborted: run.aborted,
+            diverged: run.policy.diverged(),
+        }
+    }
+
+    /// Pick the next token holder from the parked set. No-ops (leaving
+    /// the token abandoned) while spawns are pending — the registration
+    /// that zeroes the counter re-triggers the decision with the saved
+    /// context — and aborts the run instead of deciding once the step
+    /// budget is spent.
+    fn schedule_next(&self, g: &mut Ctl, ctx: Option<(&str, Point)>) {
+        let Some(run) = g.run.as_mut() else {
+            g.current = None;
+            return;
+        };
+        if run.aborted {
+            g.current = None;
+            return;
+        }
+        if g.pending_spawns > 0 {
+            g.deferred_ctx = ctx.map(|(n, p)| (n.to_string(), p));
+            g.current = None;
+            return;
+        }
+        if g.parked.is_empty() {
+            g.current = None;
+            return;
+        }
+        if run.trace.len() >= run.step_budget {
+            run.aborted = true;
+            run.violations.push(Violation {
+                kind: ViolationKind::StepBudget,
+                detail: format!(
+                    "run exceeded {} schedule decisions; releasing all threads",
+                    run.step_budget
+                ),
+                at_step: run.trace.len(),
+            });
+            g.current = None;
+            return;
+        }
+        let cands: Vec<(String, Point)> = g.parked.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let pick = run.policy.choose(&cands, ctx);
+        run.trace.push(pick.clone());
+        g.parked.remove(&pick);
+        g.current = Some(pick);
+    }
+
+    /// Block until this thread holds the token, the run aborts, or (for
+    /// threads parked between runs) a future run picks it.
+    fn park_until_granted(&self, mut g: MutexGuard<'_, Ctl>, me: &str) {
+        loop {
+            if g.run.as_ref().is_some_and(|r| r.aborted) {
+                g.parked.remove(me);
+                self.cv.notify_all();
+                return;
+            }
+            if g.current.as_deref() == Some(me) {
+                return;
+            }
+            g = self.wait(g);
+        }
+    }
+}
+
+impl Sched for Controller {
+    fn controlled(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    fn is_registered(&self) -> bool {
+        NAME.with(|n| n.borrow().is_some())
+    }
+
+    fn spawning(&self) {
+        let mut g = self.lock();
+        g.pending_spawns += 1;
+        self.cv.notify_all();
+    }
+
+    fn register(&self, name: &str) {
+        NAME.with(|n| *n.borrow_mut() = Some(name.to_string()));
+        let me = name.to_string();
+        let mut g = self.lock();
+        g.pending_spawns = g.pending_spawns.saturating_sub(1);
+        g.registered.insert(me.clone());
+        g.parked.insert(me.clone(), Point::Progress);
+        // A decision deferred on this spawn can be made now, with the
+        // context saved when it was deferred.
+        if g.run.is_some() && g.current.is_none() && g.pending_spawns == 0 {
+            let ctx = g.deferred_ctx.take();
+            self.schedule_next(&mut g, ctx.as_ref().map(|(n, p)| (n.as_str(), *p)));
+        }
+        self.cv.notify_all();
+        self.park_until_granted(g, &me);
+    }
+
+    fn unregister(&self) {
+        let Some(me) = my_name() else { return };
+        NAME.with(|n| *n.borrow_mut() = None);
+        let mut g = self.lock();
+        g.registered.remove(&me);
+        g.parked.remove(&me);
+        if g.current.as_deref() == Some(&me) {
+            g.current = None;
+            self.schedule_next(&mut g, None);
+        }
+        self.cv.notify_all();
+    }
+
+    fn yield_point(&self, point: Point) {
+        let Some(me) = my_name() else { return };
+        let mut g = self.lock();
+        if g.run.as_ref().is_some_and(|r| r.aborted) {
+            return; // free-running to completion
+        }
+        g.parked.insert(me.clone(), point);
+        if g.run.is_some() {
+            self.schedule_next(&mut g, Some((me.as_str(), point)));
+        }
+        // With no run active (a pool worker idling between runs) the
+        // thread simply stays parked until a run picks it.
+        self.cv.notify_all();
+        self.park_until_granted(g, &me);
+    }
+
+    fn emit(&self, event: Event) {
+        let mut g = self.lock();
+        let Some(run) = g.run.as_mut() else { return };
+        let step = run.trace.len();
+        run.model.on_event(&event, step, &mut run.violations);
+        run.events.push(format!("{event:?}"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Seed sweeps: run one program family across a seed range and collect
+//! every failing seed with its full report (schedule + events +
+//! violations), so a failure found in CI is immediately replayable.
+
+use std::ops::Range;
+
+use crate::policy::Policy;
+use crate::programs::ProgramKind;
+use crate::{run_one, CheckReport};
+
+/// Outcome of a sweep.
+pub struct SweepResult {
+    /// Seeds actually run.
+    pub seeds_run: u64,
+    /// Failing seeds with their reports, in seed order.
+    pub failures: Vec<(u64, CheckReport)>,
+}
+
+impl SweepResult {
+    /// True when no seed failed.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `kind` once per seed in `seeds`. `preempt` selects
+/// [`Policy::bounded_preempt`] (budget 3) over [`Policy::seeded`];
+/// `stop_at_first` returns at the first failing seed (CI fast path).
+pub fn sweep(
+    kind: ProgramKind,
+    seeds: Range<u64>,
+    preempt: bool,
+    stop_at_first: bool,
+) -> SweepResult {
+    let mut failures = Vec::new();
+    let mut seeds_run = 0;
+    for seed in seeds {
+        let policy = if preempt {
+            Policy::bounded_preempt(seed, 3)
+        } else {
+            Policy::seeded(seed)
+        };
+        let report = run_one(kind, policy);
+        seeds_run += 1;
+        if report.failed() {
+            failures.push((seed, report));
+            if stop_at_first {
+                break;
+            }
+        }
+    }
+    SweepResult {
+        seeds_run,
+        failures,
+    }
+}

@@ -1,0 +1,374 @@
+//! Shadow model of the runtime, fed by the instrumentation [`Event`]
+//! stream. Each event advances a small abstract copy of the pipeline
+//! state and checks the invariants the real code is supposed to keep:
+//!
+//! * **Single drainer** — `WorkerClaim.was_active` must be false (true is
+//!   the PR 2 double-enqueue race: two pool threads draining one writer).
+//! * **Per-writer FIFO** — jobs start in submission order with
+//!   monotonically increasing sequence numbers.
+//! * **Snapshot integrity** — a job's payload fingerprint at execution
+//!   must equal its fingerprint at submission; a mismatch means the
+//!   buffer was recycled and overwritten while queued (use-after-recycle).
+//! * **Error latching** — no `Commit` executes after a latched error
+//!   without an intervening clear.
+//! * **Drain points** — a rank entering a plan barrier has no in-flight
+//!   flush jobs.
+//! * **Exactly-once sends** — a `(rank, op_index)` send op is attempted
+//!   once (twice is the PR 3 fault-drop re-execution bug).
+//! * **Pool sanity** — no buffer is recycled while already free.
+//!
+//! Violations are recorded, not thrown: the run continues so one report
+//! carries everything a schedule uncovered.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rbio::sched::{Event, JobKind};
+
+/// What kind of invariant broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two pool threads draining one writer (PR 2 double-enqueue race).
+    DoubleDrain,
+    /// A job started out of submission order (or with none submitted).
+    FifoMismatch,
+    /// Per-writer sequence numbers went backwards or skipped.
+    SeqRegression,
+    /// Payload fingerprint changed between submit and execution.
+    UseAfterRecycle,
+    /// A Commit executed while the writer had a latched error.
+    CommitAfterError,
+    /// A rank entered a plan barrier with flush jobs in flight.
+    BarrierWithInflight,
+    /// The same Send op was attempted twice (PR 3 fault-drop bug).
+    DuplicateSend,
+    /// A buffer was recycled while already on the pool free list.
+    BufDoubleRecycle,
+    /// The run exceeded its schedule-decision budget and was aborted.
+    StepBudget,
+    /// Output differed from the reference executor (post-run check).
+    Equivalence,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One invariant violation, with where in the schedule it surfaced.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// Number of schedule decisions taken when it surfaced.
+    pub at_step: usize,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[step {}] {}: {}", self.at_step, self.kind, self.detail)
+    }
+}
+
+#[derive(Default)]
+struct WriterModel {
+    rank: u32,
+    /// (kind, fingerprint) of submitted-but-not-started jobs, FIFO.
+    queue: VecDeque<(JobKind, u64)>,
+    next_seq: u64,
+    latched: bool,
+    /// Submitted minus finished jobs.
+    in_flight: usize,
+}
+
+/// The shadow state, advanced one event at a time.
+#[derive(Default)]
+pub struct Model {
+    writers: HashMap<usize, WriterModel>,
+    sends: HashSet<(u32, usize)>,
+}
+
+impl Model {
+    /// Advance the model by one event, appending any violations found.
+    /// `step` is the current schedule position (for reports).
+    pub fn on_event(&mut self, event: &Event, step: usize, out: &mut Vec<Violation>) {
+        let mut flag = |kind: ViolationKind, detail: String| {
+            out.push(Violation {
+                kind,
+                detail,
+                at_step: step,
+            })
+        };
+        match *event {
+            Event::WriterRegistered { wid, rank } => {
+                self.writers.insert(
+                    wid,
+                    WriterModel {
+                        rank,
+                        ..WriterModel::default()
+                    },
+                );
+            }
+            Event::WriterFreed { wid } => {
+                self.writers.remove(&wid);
+            }
+            Event::Submit { wid, kind, hash } => {
+                if let Some(w) = self.writers.get_mut(&wid) {
+                    w.queue.push_back((kind, hash));
+                    w.in_flight += 1;
+                }
+            }
+            Event::WorkerClaim { wid, was_active } => {
+                if was_active {
+                    flag(
+                        ViolationKind::DoubleDrain,
+                        format!("writer {wid} claimed by a second pool thread while active"),
+                    );
+                }
+            }
+            Event::JobStart {
+                wid,
+                seq,
+                kind,
+                hash,
+                skipped,
+            } => {
+                let Some(w) = self.writers.get_mut(&wid) else {
+                    return;
+                };
+                if seq != w.next_seq {
+                    flag(
+                        ViolationKind::SeqRegression,
+                        format!("writer {wid}: job seq {seq}, expected {}", w.next_seq),
+                    );
+                }
+                w.next_seq = seq.wrapping_add(1);
+                match w.queue.pop_front() {
+                    None => flag(
+                        ViolationKind::FifoMismatch,
+                        format!("writer {wid}: job {kind:?} started with an empty submit queue"),
+                    ),
+                    Some((k, h)) => {
+                        if k != kind {
+                            flag(
+                                ViolationKind::FifoMismatch,
+                                format!("writer {wid}: started {kind:?}, next submitted was {k:?}"),
+                            );
+                        } else if h != hash && !skipped {
+                            flag(
+                                ViolationKind::UseAfterRecycle,
+                                format!(
+                                    "writer {wid}: {kind:?} payload fingerprint changed \
+                                     {h:#018x} -> {hash:#018x} between submit and execution"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Event::JobEnd { wid, ok: _ } => {
+                if let Some(w) = self.writers.get_mut(&wid) {
+                    w.in_flight = w.in_flight.saturating_sub(1);
+                }
+            }
+            Event::ErrorLatched { wid } => {
+                if let Some(w) = self.writers.get_mut(&wid) {
+                    w.latched = true;
+                }
+            }
+            Event::ErrorCleared { wid } => {
+                if let Some(w) = self.writers.get_mut(&wid) {
+                    w.latched = false;
+                }
+            }
+            Event::CommitExecuted { wid } => {
+                if self.writers.get(&wid).is_some_and(|w| w.latched) {
+                    flag(
+                        ViolationKind::CommitAfterError,
+                        format!("writer {wid}: Commit executed after a latched error"),
+                    );
+                }
+            }
+            Event::BarrierEnter { rank } => {
+                for (wid, w) in &self.writers {
+                    if w.rank == rank && w.in_flight > 0 {
+                        flag(
+                            ViolationKind::BarrierWithInflight,
+                            format!(
+                                "rank {rank} entered a barrier with {} job(s) in flight on \
+                                 writer {wid}",
+                                w.in_flight
+                            ),
+                        );
+                    }
+                }
+            }
+            Event::SendAttempt {
+                rank,
+                dst,
+                op_index,
+                dropped,
+            } => {
+                if !self.sends.insert((rank, op_index)) {
+                    flag(
+                        ViolationKind::DuplicateSend,
+                        format!(
+                            "rank {rank} op {op_index} (send to {dst}, dropped={dropped}) \
+                             attempted twice — fault-drop re-execution"
+                        ),
+                    );
+                }
+            }
+            Event::BufDoubleRecycle { addr } => {
+                flag(
+                    ViolationKind::BufDoubleRecycle,
+                    format!("buffer {addr:#x} recycled while already on the free list"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(events: &[Event]) -> Vec<Violation> {
+        let mut m = Model::default();
+        let mut v = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            m.on_event(e, i, &mut v);
+        }
+        v
+    }
+
+    #[test]
+    fn clean_pipeline_lifecycle_has_no_violations() {
+        let v = feed(&[
+            Event::WriterRegistered { wid: 0, rank: 3 },
+            Event::Submit {
+                wid: 0,
+                kind: JobKind::Write,
+                hash: 11,
+            },
+            Event::Submit {
+                wid: 0,
+                kind: JobKind::Commit,
+                hash: 0,
+            },
+            Event::WorkerClaim {
+                wid: 0,
+                was_active: false,
+            },
+            Event::JobStart {
+                wid: 0,
+                seq: 0,
+                kind: JobKind::Write,
+                hash: 11,
+                skipped: false,
+            },
+            Event::JobEnd { wid: 0, ok: true },
+            Event::JobStart {
+                wid: 0,
+                seq: 1,
+                kind: JobKind::Commit,
+                hash: 0,
+                skipped: false,
+            },
+            Event::CommitExecuted { wid: 0 },
+            Event::JobEnd { wid: 0, ok: true },
+            Event::BarrierEnter { rank: 3 },
+            Event::WriterFreed { wid: 0 },
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn double_claim_fifo_and_hash_violations_detected() {
+        let v = feed(&[
+            Event::WriterRegistered { wid: 1, rank: 0 },
+            Event::Submit {
+                wid: 1,
+                kind: JobKind::Write,
+                hash: 5,
+            },
+            Event::WorkerClaim {
+                wid: 1,
+                was_active: true,
+            },
+            // Fingerprint changed in flight.
+            Event::JobStart {
+                wid: 1,
+                seq: 0,
+                kind: JobKind::Write,
+                hash: 6,
+                skipped: false,
+            },
+            // Nothing left in the queue for this one.
+            Event::JobStart {
+                wid: 1,
+                seq: 1,
+                kind: JobKind::Close,
+                hash: 0,
+                skipped: false,
+            },
+        ]);
+        let kinds: Vec<ViolationKind> = v.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::DoubleDrain,
+                ViolationKind::UseAfterRecycle,
+                ViolationKind::FifoMismatch
+            ],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn commit_after_error_barrier_inflight_and_dup_send_detected() {
+        let v = feed(&[
+            Event::WriterRegistered { wid: 0, rank: 2 },
+            Event::Submit {
+                wid: 0,
+                kind: JobKind::Commit,
+                hash: 0,
+            },
+            Event::ErrorLatched { wid: 0 },
+            Event::JobStart {
+                wid: 0,
+                seq: 0,
+                kind: JobKind::Commit,
+                hash: 0,
+                skipped: false,
+            },
+            Event::CommitExecuted { wid: 0 },
+            // Barrier while the commit is still in flight (no JobEnd yet).
+            Event::BarrierEnter { rank: 2 },
+            Event::SendAttempt {
+                rank: 1,
+                dst: 0,
+                op_index: 4,
+                dropped: true,
+            },
+            Event::SendAttempt {
+                rank: 1,
+                dst: 0,
+                op_index: 4,
+                dropped: false,
+            },
+        ]);
+        let kinds: Vec<ViolationKind> = v.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::CommitAfterError,
+                ViolationKind::BarrierWithInflight,
+                ViolationKind::DuplicateSend
+            ],
+            "{v:?}"
+        );
+    }
+}

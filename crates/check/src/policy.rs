@@ -1,0 +1,224 @@
+//! Schedule-choice policies.
+//!
+//! A policy is the *only* source of nondeterminism in a controlled run:
+//! given the same policy, the controller produces the same schedule,
+//! the same event stream, and the same violations, byte for byte.
+
+use rbio::sched::Point;
+
+/// splitmix64: one well-mixed PRNG step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// How the controller picks the next thread at each decision point.
+pub enum Policy {
+    /// Uniform seeded random choice among all parked threads — the
+    /// breadth mode of the explorer.
+    Seeded {
+        /// PRNG state, advanced per decision.
+        state: u64,
+    },
+    /// Run-to-completion with a bounded number of random preemptions
+    /// (DPOR-lite): the yielding thread keeps the token at progress
+    /// points unless a preemption fires; wait points always switch.
+    /// Depth mode — bugs needing few context switches at precise spots
+    /// surface with far fewer schedules than uniform random.
+    BoundedPreempt {
+        /// PRNG state, advanced per decision.
+        state: u64,
+        /// Preemptions taken so far.
+        used: u32,
+        /// Preemption budget for the whole run.
+        max: u32,
+    },
+    /// Replay a recorded schedule verbatim; decisions past the recorded
+    /// prefix (or naming a thread that is not parked) fall back to a
+    /// deterministic round-robin over the parked threads and set
+    /// `diverged`.
+    Pinned {
+        /// The recorded schedule, one thread name per decision.
+        choices: Vec<String>,
+        /// Next decision index.
+        pos: usize,
+        /// A fallback was needed: the run no longer matches the
+        /// recording (expected when replaying a bug schedule against
+        /// fixed code).
+        diverged: bool,
+        /// Round-robin cursor for fallback decisions. Always picking the
+        /// sorted-first thread would livelock when it is parked at a
+        /// wait point whose condition only another thread can satisfy.
+        fallback: usize,
+    },
+}
+
+impl Policy {
+    /// Seeded random policy.
+    pub fn seeded(seed: u64) -> Self {
+        Policy::Seeded {
+            state: seed ^ 0x6A09E667F3BCC909,
+        }
+    }
+
+    /// Bounded-preemption policy with `max` preemptions.
+    pub fn bounded_preempt(seed: u64, max: u32) -> Self {
+        Policy::BoundedPreempt {
+            state: seed ^ 0xBB67AE8584CAA73B,
+            used: 0,
+            max,
+        }
+    }
+
+    /// Pinned replay of a comma-joined schedule (the `schedule()` string
+    /// a failing report prints).
+    pub fn pinned(schedule: &str) -> Self {
+        Policy::Pinned {
+            choices: schedule
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+            pos: 0,
+            diverged: false,
+            fallback: 0,
+        }
+    }
+
+    /// Whether a pinned replay had to fall back.
+    pub fn diverged(&self) -> bool {
+        matches!(self, Policy::Pinned { diverged: true, .. })
+    }
+
+    /// Pick from `cands` (sorted, non-empty). `ctx` is the thread that
+    /// just yielded and where, when the decision came from a yield.
+    pub(crate) fn choose(
+        &mut self,
+        cands: &[(String, Point)],
+        ctx: Option<(&str, Point)>,
+    ) -> String {
+        debug_assert!(!cands.is_empty());
+        match self {
+            Policy::Seeded { state } => {
+                *state = splitmix64(*state);
+                cands[(*state % cands.len() as u64) as usize].0.clone()
+            }
+            Policy::BoundedPreempt { state, used, max } => {
+                let mut next = || {
+                    *state = splitmix64(*state);
+                    *state
+                };
+                let pick_other = |r: u64, prev: &str| {
+                    let others: Vec<&(String, Point)> =
+                        cands.iter().filter(|c| c.0 != prev).collect();
+                    if others.is_empty() {
+                        cands[0].0.clone()
+                    } else {
+                        others[(r % others.len() as u64) as usize].0.clone()
+                    }
+                };
+                match ctx {
+                    Some((prev, point))
+                        if !point.is_wait() && cands.iter().any(|c| c.0 == prev) =>
+                    {
+                        // Progress point: keep running unless a budgeted
+                        // preemption fires.
+                        if *used < *max && cands.len() > 1 && next() % 4 == 0 {
+                            *used += 1;
+                            let r = next();
+                            pick_other(r, prev)
+                        } else {
+                            prev.to_string()
+                        }
+                    }
+                    Some((prev, _)) => {
+                        // Wait point: the yielder is blocked — run
+                        // someone else (unless it is alone).
+                        let r = next();
+                        pick_other(r, prev)
+                    }
+                    None => {
+                        let r = next();
+                        cands[(r % cands.len() as u64) as usize].0.clone()
+                    }
+                }
+            }
+            Policy::Pinned {
+                choices,
+                pos,
+                diverged,
+                fallback,
+            } => {
+                if let Some(want) = choices.get(*pos) {
+                    *pos += 1;
+                    if cands.iter().any(|c| &c.0 == want) {
+                        return want.clone();
+                    }
+                }
+                // Past the recording, or the named thread is not parked:
+                // round-robin so every thread keeps making progress and
+                // the run still terminates (just flagged as diverged).
+                *diverged = true;
+                let pick = cands[*fallback % cands.len()].0.clone();
+                *fallback += 1;
+                pick
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(names: &[&str]) -> Vec<(String, Point)> {
+        names
+            .iter()
+            .map(|n| (n.to_string(), Point::Progress))
+            .collect()
+    }
+
+    #[test]
+    fn seeded_is_deterministic_per_seed() {
+        let c = cands(&["a", "b", "c"]);
+        let picks = |seed| {
+            let mut p = Policy::seeded(seed);
+            (0..32).map(|_| p.choose(&c, None)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn pinned_replays_then_falls_back() {
+        let c = cands(&["a", "b"]);
+        let mut p = Policy::pinned("b, a ,missing");
+        assert_eq!(p.choose(&c, None), "b");
+        assert_eq!(p.choose(&c, None), "a");
+        assert!(!p.diverged());
+        // "missing" is not parked: deterministic fallback + diverged.
+        assert_eq!(p.choose(&c, None), "a");
+        assert!(p.diverged());
+        // Past the recording: the fallback round-robins so no thread
+        // starves.
+        assert_eq!(p.choose(&c, None), "b");
+        assert_eq!(p.choose(&c, None), "a");
+    }
+
+    #[test]
+    fn bounded_preempt_switches_at_wait_points() {
+        let c = cands(&["a", "b"]);
+        let mut p = Policy::bounded_preempt(1, 0);
+        // Zero preemption budget: progress yields keep the yielder.
+        assert_eq!(p.choose(&c, Some(("a", Point::Progress))), "a");
+        // Wait yields must hand the token to someone else.
+        assert_eq!(p.choose(&c, Some(("a", Point::DrainWait))), "b");
+        // A lone waiter keeps the token (the budget abort backstops a
+        // genuine deadlock).
+        let only = cands(&["a"]);
+        assert_eq!(p.choose(&only, Some(("a", Point::DrainWait))), "a");
+    }
+}

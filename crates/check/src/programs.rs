@@ -1,0 +1,327 @@
+//! The workload families the explorer drives.
+//!
+//! Each family is a small, fixed program with a known-good outcome, so
+//! any schedule-dependent deviation is a bug:
+//!
+//! * `p1` — direct flush-pipeline driver: one writer, four contiguous
+//!   chunks and a close, submitted through [`WriterHandle`] against the
+//!   two-worker check pool. The smallest state space containing the
+//!   PR 2 double-enqueue race.
+//! * `p2` — the thread-per-rank executor running a real RB-IO
+//!   checkpoint plan, pipelined and zero-copy, compared byte-for-byte
+//!   against an uncontrolled deep-copy serial reference.
+//! * `p3` — the same plan through the MPI-like runtime
+//!   ([`rt::checkpoint_rank_with`]), against the same reference.
+//! * `p4` — a two-rank aggregation with an injected message drop. The
+//!   correct outcome is a typed receive timeout on the aggregator; the
+//!   PR 3 fault-drop bug instead re-executes the send and "delivers"
+//!   the lost message (a duplicate [`SendAttempt`] the model flags).
+//!
+//! [`WriterHandle`]: rbio::pipeline::WriterHandle
+//! [`SendAttempt`]: rbio::sched::Event::SendAttempt
+
+use std::fs::OpenOptions;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rbio::buf::{Bytes, CopyMode};
+use rbio::exec::{execute, ExecConfig};
+use rbio::fault::FaultPlan;
+use rbio::format::materialize_payloads;
+use rbio::layout::DataLayout;
+use rbio::pipeline::{FlushJob, FlushPool};
+use rbio::rt;
+use rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy};
+use rbio_plan::{DataRef, Op, ProgramBuilder, Tag};
+
+/// Which workload family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramKind {
+    /// `p1`: direct pipeline submits (PR 2 race territory).
+    PipelineRace,
+    /// `p2`: pipelined executor vs. serial deep-copy reference.
+    ExecEquiv,
+    /// `p3`: MPI-like runtime vs. the same reference.
+    RtEquiv,
+    /// `p4`: injected message loss (PR 3 bug territory).
+    FaultDrop,
+}
+
+impl ProgramKind {
+    /// Parse a CLI/label name (`p1`..`p4`).
+    pub fn parse(s: &str) -> Option<ProgramKind> {
+        match s {
+            "p1" => Some(ProgramKind::PipelineRace),
+            "p2" => Some(ProgramKind::ExecEquiv),
+            "p3" => Some(ProgramKind::RtEquiv),
+            "p4" => Some(ProgramKind::FaultDrop),
+            _ => None,
+        }
+    }
+
+    /// Every family, in sweep order.
+    pub fn all() -> [ProgramKind; 4] {
+        [
+            ProgramKind::PipelineRace,
+            ProgramKind::ExecEquiv,
+            ProgramKind::RtEquiv,
+            ProgramKind::FaultDrop,
+        ]
+    }
+
+    /// Short stable name (`p1`..`p4`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProgramKind::PipelineRace => "p1",
+            ProgramKind::ExecEquiv => "p2",
+            ProgramKind::RtEquiv => "p3",
+            ProgramKind::FaultDrop => "p4",
+        }
+    }
+
+    /// One-line description for `--help` and reports.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ProgramKind::PipelineRace => "direct flush-pipeline submits (double-enqueue race)",
+            ProgramKind::ExecEquiv => "pipelined executor vs. serial deep-copy reference",
+            ProgramKind::RtEquiv => "MPI-like runtime vs. serial deep-copy reference",
+            ProgramKind::FaultDrop => "two-rank aggregation with an injected message drop",
+        }
+    }
+
+    /// Whether a failing program outcome is the *expected* result (true
+    /// only for the fault-injection family, where the correct behavior
+    /// is a typed receive-timeout error).
+    pub fn tolerates_failure(&self) -> bool {
+        matches!(self, ProgramKind::FaultDrop)
+    }
+}
+
+/// A program instance, bound to a scratch directory: `body` runs under
+/// the controlled scheduler (its result is the run outcome), `verify`
+/// runs afterwards, uncontrolled, and checks on-disk effects against
+/// the reference computed at prepare time.
+pub struct PreparedProgram {
+    /// The controlled program body.
+    pub body: Box<dyn FnOnce() -> Result<(), String> + Send>,
+    /// Post-run output check (byte-for-byte where a reference exists).
+    pub verify: Box<dyn FnOnce() -> Result<(), String> + Send>,
+}
+
+/// Deterministic payload filler (same recipe as the equivalence tests).
+fn fill(rank: u32, field: usize, buf: &mut [u8]) {
+    let mut x = (u64::from(rank) << 24) ^ ((field as u64) << 8) ^ 0x2545F4914F6CDD1D;
+    for b in buf.iter_mut() {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *b = (x >> 33) as u8;
+    }
+}
+
+/// Instantiate `kind` under `dir` (a fresh scratch directory the caller
+/// owns). Reference outputs are computed here, *before* the controlled
+/// run begins, with the stock OS scheduler.
+pub fn prepare(kind: ProgramKind, dir: &Path) -> PreparedProgram {
+    match kind {
+        ProgramKind::PipelineRace => prepare_pipeline_race(dir),
+        ProgramKind::ExecEquiv => prepare_plan_equiv(dir, false),
+        ProgramKind::RtEquiv => prepare_plan_equiv(dir, true),
+        ProgramKind::FaultDrop => prepare_fault_drop(dir),
+    }
+}
+
+fn prepare_pipeline_race(dir: &Path) -> PreparedProgram {
+    const CHUNK: usize = 512;
+    const NCHUNKS: usize = 4;
+    let path = dir.join("race.bin");
+    let expected: Vec<u8> = (0..NCHUNKS)
+        .flat_map(|i| std::iter::repeat_n(b'a' + i as u8, CHUNK))
+        .collect();
+    let body_path = path.clone();
+    PreparedProgram {
+        body: Box::new(move || {
+            let file = Arc::new(
+                OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .write(true)
+                    .open(&body_path)
+                    .map_err(|e| format!("open {}: {e}", body_path.display()))?,
+            );
+            // Depth ≥ NCHUNKS+1 so no submit blocks on backpressure: the
+            // interesting interleavings are submit-vs-claim, not
+            // submit-vs-drain.
+            let h = FlushPool::current().register(
+                0,
+                (NCHUNKS + 1) as u32,
+                FaultPlan::none(),
+                3,
+                Duration::from_micros(500),
+                None,
+            );
+            for i in 0..NCHUNKS {
+                let data = Bytes::from_vec(vec![b'a' + i as u8; CHUNK]);
+                h.submit(FlushJob::Write {
+                    file: Arc::clone(&file),
+                    offset: (i * CHUNK) as u64,
+                    data,
+                })
+                .map_err(|e| format!("submit chunk {i}: {e:?}"))?;
+            }
+            drop(file);
+            h.drain().map_err(|e| format!("drain: {e:?}"))?;
+            Ok(())
+        }),
+        verify: Box::new(move || {
+            let got = std::fs::read(&path).map_err(|e| format!("read back: {e}"))?;
+            if got == expected {
+                Ok(())
+            } else {
+                Err(format!(
+                    "race.bin: got {} bytes, want {} with per-chunk fill",
+                    got.len(),
+                    expected.len()
+                ))
+            }
+        }),
+    }
+}
+
+/// `p2`/`p3`: a 3-rank, 2-group RB-IO plan with a shared collective
+/// commit — writers aggregate peers' data, so the schedule interleaves
+/// messaging, pipelined writes, and the commit protocol. The reference
+/// is the deep-copy serial executor run uncontrolled at prepare time.
+fn prepare_plan_equiv(dir: &Path, through_rt: bool) -> PreparedProgram {
+    let layout = DataLayout::uniform(3, &[("Ex", 384), ("Ey", 160)]);
+    let plan = CheckpointSpec::new(layout, "ck")
+        .strategy(Strategy::RbIo {
+            ng: 2,
+            commit: RbIoCommit::CollectiveShared,
+        })
+        .step(7)
+        .plan()
+        .expect("valid rb-io plan");
+    let payloads = materialize_payloads(&plan, fill);
+
+    let ref_dir = dir.join("ref");
+    execute(
+        &plan.program,
+        payloads.clone(),
+        &ExecConfig::new(&ref_dir).copy_mode(CopyMode::DeepCopy),
+    )
+    .expect("uncontrolled reference execution");
+    let expected: Vec<(String, Vec<u8>)> = plan
+        .plan_files
+        .iter()
+        .map(|pf| {
+            let bytes = std::fs::read(ref_dir.join(&pf.name)).expect("reference file");
+            (pf.name.clone(), bytes)
+        })
+        .collect();
+
+    let out_dir = dir.join("out");
+    let program = plan.program;
+    let body: Box<dyn FnOnce() -> Result<(), String> + Send> = if through_rt {
+        let base = out_dir.clone();
+        Box::new(move || {
+            let cfg = rt::RtConfig::new(&base).pipeline_depth(2);
+            let results = rt::run(program.nranks(), |mut comm| {
+                let rank = comm.rank() as usize;
+                rt::checkpoint_rank_with(&mut comm, &program, &payloads[rank], &cfg)
+                    .map_err(|e| format!("{e:?}"))
+            });
+            results.into_iter().collect::<Result<Vec<()>, _>>()?;
+            Ok(())
+        })
+    } else {
+        let base = out_dir.clone();
+        Box::new(move || {
+            execute(
+                &program,
+                payloads,
+                &ExecConfig::new(&base).pipeline_depth(2),
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+        })
+    };
+    PreparedProgram {
+        body,
+        verify: Box::new(move || {
+            for (name, want) in &expected {
+                let got =
+                    std::fs::read(out_dir.join(name)).map_err(|e| format!("read {name}: {e}"))?;
+                if &got != want {
+                    return Err(format!(
+                        "{name}: controlled output differs from the deep-copy \
+                         serial reference ({} vs {} bytes)",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// `p4`: rank 1 hands its block to aggregator rank 0; the fault plan
+/// drops that one message. Correct behavior: the receive times out with
+/// a typed error (run outcome `Err`, tolerated for this family) and the
+/// send is attempted exactly once.
+fn prepare_fault_drop(dir: &Path) -> PreparedProgram {
+    const BLOCK: u64 = 256;
+    let mut b = ProgramBuilder::new(vec![0, BLOCK]);
+    let f = b.file("agg.bin", BLOCK);
+    b.reserve_staging(0, BLOCK);
+    b.push(
+        0,
+        Op::Open {
+            file: f,
+            create: true,
+        },
+    );
+    b.push(
+        0,
+        Op::Recv {
+            src: 1,
+            tag: Tag(7),
+            bytes: BLOCK,
+            staging_off: 0,
+        },
+    );
+    b.push(
+        0,
+        Op::WriteAt {
+            file: f,
+            offset: 0,
+            src: DataRef::Staging { off: 0, len: BLOCK },
+        },
+    );
+    b.push(0, Op::Close { file: f });
+    b.push(
+        1,
+        Op::Send {
+            dst: 0,
+            tag: Tag(7),
+            src: DataRef::Own { off: 0, len: BLOCK },
+        },
+    );
+    let program = b.build();
+    let mut payload = vec![0u8; BLOCK as usize];
+    fill(1, 0, &mut payload);
+    let base = dir.join("out");
+    PreparedProgram {
+        body: Box::new(move || {
+            let cfg = ExecConfig::new(&base).faults(FaultPlan::none().drop_message(1, 0, 0));
+            execute(&program, vec![Vec::new(), payload], &cfg)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }),
+        // The outcome (a receive timeout) is checked by the caller via
+        // `tolerates_failure`; exactly-once sends by the model.
+        verify: Box::new(|| Ok(())),
+    }
+}

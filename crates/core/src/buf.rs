@@ -218,10 +218,26 @@ impl PoolShared {
             return;
         }
         let mut g = self.free.lock().expect("buffer pool lock");
+        if crate::sched::controlled() && Self::contains_ptr(&g, v.as_ptr()) {
+            // The same allocation is being recycled twice: some live
+            // `Bytes` still references a buffer the pool may hand out
+            // again (use-after-recycle). Report it to the checker
+            // rather than corrupting the free list.
+            crate::sched::emit(|| crate::sched::Event::BufDoubleRecycle {
+                addr: v.as_ptr() as usize,
+            });
+            return;
+        }
         if g.len() < MAX_POOLED_BUFS {
             v.clear();
             g.push(v);
         }
+    }
+
+    /// True if a buffer with base pointer `p` already sits in the free
+    /// list (the double-recycle predicate; split out for unit testing).
+    fn contains_ptr(free: &[Vec<u8>], p: *const u8) -> bool {
+        free.iter().any(|b| std::ptr::eq(b.as_ptr(), p))
     }
 }
 
@@ -389,5 +405,19 @@ mod tests {
         assert!(e.is_empty());
         assert_eq!(e.slice(0..0).len(), 0);
         assert_eq!(Bytes::default(), e);
+    }
+
+    #[test]
+    fn double_recycle_predicate_spots_aliased_buffer() {
+        let pool = BufPool::new();
+        let b = pool.copy_from_slice(&[3u8; 64]);
+        let ptr = b.as_ref().as_ptr();
+        drop(b); // storage returns to the free list
+        let g = pool.shared.free.lock().expect("buffer pool lock");
+        assert!(
+            PoolShared::contains_ptr(&g, ptr),
+            "recycled buffer must be found by pointer identity"
+        );
+        assert!(!PoolShared::contains_ptr(&g, [0u8; 1].as_ptr()));
     }
 }

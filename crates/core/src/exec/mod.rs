@@ -26,6 +26,19 @@ use crate::commit;
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
 use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
+use crate::sched::{self, Point};
+
+/// Test-only regression switch: re-introduces the PR 3 fault-drop bug
+/// (`Send` op not advanced past after an injected drop, so the op
+/// re-executes and the message is delivered on the second pass because
+/// the drop budget was already consumed). Used by `rbio-check` pinned
+/// regression schedules; must never be set outside tests.
+#[doc(hidden)]
+pub static REVERT_PR3_FAULT_DROP: AtomicBool = AtomicBool::new(false);
+
+/// Futile receive polls a controlled run allows before the typed recv
+/// timeout surfaces — the deterministic analogue of `recv_timeout`.
+pub(crate) const CHECK_RECV_POLL_BUDGET: u32 = 2000;
 
 /// Cap one coalesced vectored write at this many bytes…
 const MAX_COALESCE_BYTES: u64 = 8 << 20;
@@ -260,11 +273,19 @@ impl AbortBarrier {
             if abort.load(Ordering::Acquire) {
                 return Err(abort_error());
             }
-            g = self
-                .cvar
-                .wait_timeout(g, Duration::from_millis(25))
-                .expect("barrier lock")
-                .0;
+            if sched::registered() {
+                // Controlled run: blocking on the condvar would wedge
+                // the single run token — poll via the scheduler.
+                drop(g);
+                sched::yield_now(Point::BarrierWait);
+                g = self.state.lock().expect("barrier lock");
+            } else {
+                g = self
+                    .cvar
+                    .wait_timeout(g, Duration::from_millis(25))
+                    .expect("barrier lock")
+                    .0;
+            }
         }
         Ok(())
     }
@@ -329,6 +350,7 @@ impl RankCtx<'_> {
         let ops = &program.ops[self.rank as usize];
         let mut i = 0;
         while i < ops.len() {
+            sched::yield_now(Point::Progress);
             let op = &ops[i];
             match op {
                 Op::Compute { nanos } => {
@@ -363,10 +385,27 @@ impl RankCtx<'_> {
                 Op::Send { dst, tag, src } => {
                     let data = self.resolve_owned(src, 0);
                     if self.cfg.faults.on_send(self.rank, *dst) {
+                        sched::emit(|| sched::Event::SendAttempt {
+                            rank: self.rank,
+                            dst: *dst,
+                            op_index: i,
+                            dropped: true,
+                        });
                         // Injected message loss: the receiver times out.
-                        i += 1;
+                        // Advancing `i` here is the PR 3 fix — without it
+                        // the op re-executes and, the drop budget being
+                        // spent, delivers the "lost" message after all.
+                        if !REVERT_PR3_FAULT_DROP.load(Ordering::Relaxed) {
+                            i += 1;
+                        }
                         continue;
                     }
+                    sched::emit(|| sched::Event::SendAttempt {
+                        rank: self.rank,
+                        dst: *dst,
+                        op_index: i,
+                        dropped: false,
+                    });
                     if self.senders[*dst as usize]
                         .send((self.rank, tag.0, data))
                         .is_err()
@@ -400,6 +439,7 @@ impl RankCtx<'_> {
                     // "all collective writes land before the owner
                     // commits"), so the pipeline must be empty on entry.
                     self.drain_pipe()?;
+                    sched::emit(|| sched::Event::BarrierEnter { rank: self.rank });
                     self.barriers[comm.0 as usize].wait(self.abort)?;
                 }
                 Op::Open { file, create } => {
@@ -662,6 +702,9 @@ impl RankCtx<'_> {
                 return Ok(d);
             }
         }
+        if sched::registered() {
+            return self.recv_matching_controlled(src, tag);
+        }
         let deadline = Instant::now() + self.cfg.recv_timeout;
         loop {
             if self.abort.load(Ordering::Acquire) {
@@ -690,6 +733,45 @@ impl RankCtx<'_> {
                             ),
                         ));
                     }
+                }
+            }
+        }
+    }
+
+    /// Controlled-run receive: wall-clock timeouts would make schedules
+    /// nondeterministic, so a fixed futile-poll budget plays the role of
+    /// `recv_timeout`. Budget exhaustion is the *expected* outcome for
+    /// dropped-message fault programs and surfaces the same typed
+    /// `TimedOut` error as the production path.
+    fn recv_matching_controlled(&mut self, src: u32, tag: u64) -> io::Result<Bytes> {
+        let mut budget = CHECK_RECV_POLL_BUDGET;
+        loop {
+            if self.abort.load(Ordering::Acquire) {
+                return Err(abort_error());
+            }
+            match self.rx.try_recv() {
+                Ok((s, t, d)) => {
+                    if s == src && t == tag {
+                        return Ok(d);
+                    }
+                    self.stash.entry((s, t)).or_default().push_back(d);
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    return Err(io::Error::other("message channel closed"));
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    if budget == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "recv timeout: no message from rank {src} tag {tag} \
+                                 within {CHECK_RECV_POLL_BUDGET} controlled polls \
+                                 (lost handoff?)"
+                            ),
+                        ));
+                    }
+                    budget -= 1;
+                    sched::yield_now(Point::RecvEmpty);
                 }
             }
         }
@@ -751,6 +833,12 @@ pub fn execute(
     let start_gate = Barrier::new(nranks);
     let abort = AtomicBool::new(false);
     let retries = AtomicU64::new(0);
+    // Under a controlled scheduler the driver must not block in the
+    // scope join while rank threads still need the run token — it spins
+    // on this counter at a yield point instead, and only joins once all
+    // ranks have left the controlled world.
+    let controlled = sched::controlled();
+    let ranks_alive = std::sync::atomic::AtomicUsize::new(nranks);
 
     let mut rank_times = vec![Duration::ZERO; nranks];
     // Prefer a root-cause error (fault/I-O) over abort-induced collateral.
@@ -767,9 +855,16 @@ pub fn execute(
             let start_gate = &start_gate;
             let abort = &abort;
             let retries = &retries;
+            let ranks_alive = &ranks_alive;
+            if controlled {
+                sched::spawning();
+            }
             handles.push(scope.spawn(move || {
+                if controlled {
+                    sched::register(&format!("rank{rank}"));
+                }
                 let pipe = (cfg.pipeline_depth >= 2).then(|| {
-                    FlushPool::global().register(
+                    FlushPool::current().register(
                         rank as u32,
                         cfg.pipeline_depth,
                         cfg.faults.clone(),
@@ -793,15 +888,33 @@ pub fn execute(
                     retries,
                     pipe,
                 };
-                start_gate.wait();
+                if !controlled {
+                    // Registration already serializes controlled ranks;
+                    // an OS barrier here would wedge the run token.
+                    start_gate.wait();
+                }
                 let t0 = Instant::now();
                 let res = ctx.run();
                 if res.is_err() {
                     // Release peers stuck in barriers/receives.
                     abort.store(true, Ordering::Release);
                 }
-                (t0.elapsed(), res)
+                let out = (t0.elapsed(), res);
+                // The writer handle must quiesce while this thread is
+                // still scheduled: its drop waits on in-flight jobs,
+                // which only make progress while the token circulates.
+                drop(ctx);
+                if controlled {
+                    ranks_alive.fetch_sub(1, Ordering::Release);
+                    sched::unregister();
+                }
+                out
             }));
+        }
+        if controlled {
+            while ranks_alive.load(Ordering::Acquire) > 0 {
+                sched::yield_now(Point::JoinWait);
+            }
         }
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {

@@ -54,6 +54,7 @@ pub mod model;
 pub mod pipeline;
 pub mod restart;
 pub mod rt;
+pub mod sched;
 pub mod strategy;
 pub mod vtk;
 

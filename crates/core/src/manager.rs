@@ -114,6 +114,24 @@ fn commit_path(dir: &Path, step: u64) -> PathBuf {
     dir.join(format!("{}.commit", step_prefix(step)))
 }
 
+/// Remove `path`, treating "already gone" as success: during generation
+/// scans and GC another process (or an earlier crashed GC) may legally
+/// have deleted an entry between listing and removal. Returns whether
+/// this call did the deleting; any error other than `NotFound` is real
+/// (permissions, EISDIR, I/O) and propagates.
+fn remove_if_exists(path: &Path) -> io::Result<bool> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// A `read_dir` entry error for something that vanished mid-iteration.
+fn entry_vanished(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::NotFound
+}
+
 impl CheckpointManager {
     /// A manager for `layout` under `cfg.dir` (created if needed).
     pub fn new(layout: DataLayout, cfg: ManagerConfig) -> Result<Self, ManagerError> {
@@ -189,11 +207,25 @@ impl CheckpointManager {
         Ok(report)
     }
 
-    /// Committed steps present, ascending.
+    /// Committed steps present, ascending. Entries that vanish while the
+    /// directory is being scanned (concurrent GC, another manager) are
+    /// skipped with a warning instead of failing the whole scan; any
+    /// other per-entry error propagates as a typed [`ManagerError::Io`].
     pub fn committed_steps(&self) -> Result<Vec<u64>, ManagerError> {
         let mut steps = Vec::new();
         for entry in fs::read_dir(&self.cfg.dir)? {
-            let name = entry?.file_name().to_string_lossy().into_owned();
+            let entry = match entry {
+                Ok(e) => e,
+                Err(e) if entry_vanished(&e) => {
+                    eprintln!(
+                        "rbio: warning: entry in {} vanished during generation scan (skipped)",
+                        self.cfg.dir.display()
+                    );
+                    continue;
+                }
+                Err(e) => return Err(ManagerError::Io(e)),
+            };
+            let name = entry.file_name().to_string_lossy().into_owned();
             if let Some(num) = name
                 .strip_prefix("step")
                 .and_then(|s| s.strip_suffix(".commit"))
@@ -209,22 +241,34 @@ impl CheckpointManager {
 
     /// Delete everything but the newest `keep` committed steps (markers
     /// first, then files, so a partial delete still looks uncommitted).
+    /// Tolerates entries deleted out from under it: a concurrent GC
+    /// removing the same old generation is success, not an error.
     fn rotate(&self) -> Result<(), ManagerError> {
         let steps = self.committed_steps()?;
         if steps.len() <= self.cfg.keep {
             return Ok(());
         }
         for &old in &steps[..steps.len() - self.cfg.keep] {
-            fs::remove_file(commit_path(&self.cfg.dir, old))?;
+            remove_if_exists(&commit_path(&self.cfg.dir, old))?;
             let prefix = step_prefix(old);
+            // List first, then delete: the snapshot keeps the removal
+            // set stable even as entries disappear mid-iteration.
+            let mut victims = Vec::new();
             for entry in fs::read_dir(&self.cfg.dir)? {
-                let entry = entry?;
+                let entry = match entry {
+                    Ok(e) => e,
+                    Err(e) if entry_vanished(&e) => continue,
+                    Err(e) => return Err(ManagerError::Io(e)),
+                };
                 let name = entry.file_name().to_string_lossy().into_owned();
                 if name.starts_with(&prefix)
                     && (name.ends_with(".rbio") || name.ends_with(".rbio.tmp"))
                 {
-                    fs::remove_file(entry.path())?;
+                    victims.push(entry.path());
                 }
+            }
+            for victim in victims {
+                remove_if_exists(&victim)?;
             }
         }
         Ok(())
@@ -447,6 +491,48 @@ mod tests {
                 );
             }
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_if_exists_tolerates_missing_and_surfaces_real_errors() {
+        let dir = std::env::temp_dir().join(format!("rbio-mgr-rie-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("gone");
+        // A concurrently-deleted entry is success, not a panic or error.
+        assert!(!remove_if_exists(&p).expect("missing file is fine"));
+        std::fs::write(&p, b"x").unwrap();
+        assert!(remove_if_exists(&p).expect("removes existing"));
+        assert!(!p.exists());
+        // A genuinely unreadable/undeletable entry still surfaces a
+        // typed error (here: the target is a non-empty directory).
+        let sub = dir.join("subdir");
+        std::fs::create_dir(&sub).unwrap();
+        std::fs::write(sub.join("f"), b"x").unwrap();
+        assert!(remove_if_exists(&sub).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_tolerates_entries_deleted_by_concurrent_manager() {
+        let (mgr, dir) = mk("race-gc", 1);
+        mgr.checkpoint(1, fill_for(1)).expect("ck 1");
+        mgr.checkpoint(2, fill_for(2)).expect("ck 2 + rotate");
+        assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
+        // Simulate a second manager having partially GC'd an old
+        // generation: the marker exists again but (some of) its data
+        // files are already gone. Rotation must clean up what is left
+        // and not fail on what is not.
+        std::fs::write(commit_path(&dir, 1), "step 1\nfiles 0\n").unwrap();
+        mgr.rotate().expect("rotate past half-deleted generation");
+        assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
+        // Same with a data file left behind but its siblings vanished.
+        std::fs::write(commit_path(&dir, 1), "step 1\nfiles 0\n").unwrap();
+        std::fs::write(dir.join("step0000000001-orphan.rbio"), b"stale").unwrap();
+        mgr.rotate().expect("rotate reaps the orphan");
+        assert!(!dir.join("step0000000001-orphan.rbio").exists());
+        assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

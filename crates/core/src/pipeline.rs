@@ -32,7 +32,8 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io;
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Duration;
 
 use rbio_plan::Rank;
@@ -40,6 +41,15 @@ use rbio_plan::Rank;
 use crate::buf::Bytes;
 use crate::commit;
 use crate::fault::{self, FaultPlan};
+use crate::sched::{self, Point};
+
+/// Test-only regression switch: re-introduces the PR 2 double-enqueue
+/// race (`submit` re-enqueues a writer that is already in the runnable
+/// queue, so two pool threads can drain one writer concurrently). Used
+/// by `rbio-check` pinned regression schedules to prove the harness
+/// catches the historical bug; must never be set outside tests.
+#[doc(hidden)]
+pub static REVERT_PR2_DOUBLE_ENQUEUE: AtomicBool = AtomicBool::new(false);
 
 /// Why a writer's background pipeline failed.
 #[derive(Debug)]
@@ -97,6 +107,30 @@ pub enum FlushJob {
     },
 }
 
+impl FlushJob {
+    fn kind(&self) -> sched::JobKind {
+        match self {
+            FlushJob::Write { .. } => sched::JobKind::Write,
+            FlushJob::WriteV { .. } => sched::JobKind::WriteV,
+            FlushJob::Close { .. } => sched::JobKind::Close,
+            FlushJob::Commit { .. } => sched::JobKind::Commit,
+        }
+    }
+
+    /// Payload fingerprint for the use-after-recycle check: hashed at
+    /// submit time and again just before execution; a mismatch means
+    /// the buffer was recycled and overwritten while the job was
+    /// queued. Non-write jobs hash to 0. Only called under a
+    /// controlled scheduler.
+    fn fingerprint(&self) -> u64 {
+        match self {
+            FlushJob::Write { data, .. } => sched::fingerprint([data.as_ref()]),
+            FlushJob::WriteV { bufs, .. } => sched::fingerprint(bufs.iter().map(|b| b.as_ref())),
+            FlushJob::Close { .. } | FlushJob::Commit { .. } => 0,
+        }
+    }
+}
+
 /// Immutable per-writer execution context, set at registration.
 #[derive(Clone)]
 struct WriterCtx {
@@ -149,16 +183,38 @@ struct Shared {
     done: Condvar,
 }
 
+/// Wait on `cv` for a state change — or, when the calling thread is
+/// registered with a controlled scheduler, drop the lock and yield at
+/// `point` instead (blocking on the condvar would deadlock the single
+/// run token). Callers must re-check their condition in a loop either
+/// way.
+fn pool_wait<'a>(
+    shared: &'a Shared,
+    cv: &Condvar,
+    g: MutexGuard<'a, Inner>,
+    point: Point,
+) -> MutexGuard<'a, Inner> {
+    if sched::registered() {
+        drop(g);
+        sched::yield_now(point);
+        shared.inner.lock().expect("pool lock")
+    } else {
+        cv.wait(g).expect("pool lock")
+    }
+}
+
 /// The process-wide flush thread pool.
 pub struct FlushPool {
     shared: Arc<Shared>,
 }
 
+/// Pool used by controlled (`rbio-check`) runs instead of the global
+/// one, so schedule decisions see a fixed, named set of worker threads.
+static CHECK_POOL: RwLock<Option<Arc<FlushPool>>> = RwLock::new(None);
+
 impl FlushPool {
-    /// The global pool (created on first use; threads are detached and
-    /// live for the process).
-    pub fn global() -> &'static FlushPool {
-        static POOL: OnceLock<FlushPool> = OnceLock::new();
+    fn global_arc() -> &'static Arc<FlushPool> {
+        static POOL: OnceLock<Arc<FlushPool>> = OnceLock::new();
         POOL.get_or_init(|| {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -176,8 +232,71 @@ impl FlushPool {
                     .spawn(move || worker_loop(&s))
                     .expect("spawn flush worker");
             }
-            FlushPool { shared }
+            Arc::new(FlushPool { shared })
         })
+    }
+
+    /// The global pool (created on first use; threads are detached and
+    /// live for the process).
+    pub fn global() -> &'static FlushPool {
+        Self::global_arc()
+    }
+
+    /// The pool executors should register with: the controlled check
+    /// pool while a deterministic run is active, else the global pool.
+    pub fn current() -> Arc<FlushPool> {
+        if sched::controlled() {
+            if let Some(p) = CHECK_POOL.read().expect("check pool lock").as_ref() {
+                return Arc::clone(p);
+            }
+        }
+        Arc::clone(Self::global_arc())
+    }
+
+    /// Create (once) the controlled pool with `threads` workers named
+    /// `flush{i}`, each registered with the installed scheduler. The
+    /// pool persists for the process; workers park between runs.
+    #[doc(hidden)]
+    pub fn init_check_pool(threads: usize) {
+        let mut slot = CHECK_POOL.write().expect("check pool lock");
+        if slot.is_some() {
+            return;
+        }
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        for i in 0..threads {
+            sched::spawning();
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rbio-check-flush-{i}"))
+                .spawn(move || {
+                    sched::register(&format!("flush{i}"));
+                    worker_loop(&s)
+                })
+                .expect("spawn check flush worker");
+        }
+        *slot = Some(Arc::new(FlushPool { shared }));
+    }
+
+    /// Reset the controlled pool's writer table between runs so slot
+    /// indices (`wid` in events) are assigned identically on every run —
+    /// without this, the free-list order left by run *k* leaks into run
+    /// *k+1*'s event stream and breaks byte-for-byte replay. Callers must
+    /// guarantee no run is active and all pool workers are parked.
+    #[doc(hidden)]
+    pub fn reset_check_pool() {
+        let slot = CHECK_POOL.read().expect("check pool lock");
+        let Some(pool) = slot.as_ref() else { return };
+        let mut g = pool.shared.inner.lock().expect("pool lock");
+        assert!(
+            g.runnable.is_empty() && g.writers.iter().all(|w| !w.occupied && w.in_flight == 0),
+            "reset_check_pool during an active run"
+        );
+        g.writers.clear();
+        g.free.clear();
     }
 
     /// Register one writer pipeline of `depth` outstanding jobs
@@ -221,6 +340,7 @@ impl FlushPool {
                 g.writers.len() - 1
             }
         };
+        sched::emit(|| sched::Event::WriterRegistered { wid, rank });
         WriterHandle {
             shared: Arc::clone(&self.shared),
             wid,
@@ -246,21 +366,37 @@ impl WriterHandle {
         loop {
             let w = &mut g.writers[self.wid];
             if let Some(e) = w.error.take() {
+                sched::emit(|| sched::Event::ErrorCleared { wid: self.wid });
                 return Err(e);
             }
             if w.in_flight < self.depth {
                 break;
             }
-            g = self.shared.done.wait(g).expect("pool lock");
+            g = pool_wait(&self.shared, &self.shared.done, g, Point::SubmitFull);
         }
+        sched::emit(|| sched::Event::Submit {
+            wid: self.wid,
+            kind: job.kind(),
+            hash: job.fingerprint(),
+        });
         let w = &mut g.writers[self.wid];
         w.queue.push_back(job);
         w.in_flight += 1;
-        if !w.active && !w.enqueued {
+        // `!w.enqueued` is the PR 2 fix: without it, two back-to-back
+        // submits ahead of a busy pool enqueue the writer twice and two
+        // threads drain one queue concurrently.
+        let enqueue = if REVERT_PR2_DOUBLE_ENQUEUE.load(Ordering::Relaxed) {
+            !w.active
+        } else {
+            !w.active && !w.enqueued
+        };
+        if enqueue {
             w.enqueued = true;
             g.runnable.push_back(self.wid);
             self.shared.work.notify_one();
         }
+        drop(g);
+        sched::yield_now(Point::Submitted);
         Ok(())
     }
 
@@ -269,12 +405,15 @@ impl WriterHandle {
     pub fn drain(&self) -> Result<u64, PipelineError> {
         let mut g = self.shared.inner.lock().expect("pool lock");
         while g.writers[self.wid].in_flight > 0 {
-            g = self.shared.done.wait(g).expect("pool lock");
+            g = pool_wait(&self.shared, &self.shared.done, g, Point::DrainWait);
         }
         let w = &mut g.writers[self.wid];
         let retries = std::mem::take(&mut w.retries);
         match w.error.take() {
-            Some(e) => Err(e),
+            Some(e) => {
+                sched::emit(|| sched::Event::ErrorCleared { wid: self.wid });
+                Err(e)
+            }
             None => Ok(retries),
         }
     }
@@ -286,13 +425,14 @@ impl Drop for WriterHandle {
         // must not be reused while its queue drains), then free the slot.
         let mut g = self.shared.inner.lock().expect("pool lock");
         while g.writers[self.wid].in_flight > 0 {
-            g = self.shared.done.wait(g).expect("pool lock");
+            g = pool_wait(&self.shared, &self.shared.done, g, Point::QuiesceWait);
         }
         let w = &mut g.writers[self.wid];
         w.occupied = false;
         w.error = None;
         w.queue.clear();
         g.free.push(self.wid);
+        sched::emit(|| sched::Event::WriterFreed { wid: self.wid });
     }
 }
 
@@ -303,8 +443,12 @@ fn worker_loop(shared: &Shared) {
             if let Some(w) = g.runnable.pop_front() {
                 break w;
             }
-            g = shared.work.wait(g).expect("pool lock");
+            g = pool_wait(shared, &shared.work, g, Point::WorkerIdle);
         };
+        sched::emit(|| sched::Event::WorkerClaim {
+            wid,
+            was_active: g.writers[wid].active,
+        });
         g.writers[wid].enqueued = false;
         g.writers[wid].active = true;
         loop {
@@ -317,18 +461,32 @@ fn worker_loop(shared: &Shared) {
             let ctx = w.ctx.clone();
             let seq = w.seq;
             w.seq += 1;
+            sched::emit(|| sched::Event::JobStart {
+                wid,
+                seq,
+                kind: job.kind(),
+                hash: job.fingerprint(),
+                skipped: skip,
+            });
+            if !skip && matches!(job, FlushJob::Commit { .. }) {
+                sched::emit(|| sched::Event::CommitExecuted { wid });
+            }
             drop(g);
+            sched::yield_now(Point::JobRun);
             let res = if skip { Ok(0) } else { run_job(&ctx, seq, job) };
             g = shared.inner.lock().expect("pool lock");
             let w = &mut g.writers[wid];
+            let ok = res.is_ok();
             match res {
                 Ok(attempts) => w.retries += u64::from(attempts),
                 Err(e) => {
                     if w.error.is_none() {
                         w.error = Some(e);
+                        sched::emit(|| sched::Event::ErrorLatched { wid });
                     }
                 }
             }
+            sched::emit(|| sched::Event::JobEnd { wid, ok });
             w.in_flight -= 1;
             shared.done.notify_all();
         }
@@ -345,8 +503,12 @@ fn splitmix64(mut x: u64) -> u64 {
 
 fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineError> {
     if let Some(seed) = ctx.jitter_seed {
-        let h = splitmix64(seed ^ (u64::from(ctx.rank) << 32) ^ seq);
-        std::thread::sleep(Duration::from_micros(h % 200));
+        // Under a controlled scheduler interleavings come from the
+        // schedule, not wall-clock jitter.
+        if !sched::controlled() {
+            let h = splitmix64(seed ^ (u64::from(ctx.rank) << 32) ^ seq);
+            std::thread::sleep(Duration::from_micros(h % 200));
+        }
     }
     match job {
         FlushJob::Write { file, offset, data } => fault::write_at_with_retry(

@@ -109,6 +109,11 @@ impl RestoredData {
     }
 }
 
+/// Largest header we will ever allocate for. Real headers are a few KB;
+/// anything bigger means the length field itself is damaged, and trusting
+/// it would turn a torn file into a multi-GB allocation.
+const MAX_HEADER_LEN: usize = 64 * 1024 * 1024;
+
 fn read_header(path: &Path) -> Result<FileHeader, RestartError> {
     let mut f = File::open(path)?;
     // Headers are small; read a generous prefix, growing if `header_len`
@@ -116,13 +121,34 @@ fn read_header(path: &Path) -> Result<FileHeader, RestartError> {
     let mut buf = vec![0u8; 64 * 1024];
     let n = read_up_to(&mut f, &mut buf)?;
     buf.truncate(n);
+    let torn = |what: String| RestartError::Torn {
+        file: path.display().to_string(),
+        what,
+    };
     match decode_header(&buf) {
         Ok(h) => Ok(h),
-        Err(FormatError::Truncated) if n >= 16 => {
+        // A file too short to hold even the fixed header prelude (magic,
+        // version, header_len) was torn by a crash mid-create — including
+        // the zero-length case. That is a generation to fall back from,
+        // not a format bug.
+        Err(FormatError::Truncated) if n < 16 => {
+            Err(torn(format!("file ends mid-header ({n} bytes)")))
+        }
+        Err(FormatError::Truncated) => {
             let hlen = u64::from_le_bytes(buf[8..16].try_into().expect("len 8")) as usize;
+            if hlen > MAX_HEADER_LEN {
+                return Err(torn(format!("implausible header length {hlen}")));
+            }
             let mut full = vec![0u8; hlen];
             f.seek(SeekFrom::Start(0))?;
-            f.read_exact(&mut full).map_err(RestartError::Io)?;
+            match f.read_exact(&mut full) {
+                Ok(()) => {}
+                // Shorter than its own header_len: torn mid-header.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return Err(torn(format!("file ends inside its {hlen}-byte header")));
+                }
+                Err(e) => return Err(RestartError::Io(e)),
+            }
             decode_header(&full).map_err(|e| RestartError::Format {
                 file: path.display().to_string(),
                 source: e,
@@ -160,10 +186,16 @@ fn extract_file(
     let bytes = Bytes::from_vec(std::fs::read(&path)?);
     let actual = bytes.len() as u64;
     if actual < header.expected_file_size() {
-        return Err(RestartError::Inconsistent(format!(
-            "{rel}: file is {actual} bytes, header expects {}",
-            header.expected_file_size()
-        )));
+        // Shorter than its own header promises: a crash truncated the
+        // write. Classified as torn (fall back a generation), not as a
+        // shape mismatch — the header itself is internally consistent.
+        return Err(RestartError::Torn {
+            file: rel.to_string(),
+            what: format!(
+                "file is {actual} bytes, header expects {}",
+                header.expected_file_size()
+            ),
+        });
     }
     // Validation pass: every published checkpoint file carries a commit
     // footer with per-field checksums. A missing or failing footer means
@@ -304,12 +336,22 @@ pub fn scan_checkpoint_dir(
     let dir = dir.as_ref();
     let mut out = Vec::new();
     for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
+        // Entries deleted between listing and stat (a concurrent GC
+        // rotating old generations) are not this scan's problem.
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(RestartError::Io(e)),
+        };
         let name = entry.file_name().to_string_lossy().into_owned();
         if !name.starts_with(prefix) || !name.ends_with(".rbio") {
             continue;
         }
-        let header = read_header(&entry.path())?;
+        let header = match read_header(&entry.path()) {
+            Ok(h) => h,
+            Err(RestartError::Io(e)) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
         out.push((name, header));
     }
     out.sort_by_key(|(_, h)| (h.r0, h.r1));
@@ -552,9 +594,99 @@ mod tests {
         drop(f);
         let err = read_checkpoint(&dir, &plan).unwrap_err();
         assert!(
-            matches!(err, RestartError::Inconsistent(_)),
-            "want Inconsistent, got {err}"
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_length_and_header_stub_files_are_torn_not_panics() {
+        let layout = DataLayout::uniform(2, &[("x", 256)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("torn-zero");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+
+        // Zero-length file: crash between create and first write.
+        let victim = dir.join(&plan.plan_files[0].name);
+        let good = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, b"").unwrap();
+        for err in [
+            read_checkpoint(&dir, &plan).unwrap_err(),
+            read_checkpoint_auto(&dir, "ck").unwrap_err(),
+        ] {
+            assert!(
+                matches!(err, RestartError::Torn { .. }),
+                "want Torn, got {err}"
+            );
+        }
+
+        // A few bytes of header prelude, then nothing.
+        std::fs::write(&victim, &good[..10]).unwrap();
+        let err = read_checkpoint(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
+        );
+
+        // Valid prelude but the file ends inside its declared header.
+        std::fs::write(&victim, &good[..20.min(good.len())]).unwrap();
+        let err = read_checkpoint(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_truncated_mid_footer_is_torn() {
+        let layout = DataLayout::uniform(2, &[("x", 512)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("torn-midfoot");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        // Cut the file inside its commit footer: data complete, commit
+        // proof half-written — exactly what a crash mid-commit leaves.
+        let victim = dir.join(&plan.plan_files[0].name);
+        let hdr = read_header(&victim).unwrap();
+        let full = std::fs::metadata(&victim).unwrap().len();
+        let logical = hdr.expected_file_size();
+        assert!(full > logical + 1, "need a footer to cut");
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim)
+            .unwrap();
+        f.set_len(logical + (full - logical) / 2).unwrap();
+        drop(f);
+        let err = read_checkpoint(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
+        );
+        let err = read_checkpoint_auto(&dir, "ck").unwrap_err();
+        assert!(
+            matches!(err, RestartError::Torn { .. }),
+            "want Torn, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_skips_entries_that_vanish_mid_scan() {
+        let layout = DataLayout::uniform(2, &[("x", 64)]);
+        let plan = CheckpointSpec::new(layout, "ck").plan().unwrap();
+        let dir = tmpdir("scan-vanish");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        // A dangling symlink is what a concurrently-GC'd entry looks like
+        // at open time: it lists, but opening it yields NotFound.
+        std::os::unix::fs::symlink(dir.join("no-such-file"), dir.join("ck-gone.rbio")).unwrap();
+        let files = scan_checkpoint_dir(&dir, "ck").expect("scan tolerates vanished entry");
+        assert_eq!(files.len(), plan.plan_files.len());
+        let restored = read_checkpoint_auto(&dir, "ck").expect("restore unaffected");
+        assert_eq!(restored.nranks, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

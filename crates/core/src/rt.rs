@@ -27,10 +27,11 @@ use rbio_profile::counters;
 
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
-use crate::exec::{src_len, write_run_len, write_src};
+use crate::exec::{src_len, write_run_len, write_src, CHECK_RECV_POLL_BUDGET};
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
 use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
+use crate::sched::{self, Point};
 
 type Msg = (u32, u64, Bytes);
 
@@ -171,6 +172,9 @@ impl Comm {
                 return Ok(d);
             }
         }
+        if sched::registered() {
+            return self.recv_bytes_controlled(src, tag);
+        }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             let left = deadline.saturating_duration_since(Instant::now());
@@ -194,6 +198,41 @@ impl Comm {
                         rank: self.rank,
                         peer: src,
                     });
+                }
+            }
+        }
+    }
+
+    /// Controlled-run receive: wall-clock timeouts would make schedules
+    /// nondeterministic, so a fixed futile-poll budget plays the role of
+    /// `recv_timeout` and surfaces the same typed error.
+    fn recv_bytes_controlled(&mut self, src: u32, tag: u64) -> Result<Bytes, RtError> {
+        let mut budget = CHECK_RECV_POLL_BUDGET;
+        loop {
+            match self.rx.try_recv() {
+                Ok((s, t, d)) => {
+                    if s == src && t == tag {
+                        return Ok(d);
+                    }
+                    self.stash.entry((s, t)).or_default().push_back(d);
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    return Err(RtError::PeerGone {
+                        rank: self.rank,
+                        peer: src,
+                    });
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    if budget == 0 {
+                        return Err(RtError::RecvTimeout {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            waited: self.recv_timeout,
+                        });
+                    }
+                    budget -= 1;
+                    sched::yield_now(Point::RecvEmpty);
                 }
             }
         }
@@ -257,6 +296,12 @@ where
     let world_barrier = Arc::new(Barrier::new(nranks as usize));
     let reduce_slots = Arc::new(vec![Mutex::new(vec![0.0; nranks as usize])]);
 
+    // Under a controlled scheduler the driver must not block in the
+    // scope join while rank threads still need the run token: it spins
+    // on this counter at a yield point first (see `exec::execute`).
+    let controlled = sched::controlled();
+    let ranks_alive = std::sync::atomic::AtomicUsize::new(nranks as usize);
+
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks as usize);
         for (rank, rx) in rxs.iter_mut().enumerate() {
@@ -271,7 +316,26 @@ where
                 recv_timeout: Duration::from_secs(2),
             };
             let f = &f;
-            handles.push(scope.spawn(move || f(comm)));
+            let ranks_alive = &ranks_alive;
+            if controlled {
+                sched::spawning();
+            }
+            handles.push(scope.spawn(move || {
+                if controlled {
+                    sched::register(&format!("rank{rank}"));
+                }
+                let out = f(comm);
+                if controlled {
+                    ranks_alive.fetch_sub(1, std::sync::atomic::Ordering::Release);
+                    sched::unregister();
+                }
+                out
+            }));
+        }
+        if controlled {
+            while ranks_alive.load(std::sync::atomic::Ordering::Acquire) > 0 {
+                sched::yield_now(Point::JoinWait);
+            }
         }
         handles
             .into_iter()
@@ -393,7 +457,7 @@ pub fn checkpoint_rank_with(
     // flushes to the shared pool so they progress concurrently with the
     // foreground aggregation of the next package.
     let pipe: Option<WriterHandle> = (cfg.pipeline_depth >= 2).then(|| {
-        FlushPool::global().register(
+        FlushPool::current().register(
             rank,
             cfg.pipeline_depth,
             cfg.faults.clone(),
@@ -456,6 +520,7 @@ pub fn checkpoint_rank_with(
     let ops = &program.ops[rank as usize];
     let mut i = 0;
     while i < ops.len() {
+        sched::yield_now(Point::Progress);
         let op = &ops[i];
         match op {
             Op::Compute { .. } => {}
@@ -485,10 +550,24 @@ pub fn checkpoint_rank_with(
             Op::Send { dst, tag, src } => {
                 let data = resolve(src, &staging, 0);
                 if cfg.faults.on_send(rank, *dst) {
+                    sched::emit(|| sched::Event::SendAttempt {
+                        rank,
+                        dst: *dst,
+                        op_index: i,
+                        dropped: true,
+                    });
                     // Injected message loss: the receiver times out.
+                    // Advancing `i` here mirrors the PR 3 fix in `exec`:
+                    // the op must never re-execute after a drop.
                     i += 1;
                     continue;
                 }
+                sched::emit(|| sched::Event::SendAttempt {
+                    rank,
+                    dst: *dst,
+                    op_index: i,
+                    dropped: false,
+                });
                 comm.send_bytes(*dst, PLAN_TAG_BASE + tag.0, data)?;
             }
             Op::Recv {
@@ -513,6 +592,7 @@ pub fn checkpoint_rank_with(
                 // Pending flushes must land before this rank reports in:
                 // peers past the barrier may rely on our writes.
                 drain(&pipe)?;
+                sched::emit(|| sched::Event::BarrierEnter { rank });
                 // Flat fan-in/fan-out over the group's first rank, using a
                 // per-comm tag so concurrent groups stay independent.
                 let members = &program.comms[cid.0 as usize];

@@ -492,6 +492,30 @@ impl FileSystemModel {
     }
 }
 
+/// First and last completion times of a bandwidth measurement window.
+/// An empty window has no span: `None`, never a panic — callers feeding
+/// a window that happened to collect zero samples (all ops elided,
+/// filtered out, or a zero-rank sweep) get a value they can branch on.
+pub fn window_span(times: &[SimTime]) -> Option<(SimTime, SimTime)> {
+    let first = *times.iter().min()?;
+    let last = *times.iter().max()?;
+    Some((first, last))
+}
+
+/// Aggregate bandwidth in bytes/sec over a window of completion times,
+/// measured across the first-to-last span. Empty windows and zero-width
+/// spans report `0.0` rather than panicking or dividing by zero.
+pub fn window_bandwidth(bytes: u64, times: &[SimTime]) -> f64 {
+    let Some((first, last)) = window_span(times) else {
+        return 0.0;
+    };
+    let span = last.as_secs_f64() - first.as_secs_f64();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / span
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,10 +563,24 @@ mod tests {
         quiet(&mut cfg);
         let mut fs = FileSystemModel::new(cfg, 1024, 7);
         let times: Vec<SimTime> = (0..1024).map(|_| fs.create(SimTime::ZERO, 0)).collect();
-        let first = times.iter().min().unwrap().as_secs_f64();
-        let last = times.iter().max().unwrap().as_secs_f64();
+        let (first, last) = window_span(&times).expect("non-empty window");
+        let (first, last) = (first.as_secs_f64(), last.as_secs_f64());
         assert!(last / first > 100.0, "spread {first}..{last}");
         assert_eq!(fs.stats().creates, 1024);
+    }
+
+    #[test]
+    fn empty_bandwidth_window_is_zero_not_a_panic() {
+        assert_eq!(window_span(&[]), None);
+        assert_eq!(window_bandwidth(1 << 30, &[]), 0.0);
+        // A single sample has zero span: still 0.0, not a div-by-zero.
+        let one = [SimTime::from_micros(5)];
+        assert_eq!(window_span(&one), Some((one[0], one[0])));
+        assert_eq!(window_bandwidth(1 << 30, &one), 0.0);
+        // Two samples give a real rate.
+        let two = [SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0)];
+        let bw = window_bandwidth(100, &two);
+        assert!((bw - 50.0).abs() < 1e-9, "{bw}");
     }
 
     #[test]

@@ -79,7 +79,10 @@ fn truncated_data_detected() {
     f.set_len(orig / 2).expect("truncate");
     drop(f);
     let err = read_checkpoint(&dir, &plan).expect_err("must detect truncation");
-    assert!(matches!(err, RestartError::Inconsistent(_)), "{err}");
+    // Truncation is a torn checkpoint (incomplete write), not a layout
+    // inconsistency: it must carry the Torn classification so restart
+    // can fall back to the previous complete step.
+    assert!(matches!(err, RestartError::Torn { .. }), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
