@@ -18,7 +18,7 @@ echo "== test =="
 cargo test -q --workspace
 
 echo "== rbio-check fast schedule sweep (256 seeds) =="
-# Deterministic schedule exploration of the concurrency harness's four
+# Deterministic schedule exploration of the concurrency harness's five
 # program families. Any failure prints the seed and the exact schedule;
 # replay it with: rbio-check replay --program <pX> --schedule "..."
 RBC=target/debug/rbio-check
@@ -27,6 +27,7 @@ RBC=target/debug/rbio-check
 "$RBC" sweep --program p2 --seeds 16
 "$RBC" sweep --program p3 --seeds 16
 "$RBC" sweep --program p4 --seeds 32
+"$RBC" sweep --program p5 --seeds 256
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -46,6 +47,7 @@ if [[ "$SLOW" == 1 ]]; then
   "$RBC" sweep --program p2 --seeds 512
   "$RBC" sweep --program p3 --seeds 256
   "$RBC" sweep --program p4 --seeds 256
+  "$RBC" sweep --program p5 --seeds 4096
 
   echo "== multi_step campaign (depth 2) =="
   cargo run --release -p rbio-bench --bin multi_step -- 16384 20 10 2

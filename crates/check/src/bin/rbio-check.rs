@@ -1,10 +1,12 @@
 //! rbio-check CLI: sweep seeds or replay a pinned schedule.
 //!
 //! ```text
-//! rbio-check sweep  --program p1|p2|p3|p4|all [--seeds N] [--start S]
+//! rbio-check sweep  --program p1|p2|p3|p4|p5|all [--seeds N] [--start S]
 //!                   [--preempt] [--stop-first] [--revert-pr2] [--revert-pr3]
-//! rbio-check replay --program p1|p2|p3|p4 --schedule "a,b,c,..."
-//!                   [--revert-pr2] [--revert-pr3] [--expect-violation]
+//!                   [--revert-pr5]
+//! rbio-check replay --program p1|p2|p3|p4|p5 --schedule "a,b,c,..."
+//!                   [--revert-pr2] [--revert-pr3] [--revert-pr5]
+//!                   [--expect-violation]
 //! ```
 //!
 //! A failing sweep prints, per seed: the violations and the exact
@@ -20,10 +22,12 @@ use rbio_check::{run_one, sweep, CheckReport, Policy, ProgramKind};
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n");
     eprintln!("usage:");
-    eprintln!("  rbio-check sweep  --program <p1|p2|p3|p4|all> [--seeds N] [--start S]");
+    eprintln!("  rbio-check sweep  --program <p1|p2|p3|p4|p5|all> [--seeds N] [--start S]");
     eprintln!("                    [--preempt] [--stop-first] [--revert-pr2] [--revert-pr3]");
-    eprintln!("  rbio-check replay --program <p1|p2|p3|p4> --schedule \"name,name,...\"");
-    eprintln!("                    [--revert-pr2] [--revert-pr3] [--expect-violation]");
+    eprintln!("                    [--revert-pr5]");
+    eprintln!("  rbio-check replay --program <p1|p2|p3|p4|p5> --schedule \"name,name,...\"");
+    eprintln!("                    [--revert-pr2] [--revert-pr3] [--revert-pr5]");
+    eprintln!("                    [--expect-violation]");
     eprintln!();
     for k in ProgramKind::all() {
         eprintln!("  {}: {}", k.label(), k.describe());
@@ -88,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--revert-pr3" => {
                 rbio::exec::REVERT_PR3_FAULT_DROP.store(true, Ordering::Relaxed);
+            }
+            "--revert-pr5" => {
+                rbio::failover::REVERT_PR5_FENCE.store(true, Ordering::Relaxed);
             }
             other => return Err(format!("unknown flag '{other}'")),
         }

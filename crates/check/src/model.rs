@@ -16,6 +16,13 @@
 //! * **Exactly-once sends** — a `(rank, op_index)` send op is attempted
 //!   once (twice is the PR 3 fault-drop re-execution bug).
 //! * **Pool sanity** — no buffer is recycled while already free.
+//! * **Exactly-once takeover** — an orphaned writer's extent is claimed
+//!   by at most one successor (PR 5 failover).
+//! * **Fenced writers never commit** — once a writer is declared dead,
+//!   no commit runs under its identity (a late-reviving zombie must be
+//!   fenced out; `REVERT_PR5_FENCE` re-opens this hole).
+//! * **Extent commits are unique** — each final path is renamed into
+//!   place exactly once per generation.
 //!
 //! Violations are recorded, not thrown: the run continues so one report
 //! carries everything a schedule uncovered.
@@ -47,6 +54,12 @@ pub enum ViolationKind {
     StepBudget,
     /// Output differed from the reference executor (post-run check).
     Equivalence,
+    /// An orphaned writer's extent was claimed by two successors.
+    DuplicateTakeover,
+    /// A commit ran under a fenced (declared-dead) writer's identity.
+    FencedCommit,
+    /// The same final path was committed twice in one generation.
+    DoubleCommit,
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -88,6 +101,13 @@ struct WriterModel {
 pub struct Model {
     writers: HashMap<usize, WriterModel>,
     sends: HashSet<(u32, usize)>,
+    /// Ranks declared dead by the failover director; anything they do
+    /// after this point must be refused by the fence.
+    fenced: HashSet<u32>,
+    /// Orphaned ranks already claimed by a successor.
+    claimed: HashSet<u32>,
+    /// Final-path fingerprints already committed this generation.
+    committed_paths: HashSet<u64>,
 }
 
 impl Model {
@@ -188,6 +208,60 @@ impl Model {
                     flag(
                         ViolationKind::CommitAfterError,
                         format!("writer {wid}: Commit executed after a latched error"),
+                    );
+                }
+                if let Some(w) = self.writers.get(&wid) {
+                    if self.fenced.contains(&w.rank) {
+                        flag(
+                            ViolationKind::FencedCommit,
+                            format!(
+                                "writer {wid}: Commit executed under fenced rank {} \
+                                 (zombie slipped past the fence)",
+                                w.rank
+                            ),
+                        );
+                    }
+                }
+            }
+            Event::WriterStraggling { .. } | Event::FenceRefused { .. } => {
+                // Informational: health transitions and refused commits
+                // are legal outcomes, not invariant state.
+            }
+            Event::WriterDead { rank } => {
+                self.fenced.insert(rank);
+            }
+            Event::TakeoverClaim { orphan, successor } => {
+                if !self.claimed.insert(orphan) {
+                    flag(
+                        ViolationKind::DuplicateTakeover,
+                        format!(
+                            "orphan {orphan} claimed a second time (by successor \
+                             {successor}) — extent would be re-staged twice"
+                        ),
+                    );
+                }
+            }
+            Event::ExtentCommit {
+                owner,
+                by,
+                path_hash,
+            } => {
+                if self.fenced.contains(&by) {
+                    flag(
+                        ViolationKind::FencedCommit,
+                        format!(
+                            "extent of rank {owner} committed by fenced rank {by} \
+                             (path hash {path_hash:#018x})"
+                        ),
+                    );
+                }
+                if !self.committed_paths.insert(path_hash) {
+                    flag(
+                        ViolationKind::DoubleCommit,
+                        format!(
+                            "path hash {path_hash:#018x} (owner {owner}) committed \
+                             twice, second time by rank {by}"
+                        ),
                     );
                 }
             }
@@ -322,6 +396,58 @@ mod tests {
                 ViolationKind::DoubleDrain,
                 ViolationKind::UseAfterRecycle,
                 ViolationKind::FifoMismatch
+            ],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn failover_invariants_detected() {
+        let v = feed(&[
+            // Rank 3 registered a pipelined writer, then is declared dead.
+            Event::WriterRegistered { wid: 2, rank: 3 },
+            Event::WriterStraggling { rank: 3 },
+            Event::WriterDead { rank: 3 },
+            // Clean takeover by rank 5, then a duplicate claim.
+            Event::TakeoverClaim {
+                orphan: 3,
+                successor: 5,
+            },
+            Event::TakeoverClaim {
+                orphan: 3,
+                successor: 7,
+            },
+            // The fence refusing the zombie is fine ...
+            Event::FenceRefused { rank: 3 },
+            // ... but a commit executing under its identity is not,
+            // whether surfaced as a pipeline job or an extent rename.
+            Event::CommitExecuted { wid: 2 },
+            Event::ExtentCommit {
+                owner: 3,
+                by: 3,
+                path_hash: 0xAB,
+            },
+            // Successor committing the same path again: double commit.
+            Event::ExtentCommit {
+                owner: 3,
+                by: 5,
+                path_hash: 0xAB,
+            },
+            // A different path by a healthy rank is clean.
+            Event::ExtentCommit {
+                owner: 5,
+                by: 5,
+                path_hash: 0xCD,
+            },
+        ]);
+        let kinds: Vec<ViolationKind> = v.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ViolationKind::DuplicateTakeover,
+                ViolationKind::FencedCommit,
+                ViolationKind::FencedCommit,
+                ViolationKind::DoubleCommit
             ],
             "{v:?}"
         );

@@ -16,6 +16,13 @@
 //!   correct outcome is a typed receive timeout on the aggregator; the
 //!   PR 3 fault-drop bug instead re-executes the send and "delivers"
 //!   the lost message (a duplicate [`SendAttempt`] the model flags).
+//! * `p5` — a four-rank, two-writer RB-IO plan where one writer hangs
+//!   mid-write and is declared dead. The correct outcome is a clean
+//!   failover: the surviving writer re-stages the orphaned extent and
+//!   the output matches an uninjected serial reference byte-for-byte,
+//!   with exactly-once takeover and no commit under the fenced rank
+//!   (PR 5 territory; `REVERT_PR5_FENCE` re-opens the zombie
+//!   double-commit hole).
 //!
 //! [`WriterHandle`]: rbio::pipeline::WriterHandle
 //! [`SendAttempt`]: rbio::sched::Event::SendAttempt
@@ -27,10 +34,11 @@ use std::time::Duration;
 
 use rbio::buf::{Bytes, CopyMode};
 use rbio::exec::{execute, ExecConfig};
+use rbio::failover::FailoverPolicy;
 use rbio::fault::FaultPlan;
 use rbio::format::materialize_payloads;
 use rbio::layout::DataLayout;
-use rbio::pipeline::{FlushJob, FlushPool};
+use rbio::pipeline::{FlushJob, FlushPool, WriterTuning};
 use rbio::rt;
 use rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy};
 use rbio_plan::{DataRef, Op, ProgramBuilder, Tag};
@@ -46,37 +54,42 @@ pub enum ProgramKind {
     RtEquiv,
     /// `p4`: injected message loss (PR 3 bug territory).
     FaultDrop,
+    /// `p5`: hung-writer failover (PR 5 territory).
+    Failover,
 }
 
 impl ProgramKind {
-    /// Parse a CLI/label name (`p1`..`p4`).
+    /// Parse a CLI/label name (`p1`..`p5`).
     pub fn parse(s: &str) -> Option<ProgramKind> {
         match s {
             "p1" => Some(ProgramKind::PipelineRace),
             "p2" => Some(ProgramKind::ExecEquiv),
             "p3" => Some(ProgramKind::RtEquiv),
             "p4" => Some(ProgramKind::FaultDrop),
+            "p5" => Some(ProgramKind::Failover),
             _ => None,
         }
     }
 
     /// Every family, in sweep order.
-    pub fn all() -> [ProgramKind; 4] {
+    pub fn all() -> [ProgramKind; 5] {
         [
             ProgramKind::PipelineRace,
             ProgramKind::ExecEquiv,
             ProgramKind::RtEquiv,
             ProgramKind::FaultDrop,
+            ProgramKind::Failover,
         ]
     }
 
-    /// Short stable name (`p1`..`p4`).
+    /// Short stable name (`p1`..`p5`).
     pub fn label(&self) -> &'static str {
         match self {
             ProgramKind::PipelineRace => "p1",
             ProgramKind::ExecEquiv => "p2",
             ProgramKind::RtEquiv => "p3",
             ProgramKind::FaultDrop => "p4",
+            ProgramKind::Failover => "p5",
         }
     }
 
@@ -87,6 +100,7 @@ impl ProgramKind {
             ProgramKind::ExecEquiv => "pipelined executor vs. serial deep-copy reference",
             ProgramKind::RtEquiv => "MPI-like runtime vs. serial deep-copy reference",
             ProgramKind::FaultDrop => "two-rank aggregation with an injected message drop",
+            ProgramKind::Failover => "hung-writer failover vs. uninjected serial reference",
         }
     }
 
@@ -129,6 +143,7 @@ pub fn prepare(kind: ProgramKind, dir: &Path) -> PreparedProgram {
         ProgramKind::ExecEquiv => prepare_plan_equiv(dir, false),
         ProgramKind::RtEquiv => prepare_plan_equiv(dir, true),
         ProgramKind::FaultDrop => prepare_fault_drop(dir),
+        ProgramKind::Failover => prepare_failover(dir),
     }
 }
 
@@ -157,9 +172,11 @@ fn prepare_pipeline_race(dir: &Path) -> PreparedProgram {
                 0,
                 (NCHUNKS + 1) as u32,
                 FaultPlan::none(),
-                3,
-                Duration::from_micros(500),
-                None,
+                WriterTuning {
+                    write_retries: 3,
+                    retry_backoff: Duration::from_micros(500),
+                    ..WriterTuning::default()
+                },
             );
             for i in 0..NCHUNKS {
                 let data = Bytes::from_vec(vec![b'a' + i as u8; CHUNK]);
@@ -256,6 +273,77 @@ fn prepare_plan_equiv(dir: &Path, through_rt: bool) -> PreparedProgram {
                 if &got != want {
                     return Err(format!(
                         "{name}: controlled output differs from the deep-copy \
+                         serial reference ({} vs {} bytes)",
+                        got.len(),
+                        want.len()
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// `p5`: a 4-rank, 2-group RB-IO plan with independent per-writer
+/// commits; writer rank 0 hangs at its first write long enough to be
+/// classified dead. Correct behavior: the run still succeeds — the
+/// surviving writer claims the orphaned extent, re-derives its bytes
+/// from the shared payloads, and commits it exactly once while the
+/// fence keeps the reviving zombie from ever publishing. The reference
+/// is an uninjected deep-copy serial run; the model checks
+/// exactly-once takeover, no fenced commits, and unique extent
+/// commits on top of the byte-for-byte comparison.
+fn prepare_failover(dir: &Path) -> PreparedProgram {
+    let layout = DataLayout::uniform(4, &[("Ex", 256), ("Ey", 96)]);
+    let plan = CheckpointSpec::new(layout, "ck")
+        .strategy(Strategy::rbio(2))
+        .step(11)
+        .plan()
+        .expect("valid rb-io plan");
+    let payloads = materialize_payloads(&plan, fill);
+
+    let ref_dir = dir.join("ref");
+    execute(
+        &plan.program,
+        payloads.clone(),
+        &ExecConfig::new(&ref_dir).copy_mode(CopyMode::DeepCopy),
+    )
+    .expect("uncontrolled reference execution");
+    let expected: Vec<(String, Vec<u8>)> = plan
+        .plan_files
+        .iter()
+        .map(|pf| {
+            let bytes = std::fs::read(ref_dir.join(&pf.name)).expect("reference file");
+            (pf.name.clone(), bytes)
+        })
+        .collect();
+
+    let out_dir = dir.join("out");
+    let program = plan.program;
+    let base = out_dir.clone();
+    // dead_after = 1s, so a 1s hang classifies as Dead; under the
+    // controlled scheduler the hang is a self-announcement plus a few
+    // yields, not a wall-clock sleep, so schedules stay deterministic.
+    let policy = FailoverPolicy::from_recv_timeout(Duration::from_secs(2));
+    PreparedProgram {
+        body: Box::new(move || {
+            let cfg = ExecConfig::new(&base)
+                .pipeline_depth(2)
+                .faults(FaultPlan::none().hang_writer(0, Duration::from_secs(1)))
+                .failover(policy);
+            let report = execute(&program, payloads, &cfg).map_err(|e| e.to_string())?;
+            if report.failovers.is_empty() {
+                return Err("hung writer 0 was never taken over".into());
+            }
+            Ok(())
+        }),
+        verify: Box::new(move || {
+            for (name, want) in &expected {
+                let got =
+                    std::fs::read(out_dir.join(name)).map_err(|e| format!("read {name}: {e}"))?;
+                if &got != want {
+                    return Err(format!(
+                        "{name}: degraded-mode output differs from the uninjected \
                          serial reference ({} vs {} bytes)",
                         got.len(),
                         want.len()

@@ -7,6 +7,9 @@
 //! * **PR 3** — the executor's injected-message-loss arm forgot to
 //!   advance the op index, so a "dropped" send re-executed and delivered
 //!   the lost message after all, masking the fault.
+//! * **PR 5** — without the commit fence, a writer declared dead and
+//!   taken over can revive from its hang and publish its extent anyway,
+//!   racing the successor's commit (fenced/double commit).
 //!
 //! Each bug is re-introduced through its test-only revert switch; the
 //! explorer must find it, the found schedule must replay byte-for-byte,
@@ -20,6 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use rbio::exec::REVERT_PR3_FAULT_DROP;
+use rbio::failover::REVERT_PR5_FENCE;
 use rbio::pipeline::REVERT_PR2_DOUBLE_ENQUEUE;
 use rbio_check::{run_one, sweep, Policy, ProgramKind, ViolationKind};
 
@@ -139,6 +143,45 @@ fn pr3_fault_drop_reexecution_is_found_replayed_and_fixed() {
 }
 
 #[test]
+fn pr5_unfenced_zombie_commit_is_found_replayed_and_fixed() {
+    let guard = RevertGuard::arm(&REVERT_PR5_FENCE);
+
+    // With the fence reverted, any schedule where the hung writer
+    // revives after takeover and reaches its Commit shows the zombie
+    // publishing under a dead identity (and usually the same extent
+    // committed twice). Not every schedule gets the zombie that far —
+    // on some, its worker's send is rerouted first and the zombie
+    // times out before committing — so sweep a modest seed budget.
+    let result = sweep(ProgramKind::Failover, 0..64, false, true);
+    let (seed, found) = result
+        .failures
+        .first()
+        .expect("a 64-seed sweep must catch the unfenced zombie commit");
+    assert!(
+        has(found, ViolationKind::FencedCommit) || has(found, ViolationKind::DoubleCommit),
+        "seed {seed} failed without a fence violation: {:?}",
+        found.violations
+    );
+
+    let replay = run_one(ProgramKind::Failover, Policy::pinned(&found.schedule()));
+    assert!(!replay.diverged, "pinned replay must fit the buggy run");
+    assert_eq!(replay.trace, found.trace, "schedule must replay exactly");
+    assert_eq!(replay.events, found.events, "events must replay exactly");
+    assert!(has(&replay, ViolationKind::FencedCommit) || has(&replay, ViolationKind::DoubleCommit));
+
+    // With the fence back in place the same schedule refuses the zombie
+    // commit and the successor publishes alone.
+    guard.disarm();
+    let fixed = run_one(ProgramKind::Failover, Policy::pinned(&found.schedule()));
+    assert!(
+        fixed.violations.is_empty(),
+        "fixed code must survive the bug schedule: {:?}",
+        fixed.violations
+    );
+    assert!(fixed.outcome.is_ok(), "{:?}", fixed.outcome);
+}
+
+#[test]
 fn identical_policies_replay_byte_for_byte() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
 
@@ -164,6 +207,7 @@ fn seed_sweeps_are_clean_on_main() {
         (ProgramKind::ExecEquiv, 0..8),
         (ProgramKind::RtEquiv, 0..8),
         (ProgramKind::FaultDrop, 0..8),
+        (ProgramKind::Failover, 0..8),
     ] {
         let r = sweep(kind, seeds, false, false);
         assert!(

@@ -12,7 +12,7 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -23,9 +23,10 @@ use rbio_profile::counters;
 
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
+use crate::failover::{FailoverDirector, FailoverPolicy, WriterHealth};
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
-use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
+use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle, WriterTuning};
 use crate::sched::{self, Point};
 
 /// Test-only regression switch: re-introduces the PR 3 fault-drop bug
@@ -123,6 +124,12 @@ pub struct ExecConfig {
     /// hop — the legacy datapath, kept as the baseline for equivalence
     /// tests and the bytes-copied benchmark.
     pub copy_mode: CopyMode,
+    /// Writer failover policy. Disabled by default: a dead writer aborts
+    /// the run, exactly as before. When enabled (and the plan supports
+    /// takeover — per-writer files, no writer barriers), a dead or hung
+    /// writer's extent is re-staged and written by the next surviving
+    /// writer, and the generation completes in degraded mode.
+    pub failover: FailoverPolicy,
 }
 
 impl ExecConfig {
@@ -139,6 +146,7 @@ impl ExecConfig {
             pipeline_depth: 1,
             pipeline_jitter: None,
             copy_mode: CopyMode::ZeroCopy,
+            failover: FailoverPolicy::disabled(),
         }
     }
 
@@ -165,6 +173,12 @@ impl ExecConfig {
         self.copy_mode = mode;
         self
     }
+
+    /// Replace the writer failover policy.
+    pub fn failover(mut self, policy: FailoverPolicy) -> Self {
+        self.failover = policy;
+        self
+    }
 }
 
 /// Execution outcome.
@@ -181,6 +195,9 @@ pub struct ExecReport {
     pub bytes_sent: u64,
     /// Write attempts repeated after a transient error, across all ranks.
     pub retries: u64,
+    /// Completed writer takeovers as `(dead_writer, successor)` pairs, in
+    /// failover order. Empty on a healthy run (or with failover disabled).
+    pub failovers: Vec<(u32, u32)>,
 }
 
 impl ExecReport {
@@ -233,6 +250,13 @@ fn killed_error(rank: u32) -> io::Error {
     io::Error::other(format!("fault injection: rank {rank} killed"))
 }
 
+/// Was this error produced by [`killed_error`] (an injected rank death)?
+/// Only killed ranks are eligible for failover absorption — genuine I/O
+/// errors and timeouts still abort the run.
+fn is_killed_error(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Other && e.to_string().contains("fault injection")
+}
+
 fn pipe_error(e: PipelineError) -> io::Error {
     match e {
         PipelineError::Killed { rank } => killed_error(rank),
@@ -259,7 +283,7 @@ impl AbortBarrier {
         }
     }
 
-    fn wait(&self, abort: &AtomicBool) -> io::Result<()> {
+    fn wait(&self, abort: &AtomicBool, timeout: Duration) -> io::Result<()> {
         let mut g = self.state.lock().expect("barrier lock");
         g.1 += 1;
         if g.1 == self.n {
@@ -269,6 +293,13 @@ impl AbortBarrier {
             return Ok(());
         }
         let generation = g.0;
+        // One deadline for the whole wait, derived from the configured
+        // timeout. Waiters sleep on the condvar until the generation
+        // advances or a failing peer wakes them via `wake()` — no fixed
+        // poll interval. A barrier stuck past the deadline means a peer
+        // is lost without having raised the abort flag; surface that as
+        // a typed timeout instead of wedging.
+        let deadline = Instant::now() + timeout;
         while g.0 == generation {
             if abort.load(Ordering::Acquire) {
                 return Err(abort_error());
@@ -280,14 +311,23 @@ impl AbortBarrier {
                 sched::yield_now(Point::BarrierWait);
                 g = self.state.lock().expect("barrier lock");
             } else {
-                g = self
-                    .cvar
-                    .wait_timeout(g, Duration::from_millis(25))
-                    .expect("barrier lock")
-                    .0;
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("barrier timeout: peers missing after {timeout:?}"),
+                    ));
+                }
+                g = self.cvar.wait_timeout(g, left).expect("barrier lock").0;
             }
         }
         Ok(())
+    }
+
+    /// Wake all waiters so they re-check the abort flag. Called by a
+    /// failing rank after it raises `abort`.
+    fn wake(&self) {
+        self.cvar.notify_all();
     }
 }
 
@@ -295,6 +335,9 @@ struct RankCtx<'a> {
     rank: u32,
     program: &'a Program,
     payload: &'a Bytes,
+    /// Every rank's payload — a takeover re-derives the orphan's extent
+    /// (and the sends feeding it) from these shared buffers.
+    all_payloads: &'a [Bytes],
     staging: Vec<u8>,
     rx: Receiver<Msg>,
     stash: HashMap<(u32, u64), std::collections::VecDeque<Bytes>>,
@@ -306,6 +349,13 @@ struct RankCtx<'a> {
     retries: &'a AtomicU64,
     /// Background flush pipeline (`pipeline_depth >= 2` only).
     pipe: Option<WriterHandle>,
+    /// Failover director, present when the policy is enabled and the plan
+    /// supports takeover.
+    director: Option<&'a FailoverDirector>,
+    /// This rank's liveness heartbeat, bumped at every op boundary and
+    /// receive poll; the monitor thread declares a writer dead when it
+    /// goes stale past the policy deadline.
+    beat: Arc<AtomicU64>,
 }
 
 impl RankCtx<'_> {
@@ -351,6 +401,7 @@ impl RankCtx<'_> {
         let mut i = 0;
         while i < ops.len() {
             sched::yield_now(Point::Progress);
+            self.beat.fetch_add(1, Ordering::Relaxed);
             let op = &ops[i];
             match op {
                 Op::Compute { nanos } => {
@@ -406,13 +457,23 @@ impl RankCtx<'_> {
                         op_index: i,
                         dropped: false,
                     });
-                    if self.senders[*dst as usize]
+                    if self.director.is_some_and(|d| d.is_fenced(*dst)) {
+                        // The destination writer is dead: its successor
+                        // re-derives this payload from the shared buffers
+                        // during takeover, so there is nothing to deliver.
+                    } else if self.senders[*dst as usize]
                         .send((self.rank, tag.0, data))
                         .is_err()
                     {
-                        // The receiver is gone — it failed and dropped its
-                        // endpoint; surface as an abort-induced error.
-                        return Err(abort_error());
+                        if self.director.is_some_and(|d| d.is_fenced(*dst)) {
+                            // The writer died between the check and the
+                            // send — same rerouting applies.
+                        } else {
+                            // The receiver is gone — it failed and dropped
+                            // its endpoint; surface as an abort-induced
+                            // error.
+                            return Err(abort_error());
+                        }
                     }
                 }
                 Op::Recv {
@@ -440,7 +501,7 @@ impl RankCtx<'_> {
                     // commits"), so the pipeline must be empty on entry.
                     self.drain_pipe()?;
                     sched::emit(|| sched::Event::BarrierEnter { rank: self.rank });
-                    self.barriers[comm.0 as usize].wait(self.abort)?;
+                    self.barriers[comm.0 as usize].wait(self.abort, self.cfg.recv_timeout)?;
                 }
                 Op::Open { file, create } => {
                     let path = self.file_path(file.0);
@@ -493,27 +554,44 @@ impl RankCtx<'_> {
                     }
                 }
                 Op::Commit { file } => {
-                    let spec = &self.program.files[file.0 as usize];
-                    let final_path = self.cfg.base_dir.join(&spec.name);
-                    let tmp = commit::tmp_path(&final_path);
-                    if self.pipe.is_some() {
-                        // The commit fault check and the rename both run
-                        // inside the job, after this writer's data writes
-                        // (FIFO) — commit stays the last op on the owner.
-                        self.submit(FlushJob::Commit {
-                            tmp,
-                            final_path,
-                            size: spec.size,
-                            fsync: self.cfg.fsync_on_close,
-                        })?;
-                    } else {
-                        if self.cfg.faults.on_commit(self.rank) {
-                            // The rank dies after its data writes but
-                            // before the rename: the final name must
-                            // never appear.
-                            return Err(killed_error(self.rank));
+                    // The fence: a writer that was declared dead (and whose
+                    // extent a successor now owns) must never publish, even
+                    // if it revives after a hang. The refusal is absorbed —
+                    // the zombie simply skips the rename and retires.
+                    let fenced = self.director.is_some_and(|d| !d.allow_commit(self.rank));
+                    if !fenced {
+                        let spec = &self.program.files[file.0 as usize];
+                        let final_path = self.cfg.base_dir.join(&spec.name);
+                        let tmp = commit::tmp_path(&final_path);
+                        if self.pipe.is_some() {
+                            // The commit fault check and the rename both run
+                            // inside the job, after this writer's data writes
+                            // (FIFO) — commit stays the last op on the owner.
+                            self.submit(FlushJob::Commit {
+                                tmp,
+                                final_path,
+                                size: spec.size,
+                                fsync: self.cfg.fsync_on_close,
+                            })?;
+                        } else {
+                            if self.cfg.faults.on_commit(self.rank) {
+                                // The rank dies after its data writes but
+                                // before the rename: the final name must
+                                // never appear.
+                                return Err(killed_error(self.rank));
+                            }
+                            commit::commit_file(
+                                &tmp,
+                                &final_path,
+                                spec.size,
+                                self.cfg.fsync_on_close,
+                            )?;
+                            sched::emit(|| sched::Event::ExtentCommit {
+                                owner: self.rank,
+                                by: self.rank,
+                                path_hash: sched::path_fingerprint(&final_path),
+                            });
                         }
-                        commit::commit_file(&tmp, &final_path, spec.size, self.cfg.fsync_on_close)?;
                     }
                 }
             }
@@ -538,6 +616,7 @@ impl RankCtx<'_> {
         file: u32,
         offset: u64,
     ) -> io::Result<usize> {
+        self.maybe_hang();
         let coalesce = self.cfg.copy_mode == CopyMode::ZeroCopy && !self.cfg.faults.is_armed();
         let end = if coalesce {
             write_run_len(ops, i, file, offset)
@@ -644,6 +723,40 @@ impl RankCtx<'_> {
             }
             Err(fault::WriteError::Killed) => Err(killed_error(self.rank)),
             Err(fault::WriteError::Io(e)) => Err(e),
+            Err(fault::WriteError::DeadlineExceeded { waited }) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("write retries exhausted their deadline after {waited:?}"),
+            )),
+        }
+    }
+
+    /// Consult the one-shot hang fault for this rank, if armed. A hang
+    /// models a wedged writer: in production the thread genuinely sleeps
+    /// and the monitor watches its heartbeat go stale; under a controlled
+    /// scheduler wall-clock stalls would wreck determinism, so the rank
+    /// announces the monitor's verdict for the injected duration itself
+    /// and then yields so peers interleave. Either way the rank *revives*
+    /// afterwards and runs on as a zombie — the fence at `Commit` is what
+    /// keeps it from publishing.
+    fn maybe_hang(&mut self) {
+        let Some(d) = self.cfg.faults.take_hang(self.rank) else {
+            return;
+        };
+        if sched::registered() {
+            if let Some(dir) = self.director {
+                match dir.policy().classify_stall(d) {
+                    WriterHealth::Dead => {
+                        let _ = dir.report_dead(self.rank);
+                    }
+                    WriterHealth::Straggling => dir.report_straggling(self.rank),
+                    WriterHealth::Healthy => {}
+                }
+            }
+            for _ in 0..4 {
+                sched::yield_now(Point::Progress);
+            }
+        } else {
+            std::thread::sleep(d);
         }
     }
 
@@ -693,6 +806,10 @@ impl RankCtx<'_> {
             }
             Err(fault::WriteError::Killed) => Err(killed_error(self.rank)),
             Err(fault::WriteError::Io(e)) => Err(e),
+            Err(fault::WriteError::DeadlineExceeded { waited }) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("write retries exhausted their deadline after {waited:?}"),
+            )),
         }
     }
 
@@ -707,6 +824,8 @@ impl RankCtx<'_> {
         }
         let deadline = Instant::now() + self.cfg.recv_timeout;
         loop {
+            // A rank blocked in a receive is alive, just waiting.
+            self.beat.fetch_add(1, Ordering::Relaxed);
             if self.abort.load(Ordering::Acquire) {
                 return Err(abort_error());
             }
@@ -776,6 +895,308 @@ impl RankCtx<'_> {
             }
         }
     }
+
+    /// Re-execute the orphaned writer's op list on this (surviving) rank.
+    ///
+    /// Failover is pull-based: instead of replaying the messages the dead
+    /// writer consumed, the successor re-derives every byte from the
+    /// shared payload buffers — each `Recv` is resolved by scanning the
+    /// sender's op list for the matching (FIFO per `(src, tag)`) `Send`
+    /// and reading its `DataRef` straight out of that rank's payload.
+    /// This is why takeover is only offered for plans whose inbound sends
+    /// are payload- or synthetic-sourced (see [`failover_supported`]).
+    ///
+    /// Writes go through the serial fault-checked path under the
+    /// *successor's* rank identity, so cascading failures stay
+    /// injectable. The final `Commit` is guarded by the director's
+    /// per-extent CAS: exactly one rank ever publishes it.
+    fn run_takeover(&mut self, orphan: u32, dir: &FailoverDirector) -> io::Result<()> {
+        let program = self.program;
+        let ops = &program.ops[orphan as usize];
+        let payloads = self.all_payloads;
+        let mut staging = vec![0u8; program.staging[orphan as usize] as usize];
+        let mut files: HashMap<u32, File> = HashMap::new();
+        // FIFO scan positions into each sender's op list, per (src, tag).
+        let mut scan: HashMap<(u32, u64), usize> = HashMap::new();
+
+        fn bytes_of(payload: &Bytes, staging: &[u8], r: &DataRef, off_hint: u64) -> Vec<u8> {
+            match *r {
+                DataRef::Own { off, len } => payload[off as usize..(off + len) as usize].to_vec(),
+                DataRef::Staging { off, len } => {
+                    staging[off as usize..(off + len) as usize].to_vec()
+                }
+                DataRef::Synthetic { len } => {
+                    (0..len).map(|i| synthetic_byte(off_hint + i)).collect()
+                }
+            }
+        }
+
+        for op in ops {
+            sched::yield_now(Point::Progress);
+            self.beat.fetch_add(1, Ordering::Relaxed);
+            if self.abort.load(Ordering::Acquire) {
+                return Err(abort_error());
+            }
+            match op {
+                Op::Compute { .. } => {}
+                Op::Pack {
+                    src,
+                    staging_off,
+                    bytes,
+                } => {
+                    if let Some(s) = src {
+                        match *s {
+                            DataRef::Staging { off, len } => {
+                                counters::add_bytes_copied(len);
+                                staging.copy_within(
+                                    off as usize..(off + len) as usize,
+                                    *staging_off as usize,
+                                );
+                            }
+                            _ => {
+                                let d = bytes_of(&payloads[orphan as usize], &staging, s, 0);
+                                counters::add_bytes_copied(*bytes);
+                                staging[*staging_off as usize
+                                    ..*staging_off as usize + *bytes as usize]
+                                    .copy_from_slice(&d);
+                            }
+                        }
+                    }
+                }
+                Op::Send { dst, tag, src } => {
+                    // Forward on the orphan's behalf (wave-chain tokens
+                    // etc.). `Msg` carries the source rank, so the
+                    // receiver matches it as if the orphan had sent it; a
+                    // duplicate of a pre-death send parks harmlessly in
+                    // the receiver's stash.
+                    let d = bytes_of(&payloads[orphan as usize], &staging, src, 0);
+                    if !dir.is_fenced(*dst)
+                        && self.senders[*dst as usize]
+                            .send((orphan, tag.0, Bytes::from_vec(d)))
+                            .is_err()
+                        && !dir.is_fenced(*dst)
+                    {
+                        return Err(abort_error());
+                    }
+                }
+                Op::Recv {
+                    src,
+                    tag,
+                    bytes,
+                    staging_off,
+                } => {
+                    let pos = scan.entry((*src, tag.0)).or_insert(0);
+                    let sops = &program.ops[*src as usize];
+                    let mut found = None;
+                    while *pos < sops.len() {
+                        let j = *pos;
+                        *pos += 1;
+                        if let Op::Send {
+                            dst,
+                            tag: t2,
+                            src: s2,
+                        } = &sops[j]
+                        {
+                            if *dst == orphan && t2.0 == tag.0 {
+                                found = Some(*s2);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(sref) = found else {
+                        return Err(io::Error::other(format!(
+                            "takeover of rank {orphan}: no matching send from rank {src} \
+                             tag {} in the plan",
+                            tag.0
+                        )));
+                    };
+                    if matches!(sref, DataRef::Staging { .. }) {
+                        return Err(io::Error::other(format!(
+                            "takeover of rank {orphan}: send from rank {src} is \
+                             staging-sourced (unsupported plan shape)"
+                        )));
+                    }
+                    let d = bytes_of(&payloads[*src as usize], &[], &sref, 0);
+                    if d.len() as u64 != *bytes {
+                        return Err(io::Error::other(format!(
+                            "takeover recv size mismatch: want {bytes}, got {}",
+                            d.len()
+                        )));
+                    }
+                    counters::add_bytes_copied(d.len() as u64);
+                    staging[*staging_off as usize..*staging_off as usize + d.len()]
+                        .copy_from_slice(&d);
+                }
+                Op::Barrier { .. } => {
+                    return Err(io::Error::other(format!(
+                        "takeover of rank {orphan} hit a barrier (unsupported plan shape)"
+                    )));
+                }
+                Op::Open { file, create } => {
+                    let path = self.file_path(file.0);
+                    let f = if *create {
+                        if let Some(parent) = path.parent() {
+                            std::fs::create_dir_all(parent)?;
+                        }
+                        OpenOptions::new()
+                            .create(true)
+                            .truncate(true)
+                            .write(true)
+                            .read(true)
+                            .open(&path)?
+                    } else {
+                        OpenOptions::new().write(true).read(true).open(&path)?
+                    };
+                    files.insert(file.0, f);
+                }
+                Op::WriteAt { file, offset, src } => {
+                    let d = bytes_of(&payloads[orphan as usize], &staging, src, *offset);
+                    counters::add_checkpoint_bytes(d.len() as u64);
+                    let f = files.get(&file.0).expect("validated: opened");
+                    match fault::write_at_with_retry(
+                        f,
+                        self.rank,
+                        *offset,
+                        &d,
+                        &self.cfg.faults,
+                        self.cfg.write_retries,
+                        self.cfg.retry_backoff,
+                    ) {
+                        Ok(attempts) => {
+                            self.retries
+                                .fetch_add(u64::from(attempts), Ordering::Relaxed);
+                        }
+                        Err(fault::WriteError::Killed) => return Err(killed_error(self.rank)),
+                        Err(fault::WriteError::Io(e)) => return Err(e),
+                        Err(fault::WriteError::DeadlineExceeded { waited }) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("write retries exhausted their deadline after {waited:?}"),
+                            ))
+                        }
+                    }
+                }
+                Op::ReadAt {
+                    file,
+                    offset,
+                    len,
+                    staging_off,
+                } => {
+                    let f = files.get(&file.0).expect("validated: opened");
+                    let dst =
+                        &mut staging[*staging_off as usize..*staging_off as usize + *len as usize];
+                    f.read_exact_at(dst, *offset)?;
+                }
+                Op::Close { file } => {
+                    if let Some(f) = files.remove(&file.0) {
+                        if self.cfg.fsync_on_close {
+                            f.sync_all()?;
+                        }
+                    }
+                }
+                Op::Commit { file } => {
+                    if dir.begin_commit(orphan, file.0) {
+                        let spec = &program.files[file.0 as usize];
+                        let final_path = self.cfg.base_dir.join(&spec.name);
+                        let tmp = commit::tmp_path(&final_path);
+                        if self.cfg.faults.on_commit(self.rank) {
+                            return Err(killed_error(self.rank));
+                        }
+                        commit::commit_file(&tmp, &final_path, spec.size, self.cfg.fsync_on_close)?;
+                        sched::emit(|| sched::Event::ExtentCommit {
+                            owner: orphan,
+                            by: self.rank,
+                            path_hash: sched::path_fingerprint(&final_path),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ranks that perform file ops — the failover domain. For rbIO these are
+/// the `ng` aggregating writers; for one-file-per-process every rank.
+fn writer_ranks(program: &Program) -> Vec<u32> {
+    (0..program.nranks())
+        .filter(|&r| {
+            program.ops[r as usize]
+                .iter()
+                .any(|o| matches!(o, Op::Open { .. }))
+        })
+        .collect()
+}
+
+/// Can a dead writer's extent be re-derived by a successor?
+///
+/// Takeover replays the orphan's op list from the shared payload
+/// buffers, so it requires (a) no barriers on any writer — a collective
+/// commit protocol cannot make progress with a member missing — and (b)
+/// every send *into* a writer sourced from the sender's payload (or
+/// synthetic), never from sender-side staging the successor cannot see.
+fn failover_supported(program: &Program, writers: &[u32]) -> bool {
+    if writers.len() < 2 {
+        return false;
+    }
+    let writer_set: std::collections::HashSet<u32> = writers.iter().copied().collect();
+    for r in 0..program.nranks() {
+        for o in &program.ops[r as usize] {
+            match o {
+                Op::Barrier { .. } if writer_set.contains(&r) => return false,
+                Op::Send { dst, src, .. }
+                    if writer_set.contains(dst) && matches!(src, DataRef::Staging { .. }) =>
+                {
+                    return false
+                }
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Production health monitor: watches writer heartbeats and reports
+/// stalls to the director. Controlled runs never spawn this — the
+/// injected hang announces the monitor's verdict deterministically.
+fn monitor_writers(
+    dir: &FailoverDirector,
+    beats: &[Arc<AtomicU64>],
+    ranks_alive: &AtomicUsize,
+    abort: &AtomicBool,
+) {
+    let policy = *dir.policy();
+    let poll = (policy.straggler_after / 4).max(Duration::from_millis(1));
+    let now = Instant::now();
+    let mut last: Vec<(u32, u64, Instant)> = dir
+        .writers()
+        .iter()
+        .map(|&w| (w, beats[w as usize].load(Ordering::Relaxed), now))
+        .collect();
+    loop {
+        if ranks_alive.load(Ordering::Acquire) == 0 || abort.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(poll);
+        for entry in &mut last {
+            let (w, seen, since) = *entry;
+            if dir.is_done(w) || dir.is_fenced(w) {
+                continue;
+            }
+            let v = beats[w as usize].load(Ordering::Relaxed);
+            if v != seen {
+                *entry = (w, v, Instant::now());
+                continue;
+            }
+            match policy.classify_stall(since.elapsed()) {
+                WriterHealth::Dead => {
+                    let _ = dir.report_dead(w);
+                }
+                WriterHealth::Straggling => dir.report_straggling(w),
+                WriterHealth::Healthy => {}
+            }
+        }
+    }
 }
 
 /// Execute `program` with the given per-rank payload buffers under `cfg`.
@@ -838,7 +1259,18 @@ pub fn execute(
     // on this counter at a yield point instead, and only joins once all
     // ranks have left the controlled world.
     let controlled = sched::controlled();
-    let ranks_alive = std::sync::atomic::AtomicUsize::new(nranks);
+    let ranks_alive = AtomicUsize::new(nranks);
+
+    // Failover engages only when the policy asks for it AND the plan
+    // shape supports pull-based takeover; otherwise a dead writer aborts
+    // the run exactly as before.
+    let writers = writer_ranks(program);
+    let director = (cfg.failover.enabled && failover_supported(program, &writers))
+        .then(|| FailoverDirector::new(cfg.failover, writers.clone()));
+    let director = director.as_ref();
+    // Per-rank liveness heartbeats; `Arc` because the shared flush pool's
+    // detached workers bump them too while draining a writer's jobs.
+    let heartbeats: Vec<Arc<AtomicU64>> = (0..nranks).map(|_| Arc::default()).collect();
 
     let mut rank_times = vec![Duration::ZERO; nranks];
     // Prefer a root-cause error (fault/I-O) over abort-induced collateral.
@@ -846,16 +1278,26 @@ pub fn execute(
     let mut first_collateral: Option<ExecError> = None;
 
     std::thread::scope(|scope| {
+        if let Some(dir) = director {
+            if !controlled {
+                let beats = &heartbeats;
+                let ranks_alive = &ranks_alive;
+                let abort = &abort;
+                scope.spawn(move || monitor_writers(dir, beats, ranks_alive, abort));
+            }
+        }
         let mut handles = Vec::with_capacity(nranks);
         for (rank, rx) in rxs.iter_mut().enumerate() {
             let rx = rx.take().expect("receiver present");
             let payload = &payloads[rank];
+            let payloads = &payloads;
             let txs = &txs;
             let barriers = &barriers;
             let start_gate = &start_gate;
             let abort = &abort;
             let retries = &retries;
             let ranks_alive = &ranks_alive;
+            let beat = Arc::clone(&heartbeats[rank]);
             if controlled {
                 sched::spawning();
             }
@@ -868,15 +1310,21 @@ pub fn execute(
                         rank as u32,
                         cfg.pipeline_depth,
                         cfg.faults.clone(),
-                        cfg.write_retries,
-                        cfg.retry_backoff,
-                        cfg.pipeline_jitter,
+                        WriterTuning {
+                            write_retries: cfg.write_retries,
+                            retry_backoff: cfg.retry_backoff,
+                            jitter_seed: cfg.pipeline_jitter,
+                            hedge_after: director
+                                .and_then(|d| d.enabled().then(|| d.policy().straggler_after)),
+                            beat: Some(Arc::clone(&beat)),
+                        },
                     )
                 });
                 let mut ctx = RankCtx {
                     rank: rank as u32,
                     program,
                     payload,
+                    all_payloads: payloads,
                     staging: vec![0u8; program.staging[rank] as usize],
                     rx,
                     stash: HashMap::new(),
@@ -887,25 +1335,89 @@ pub fn execute(
                     abort,
                     retries,
                     pipe,
+                    director,
+                    beat,
                 };
                 if !controlled {
                     // Registration already serializes controlled ranks;
                     // an OS barrier here would wedge the run token.
                     start_gate.wait();
                 }
+                let rank32 = rank as u32;
                 let t0 = Instant::now();
-                let res = ctx.run();
+                let mut res = ctx.run();
+                if let (Err(e), Some(dir)) = (&res, director) {
+                    if is_killed_error(e) {
+                        // Quiesce this writer's pipeline *before* the
+                        // death is announced, so a successor never races
+                        // leftover background jobs.
+                        ctx.pipe.take();
+                        if dir.report_dead(rank32) {
+                            // Failover engaged: the death is absorbed and
+                            // a surviving writer re-stages the extent.
+                            res = Ok(());
+                        }
+                    } else if dir.is_fenced(rank32) {
+                        // A fenced zombie's late errors are moot: workers
+                        // reroute around it (its receives time out) and a
+                        // successor owns its extent. Swallow them so the
+                        // revived thread can't abort a healthy run.
+                        ctx.pipe.take();
+                        res = Ok(());
+                    }
+                }
+                let dt = t0.elapsed();
+                // Surviving writers serve as successors until the
+                // generation quiesces: every writer done or dead, every
+                // orphaned extent re-written and committed.
+                if let Some(dir) = director {
+                    if res.is_ok() && dir.is_writer(rank32) && !dir.is_fenced(rank32) {
+                        dir.mark_writer_done(rank32);
+                        loop {
+                            if abort.load(Ordering::Acquire) {
+                                break;
+                            }
+                            if let Some(orphan) = dir.claim_orphan(rank32) {
+                                match ctx.run_takeover(orphan, dir) {
+                                    Ok(()) => dir.orphan_completed(orphan),
+                                    Err(e) => {
+                                        if is_killed_error(&e) && {
+                                            ctx.pipe.take();
+                                            dir.report_dead(rank32)
+                                        } {
+                                            // Cascade: the successor died
+                                            // mid-takeover; the orphan is
+                                            // re-homed to the next survivor.
+                                        } else {
+                                            res = Err(e);
+                                        }
+                                        break;
+                                    }
+                                }
+                            } else if dir.quiesced() {
+                                break;
+                            } else if controlled {
+                                sched::yield_now(Point::JoinWait);
+                            } else {
+                                dir.wait_changed(Duration::from_millis(2));
+                            }
+                        }
+                    }
+                }
                 if res.is_err() {
                     // Release peers stuck in barriers/receives.
                     abort.store(true, Ordering::Release);
+                    for b in barriers {
+                        b.wake();
+                    }
                 }
-                let out = (t0.elapsed(), res);
+                let out = (dt, res);
                 // The writer handle must quiesce while this thread is
                 // still scheduled: its drop waits on in-flight jobs,
                 // which only make progress while the token circulates.
                 drop(ctx);
+                ranks_alive.fetch_sub(1, Ordering::Release);
                 if controlled {
-                    ranks_alive.fetch_sub(1, Ordering::Release);
                     sched::unregister();
                 }
                 out
@@ -957,6 +1469,9 @@ pub fn execute(
         bytes_written: stats.bytes_written,
         bytes_sent: stats.bytes_sent,
         retries: retries.load(Ordering::Relaxed),
+        failovers: director
+            .map(|d| d.completed_takeovers())
+            .unwrap_or_default(),
     })
 }
 
@@ -1356,6 +1871,206 @@ mod tests {
             !dir.join("pvictim.bin").exists(),
             "final name must not appear"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_writer_fails_over_to_successor() {
+        // Two independent writers, each with its own atomic file. Rank 0
+        // is killed mid-extent; with failover enabled the run still
+        // succeeds and rank 1 re-stages and commits rank 0's extent.
+        let mut b = ProgramBuilder::new(vec![8, 8]);
+        let fa = b.file_atomic("a.bin", 8);
+        let fb = b.file_atomic("b.bin", 8);
+        for (rank, f) in [(0u32, fa), (1u32, fb)] {
+            b.push(
+                rank,
+                Op::Open {
+                    file: f,
+                    create: true,
+                },
+            );
+            b.push(
+                rank,
+                Op::WriteAt {
+                    file: f,
+                    offset: 0,
+                    src: DataRef::Own { off: 0, len: 8 },
+                },
+            );
+            b.push(rank, Op::Close { file: f });
+            b.push(rank, Op::Commit { file: f });
+        }
+        let p = b.build();
+        validate(&p, CoverageMode::ExactWrite).unwrap();
+        let dir = tmpdir("failover-kill");
+        let cfg = ExecConfig::new(&dir)
+            .faults(FaultPlan::none().kill_writer_after_bytes(0, 4))
+            .failover(FailoverPolicy::from_recv_timeout(Duration::from_secs(2)));
+        let pay_a: Vec<u8> = (10..18).collect();
+        let pay_b: Vec<u8> = (50..58).collect();
+        let rep = execute(&p, vec![pay_a.clone(), pay_b.clone()], &cfg).unwrap();
+        assert_eq!(rep.failovers, vec![(0, 1)], "rank 1 must take over rank 0");
+        for (name, want) in [("a.bin", &pay_a), ("b.bin", &pay_b)] {
+            let bytes = std::fs::read(dir.join(name)).unwrap();
+            assert_eq!(&bytes[..8], &want[..], "{name}");
+            assert!(
+                crate::commit::verify_committed(&bytes, 8).is_none(),
+                "{name}: committed footer must validate"
+            );
+            assert!(!dir.join(format!("{name}.tmp")).exists(), "{name} tmp");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hung_writer_is_fenced_and_successor_commits() {
+        // Rank 0 hangs at its first write long past the dead deadline;
+        // the production monitor declares it dead, rank 1 takes over,
+        // and when the zombie revives its commit is refused — the
+        // extent still lands exactly once.
+        let mut b = ProgramBuilder::new(vec![8, 8]);
+        let fa = b.file_atomic("ha.bin", 8);
+        let fb = b.file_atomic("hb.bin", 8);
+        for (rank, f) in [(0u32, fa), (1u32, fb)] {
+            b.push(
+                rank,
+                Op::Open {
+                    file: f,
+                    create: true,
+                },
+            );
+            b.push(
+                rank,
+                Op::WriteAt {
+                    file: f,
+                    offset: 0,
+                    src: DataRef::Own { off: 0, len: 8 },
+                },
+            );
+            b.push(rank, Op::Close { file: f });
+            b.push(rank, Op::Commit { file: f });
+        }
+        let p = b.build();
+        let dir = tmpdir("failover-hang");
+        let policy = FailoverPolicy {
+            enabled: true,
+            straggler_after: Duration::from_millis(25),
+            dead_after: Duration::from_millis(50),
+        };
+        let cfg = ExecConfig::new(&dir)
+            .faults(FaultPlan::none().hang_writer(0, Duration::from_millis(300)))
+            .failover(policy);
+        let before = rbio_profile::counters::failover_snapshot();
+        let pay_a: Vec<u8> = (20..28).collect();
+        let pay_b: Vec<u8> = (60..68).collect();
+        let rep = execute(&p, vec![pay_a.clone(), pay_b.clone()], &cfg).unwrap();
+        assert_eq!(rep.failovers, vec![(0, 1)]);
+        let delta = rbio_profile::counters::failover_snapshot().delta_since(&before);
+        assert!(delta.failovers >= 1, "{delta:?}");
+        assert!(
+            delta.fenced_commits_refused >= 1,
+            "the revived zombie's commit must be refused: {delta:?}"
+        );
+        let bytes = std::fs::read(dir.join("ha.bin")).unwrap();
+        assert_eq!(&bytes[..8], &pay_a[..]);
+        assert!(
+            crate::commit::verify_committed(&bytes, 8).is_none(),
+            "footer must survive the zombie's late writes"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_sends_to_dead_writer_are_rerouted() {
+        // Rank 0 aggregates worker rank 1's block, rank 2 is the other
+        // writer. Rank 0 dies between its two writes; rank 2's takeover
+        // re-derives the worker's message straight from rank 1's payload
+        // (pull-based failover), whether or not the send was delivered.
+        let mut b = ProgramBuilder::new(vec![4, 4, 4]);
+        let fa = b.file_atomic("agg.bin", 8);
+        let fw = b.file_atomic("w2.bin", 4);
+        b.reserve_staging(0, 4);
+        b.push(
+            0,
+            Op::Open {
+                file: fa,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::Recv {
+                src: 1,
+                tag: Tag(3),
+                bytes: 4,
+                staging_off: 0,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: fa,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: fa,
+                offset: 4,
+                src: DataRef::Staging { off: 0, len: 4 },
+            },
+        );
+        b.push(0, Op::Close { file: fa });
+        b.push(0, Op::Commit { file: fa });
+        b.push(
+            1,
+            Op::Send {
+                dst: 0,
+                tag: Tag(3),
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(
+            2,
+            Op::Open {
+                file: fw,
+                create: true,
+            },
+        );
+        b.push(
+            2,
+            Op::WriteAt {
+                file: fw,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: 4 },
+            },
+        );
+        b.push(2, Op::Close { file: fw });
+        b.push(2, Op::Commit { file: fw });
+        let p = b.build();
+        validate(&p, CoverageMode::ExactWrite).unwrap();
+        let dir = tmpdir("failover-reroute");
+        let cfg = ExecConfig::new(&dir)
+            .faults(FaultPlan::none().kill_writer_after_bytes(0, 2))
+            .failover(FailoverPolicy::from_recv_timeout(Duration::from_secs(2)));
+        let rep = execute(
+            &p,
+            vec![vec![1u8, 2, 3, 4], vec![5u8, 6, 7, 8], vec![9u8, 9, 9, 9]],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(rep.failovers, vec![(0, 2)], "rank 2 must take over rank 0");
+        let agg = std::fs::read(dir.join("agg.bin")).unwrap();
+        assert_eq!(
+            &agg[..8],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            "own block + re-derived worker block"
+        );
+        assert!(crate::commit::verify_committed(&agg, 8).is_none());
+        assert_eq!(&std::fs::read(dir.join("w2.bin")).unwrap()[..4], &[9; 4]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

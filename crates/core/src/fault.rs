@@ -11,7 +11,13 @@
 //!   I/O-node hiccups the retry path exists for);
 //! * **message drop** — swallow the N-th worker→writer message on a
 //!   channel (models a lost handoff; the receiver times out with a typed
-//!   error instead of hanging).
+//!   error instead of hanging);
+//! * **hang** — wedge a rank at its next write edge for a duration
+//!   (models a hung-but-not-dead writer: the failover monitor must
+//!   declare it dead and fence it before it revives);
+//! * **write delay** — slow every write on a rank by a fixed delay
+//!   (models a straggling writer; the flush pipeline's hedged re-submits
+//!   exist for this).
 //!
 //! The default plan injects nothing and costs one atomic load per check.
 
@@ -20,9 +26,11 @@ use std::io;
 use std::os::unix::fs::FileExt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rbio_plan::Rank;
+
+use crate::sched;
 
 /// What a write-edge fault check decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +55,10 @@ struct Inner {
     drop_msg: HashMap<(Rank, Rank), u64>,
     /// (src, dst) → messages sent so far on that channel.
     sent: HashMap<(Rank, Rank), u64>,
+    /// rank → one-shot hang duration at its next write edge.
+    hang: HashMap<Rank, Duration>,
+    /// rank → fixed delay added to every write.
+    delay: HashMap<Rank, Duration>,
 }
 
 /// Shared fault-injection plan. Cloning shares state: the same plan handed
@@ -96,6 +108,59 @@ impl FaultPlan {
             .insert((src, dst), nth);
         self.armed.store(true, Ordering::Release);
         self
+    }
+
+    /// Wedge `rank` at its *next* write edge for `dur` (one-shot). The
+    /// rank is alive but makes no progress: the failover monitor sees a
+    /// stale heartbeat, declares it dead past the dead-writer deadline,
+    /// and must fence it so its post-revival commit is refused.
+    pub fn hang_writer(self, rank: Rank, dur: Duration) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .hang
+            .insert(rank, dur);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Add `delay` to every write `rank` performs (a persistent
+    /// straggler, never dead — hedged re-submits absorb the latency).
+    pub fn delay_writes(self, rank: Rank, delay: Duration) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .delay
+            .insert(rank, delay);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Take (and clear) the pending one-shot hang for `rank`, if any.
+    /// The caller performs the actual stall so the shared lock is never
+    /// held across a sleep.
+    pub fn take_hang(&self, rank: Rank) -> Option<Duration> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .hang
+            .remove(&rank)
+    }
+
+    /// The per-write delay configured for `rank`, if any.
+    pub fn write_delay(&self, rank: Rank) -> Option<Duration> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .delay
+            .get(&rank)
+            .copied()
     }
 
     /// Whether any fault is configured (fast path: one atomic load).
@@ -170,6 +235,12 @@ pub enum WriteError {
     Killed,
     /// A real or injected I/O error that exhausted the retry budget.
     Io(io::Error),
+    /// Transient errors persisted past the retry wall-clock deadline;
+    /// the writer gave up even though attempts remained.
+    DeadlineExceeded {
+        /// How long the write (including retries) had been running.
+        waited: Duration,
+    },
 }
 
 /// Errors worth retrying a write for (besides injected ones).
@@ -180,10 +251,78 @@ fn is_transient(e: &io::Error) -> bool {
     )
 }
 
+/// Total retry wall-clock budget for one logical write: the doubling
+/// backoff series `initial_backoff · 2^retries` (exponent capped so huge
+/// retry counts cannot produce an unbounded budget), clamped to
+/// [50 ms, 2 s]. The floor guarantees the full attempt schedule of the
+/// small default backoffs always fits; the ceiling bounds how long a
+/// writer can sit on an EIO-forever device before surfacing a typed
+/// [`WriteError::DeadlineExceeded`].
+fn retry_budget(max_retries: u32, initial_backoff: Duration) -> Duration {
+    let factor = 1u32 << max_retries.min(12);
+    initial_backoff
+        .saturating_mul(factor)
+        .clamp(Duration::from_millis(50), Duration::from_secs(2))
+}
+
+/// Deterministic backoff jitter in `[0, backoff/2]`, decorrelating the
+/// retry storms of writers that hit the same I/O-node hiccup together.
+fn retry_jitter(backoff: Duration, rank: Rank, offset: u64, attempt: u32) -> Duration {
+    let mut x = u64::from(rank) ^ offset.rotate_left(17) ^ (u64::from(attempt) << 32);
+    // splitmix64 finalizer.
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    backoff
+        .checked_div(2)
+        .unwrap_or(Duration::ZERO)
+        .mul_f64((x % 1000) as f64 / 1000.0)
+}
+
+/// One write's retry clock: sleeps the (jittered) backoff, doubling it
+/// each attempt, and fails with a typed error once the wall-clock
+/// deadline passes — an EIO-forever device gives up in bounded time no
+/// matter how large the attempt budget is.
+struct RetryClock {
+    start: Instant,
+    deadline: Instant,
+}
+
+impl RetryClock {
+    fn new(max_retries: u32, initial_backoff: Duration) -> Self {
+        let start = Instant::now();
+        RetryClock {
+            start,
+            deadline: start + retry_budget(max_retries, initial_backoff),
+        }
+    }
+
+    fn backoff(
+        &self,
+        backoff: &mut Duration,
+        rank: Rank,
+        offset: u64,
+        attempt: u32,
+    ) -> Result<(), WriteError> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(WriteError::DeadlineExceeded {
+                waited: now.duration_since(self.start),
+            });
+        }
+        let jittered = backoff.saturating_add(retry_jitter(*backoff, rank, offset, attempt));
+        std::thread::sleep(jittered.min(self.deadline.duration_since(now)));
+        *backoff = backoff.saturating_mul(2);
+        Ok(())
+    }
+}
+
 /// `write_all_at` guarded by `faults`, with up to `max_retries` bounded
-/// retries (backoff doubling from `initial_backoff`) on transient errors.
-/// Returns the number of retried attempts. Shared by both executors so
-/// their failure behavior is identical.
+/// retries (jittered backoff doubling from `initial_backoff`, total
+/// retry wall-clock capped by a deadline) on transient errors. Returns
+/// the number of retried attempts. Shared by both executors so their
+/// failure behavior is identical.
 pub fn write_at_with_retry(
     file: &std::fs::File,
     rank: Rank,
@@ -193,8 +332,17 @@ pub fn write_at_with_retry(
     max_retries: u32,
     initial_backoff: Duration,
 ) -> Result<u32, WriteError> {
+    if let Some(d) = faults.write_delay(rank) {
+        if !sched::registered() {
+            // A straggling writer: every write pays the injected delay
+            // (wall-clock sleeps would wreck controlled-run determinism,
+            // so schedule exploration skips the stall itself).
+            std::thread::sleep(d);
+        }
+    }
     let mut attempt = 0u32;
     let mut backoff = initial_backoff;
+    let clock = RetryClock::new(max_retries, initial_backoff);
     loop {
         match faults.on_write(rank, data.len() as u64, attempt) {
             Some(WriteFault::Kill) => return Err(WriteError::Killed),
@@ -204,8 +352,7 @@ pub fn write_at_with_retry(
                     return Err(WriteError::Io(io::Error::from_raw_os_error(5)));
                 }
                 attempt += 1;
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                clock.backoff(&mut backoff, rank, offset, attempt)?;
                 continue;
             }
             None => {}
@@ -214,8 +361,7 @@ pub fn write_at_with_retry(
             Ok(()) => return Ok(attempt),
             Err(e) if attempt < max_retries && is_transient(&e) => {
                 attempt += 1;
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                clock.backoff(&mut backoff, rank, offset, attempt)?;
             }
             Err(e) => return Err(WriteError::Io(e)),
         }
@@ -240,9 +386,15 @@ pub fn write_vectored_at(
     max_retries: u32,
     initial_backoff: Duration,
 ) -> Result<u32, WriteError> {
+    if let Some(d) = faults.write_delay(rank) {
+        if !sched::registered() {
+            std::thread::sleep(d);
+        }
+    }
     let total: u64 = bufs.iter().map(|b| b.len() as u64).sum();
     let mut attempt = 0u32;
     let mut backoff = initial_backoff;
+    let clock = RetryClock::new(max_retries, initial_backoff);
     loop {
         match faults.on_write(rank, total, attempt) {
             Some(WriteFault::Kill) => return Err(WriteError::Killed),
@@ -251,8 +403,7 @@ pub fn write_vectored_at(
                     return Err(WriteError::Io(io::Error::from_raw_os_error(5)));
                 }
                 attempt += 1;
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                clock.backoff(&mut backoff, rank, offset, attempt)?;
                 continue;
             }
             None => {}
@@ -261,8 +412,7 @@ pub fn write_vectored_at(
             Ok(()) => return Ok(attempt),
             Err(e) if attempt < max_retries && is_transient(&e) => {
                 attempt += 1;
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                clock.backoff(&mut backoff, rank, offset, attempt)?;
             }
             Err(e) => return Err(WriteError::Io(e)),
         }
@@ -431,5 +581,78 @@ mod tests {
         assert_eq!(q.on_write(0, 10, 0), None);
         // p sees q's accounting.
         assert_eq!(p.on_write(0, 1, 0), Some(WriteFault::Kill));
+    }
+
+    #[test]
+    fn hang_is_one_shot_and_delay_persists() {
+        let p = FaultPlan::none()
+            .hang_writer(3, Duration::from_millis(7))
+            .delay_writes(5, Duration::from_micros(2));
+        assert!(p.is_armed());
+        assert_eq!(p.take_hang(3), Some(Duration::from_millis(7)));
+        assert_eq!(p.take_hang(3), None, "hang fires once");
+        assert_eq!(p.take_hang(5), None);
+        assert_eq!(p.write_delay(5), Some(Duration::from_micros(2)));
+        assert_eq!(p.write_delay(5), Some(Duration::from_micros(2)));
+        assert_eq!(p.write_delay(3), None);
+    }
+
+    #[test]
+    fn eio_forever_gives_up_within_the_retry_deadline() {
+        let dir = std::env::temp_dir().join(format!("rbio-fault-ddl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(dir.join("d.bin"))
+            .unwrap();
+        // Every attempt fails, and the attempt budget alone would allow
+        // far more retries than the wall-clock deadline: the deadline
+        // must end it with a typed error.
+        let plan = FaultPlan::none().fail_nth_write(7, 0, u32::MAX);
+        let start = Instant::now();
+        let err = write_at_with_retry(
+            &f,
+            7,
+            0,
+            &[1u8; 8],
+            &plan,
+            u32::MAX,
+            Duration::from_micros(1),
+        )
+        .expect_err("EIO-forever must not succeed");
+        let elapsed = start.elapsed();
+        match err {
+            WriteError::DeadlineExceeded { waited } => {
+                assert!(waited >= Duration::from_millis(50), "{waited:?}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "gave up far too late: {elapsed:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_attempts_still_recover_under_the_deadline() {
+        let dir = std::env::temp_dir().join(format!("rbio-fault-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(dir.join("r.bin"))
+            .unwrap();
+        let plan = FaultPlan::none().fail_nth_write(2, 0, 2);
+        let attempts =
+            write_at_with_retry(&f, 2, 0, &[9u8; 4], &plan, 3, Duration::from_micros(10))
+                .expect("recovers inside both budgets");
+        assert_eq!(attempts, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

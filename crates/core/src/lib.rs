@@ -46,6 +46,7 @@
 pub mod buf;
 pub mod commit;
 pub mod exec;
+pub mod failover;
 pub mod fault;
 pub mod format;
 pub mod layout;

@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 
 use crate::commit;
 use crate::exec::{execute, ExecConfig, ExecError, ExecReport};
+use crate::failover::FailoverPolicy;
 use crate::fault::FaultPlan;
 use crate::format::{crc32, decode_header, footer_len, materialize_payloads};
 use crate::layout::DataLayout;
@@ -82,6 +83,12 @@ pub struct ManagerConfig {
     /// Fault injection for every step's execution (tests and failure
     /// drills; [`FaultPlan::none`] in production).
     pub faults: FaultPlan,
+    /// Writer failover: when a writer dies or hangs mid-step, a
+    /// surviving writer takes over its extent and the step completes
+    /// *degraded* instead of aborting. On by default; the deadlines are
+    /// derived from the executor's receive timeout. Disable to get the
+    /// pre-failover abort-and-fall-back behavior.
+    pub failover: bool,
 }
 
 impl ManagerConfig {
@@ -95,8 +102,22 @@ impl ManagerConfig {
             app: "nekcem".to_string(),
             fsync: false,
             faults: FaultPlan::none(),
+            failover: true,
         }
     }
+}
+
+/// How restorable a committed generation is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenerationState {
+    /// Every extent landed through its primary writer.
+    Complete,
+    /// Every extent landed, but at least one through a failover
+    /// successor — fully restorable, flagged for operators.
+    Degraded,
+    /// Verification failed: missing/truncated/corrupt extents. Not
+    /// restorable; `restore_latest` falls back past it.
+    Torn,
 }
 
 /// A checkpoint campaign: write steps, rotate, restore the latest.
@@ -112,6 +133,10 @@ fn step_prefix(step: u64) -> String {
 
 fn commit_path(dir: &Path, step: u64) -> PathBuf {
     dir.join(format!("{}.commit", step_prefix(step)))
+}
+
+fn manifest_path(dir: &Path, step: u64) -> PathBuf {
+    dir.join(format!("{}.manifest", step_prefix(step)))
 }
 
 /// Remove `path`, treating "already gone" as success: during generation
@@ -166,7 +191,38 @@ impl CheckpointManager {
         let mut exec_cfg = ExecConfig::new(&self.cfg.dir);
         exec_cfg.fsync_on_close = self.cfg.fsync;
         exec_cfg.faults = self.cfg.faults.clone();
+        if self.cfg.failover {
+            exec_cfg.failover = FailoverPolicy::from_recv_timeout(exec_cfg.recv_timeout);
+        }
         let report = execute(&plan.program, payloads, &exec_cfg).map_err(ManagerError::Exec)?;
+
+        // Generation manifest: which writer actually landed each extent.
+        // Written before the commit marker (an aborted step may leave a
+        // manifest without a marker; the prefix GC reaps it), so any
+        // committed generation can be classified Complete vs Degraded.
+        let mut manifest = String::new();
+        manifest.push_str(&format!("step {step}\nextents {}\n", plan.plan_files.len()));
+        for (i, pf) in plan.plan_files.iter().enumerate() {
+            let owner = plan
+                .program
+                .ops
+                .iter()
+                .position(|ops| {
+                    ops.iter().any(
+                        |op| matches!(op, rbio_plan::Op::Commit { file } if file.0 as usize == i),
+                    )
+                })
+                .unwrap_or(0) as u32;
+            match report.failovers.iter().find(|(orphan, _)| *orphan == owner) {
+                Some((_, successor)) => {
+                    manifest.push_str(&format!("{} {} failover:{}\n", pf.name, owner, successor));
+                }
+                None => manifest.push_str(&format!("{} {} primary\n", pf.name, owner)),
+            }
+        }
+        let mtmp = manifest_path(&self.cfg.dir, step).with_extension("manifest.tmp");
+        fs::write(&mtmp, &manifest)?;
+        fs::rename(&mtmp, manifest_path(&self.cfg.dir, step))?;
 
         // Commit marker: per-file expected size + header CRC, then an
         // atomic rename so a crash never leaves a half-written marker.
@@ -250,6 +306,7 @@ impl CheckpointManager {
         }
         for &old in &steps[..steps.len() - self.cfg.keep] {
             remove_if_exists(&commit_path(&self.cfg.dir, old))?;
+            remove_if_exists(&manifest_path(&self.cfg.dir, old))?;
             let prefix = step_prefix(old);
             // List first, then delete: the snapshot keeps the removal
             // set stable even as entries disappear mid-iteration.
@@ -262,7 +319,10 @@ impl CheckpointManager {
                 };
                 let name = entry.file_name().to_string_lossy().into_owned();
                 if name.starts_with(&prefix)
-                    && (name.ends_with(".rbio") || name.ends_with(".rbio.tmp"))
+                    && (name.ends_with(".rbio")
+                        || name.ends_with(".rbio.tmp")
+                        || name.ends_with(".manifest")
+                        || name.ends_with(".manifest.tmp"))
                 {
                     victims.push(entry.path());
                 }
@@ -325,18 +385,46 @@ impl CheckpointManager {
         Ok(())
     }
 
-    /// Restore the newest committed-and-verified step. Damaged steps are
-    /// skipped (newest first) so a torn latest step falls back to the one
-    /// before it.
+    /// Classify a committed generation: [`GenerationState::Torn`] if its
+    /// marker/files fail verification, otherwise Complete or Degraded
+    /// per the manifest ("failover:" extents). Generations from before
+    /// manifests existed verify as Complete.
+    pub fn generation_state(&self, step: u64) -> GenerationState {
+        if self.verify(step).is_err() {
+            return GenerationState::Torn;
+        }
+        match fs::read_to_string(manifest_path(&self.cfg.dir, step)) {
+            Ok(m) => {
+                if m.lines().skip(2).any(|l| l.contains(" failover:")) {
+                    GenerationState::Degraded
+                } else {
+                    GenerationState::Complete
+                }
+            }
+            Err(_) => GenerationState::Complete,
+        }
+    }
+
+    /// Restore the newest committed-and-verified step. Torn steps are
+    /// skipped (newest first) so a damaged latest step falls back to the
+    /// one before it; a degraded-but-recoverable step restores normally
+    /// (its failover extents carry identical bytes) and is counted in
+    /// the profile as a degraded restore.
     pub fn restore_latest(&self) -> Result<RestoredData, ManagerError> {
         let steps = self.committed_steps()?;
         for &step in steps.iter().rev() {
-            if self.verify(step).is_err() {
+            let state = self.generation_state(step);
+            if state == GenerationState::Torn {
                 continue;
             }
             let plan = self.plan_for(step)?;
             match read_checkpoint(&self.cfg.dir, &plan) {
-                Ok(data) => return Ok(data),
+                Ok(data) => {
+                    if state == GenerationState::Degraded {
+                        rbio_profile::counters::add_degraded_generations(1);
+                    }
+                    return Ok(data);
+                }
                 Err(RestartError::Io(e)) => return Err(ManagerError::Io(e)),
                 Err(_) => continue,
             }
@@ -455,9 +543,12 @@ mod tests {
 
         // Step 2 with a fault armed: writer rank 4 dies after its first
         // written byte — at its commit edge, after data, before rename.
+        // Failover is explicitly off: this test pins the pre-failover
+        // contract (the step aborts and restart falls back a generation).
         let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
         cfg.keep = 2;
         cfg.faults = FaultPlan::none().kill_writer_after_bytes(4, 1);
+        cfg.failover = false;
         let mgr2 = CheckpointManager::new(mgr.layout().clone(), cfg).expect("manager");
         assert!(
             mgr2.checkpoint(2, fill_for(2)).is_err(),
@@ -482,6 +573,119 @@ mod tests {
         // Restart resumes from generation 1, byte-identically.
         let restored = mgr.restore_latest().expect("fallback");
         assert_eq!(restored.step, 1);
+        for r in 0..8u32 {
+            for f in 0..2usize {
+                assert_eq!(
+                    restored.field_data(r, f),
+                    want.field_data(r, f),
+                    "rank {r} field {f}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_writer_with_failover_completes_degraded_and_restores_identically() {
+        // Reference: the same step, same fill, no faults.
+        let (ref_mgr, ref_dir) = mk("deg-ref", 2);
+        ref_mgr.checkpoint(2, fill_for(2)).expect("reference ck");
+        let want = ref_mgr.restore_latest().expect("reference restore");
+
+        // Injected run: writer rank 4 is killed mid-extent; failover (on
+        // by default) hands its extent to the surviving writer and the
+        // step still commits.
+        let dir = std::env::temp_dir().join(format!("rbio-mgr-deg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
+        cfg.keep = 2;
+        cfg.faults = FaultPlan::none().kill_writer_after_bytes(4, 1);
+        let layout = DataLayout::uniform(8, &[("u", 1024), ("v", 256)]);
+        let mgr = CheckpointManager::new(layout, cfg).expect("manager");
+        let before = rbio_profile::counters::failover_snapshot();
+        let report = mgr.checkpoint(2, fill_for(2)).expect("degraded ck");
+        assert_eq!(report.failovers.len(), 1, "{:?}", report.failovers);
+        assert_eq!(report.failovers[0].0, 4, "rank 4 is the orphan");
+
+        // The generation is committed, verified, and classified
+        // degraded via its manifest.
+        assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
+        mgr.verify(2).expect("degraded generation verifies");
+        assert_eq!(mgr.generation_state(2), GenerationState::Degraded);
+        let manifest = std::fs::read_to_string(manifest_path(&dir, 2)).expect("manifest");
+        assert!(manifest.contains(" failover:"), "{manifest}");
+
+        // Restore is byte-identical to the uninjected reference and
+        // counted as a degraded restore.
+        let restored = mgr.restore_latest().expect("degraded restore");
+        assert_eq!(restored.step, 2);
+        for r in 0..8u32 {
+            for f in 0..2usize {
+                assert_eq!(
+                    restored.field_data(r, f),
+                    want.field_data(r, f),
+                    "rank {r} field {f}"
+                );
+            }
+        }
+        let delta = rbio_profile::counters::failover_snapshot().delta_since(&before);
+        assert!(delta.failovers >= 1, "{delta:?}");
+        assert!(delta.degraded_generations >= 1, "{delta:?}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
+    }
+
+    #[test]
+    fn restore_walks_past_torn_into_degraded_generation() {
+        // Three generations: 1 complete, 2 degraded (failover), 3
+        // committed then torn after the fact. Restore must skip 3 and
+        // pick the degraded-but-recoverable 2, not fall through to 1.
+        let dir = std::env::temp_dir().join(format!("rbio-mgr-walk-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let layout = DataLayout::uniform(8, &[("u", 1024), ("v", 256)]);
+        let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
+        cfg.keep = 3;
+        let mgr = CheckpointManager::new(layout.clone(), cfg.clone()).expect("manager");
+        mgr.checkpoint(1, fill_for(1)).expect("ck 1");
+
+        let mut cfg2 = cfg.clone();
+        cfg2.faults = FaultPlan::none().kill_writer_after_bytes(4, 1);
+        let mgr2 = CheckpointManager::new(layout, cfg2).expect("manager 2");
+        let want = {
+            let (ref_mgr, ref_dir) = mk("walk-ref", 2);
+            ref_mgr.checkpoint(2, fill_for(2)).expect("reference ck");
+            let w = ref_mgr.restore_latest().expect("reference restore");
+            std::fs::remove_dir_all(&ref_dir).ok();
+            w
+        };
+        mgr2.checkpoint(2, fill_for(2)).expect("ck 2 degraded");
+        mgr.checkpoint(3, fill_for(3)).expect("ck 3");
+
+        // Tear generation 3 post-commit.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                p.file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .starts_with("step0000000003")
+                    && p.extension().is_some_and(|e| e == "rbio")
+            })
+            .expect("step-3 file");
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&victim)
+            .unwrap();
+        f.set_len(3).unwrap();
+        drop(f);
+
+        assert_eq!(mgr.generation_state(3), GenerationState::Torn);
+        assert_eq!(mgr.generation_state(2), GenerationState::Degraded);
+        assert_eq!(mgr.generation_state(1), GenerationState::Complete);
+
+        let restored = mgr.restore_latest().expect("restore");
+        assert_eq!(restored.step, 2, "newest restorable generation wins");
         for r in 0..8u32 {
             for f in 0..2usize {
                 assert_eq!(

@@ -31,12 +31,14 @@
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io;
+use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Duration;
 
 use rbio_plan::Rank;
+use rbio_profile::counters;
 
 use crate::buf::Bytes;
 use crate::commit;
@@ -131,6 +133,32 @@ impl FlushJob {
     }
 }
 
+/// Per-writer knobs, grouped so `register` does not grow a parameter per
+/// feature. [`Default`] is "off": no retries, no jitter, no hedging, no
+/// heartbeat.
+#[derive(Default, Clone)]
+pub struct WriterTuning {
+    /// Extra attempts per failed write (see `write_at_with_retry`).
+    pub write_retries: u32,
+    /// Base backoff between retry attempts.
+    pub retry_backoff: Duration,
+    /// Deterministic interleaving perturbation: when set, each job sleeps
+    /// a seed-derived pseudo-random duration (< 200 µs) before running,
+    /// so equivalence tests can sweep schedules reproducibly.
+    pub jitter_seed: Option<u64>,
+    /// Hedged re-submit deadline: when a drain has waited this long on an
+    /// in-flight write (a straggling writer — slow disk, injected delay),
+    /// the drainer re-issues the same bytes itself as a raw idempotent
+    /// write. Whichever write lands last wrote identical bytes, so the
+    /// race is benign; the loser's buffer is simply dropped (refcounted,
+    /// never double-counted in the byte counters).
+    pub hedge_after: Option<Duration>,
+    /// Liveness heartbeat bumped as this writer's jobs execute, so the
+    /// failover monitor does not declare a rank dead while its queue is
+    /// merely deep.
+    pub beat: Option<Arc<AtomicU64>>,
+}
+
 /// Immutable per-writer execution context, set at registration.
 #[derive(Clone)]
 struct WriterCtx {
@@ -138,10 +166,21 @@ struct WriterCtx {
     faults: FaultPlan,
     write_retries: u32,
     retry_backoff: Duration,
-    /// Deterministic interleaving perturbation: when set, each job sleeps
-    /// a seed-derived pseudo-random duration (< 200 µs) before running,
-    /// so equivalence tests can sweep schedules reproducibly.
+    /// Interleaving perturbation (see [`WriterTuning::jitter_seed`]).
     jitter_seed: Option<u64>,
+    /// Liveness heartbeat (see [`WriterTuning::beat`]).
+    beat: Option<Arc<AtomicU64>>,
+}
+
+/// Snapshot of the write job a pool thread is currently executing for a
+/// writer — what a hedged re-submit replays. `Bytes` clones are O(1)
+/// refcount bumps.
+struct HedgeSnapshot {
+    file: Arc<File>,
+    offset: u64,
+    bufs: Vec<Bytes>,
+    /// A hedge was already issued for this job.
+    hedged: bool,
 }
 
 struct WriterState {
@@ -166,6 +205,10 @@ struct WriterState {
     seq: u64,
     /// Slot is registered to a live handle.
     occupied: bool,
+    /// Hedged re-submit deadline (see [`WriterTuning::hedge_after`]).
+    hedge_after: Option<Duration>,
+    /// The write job currently executing, if hedgeable.
+    running: Option<HedgeSnapshot>,
 }
 
 #[derive(Default)]
@@ -306,17 +349,16 @@ impl FlushPool {
         rank: Rank,
         depth: u32,
         faults: FaultPlan,
-        write_retries: u32,
-        retry_backoff: Duration,
-        jitter_seed: Option<u64>,
+        tuning: WriterTuning,
     ) -> WriterHandle {
         assert!(depth >= 1, "pipeline depth must be at least 1");
         let ctx = WriterCtx {
             rank,
             faults,
-            write_retries,
-            retry_backoff,
-            jitter_seed,
+            write_retries: tuning.write_retries,
+            retry_backoff: tuning.retry_backoff,
+            jitter_seed: tuning.jitter_seed,
+            beat: tuning.beat,
         };
         let state = WriterState {
             ctx,
@@ -328,6 +370,8 @@ impl FlushPool {
             retries: 0,
             seq: 0,
             occupied: true,
+            hedge_after: tuning.hedge_after,
+            running: None,
         };
         let mut g = self.shared.inner.lock().expect("pool lock");
         let wid = match g.free.pop() {
@@ -402,10 +446,30 @@ impl WriterHandle {
 
     /// Wait for every submitted job to finish. Returns the background
     /// retry count on success, or the first latched error.
+    ///
+    /// When a hedge deadline is configured and the drain stalls on an
+    /// in-flight write past it, the drainer re-issues that write's bytes
+    /// itself (straggler mitigation): pwrite is idempotent for identical
+    /// bytes at identical offsets, so whichever copy lands last changes
+    /// nothing, and the hedge never touches the fault plan's logical
+    /// write accounting. The drain still waits for the original job —
+    /// hedging bounds *data* latency (the bytes are durable on disk), not
+    /// the job bookkeeping.
     pub fn drain(&self) -> Result<u64, PipelineError> {
         let mut g = self.shared.inner.lock().expect("pool lock");
         while g.writers[self.wid].in_flight > 0 {
-            g = pool_wait(&self.shared, &self.shared.done, g, Point::DrainWait);
+            let hedge = g.writers[self.wid].hedge_after;
+            match hedge {
+                Some(after) if !sched::registered() => {
+                    let (ng, timed_out) =
+                        self.shared.done.wait_timeout(g, after).expect("pool lock");
+                    g = ng;
+                    if timed_out.timed_out() {
+                        g = self.hedge_current(g);
+                    }
+                }
+                _ => g = pool_wait(&self.shared, &self.shared.done, g, Point::DrainWait),
+            }
         }
         let w = &mut g.writers[self.wid];
         let retries = std::mem::take(&mut w.retries);
@@ -416,6 +480,34 @@ impl WriterHandle {
             }
             None => Ok(retries),
         }
+    }
+
+    /// Issue a hedged duplicate of this writer's currently-running write
+    /// job, at most once per job. Runs outside the pool lock.
+    fn hedge_current<'a>(&'a self, mut g: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        let w = &mut g.writers[self.wid];
+        let Some(snap) = w.running.as_mut() else {
+            return g;
+        };
+        if snap.hedged {
+            return g;
+        }
+        snap.hedged = true;
+        let file = Arc::clone(&snap.file);
+        let offset = snap.offset;
+        let bufs: Vec<Bytes> = snap.bufs.clone();
+        drop(g);
+        let mut off = offset;
+        for b in &bufs {
+            // Best-effort: the original job is still running and its
+            // error handling is authoritative; a hedge failure is noise.
+            if file.write_all_at(b, off).is_err() {
+                break;
+            }
+            off += b.len() as u64;
+        }
+        counters::add_hedged_jobs(1);
+        self.shared.inner.lock().expect("pool lock")
     }
 }
 
@@ -461,6 +553,24 @@ fn worker_loop(shared: &Shared) {
             let ctx = w.ctx.clone();
             let seq = w.seq;
             w.seq += 1;
+            if !skip && w.hedge_after.is_some() {
+                // Expose the job to hedged re-submits while it runs.
+                w.running = match &job {
+                    FlushJob::Write { file, offset, data } => Some(HedgeSnapshot {
+                        file: Arc::clone(file),
+                        offset: *offset,
+                        bufs: vec![data.clone()],
+                        hedged: false,
+                    }),
+                    FlushJob::WriteV { file, offset, bufs } => Some(HedgeSnapshot {
+                        file: Arc::clone(file),
+                        offset: *offset,
+                        bufs: bufs.clone(),
+                        hedged: false,
+                    }),
+                    FlushJob::Close { .. } | FlushJob::Commit { .. } => None,
+                };
+            }
             sched::emit(|| sched::Event::JobStart {
                 wid,
                 seq,
@@ -476,6 +586,7 @@ fn worker_loop(shared: &Shared) {
             let res = if skip { Ok(0) } else { run_job(&ctx, seq, job) };
             g = shared.inner.lock().expect("pool lock");
             let w = &mut g.writers[wid];
+            w.running = None;
             let ok = res.is_ok();
             match res {
                 Ok(attempts) => w.retries += u64::from(attempts),
@@ -501,7 +612,22 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Map a fault-layer write failure into the pipeline's error space.
+fn write_error(rank: Rank, e: fault::WriteError) -> PipelineError {
+    match e {
+        fault::WriteError::Killed => PipelineError::Killed { rank },
+        fault::WriteError::Io(source) => PipelineError::Io(source),
+        fault::WriteError::DeadlineExceeded { waited } => PipelineError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("write retries exhausted their deadline after {waited:?}"),
+        )),
+    }
+}
+
 fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineError> {
+    if let Some(b) = &ctx.beat {
+        b.fetch_add(1, Ordering::Relaxed);
+    }
     if let Some(seed) = ctx.jitter_seed {
         // Under a controlled scheduler interleavings come from the
         // schedule, not wall-clock jitter.
@@ -510,7 +636,7 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
             std::thread::sleep(Duration::from_micros(h % 200));
         }
     }
-    match job {
+    let res = match job {
         FlushJob::Write { file, offset, data } => fault::write_at_with_retry(
             &file,
             ctx.rank,
@@ -520,10 +646,7 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
             ctx.write_retries,
             ctx.retry_backoff,
         )
-        .map_err(|e| match e {
-            fault::WriteError::Killed => PipelineError::Killed { rank: ctx.rank },
-            fault::WriteError::Io(source) => PipelineError::Io(source),
-        }),
+        .map_err(|e| write_error(ctx.rank, e)),
         FlushJob::WriteV { file, offset, bufs } => {
             let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_ref()).collect();
             fault::write_vectored_at(
@@ -535,10 +658,7 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
                 ctx.write_retries,
                 ctx.retry_backoff,
             )
-            .map_err(|e| match e {
-                fault::WriteError::Killed => PipelineError::Killed { rank: ctx.rank },
-                fault::WriteError::Io(source) => PipelineError::Io(source),
-            })
+            .map_err(|e| write_error(ctx.rank, e))
         }
         FlushJob::Close { file, fsync } => {
             if fsync {
@@ -560,16 +680,25 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
             }
             commit::commit_file(&tmp, &final_path, size, fsync)
                 .map(|()| 0)
-                .map_err(PipelineError::Io)
+                .map_err(PipelineError::Io)?;
+            sched::emit(|| sched::Event::ExtentCommit {
+                owner: ctx.rank,
+                by: ctx.rank,
+                path_hash: sched::path_fingerprint(&final_path),
+            });
+            Ok(0)
         }
+    };
+    if let Some(b) = &ctx.beat {
+        b.fetch_add(1, Ordering::Relaxed);
     }
+    res
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::Read;
-    use std::os::unix::fs::FileExt as _;
 
     fn tmpdir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("rbio-pipe-{name}-{}", std::process::id()));
@@ -591,7 +720,16 @@ mod tests {
     }
 
     fn handle(rank: Rank, depth: u32, faults: FaultPlan) -> WriterHandle {
-        FlushPool::global().register(rank, depth, faults, 3, Duration::from_micros(100), None)
+        FlushPool::global().register(
+            rank,
+            depth,
+            faults,
+            WriterTuning {
+                write_retries: 3,
+                retry_backoff: Duration::from_micros(100),
+                ..WriterTuning::default()
+            },
+        )
     }
 
     #[test]
@@ -625,8 +763,16 @@ mod tests {
         // runnable enqueue once let two threads drain the same writer
         // concurrently, and with per-job jitter the earlier write could
         // land last.)
-        let h =
-            FlushPool::global().register(0, 4, FaultPlan::none(), 3, Duration::ZERO, Some(0xFEED));
+        let h = FlushPool::global().register(
+            0,
+            4,
+            FaultPlan::none(),
+            WriterTuning {
+                write_retries: 3,
+                jitter_seed: Some(0xFEED),
+                ..WriterTuning::default()
+            },
+        );
         for round in 0..200u64 {
             for i in 0..4u8 {
                 h.submit(FlushJob::Write {
@@ -708,6 +854,39 @@ mod tests {
                 .expect("read");
             assert_eq!(buf, vec![r as u8; 32]);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stalled_write_is_hedged_by_drain() {
+        let dir = tmpdir("hedge");
+        let file = open_rw(&dir.join("f"));
+        let before = counters::failover_snapshot();
+        // Every write on rank 5 stalls well past the hedge deadline: the
+        // drain must re-issue the bytes itself and count the hedge.
+        let h = FlushPool::global().register(
+            5,
+            2,
+            FaultPlan::none().delay_writes(5, Duration::from_millis(150)),
+            WriterTuning {
+                write_retries: 3,
+                retry_backoff: Duration::from_micros(100),
+                hedge_after: Some(Duration::from_millis(10)),
+                ..WriterTuning::default()
+            },
+        );
+        h.submit(FlushJob::Write {
+            file: Arc::clone(&file),
+            offset: 0,
+            data: Bytes::from_vec(vec![7; 16]),
+        })
+        .expect("submit");
+        h.drain().expect("drain");
+        let delta = counters::failover_snapshot().delta_since(&before);
+        assert!(delta.hedged_jobs >= 1, "drain must hedge the delayed write");
+        let mut buf = [0u8; 16];
+        file.read_exact_at(&mut buf, 0).expect("read");
+        assert_eq!(buf, [7u8; 16]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,9 +28,10 @@ use rbio_profile::counters;
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
 use crate::exec::{src_len, write_run_len, write_src, CHECK_RECV_POLL_BUDGET};
+use crate::failover::{FailoverPolicy, WriterHealth};
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
-use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle};
+use crate::pipeline::{FlushJob, FlushPool, PipelineError, WriterHandle, WriterTuning};
 use crate::sched::{self, Point};
 
 type Msg = (u32, u64, Bytes);
@@ -56,6 +57,11 @@ pub enum RtError {
         tag: u64,
         /// How long the rank waited.
         waited: Duration,
+        /// The peer's health as classified by the failover policy derived
+        /// from this receive timeout: a stall of the full timeout is past
+        /// the dead deadline, so a recovery layer above the runtime can
+        /// treat the sender as dead rather than merely slow.
+        peer_health: WriterHealth,
     },
     /// An I/O error in the plan's file ops (retries exhausted).
     Io {
@@ -89,9 +95,11 @@ impl std::fmt::Display for RtError {
                 src,
                 tag,
                 waited,
+                peer_health,
             } => write!(
                 f,
-                "rank {rank}: no message from rank {src} tag {tag} within {waited:?}"
+                "rank {rank}: no message from rank {src} tag {tag} within {waited:?} \
+                 (peer classified {peer_health:?})"
             ),
             RtError::Io { rank, source } => write!(f, "rank {rank}: {source}"),
             RtError::Killed { rank } => write!(f, "rank {rank}: killed by fault injection"),
@@ -186,12 +194,7 @@ impl Comm {
                     self.stash.entry((s, t)).or_default().push_back(d);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(RtError::RecvTimeout {
-                        rank: self.rank,
-                        src,
-                        tag,
-                        waited: self.recv_timeout,
-                    });
+                    return Err(self.recv_timeout_error(src, tag));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(RtError::PeerGone {
@@ -224,17 +227,25 @@ impl Comm {
                 }
                 Err(std::sync::mpsc::TryRecvError::Empty) => {
                     if budget == 0 {
-                        return Err(RtError::RecvTimeout {
-                            rank: self.rank,
-                            src,
-                            tag,
-                            waited: self.recv_timeout,
-                        });
+                        return Err(self.recv_timeout_error(src, tag));
                     }
                     budget -= 1;
                     sched::yield_now(Point::RecvEmpty);
                 }
             }
+        }
+    }
+
+    /// The typed timeout error for a receive from `src`, classifying the
+    /// silent peer through the failover health state machine.
+    fn recv_timeout_error(&self, src: u32, tag: u64) -> RtError {
+        RtError::RecvTimeout {
+            rank: self.rank,
+            src,
+            tag,
+            waited: self.recv_timeout,
+            peer_health: FailoverPolicy::from_recv_timeout(self.recv_timeout)
+                .classify_stall(self.recv_timeout),
         }
     }
 
@@ -461,9 +472,12 @@ pub fn checkpoint_rank_with(
             rank,
             cfg.pipeline_depth,
             cfg.faults.clone(),
-            cfg.write_retries,
-            cfg.retry_backoff,
-            cfg.pipeline_jitter,
+            WriterTuning {
+                write_retries: cfg.write_retries,
+                retry_backoff: cfg.retry_backoff,
+                jitter_seed: cfg.pipeline_jitter,
+                ..WriterTuning::default()
+            },
         )
     });
     let pipe_err = |e: PipelineError| match e {
@@ -480,6 +494,13 @@ pub fn checkpoint_rank_with(
     let write_err = |e: fault::WriteError| match e {
         fault::WriteError::Killed => RtError::Killed { rank },
         fault::WriteError::Io(source) => RtError::Io { rank, source },
+        fault::WriteError::DeadlineExceeded { waited } => RtError::Io {
+            rank,
+            source: io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("write retries exhausted their deadline after {waited:?}"),
+            ),
+        },
     };
 
     let mode = cfg.copy_mode;
@@ -826,6 +847,11 @@ pub fn checkpoint_rank_with(
                     }
                     commit::commit_file(&tmp, &final_path, spec.size, cfg.fsync_on_close)
                         .map_err(io_err)?;
+                    sched::emit(|| sched::Event::ExtentCommit {
+                        owner: rank,
+                        by: rank,
+                        path_hash: sched::path_fingerprint(&final_path),
+                    });
                 }
             }
         }

@@ -184,6 +184,41 @@ pub enum Event {
         /// Buffer base address.
         addr: usize,
     },
+    /// A writer's progress stalled past the straggler deadline.
+    WriterStraggling {
+        /// The straggling writer.
+        rank: u32,
+    },
+    /// A writer was declared dead and fenced; its extent is orphaned.
+    WriterDead {
+        /// The dead writer.
+        rank: u32,
+    },
+    /// A successor claimed an orphaned extent for takeover. At most one
+    /// claim per orphan (exactly-once takeover invariant).
+    TakeoverClaim {
+        /// The dead writer whose extent is taken over.
+        orphan: u32,
+        /// The surviving writer doing the takeover.
+        successor: u32,
+    },
+    /// A fenced writer's commit attempt was refused.
+    FenceRefused {
+        /// The fenced writer.
+        rank: u32,
+    },
+    /// An atomic file was committed (footer + rename). `path_hash`
+    /// fingerprints the final path; two commits of one path is the
+    /// double-commit hazard the fence exists to prevent, and a commit
+    /// `by` a fenced rank is a fence violation.
+    ExtentCommit {
+        /// Rank that owned the extent in the plan.
+        owner: u32,
+        /// Rank that performed the commit (the owner, or its successor).
+        by: u32,
+        /// FNV-1a of the final path.
+        path_hash: u64,
+    },
 }
 
 /// A pluggable scheduler. The production scheduler is "no scheduler"
@@ -308,6 +343,19 @@ pub fn fingerprint<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> u64 {
         }
     }
     h
+}
+
+/// Fingerprint of a file path, as carried by [`Event::ExtentCommit`].
+/// Only the final component is hashed: plan file names are unique
+/// within a generation, while the parent directory is a per-run
+/// scratch dir that would make event streams unreproducible across
+/// replays.
+pub fn path_fingerprint(p: &std::path::Path) -> u64 {
+    let name = p.file_name().map(|n| n.to_string_lossy());
+    fingerprint([name
+        .as_deref()
+        .unwrap_or_else(|| p.to_str().unwrap_or(""))
+        .as_bytes()])
 }
 
 #[cfg(test)]

@@ -16,6 +16,23 @@ pub enum ProfileLevel {
     Full,
 }
 
+/// An injected writer failure, mirroring `kill_writer_after_bytes` on the
+/// real executors: the rank dies once its cumulative file writes cross a
+/// byte budget, and the next surviving writer (in `writer_ranks()` order)
+/// re-runs the orphaned extent after a detection delay.
+#[derive(Debug, Clone, Copy)]
+pub struct WriterFailure {
+    /// The rank that dies.
+    pub rank: u32,
+    /// The failure trips during the first write that would push the
+    /// rank's cumulative written bytes past this budget.
+    pub after_bytes: u64,
+    /// Virtual time between the death and the successor being allowed to
+    /// start the takeover (the health monitor's `dead_after` deadline in
+    /// the real runtime).
+    pub detection_delay: SimTime,
+}
+
 /// Full description of the simulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -42,6 +59,8 @@ pub struct MachineConfig {
     /// background flusher (recorded as `OpKind::Overlap`). Mirrors
     /// `pipeline_depth` on the real executors.
     pub pipeline_depth: u32,
+    /// Optional injected writer death (degraded-mode simulation).
+    pub writer_failure: Option<WriterFailure>,
 }
 
 impl MachineConfig {
@@ -57,6 +76,7 @@ impl MachineConfig {
             seed: 0x1BEB,
             profile: ProfileLevel::Writes,
             pipeline_depth: 1,
+            writer_failure: None,
         }
     }
 
@@ -71,6 +91,7 @@ impl MachineConfig {
             seed: 42,
             profile: ProfileLevel::Full,
             pipeline_depth: 1,
+            writer_failure: None,
         }
     }
 
@@ -91,6 +112,18 @@ impl MachineConfig {
     /// Set the writer pipeline depth (1 = serial, 2 = double buffering).
     pub fn pipeline_depth(mut self, depth: u32) -> Self {
         self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Inject a writer death: `rank` dies during the first write that
+    /// would push it past `after_bytes`, and the takeover starts no
+    /// earlier than `detection_delay` after the death.
+    pub fn writer_failure(mut self, rank: u32, after_bytes: u64, detection_delay: SimTime) -> Self {
+        self.writer_failure = Some(WriterFailure {
+            rank,
+            after_bytes,
+            detection_delay,
+        });
         self
     }
 }

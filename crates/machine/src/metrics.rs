@@ -27,9 +27,14 @@ pub struct RunMetrics {
     pub timeline: Timeline,
     /// Ranks that issued at least one file write (writers/aggregators).
     pub writer_ranks: Vec<u32>,
+    /// Writer failovers that occurred: `(dead_rank, successor_rank)`.
+    /// Empty on healthy runs.
+    pub failovers: Vec<(u32, u32)>,
 }
 
 impl RunMetrics {
+    // A field-wise constructor: one argument per simulator output.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         program: &Program,
         per_rank_finish: Vec<SimTime>,
@@ -38,6 +43,7 @@ impl RunMetrics {
         bytes_written: u64,
         bytes_sent: u64,
         fs_stats: FsStats,
+        failovers: Vec<(u32, u32)>,
     ) -> Self {
         let wall = per_rank_finish
             .iter()
@@ -53,6 +59,7 @@ impl RunMetrics {
             max_handoff,
             fs_stats,
             timeline,
+            failovers,
         }
     }
 
@@ -191,6 +198,7 @@ mod tests {
             1000,
             500,
             FsStats::default(),
+            Vec::new(),
         )
     }
 
@@ -198,6 +206,7 @@ mod tests {
     fn worker_writer_split() {
         let m = metrics();
         assert_eq!(m.writer_ranks, vec![1]);
+        assert!(m.failovers.is_empty());
         assert_eq!(m.writer_max(), SimTime::from_millis(100));
         assert_eq!(m.worker_max(), SimTime::from_millis(4));
         assert_eq!(m.wall, SimTime::from_millis(100));

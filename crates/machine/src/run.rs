@@ -35,6 +35,25 @@ enum FlushReq {
     Commit,
 }
 
+/// One unit of a dead writer's orphaned work, re-run by its successor
+/// (mirror of the real executors' pull-based `run_takeover`).
+enum TakeoverReq {
+    /// Re-stage bytes the orphan had aggregated (its packs/receives).
+    Stage { bytes: u64 },
+    /// Re-run one of the orphan's file writes.
+    Write { file: u32, offset: u64, bytes: u64 },
+    /// A metadata round trip (reopen / close / commit-rename).
+    Meta,
+}
+
+/// A pending takeover: the successor runs `work` serially once it has
+/// finished its own program, no earlier than `ready`.
+struct Takeover {
+    successor: u32,
+    ready: SimTime,
+    work: Vec<TakeoverReq>,
+}
+
 struct Sim<'a> {
     program: &'a Program,
     cfg: &'a MachineConfig,
@@ -69,6 +88,16 @@ struct Sim<'a> {
     /// The rank's foreground is parked (blocked on a slot, a drain point,
     /// or end-of-program) and must be re-advanced on the next FlushDone.
     flush_wake: Vec<bool>,
+    /// Ranks that have fully finished (program + flushes + takeovers).
+    rank_done: Vec<bool>,
+    /// The injected failure already tripped.
+    failed: bool,
+    /// Bytes the configured victim has written so far (budget tracking).
+    fail_written: u64,
+    /// Orphaned work awaiting its successor, if a writer died.
+    takeover: Option<Takeover>,
+    /// `(dead, successor)` pairs, in death order.
+    failovers: Vec<(u32, u32)>,
 }
 
 impl Sim<'_> {
@@ -164,6 +193,79 @@ impl Sim<'_> {
         if !self.flush_running[rank as usize] {
             self.flush_running[rank as usize] = true;
             q.schedule(ready, Ev::FlushStart { rank });
+        }
+    }
+
+    /// Kill `rank` at `at`: collect its remaining ops (the current one
+    /// included) as a takeover list for the next surviving writer, release
+    /// any barriers it would have joined so live ranks cannot deadlock,
+    /// and jump its pc to end-of-program. Mirrors the real runtime's
+    /// fence-and-reroute: the orphan's extent is re-staged and re-written
+    /// in full by the successor, starting `detection_delay` after the
+    /// death. With no surviving writer the work is dropped (the
+    /// generation stays torn) and no failover is recorded.
+    fn kill(&mut self, rank: u32, at: SimTime, q: &mut EventQueue<Ev>) {
+        self.failed = true;
+        let mut work = Vec::new();
+        for op in &self.program.ops[rank as usize][self.pc[rank as usize]..] {
+            match op {
+                Op::WriteAt { file, offset, src } => work.push(TakeoverReq::Write {
+                    file: file.0,
+                    offset: *offset,
+                    bytes: src.len(),
+                }),
+                Op::Pack { bytes, .. } => work.push(TakeoverReq::Stage { bytes: *bytes }),
+                Op::Recv { bytes, .. } => work.push(TakeoverReq::Stage { bytes: *bytes }),
+                Op::Open { .. } | Op::Close { .. } | Op::Commit { .. } => {
+                    work.push(TakeoverReq::Meta)
+                }
+                Op::Barrier { comm } => {
+                    // The monitor fences the dead rank out of the barrier;
+                    // model that as an instant arrival so live members
+                    // still release.
+                    let ci = comm.0 as usize;
+                    let size = self.program.comms[ci].len();
+                    self.barrier_count[ci] += 1;
+                    if self.barrier_count[ci] == size {
+                        self.barrier_count[ci] = 0;
+                        let done = at.saturating_add(self.cfg.net.barrier_cost(size as u32));
+                        for w in std::mem::take(&mut self.barrier_waiters[ci]) {
+                            self.pc[w as usize] += 1;
+                            self.record(w, OpKind::Barrier, at, done, 0);
+                            q.schedule(done, Ev::Advance { rank: w });
+                        }
+                    }
+                }
+                Op::Compute { .. } | Op::Send { .. } | Op::ReadAt { .. } => {}
+            }
+        }
+        self.pc[rank as usize] = self.program.ops[rank as usize].len();
+        let writers = self.program.writer_ranks();
+        let successor = writers.iter().position(|&w| w == rank).and_then(|i| {
+            (1..writers.len())
+                .map(|k| writers[(i + k) % writers.len()])
+                .next()
+        });
+        let Some(successor) = successor else {
+            return;
+        };
+        let delay = self
+            .cfg
+            .writer_failure
+            .expect("kill without a failure")
+            .detection_delay;
+        let ready = at.saturating_add(delay);
+        self.failovers.push((rank, successor));
+        self.takeover = Some(Takeover {
+            successor,
+            ready,
+            work,
+        });
+        if self.rank_done[successor as usize] {
+            // The successor already retired; pull it back for the takeover.
+            self.rank_done[successor as usize] = false;
+            self.done_ranks -= 1;
+            q.schedule(ready, Ev::Advance { rank: successor });
         }
     }
 
@@ -273,6 +375,25 @@ impl Sim<'_> {
             }
             Op::WriteAt { file, offset, src } => {
                 let bytes = src.len();
+                if let Some(f) = self.cfg.writer_failure {
+                    if f.rank == rank && !self.failed {
+                        if self.fail_written.saturating_add(bytes) > f.after_bytes {
+                            // Dies partway through this write: cost the
+                            // partial prefix it got onto disk, then hand
+                            // the whole op list from here to a successor.
+                            let partial = f.after_bytes - self.fail_written;
+                            let death = if partial > 0 {
+                                self.disk_write(rank, file.0, *offset, partial, now)
+                            } else {
+                                now
+                            };
+                            self.record(rank, OpKind::Write, now, death, partial);
+                            self.kill(rank, death, q);
+                            return Some(death);
+                        }
+                        self.fail_written += bytes;
+                    }
+                }
                 if pipelined {
                     // Foreground cost is only the double-buffer staging
                     // copy; the disk path runs on the background flusher.
@@ -353,7 +474,42 @@ impl Model for Sim<'_> {
                         self.flush_wake[rank as usize] = true;
                         return;
                     }
+                    if self.takeover.as_ref().is_some_and(|t| t.successor == rank) {
+                        // Serial epilogue takeover (mirrors run_takeover):
+                        // re-stage and re-write the orphan's extent, no
+                        // earlier than the detection deadline.
+                        let t = self.takeover.take().unwrap();
+                        let mut cur = now.max(t.ready);
+                        for req in t.work {
+                            cur = match req {
+                                TakeoverReq::Stage { bytes } => {
+                                    let done = cur.saturating_add(self.pack_time(bytes));
+                                    self.record(rank, OpKind::Pack, cur, done, bytes);
+                                    done
+                                }
+                                TakeoverReq::Write {
+                                    file,
+                                    offset,
+                                    bytes,
+                                } => {
+                                    let done = self.disk_write(rank, file, offset, bytes, cur);
+                                    self.record(rank, OpKind::Write, cur, done, bytes);
+                                    done
+                                }
+                                TakeoverReq::Meta => {
+                                    let lat = self.cfg.net.ion_latency;
+                                    let opened = self.fs.open(cur.saturating_add(lat));
+                                    let done = self.fs.close(opened).saturating_add(lat);
+                                    self.record(rank, OpKind::Commit, cur, done, 0);
+                                    done
+                                }
+                            };
+                        }
+                        q.schedule(cur, Ev::Advance { rank });
+                        return;
+                    }
                     self.finish[rank as usize] = self.finish[rank as usize].max(now);
+                    self.rank_done[rank as usize] = true;
                     self.done_ranks += 1;
                     return;
                 }
@@ -446,6 +602,11 @@ pub fn simulate(program: &Program, cfg: &MachineConfig) -> RunMetrics {
         flush_outstanding: vec![0; nranks as usize],
         flush_data_outstanding: vec![0; nranks as usize],
         flush_wake: vec![false; nranks as usize],
+        rank_done: vec![false; nranks as usize],
+        failed: false,
+        fail_written: 0,
+        takeover: None,
+        failovers: Vec::new(),
     };
     let mut q = EventQueue::new();
     for rank in 0..nranks {
@@ -466,6 +627,7 @@ pub fn simulate(program: &Program, cfg: &MachineConfig) -> RunMetrics {
         stats.bytes_written,
         sim.bytes_sent,
         sim.fs.stats(),
+        sim.failovers,
     )
 }
 
@@ -895,6 +1057,120 @@ mod tests {
             piped.wall
         );
         assert_eq!(piped.bytes_written, serial.bytes_written);
+    }
+
+    /// Two independent writers (ranks 0 and 4), one file each.
+    fn two_writer_program(bytes0: u64, bytes4: u64) -> Program {
+        let mut b = ProgramBuilder::new(vec![bytes0, 0, 0, 0, bytes4, 0, 0, 0]);
+        let f0 = b.file("a", bytes0);
+        let f1 = b.file("b", bytes4);
+        for (r, f, len) in [(0u32, f0, bytes0), (4u32, f1, bytes4)] {
+            b.push(
+                r,
+                Op::Open {
+                    file: f,
+                    create: true,
+                },
+            );
+            b.push(
+                r,
+                Op::WriteAt {
+                    file: f,
+                    offset: 0,
+                    src: DataRef::Own { off: 0, len },
+                },
+            );
+            b.push(r, Op::Close { file: f });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn killed_writer_extent_is_costed_onto_the_successor() {
+        let cfg = machine(8);
+        let prog = two_writer_program(32 << 20, 32 << 20);
+        let healthy = simulate(&prog, &cfg);
+        assert!(healthy.failovers.is_empty());
+        let m = simulate(
+            &prog,
+            &cfg.clone()
+                .writer_failure(0, 1 << 20, SimTime::from_millis(10)),
+        );
+        assert_eq!(m.failovers, vec![(0, 4)]);
+        // The dead writer retires early (it only got 1 MiB out); the
+        // successor pays for both extents, so it finishes later than on
+        // the healthy run and the wall time grows.
+        assert!(m.per_rank_finish[0] < healthy.per_rank_finish[0]);
+        assert!(m.per_rank_finish[4] > healthy.per_rank_finish[4]);
+        assert!(m.wall > healthy.wall);
+        // The takeover re-writes the orphan's full 32 MiB extent.
+        let rewritten: u64 = m
+            .timeline
+            .intervals()
+            .iter()
+            .filter(|iv| iv.rank == 4 && iv.kind == OpKind::Write)
+            .map(|iv| iv.bytes)
+            .sum();
+        assert_eq!(rewritten, 64 << 20);
+    }
+
+    #[test]
+    fn takeover_waits_out_the_detection_delay() {
+        // The successor's own work is tiny, so the takeover start is
+        // dominated by death + detection_delay: a 500 ms deadline must
+        // show up nearly in full against a 10 ms one.
+        let cfg = machine(8);
+        let prog = two_writer_program(32 << 20, 1 << 10);
+        let fast = simulate(
+            &prog,
+            &cfg.clone()
+                .writer_failure(0, 1 << 20, SimTime::from_millis(10)),
+        );
+        let slow = simulate(
+            &prog,
+            &cfg.clone()
+                .writer_failure(0, 1 << 20, SimTime::from_millis(500)),
+        );
+        assert_eq!(fast.failovers, vec![(0, 4)]);
+        assert_eq!(slow.failovers, vec![(0, 4)]);
+        assert!(
+            slow.wall >= fast.wall.saturating_add(SimTime::from_millis(400)),
+            "500ms deadline must defer the takeover: fast {:?}, slow {:?}",
+            fast.wall,
+            slow.wall
+        );
+    }
+
+    #[test]
+    fn sole_writer_failure_drops_the_extent_without_failover() {
+        // With no surviving writer there is nobody to take over: the run
+        // still completes (no stall) and records no failover.
+        let cfg = machine(8);
+        let bytes = 8u64 << 20;
+        let mut b = ProgramBuilder::new(vec![bytes, 0, 0, 0, 0, 0, 0, 0]);
+        let f = b.file("only", bytes);
+        b.push(
+            0,
+            Op::Open {
+                file: f,
+                create: true,
+            },
+        );
+        b.push(
+            0,
+            Op::WriteAt {
+                file: f,
+                offset: 0,
+                src: DataRef::Own { off: 0, len: bytes },
+            },
+        );
+        b.push(0, Op::Close { file: f });
+        let m = simulate(
+            &b.build(),
+            &cfg.writer_failure(0, 1 << 20, SimTime::from_millis(10)),
+        );
+        assert!(m.failovers.is_empty());
+        assert!(m.wall > SimTime::ZERO);
     }
 
     #[test]

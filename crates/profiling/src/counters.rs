@@ -21,6 +21,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
 static CHECKPOINT_BYTES: AtomicU64 = AtomicU64::new(0);
 
+// Failover observability (see `rbio::failover`): how often the runtime
+// had to absorb a writer failure rather than abort.
+static FAILOVERS: AtomicU64 = AtomicU64::new(0);
+static HEDGED_JOBS: AtomicU64 = AtomicU64::new(0);
+static FENCED_COMMITS_REFUSED: AtomicU64 = AtomicU64::new(0);
+static DEGRADED_GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
 /// A point-in-time reading of the datapath copy counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopySnapshot {
@@ -50,10 +57,85 @@ impl CopySnapshot {
     }
 }
 
+/// A point-in-time reading of the writer-failover counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverSnapshot {
+    /// Writer failures absorbed by rerouting to a successor.
+    pub failovers: u64,
+    /// Flush jobs hedged past the straggler deadline.
+    pub hedged_jobs: u64,
+    /// Commit attempts refused because the writer was fenced.
+    pub fenced_commits_refused: u64,
+    /// Generations restored (or committed) in degraded mode.
+    pub degraded_generations: u64,
+}
+
+impl FailoverSnapshot {
+    /// The counter growth between `prev` (earlier) and `self` (later).
+    pub fn delta_since(&self, prev: &FailoverSnapshot) -> FailoverSnapshot {
+        FailoverSnapshot {
+            failovers: self.failovers.saturating_sub(prev.failovers),
+            hedged_jobs: self.hedged_jobs.saturating_sub(prev.hedged_jobs),
+            fenced_commits_refused: self
+                .fenced_commits_refused
+                .saturating_sub(prev.fenced_commits_refused),
+            degraded_generations: self
+                .degraded_generations
+                .saturating_sub(prev.degraded_generations),
+        }
+    }
+
+    /// Render as a JSON object, for inclusion in profile exports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"failovers\": {}, \"hedged_jobs\": {}, \"fenced_commits_refused\": {}, \
+             \"degraded_generations\": {}}}",
+            self.failovers,
+            self.hedged_jobs,
+            self.fenced_commits_refused,
+            self.degraded_generations
+        )
+    }
+}
+
 /// Account `n` bytes memcpy'd on the checkpoint datapath.
 #[inline]
 pub fn add_bytes_copied(n: u64) {
     BYTES_COPIED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account one writer failover (a successor took over an orphan extent).
+#[inline]
+pub fn add_failovers(n: u64) {
+    FAILOVERS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account one hedged flush job (straggler deadline exceeded).
+#[inline]
+pub fn add_hedged_jobs(n: u64) {
+    HEDGED_JOBS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account one commit refused because its writer was fenced.
+#[inline]
+pub fn add_fenced_commits_refused(n: u64) {
+    FENCED_COMMITS_REFUSED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account one generation observed degraded-but-recoverable.
+#[inline]
+pub fn add_degraded_generations(n: u64) {
+    DEGRADED_GENERATIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the failover counters.
+pub fn failover_snapshot() -> FailoverSnapshot {
+    FailoverSnapshot {
+        failovers: FAILOVERS.load(Ordering::Relaxed),
+        hedged_jobs: HEDGED_JOBS.load(Ordering::Relaxed),
+        fenced_commits_refused: FENCED_COMMITS_REFUSED.load(Ordering::Relaxed),
+        degraded_generations: DEGRADED_GENERATIONS.load(Ordering::Relaxed),
+    }
 }
 
 /// Account `n` bytes handed to a checkpoint file write.
@@ -101,5 +183,30 @@ mod tests {
             checkpoint_bytes: 0,
         };
         assert_eq!(zero.copies_per_checkpoint_byte(), 0.0);
+    }
+
+    #[test]
+    fn failover_counters_delta_and_json() {
+        let before = failover_snapshot();
+        add_failovers(1);
+        add_hedged_jobs(2);
+        add_fenced_commits_refused(3);
+        add_degraded_generations(4);
+        let d = failover_snapshot().delta_since(&before);
+        assert!(d.failovers >= 1);
+        assert!(d.hedged_jobs >= 2);
+        assert!(d.fenced_commits_refused >= 3);
+        assert!(d.degraded_generations >= 4);
+        let j = FailoverSnapshot {
+            failovers: 1,
+            hedged_jobs: 2,
+            fenced_commits_refused: 3,
+            degraded_generations: 4,
+        }
+        .to_json();
+        assert!(j.contains("\"failovers\": 1"), "{j}");
+        assert!(j.contains("\"hedged_jobs\": 2"), "{j}");
+        assert!(j.contains("\"fenced_commits_refused\": 3"), "{j}");
+        assert!(j.contains("\"degraded_generations\": 4"), "{j}");
     }
 }

@@ -1,12 +1,16 @@
 //! Recovery drill: kill a writer rank mid-checkpoint with the fault
-//! injection layer and watch the campaign fall back to the previous
-//! committed generation, byte for byte.
+//! injection layer. Act 1 (failover disabled) shows the classic crash
+//! anatomy: the campaign aborts, leaves only `.tmp` debris, and restore
+//! falls back to the previous committed generation byte for byte. Act 2
+//! repeats the same kill with writer failover on (the default): a
+//! surviving writer takes over the dead rank's extent and the generation
+//! commits — marked Degraded — with no fallback needed.
 //!
 //! Run with: `cargo run --release --example fault_drill`
 
 use rbio::fault::FaultPlan;
 use rbio::layout::DataLayout;
-use rbio::manager::{CheckpointManager, ManagerConfig};
+use rbio::manager::{CheckpointManager, GenerationState, ManagerConfig};
 use rbio::strategy::Strategy;
 use rbio_repro::rbio;
 
@@ -28,11 +32,13 @@ fn main() {
     mgr.checkpoint(1, fill(1)).expect("step 1");
     println!("step 1 committed: {:?}", mgr.committed_steps().unwrap());
 
-    // Generation 2: writer rank 4 is killed once it has written a byte —
-    // it dies at its commit edge, after its data, before the rename.
+    // Act 1 — failover disabled. Writer rank 4 is killed once it has
+    // written a byte: it dies at its commit edge, after its data, before
+    // the rename, and the whole campaign aborts.
     let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
     cfg.faults = FaultPlan::none().kill_writer_after_bytes(4, 1);
-    let doomed = CheckpointManager::new(layout, cfg).expect("manager");
+    cfg.failover = false;
+    let doomed = CheckpointManager::new(layout.clone(), cfg).expect("manager");
     let err = doomed.checkpoint(2, fill(2)).expect_err("step 2 must die");
     println!("step 2 crashed as injected: {err}");
 
@@ -56,5 +62,27 @@ fn main() {
     fill(1)(5, 0, &mut want);
     assert_eq!(restored.field_data(5, 0), &want[..]);
     println!("field data matches generation 1 byte-for-byte");
+
+    // Act 2 — same kill, failover on (the default). The dead writer's
+    // extent is taken over by the next surviving writer in its group
+    // order, and the generation commits instead of aborting.
+    let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
+    cfg.faults = FaultPlan::none().kill_writer_after_bytes(4, 1);
+    let survivor = CheckpointManager::new(layout, cfg).expect("manager");
+    let rep = survivor
+        .checkpoint(3, fill(3))
+        .expect("failover absorbs the kill");
+    println!(
+        "step 3 committed despite the kill; failovers: {:?}",
+        rep.failovers
+    );
+    assert!(rep.failovers.iter().any(|&(dead, _)| dead == 4));
+    assert_eq!(survivor.generation_state(3), GenerationState::Degraded);
+    let restored = survivor.restore_latest().expect("degraded restore");
+    assert_eq!(restored.step, 3);
+    let mut want = vec![0u8; 4096];
+    fill(3)(4, 0, &mut want);
+    assert_eq!(restored.field_data(4, 0), &want[..]);
+    println!("restored step 3 (Degraded): the dead writer's data survived byte-for-byte");
     std::fs::remove_dir_all(&dir).ok();
 }
