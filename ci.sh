@@ -18,7 +18,7 @@ echo "== test =="
 cargo test -q --workspace
 
 echo "== rbio-check fast schedule sweep (256 seeds) =="
-# Deterministic schedule exploration of the concurrency harness's five
+# Deterministic schedule exploration of the concurrency harness's
 # program families. Any failure prints the seed and the exact schedule;
 # replay it with: rbio-check replay --program <pX> --schedule "..."
 RBC=target/debug/rbio-check
@@ -28,6 +28,8 @@ RBC=target/debug/rbio-check
 "$RBC" sweep --program p3 --seeds 16
 "$RBC" sweep --program p4 --seeds 32
 "$RBC" sweep --program p5 --seeds 256
+"$RBC" sweep --program p6 --seeds 16
+"$RBC" sweep --program p7 --seeds 16
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -48,6 +50,8 @@ if [[ "$SLOW" == 1 ]]; then
   "$RBC" sweep --program p3 --seeds 256
   "$RBC" sweep --program p4 --seeds 256
   "$RBC" sweep --program p5 --seeds 4096
+  "$RBC" sweep --program p6 --seeds 256
+  "$RBC" sweep --program p7 --seeds 256
 
   echo "== multi_step campaign (depth 2) =="
   cargo run --release -p rbio-bench --bin multi_step -- 16384 20 10 2
@@ -57,6 +61,11 @@ if [[ "$SLOW" == 1 ]]; then
   cargo run --release -p rbio-bench --bin datapath
   cp target/paper-results/datapath.json BENCH_datapath.json
   ls -l BENCH_datapath.json
+
+  echo "== tiering ablation (perceived vs durable bandwidth) =="
+  cargo run --release -p rbio-bench --bin tiering -- 16384
+  cp target/paper-results/tiering.json BENCH_tiering.json
+  ls -l BENCH_tiering.json
 fi
 
 echo "ci: all checks passed"

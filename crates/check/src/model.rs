@@ -23,13 +23,16 @@
 //!   fenced out; `REVERT_PR5_FENCE` re-opens this hole).
 //! * **Extent commits are unique** — each final path is renamed into
 //!   place exactly once per generation.
+//! * **Durable implies drained** — a tiered generation is never marked
+//!   durable (manifest + marker published) while any staged extent has
+//!   not reached the PFS tier.
 //!
 //! Violations are recorded, not thrown: the run continues so one report
 //! carries everything a schedule uncovered.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use rbio::sched::{Event, JobKind};
+use rbio::sched::{Event, JobKind, TierId};
 
 /// What kind of invariant broke.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +63,10 @@ pub enum ViolationKind {
     FencedCommit,
     /// The same final path was committed twice in one generation.
     DoubleCommit,
+    /// A generation was marked durable while staged extents had not
+    /// reached the PFS tier (the tier drain published the commit marker
+    /// before finishing its PFS hops).
+    DurableBeforeDrained,
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -108,6 +115,10 @@ pub struct Model {
     claimed: HashSet<u32>,
     /// Final-path fingerprints already committed this generation.
     committed_paths: HashSet<u64>,
+    /// Per-step staged extents (path hashes) that have not yet been
+    /// drained to the PFS tier. A `TierDurable` for a step with a
+    /// non-empty set here is the durable-before-drained violation.
+    tier_pending: HashMap<u64, HashSet<u64>>,
 }
 
 impl Model {
@@ -122,6 +133,18 @@ impl Model {
             })
         };
         match *event {
+            Event::ExecStarted { .. } => {
+                // Execution-scoped invariants reset: a fresh plan's op
+                // indices restart from zero, its failover director
+                // starts with no deaths, and its extents are new paths.
+                // Writer slots and tier state deliberately survive the
+                // boundary — the flush pool and the drain engine outlive
+                // individual executions.
+                self.sends.clear();
+                self.fenced.clear();
+                self.claimed.clear();
+                self.committed_paths.clear();
+            }
             Event::WriterRegistered { wid, rank } => {
                 self.writers.insert(
                     wid,
@@ -300,6 +323,44 @@ impl Model {
                     ViolationKind::BufDoubleRecycle,
                     format!("buffer {addr:#x} recycled while already on the free list"),
                 );
+            }
+            Event::TierExtentStaged { step, path_hash } => {
+                self.tier_pending.entry(step).or_default().insert(path_hash);
+            }
+            Event::TierExtentDrained {
+                step,
+                tier,
+                path_hash,
+            } => {
+                // Only the PFS hop makes an extent durable; a burst-tier
+                // landing is progress, not durability.
+                if tier == TierId::Pfs {
+                    if let Some(pending) = self.tier_pending.get_mut(&step) {
+                        pending.remove(&path_hash);
+                    }
+                }
+            }
+            Event::TierDurable { step } => {
+                let pending = self.tier_pending.remove(&step).unwrap_or_default();
+                if !pending.is_empty() {
+                    let mut hashes: Vec<u64> = pending.into_iter().collect();
+                    hashes.sort_unstable();
+                    let listed: Vec<String> = hashes.iter().map(|h| format!("{h:#018x}")).collect();
+                    flag(
+                        ViolationKind::DurableBeforeDrained,
+                        format!(
+                            "step {step} marked durable with {} staged extent(s) not yet \
+                             on the PFS tier: {}",
+                            listed.len(),
+                            listed.join(", ")
+                        ),
+                    );
+                }
+            }
+            Event::TierLost { .. } | Event::TierRestore { .. } => {
+                // Informational: tier loss and tier-served restores are
+                // legal outcomes the manager degrades through; the
+                // durability invariant is carried by the events above.
             }
         }
     }
@@ -496,5 +557,120 @@ mod tests {
             ],
             "{v:?}"
         );
+    }
+
+    #[test]
+    fn exec_boundary_resets_execution_scoped_state() {
+        // The same (rank, op_index) send in two different executions is
+        // legal; within one execution it is the PR 3 duplicate.
+        let v = feed(&[
+            Event::ExecStarted { nranks: 2 },
+            Event::SendAttempt {
+                rank: 1,
+                dst: 0,
+                op_index: 0,
+                dropped: false,
+            },
+            Event::ExecStarted { nranks: 2 },
+            Event::SendAttempt {
+                rank: 1,
+                dst: 0,
+                op_index: 0,
+                dropped: false,
+            },
+            Event::SendAttempt {
+                rank: 1,
+                dst: 0,
+                op_index: 0,
+                dropped: false,
+            },
+        ]);
+        let kinds: Vec<ViolationKind> = v.iter().map(|x| x.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::DuplicateSend], "{v:?}");
+    }
+
+    #[test]
+    fn clean_tier_lifecycle_has_no_violations() {
+        let v = feed(&[
+            Event::TierExtentStaged {
+                step: 4,
+                path_hash: 0xA1,
+            },
+            Event::TierExtentStaged {
+                step: 4,
+                path_hash: 0xA2,
+            },
+            // A burst hop alone is not durability ...
+            Event::TierExtentDrained {
+                step: 4,
+                tier: TierId::Burst,
+                path_hash: 0xA1,
+            },
+            // ... but every extent reaching the PFS before TierDurable is.
+            Event::TierExtentDrained {
+                step: 4,
+                tier: TierId::Pfs,
+                path_hash: 0xA1,
+            },
+            Event::TierExtentDrained {
+                step: 4,
+                tier: TierId::Pfs,
+                path_hash: 0xA2,
+            },
+            Event::TierDurable { step: 4 },
+            // Loss and tier-served restores are informational.
+            Event::TierLost {
+                tier: TierId::Local,
+            },
+            Event::TierRestore {
+                step: 4,
+                tier: TierId::Burst,
+            },
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn durable_before_pfs_drain_detected() {
+        let v = feed(&[
+            Event::TierExtentStaged {
+                step: 9,
+                path_hash: 0xB1,
+            },
+            Event::TierExtentStaged {
+                step: 9,
+                path_hash: 0xB2,
+            },
+            // Only one extent reaches the PFS; the other sits at burst.
+            Event::TierExtentDrained {
+                step: 9,
+                tier: TierId::Pfs,
+                path_hash: 0xB1,
+            },
+            Event::TierExtentDrained {
+                step: 9,
+                tier: TierId::Burst,
+                path_hash: 0xB2,
+            },
+            Event::TierDurable { step: 9 },
+        ]);
+        let kinds: Vec<ViolationKind> = v.iter().map(|x| x.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::DurableBeforeDrained], "{v:?}");
+        assert!(v[0].detail.contains("0x00000000000000b2"), "{v:?}");
+        // Steps are tracked independently: a different step staged later
+        // is unaffected by step 9's violation.
+        let clean = feed(&[
+            Event::TierExtentStaged {
+                step: 10,
+                path_hash: 0xC1,
+            },
+            Event::TierExtentDrained {
+                step: 10,
+                tier: TierId::Pfs,
+                path_hash: 0xC1,
+            },
+            Event::TierDurable { step: 10 },
+        ]);
+        assert!(clean.is_empty(), "{clean:?}");
     }
 }

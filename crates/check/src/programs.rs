@@ -23,6 +23,17 @@
 //!   with exactly-once takeover and no commit under the fenced rank
 //!   (PR 5 territory; `REVERT_PR5_FENCE` re-opens the zombie
 //!   double-commit hole).
+//! * `p6` — the tiered checkpoint manager: generation 2's background
+//!   drain races a restore, so the nearest durable tier copy is
+//!   schedule-dependent (step 1's retained local stage, or step 2 once
+//!   drained) but must always be byte-exact, and the model checks no
+//!   generation is marked durable before every staged extent reaches
+//!   the PFS tier.
+//! * `p7` — the node-local tier is lost deterministically between the
+//!   drain's burst and PFS hops. The correct outcome is a recovered,
+//!   *degraded* generation: every file is re-read from its verified
+//!   burst copy and the restore matches an untiered reference
+//!   byte-for-byte.
 //!
 //! [`WriterHandle`]: rbio::pipeline::WriterHandle
 //! [`SendAttempt`]: rbio::sched::Event::SendAttempt
@@ -38,9 +49,12 @@ use rbio::failover::FailoverPolicy;
 use rbio::fault::FaultPlan;
 use rbio::format::materialize_payloads;
 use rbio::layout::DataLayout;
+use rbio::manager::{CheckpointManager, GenerationState, ManagerConfig};
 use rbio::pipeline::{FlushJob, FlushPool, WriterTuning};
+use rbio::restart::RestoredData;
 use rbio::rt;
 use rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy};
+use rbio::tier::TierConfig;
 use rbio_plan::{DataRef, Op, ProgramBuilder, Tag};
 
 /// Which workload family to run.
@@ -56,10 +70,14 @@ pub enum ProgramKind {
     FaultDrop,
     /// `p5`: hung-writer failover (PR 5 territory).
     Failover,
+    /// `p6`: tiered drain racing a restore (PR 6 territory).
+    TierDrain,
+    /// `p7`: mid-drain local-tier loss, recovered from the burst tier.
+    TierLoss,
 }
 
 impl ProgramKind {
-    /// Parse a CLI/label name (`p1`..`p5`).
+    /// Parse a CLI/label name (`p1`..`p7`).
     pub fn parse(s: &str) -> Option<ProgramKind> {
         match s {
             "p1" => Some(ProgramKind::PipelineRace),
@@ -67,22 +85,26 @@ impl ProgramKind {
             "p3" => Some(ProgramKind::RtEquiv),
             "p4" => Some(ProgramKind::FaultDrop),
             "p5" => Some(ProgramKind::Failover),
+            "p6" => Some(ProgramKind::TierDrain),
+            "p7" => Some(ProgramKind::TierLoss),
             _ => None,
         }
     }
 
     /// Every family, in sweep order.
-    pub fn all() -> [ProgramKind; 5] {
+    pub fn all() -> [ProgramKind; 7] {
         [
             ProgramKind::PipelineRace,
             ProgramKind::ExecEquiv,
             ProgramKind::RtEquiv,
             ProgramKind::FaultDrop,
             ProgramKind::Failover,
+            ProgramKind::TierDrain,
+            ProgramKind::TierLoss,
         ]
     }
 
-    /// Short stable name (`p1`..`p5`).
+    /// Short stable name (`p1`..`p7`).
     pub fn label(&self) -> &'static str {
         match self {
             ProgramKind::PipelineRace => "p1",
@@ -90,6 +112,8 @@ impl ProgramKind {
             ProgramKind::RtEquiv => "p3",
             ProgramKind::FaultDrop => "p4",
             ProgramKind::Failover => "p5",
+            ProgramKind::TierDrain => "p6",
+            ProgramKind::TierLoss => "p7",
         }
     }
 
@@ -101,6 +125,8 @@ impl ProgramKind {
             ProgramKind::RtEquiv => "MPI-like runtime vs. serial deep-copy reference",
             ProgramKind::FaultDrop => "two-rank aggregation with an injected message drop",
             ProgramKind::Failover => "hung-writer failover vs. uninjected serial reference",
+            ProgramKind::TierDrain => "tiered drain racing a local-tier restore",
+            ProgramKind::TierLoss => "mid-drain local-tier loss recovered from the burst tier",
         }
     }
 
@@ -144,6 +170,8 @@ pub fn prepare(kind: ProgramKind, dir: &Path) -> PreparedProgram {
         ProgramKind::RtEquiv => prepare_plan_equiv(dir, true),
         ProgramKind::FaultDrop => prepare_fault_drop(dir),
         ProgramKind::Failover => prepare_failover(dir),
+        ProgramKind::TierDrain => prepare_tier_drain(dir),
+        ProgramKind::TierLoss => prepare_tier_loss(dir),
     }
 }
 
@@ -411,5 +439,200 @@ fn prepare_fault_drop(dir: &Path) -> PreparedProgram {
         // The outcome (a receive timeout) is checked by the caller via
         // `tolerates_failure`; exactly-once sends by the model.
         verify: Box::new(|| Ok(())),
+    }
+}
+
+/// Shared layout of the tier families: small enough to keep the
+/// schedule space tractable, two fields so restores exercise the full
+/// rank-block slicing.
+fn tier_layout() -> DataLayout {
+    DataLayout::uniform(4, &[("Ex", 256), ("Ey", 96)])
+}
+
+/// Per-step manager fill (the step folds into every byte so each
+/// generation's data is distinct).
+fn tier_fill(step: u64) -> impl FnMut(u32, usize, &mut [u8]) {
+    move |rank, field, buf| {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (step as usize)
+                .wrapping_add(rank as usize * 3)
+                .wrapping_add(field * 7)
+                .wrapping_add(i) as u8;
+        }
+    }
+}
+
+fn tier_manager_cfg(pfs: &Path, tier: Option<TierConfig>) -> ManagerConfig {
+    let mut cfg = ManagerConfig::new(pfs, Strategy::rbio(2));
+    cfg.keep = 2;
+    cfg.tier = tier;
+    cfg
+}
+
+/// Byte-compare a restored generation against its reference twin.
+fn restored_eq(got: &RestoredData, want: &RestoredData) -> Result<(), String> {
+    for rank in 0..want.nranks {
+        for field in 0..want.field_names.len() {
+            if got.field_data(rank, field) != want.field_data(rank, field) {
+                return Err(format!(
+                    "step {}: restored bytes differ from the reference at rank \
+                     {rank} field {field}",
+                    got.step
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Byte-compare every checkpoint file the reference run produced
+/// against its twin in the controlled run's PFS directory.
+fn rbio_files_eq(pfs: &Path, ref_dir: &Path) -> Result<(), String> {
+    let mut compared = 0;
+    for entry in std::fs::read_dir(ref_dir).map_err(|e| format!("read ref dir: {e}"))? {
+        let p = entry.map_err(|e| format!("ref dir entry: {e}"))?.path();
+        if p.extension().is_none_or(|e| e != "rbio") {
+            continue;
+        }
+        let name = p
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let want = std::fs::read(&p).map_err(|e| format!("read reference {name}: {e}"))?;
+        let got =
+            std::fs::read(pfs.join(&name)).map_err(|e| format!("read drained {name}: {e}"))?;
+        if got != want {
+            return Err(format!(
+                "{name}: drained PFS bytes differ from the direct-path reference \
+                 ({} vs {} bytes)",
+                got.len(),
+                want.len()
+            ));
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("reference run produced no checkpoint files".into());
+    }
+    Ok(())
+}
+
+/// `p6`: two tiered generations through the checkpoint manager, with
+/// generation 2's background drain racing a restore. The nearest
+/// durable tier copy at the racing restore is schedule-dependent —
+/// step 1's retained local stage, or step 2 once its drain publishes —
+/// and both must be byte-exact against direct-path references. The
+/// shadow model additionally checks the durability invariant on every
+/// schedule: no `TierDurable` before every staged extent of that step
+/// was drained to the PFS tier.
+fn prepare_tier_drain(dir: &Path) -> PreparedProgram {
+    // Direct-to-PFS references for both generations, uncontrolled.
+    let ref_dir = dir.join("ref");
+    let ref_mgr = CheckpointManager::new(tier_layout(), tier_manager_cfg(&ref_dir, None))
+        .expect("reference manager");
+    ref_mgr.checkpoint(1, tier_fill(1)).expect("reference ck 1");
+    let want1 = ref_mgr.restore_latest().expect("reference restore 1");
+    ref_mgr.checkpoint(2, tier_fill(2)).expect("reference ck 2");
+    let want2 = ref_mgr.restore_latest().expect("reference restore 2");
+
+    let pfs = dir.join("pfs");
+    let local = dir.join("local");
+    let body_pfs = pfs.clone();
+    PreparedProgram {
+        body: Box::new(move || {
+            let tier = TierConfig::new(&local).slab_capacity(1 << 20);
+            let mgr =
+                CheckpointManager::new(tier_layout(), tier_manager_cfg(&body_pfs, Some(tier)))
+                    .map_err(|e| format!("tiered manager: {e}"))?;
+            mgr.checkpoint(1, tier_fill(1))
+                .map_err(|e| format!("ck 1: {e}"))?;
+            mgr.wait_durable(1)
+                .map_err(|e| format!("gen 1 drain: {e}"))?;
+            // Generation 2 is staged and returns immediately; its drain
+            // now races the restore below.
+            mgr.checkpoint(2, tier_fill(2))
+                .map_err(|e| format!("ck 2: {e}"))?;
+            let racing = mgr
+                .restore_latest()
+                .map_err(|e| format!("racing restore: {e}"))?;
+            let want = match racing.step {
+                1 => &want1,
+                2 => &want2,
+                s => return Err(format!("racing restore produced unknown step {s}")),
+            };
+            restored_eq(&racing, want)?;
+            mgr.wait_durable(2)
+                .map_err(|e| format!("gen 2 drain: {e}"))?;
+            let settled = mgr
+                .restore_latest()
+                .map_err(|e| format!("settled restore: {e}"))?;
+            if settled.step != 2 {
+                return Err(format!(
+                    "settled restore came from step {}, want 2",
+                    settled.step
+                ));
+            }
+            restored_eq(&settled, &want2)
+        }),
+        verify: Box::new(move || rbio_files_eq(&pfs, &ref_dir)),
+    }
+}
+
+/// `p7`: the node-local tier dies deterministically between the drain's
+/// burst and PFS hops. Correct behavior: every file of the in-flight
+/// generation is recovered from its verified burst copy, the generation
+/// publishes *degraded* (manifest lines carry `tierloss:burst`), and the
+/// restore matches an untiered reference byte-for-byte.
+fn prepare_tier_loss(dir: &Path) -> PreparedProgram {
+    let ref_dir = dir.join("ref");
+    let ref_mgr = CheckpointManager::new(tier_layout(), tier_manager_cfg(&ref_dir, None))
+        .expect("reference manager");
+    ref_mgr.checkpoint(3, tier_fill(3)).expect("reference ck");
+    let want = ref_mgr.restore_latest().expect("reference restore");
+
+    let pfs = dir.join("pfs");
+    let local = dir.join("local");
+    let burst = dir.join("burst");
+    let body_pfs = pfs.clone();
+    PreparedProgram {
+        body: Box::new(move || {
+            let tier = TierConfig::new(&local)
+                .burst_dir(&burst)
+                .slab_capacity(1 << 20);
+            let mgr =
+                CheckpointManager::new(tier_layout(), tier_manager_cfg(&body_pfs, Some(tier)))
+                    .map_err(|e| format!("tiered manager: {e}"))?;
+            mgr.tier_engine()
+                .expect("engine exists with a tier")
+                .lose_local_between_hops();
+            mgr.checkpoint(3, tier_fill(3))
+                .map_err(|e| format!("staged ck: {e}"))?;
+            mgr.wait_durable(3)
+                .map_err(|e| format!("burst-recovered drain: {e}"))?;
+            let state = mgr.generation_state(3);
+            if state != GenerationState::Degraded {
+                return Err(format!(
+                    "generation after tier loss is {state:?}, want Degraded"
+                ));
+            }
+            let restored = mgr
+                .restore_latest()
+                .map_err(|e| format!("degraded restore: {e}"))?;
+            if restored.step != 3 {
+                return Err(format!("restored step {}, want 3", restored.step));
+            }
+            restored_eq(&restored, &want)
+        }),
+        verify: Box::new(move || {
+            let manifest = rbio::commit::read_committed_text(&pfs.join("step0000000003.manifest"))
+                .map_err(|e| format!("read manifest: {e}"))?;
+            if !manifest.contains(" tierloss:burst") {
+                return Err(format!(
+                    "manifest does not record the burst recovery:\n{manifest}"
+                ));
+            }
+            rbio_files_eq(&pfs, &ref_dir)
+        }),
     }
 }

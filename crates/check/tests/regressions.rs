@@ -208,6 +208,8 @@ fn seed_sweeps_are_clean_on_main() {
         (ProgramKind::RtEquiv, 0..8),
         (ProgramKind::FaultDrop, 0..8),
         (ProgramKind::Failover, 0..8),
+        (ProgramKind::TierDrain, 0..8),
+        (ProgramKind::TierLoss, 0..8),
     ] {
         let r = sweep(kind, seeds, false, false);
         assert!(
@@ -223,4 +225,63 @@ fn seed_sweeps_are_clean_on_main() {
     // Bounded-preemption mode on the raciest family.
     let r = sweep(ProgramKind::PipelineRace, 0..16, true, false);
     assert!(r.clean(), "preemption sweep failed: {}", r.failures.len());
+}
+
+/// PR 6 durability property: across schedules, no generation is ever
+/// marked durable before every one of its staged extents has reached
+/// the PFS tier. The sweep relies on the shadow model's
+/// `DurableBeforeDrained` check; this test additionally pins that the
+/// check is *non-vacuous* — the event stream of a tiered run really
+/// carries the staged/drained/durable transitions the model consumes.
+#[test]
+fn tier_generations_never_durable_before_drained() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let probe = run_one(ProgramKind::TierDrain, Policy::seeded(0));
+    assert!(probe.outcome.is_ok(), "{:?}", probe.outcome);
+    assert!(probe.violations.is_empty(), "{:?}", probe.violations);
+    for marker in ["TierExtentStaged", "TierExtentDrained", "TierDurable"] {
+        assert!(
+            probe.events.iter().any(|e| e.contains(marker)),
+            "tiered run emitted no {marker} event — the durability \
+             property would be vacuous"
+        );
+    }
+
+    let r = sweep(ProgramKind::TierDrain, 0..12, false, false);
+    assert!(
+        r.clean(),
+        "durable-before-drained sweep failed: {:?}",
+        r.failures
+            .iter()
+            .map(|(s, rep)| (*s, rep.violations.clone()))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// PR 6 tier loss: losing the node-local tier between the drain's burst
+/// and PFS hops must still produce a durable (degraded) generation on
+/// every schedule, and the loss itself must be visible in the event
+/// stream.
+#[test]
+fn tier_loss_mid_drain_recovers_on_every_schedule() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let probe = run_one(ProgramKind::TierLoss, Policy::seeded(0));
+    assert!(probe.outcome.is_ok(), "{:?}", probe.outcome);
+    assert!(probe.violations.is_empty(), "{:?}", probe.violations);
+    assert!(
+        probe.events.iter().any(|e| e.contains("TierLost")),
+        "tier-loss run never lost a tier"
+    );
+
+    let r = sweep(ProgramKind::TierLoss, 0..12, false, false);
+    assert!(
+        r.clean(),
+        "tier-loss sweep failed: {:?}",
+        r.failures
+            .iter()
+            .map(|(s, rep)| (*s, rep.violations.clone()))
+            .collect::<Vec<_>>()
+    );
 }

@@ -130,6 +130,12 @@ pub struct ExecConfig {
     /// writer's extent is re-staged and written by the next surviving
     /// writer, and the generation completes in degraded mode.
     pub failover: FailoverPolicy,
+    /// When set, atomic plan files divert into this node-local tier
+    /// stage instead of the filesystem: `Open` becomes a no-op,
+    /// `WriteAt` appends to the slab at memory speed, and `Commit`
+    /// seals the staged file for the background drain engine
+    /// (see [`crate::tier`]). Non-atomic files still hit the PFS.
+    pub stage: Option<Arc<crate::tier::TierStage>>,
 }
 
 impl ExecConfig {
@@ -147,6 +153,7 @@ impl ExecConfig {
             pipeline_jitter: None,
             copy_mode: CopyMode::ZeroCopy,
             failover: FailoverPolicy::disabled(),
+            stage: None,
         }
     }
 
@@ -177,6 +184,12 @@ impl ExecConfig {
     /// Replace the writer failover policy.
     pub fn failover(mut self, policy: FailoverPolicy) -> Self {
         self.failover = policy;
+        self
+    }
+
+    /// Stage atomic files into the node-local tier instead of the PFS.
+    pub fn stage(mut self, stage: Arc<crate::tier::TierStage>) -> Self {
+        self.stage = Some(stage);
         self
     }
 }
@@ -504,6 +517,12 @@ impl RankCtx<'_> {
                     self.barriers[comm.0 as usize].wait(self.abort, self.cfg.recv_timeout)?;
                 }
                 Op::Open { file, create } => {
+                    if self.staged_for(file.0).is_some() {
+                        // Tier-staged file: no filesystem object exists
+                        // until the drain engine publishes it.
+                        i += 1;
+                        continue;
+                    }
                     let path = self.file_path(file.0);
                     let f = if *create {
                         if let Some(parent) = path.parent() {
@@ -519,6 +538,14 @@ impl RankCtx<'_> {
                         OpenOptions::new().write(true).read(true).open(&path)?
                     };
                     self.files.insert(file.0, Arc::new(f));
+                }
+                Op::WriteAt {
+                    file,
+                    offset,
+                    src: _,
+                } if self.staged_for(file.0).is_some() => {
+                    i = self.stage_write_run(ops, i, file.0, *offset)?;
+                    continue;
                 }
                 Op::WriteAt {
                     file,
@@ -561,6 +588,14 @@ impl RankCtx<'_> {
                     let fenced = self.director.is_some_and(|d| !d.allow_commit(self.rank));
                     if !fenced {
                         let spec = &self.program.files[file.0 as usize];
+                        if let Some(stage) = self.staged_for(file.0) {
+                            // Tier-staged: sealing is the whole commit;
+                            // the drain engine publishes to the PFS (with
+                            // footer + rename) in the background.
+                            stage.seal_file(&spec.name, spec.size);
+                            i += 1;
+                            continue;
+                        }
                         let final_path = self.cfg.base_dir.join(&spec.name);
                         let tmp = commit::tmp_path(&final_path);
                         if self.pipe.is_some() {
@@ -580,11 +615,13 @@ impl RankCtx<'_> {
                                 // never appear.
                                 return Err(killed_error(self.rank));
                             }
-                            commit::commit_file(
+                            commit::commit_file_with_faults(
                                 &tmp,
                                 &final_path,
                                 spec.size,
                                 self.cfg.fsync_on_close,
+                                &self.cfg.faults,
+                                self.rank,
                             )?;
                             sched::emit(|| sched::Event::ExtentCommit {
                                 owner: self.rank,
@@ -728,6 +765,53 @@ impl RankCtx<'_> {
                 format!("write retries exhausted their deadline after {waited:?}"),
             )),
         }
+    }
+
+    /// The tier stage `file` diverts into: staging must be configured
+    /// and the file atomic (non-atomic files always go to the PFS,
+    /// since only committed files are drain-publishable).
+    fn staged_for(&self, file: u32) -> Option<&Arc<crate::tier::TierStage>> {
+        let stage = self.cfg.stage.as_ref()?;
+        self.program.files[file as usize].atomic.then_some(stage)
+    }
+
+    /// Divert the coalescible run of `WriteAt` ops starting at `ops[i]`
+    /// into the node-local tier stage; returns the first unconsumed
+    /// index. The slab append is the whole foreground cost — memory
+    /// speed. It deliberately skips the per-write fault hooks: the
+    /// staged path's failure mode is losing the tier
+    /// ([`crate::tier::TierEngine::lose_local`]), not a torn write.
+    fn stage_write_run(
+        &mut self,
+        ops: &[Op],
+        i: usize,
+        file: u32,
+        offset: u64,
+    ) -> io::Result<usize> {
+        self.maybe_hang();
+        let end = write_run_len(ops, i, file, offset);
+        let total: u64 = ops[i..end].iter().map(|o| src_len(write_src(o))).sum();
+        counters::add_checkpoint_bytes(total);
+        let stage = Arc::clone(self.staged_for(file).expect("caller checked staged"));
+        let name = self.program.files[file as usize].name.clone();
+        let mut off = offset;
+        for o in &ops[i..end] {
+            let res = match *write_src(o) {
+                DataRef::Own { off: po, len } => {
+                    stage.append(&name, off, &self.payload[po as usize..(po + len) as usize])
+                }
+                DataRef::Staging { off: so, len } => {
+                    stage.append(&name, off, &self.staging[so as usize..(so + len) as usize])
+                }
+                DataRef::Synthetic { len } => {
+                    let data: Vec<u8> = (0..len).map(|k| synthetic_byte(off + k)).collect();
+                    stage.append(&name, off, &data)
+                }
+            };
+            res.map_err(io::Error::other)?;
+            off += src_len(write_src(o));
+        }
+        Ok(end)
     }
 
     /// Consult the one-shot hang fault for this rank, if armed. A hang
@@ -1033,6 +1117,9 @@ impl RankCtx<'_> {
                     )));
                 }
                 Op::Open { file, create } => {
+                    if self.staged_for(file.0).is_some() {
+                        continue;
+                    }
                     let path = self.file_path(file.0);
                     let f = if *create {
                         if let Some(parent) = path.parent() {
@@ -1052,6 +1139,14 @@ impl RankCtx<'_> {
                 Op::WriteAt { file, offset, src } => {
                     let d = bytes_of(&payloads[orphan as usize], &staging, src, *offset);
                     counters::add_checkpoint_bytes(d.len() as u64);
+                    if let Some(stage) = self.staged_for(file.0) {
+                        // Successor re-stages the orphan's extent into
+                        // the slab; the drain publishes it like any
+                        // other staged file.
+                        let name = &program.files[file.0 as usize].name;
+                        stage.append(name, *offset, &d).map_err(io::Error::other)?;
+                        continue;
+                    }
                     let f = files.get(&file.0).expect("validated: opened");
                     match fault::write_at_with_retry(
                         f,
@@ -1097,12 +1192,23 @@ impl RankCtx<'_> {
                 Op::Commit { file } => {
                     if dir.begin_commit(orphan, file.0) {
                         let spec = &program.files[file.0 as usize];
+                        if let Some(stage) = self.staged_for(file.0) {
+                            stage.seal_file(&spec.name, spec.size);
+                            continue;
+                        }
                         let final_path = self.cfg.base_dir.join(&spec.name);
                         let tmp = commit::tmp_path(&final_path);
                         if self.cfg.faults.on_commit(self.rank) {
                             return Err(killed_error(self.rank));
                         }
-                        commit::commit_file(&tmp, &final_path, spec.size, self.cfg.fsync_on_close)?;
+                        commit::commit_file_with_faults(
+                            &tmp,
+                            &final_path,
+                            spec.size,
+                            self.cfg.fsync_on_close,
+                            &self.cfg.faults,
+                            self.rank,
+                        )?;
                         sched::emit(|| sched::Event::ExtentCommit {
                             owner: orphan,
                             by: self.rank,
@@ -1234,6 +1340,9 @@ pub fn execute(
     }
     std::fs::create_dir_all(&cfg.base_dir)
         .map_err(|e| ExecError::Setup(format!("create base dir: {e}")))?;
+    sched::emit(|| sched::Event::ExecStarted {
+        nranks: nranks as u32,
+    });
 
     // Wrap each payload once; every rank-side reference is a refcounted
     // slice of this single allocation (no per-op copies under ZeroCopy).

@@ -59,6 +59,9 @@ struct Inner {
     hang: HashMap<Rank, Duration>,
     /// rank → fixed delay added to every write.
     delay: HashMap<Rank, Duration>,
+    /// ranks whose next directory fsync (the rename-durability barrier in
+    /// `commit_file`) fails once with an injected error.
+    dir_fsync_fail: std::collections::HashSet<Rank>,
 }
 
 /// Shared fault-injection plan. Cloning shares state: the same plan handed
@@ -134,6 +137,33 @@ impl FaultPlan {
             .insert(rank, delay);
         self.armed.store(true, Ordering::Release);
         self
+    }
+
+    /// Fail `rank`'s next directory fsync (the commit path's
+    /// rename-durability barrier) once with an injected I/O error.
+    pub fn fail_dir_fsync(self, rank: Rank) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .dir_fsync_fail
+            .insert(rank);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Consult the plan as `rank` fsyncs the directory containing a
+    /// freshly renamed commit. `Some(error)` means the barrier fails
+    /// (one-shot); the commit must report it.
+    pub fn on_dir_fsync(&self, rank: Rank) -> Option<io::Error> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .dir_fsync_fail
+            .remove(&rank)
+            .then(|| io::Error::other(format!("injected directory fsync failure on rank {rank}")))
     }
 
     /// Take (and clear) the pending one-shot hang for `rank`, if any.

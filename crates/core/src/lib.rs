@@ -57,6 +57,7 @@ pub mod restart;
 pub mod rt;
 pub mod sched;
 pub mod strategy;
+pub mod tier;
 pub mod vtk;
 
 pub use layout::{DataLayout, FieldSpec};

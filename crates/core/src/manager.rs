@@ -17,6 +17,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::commit;
 use crate::exec::{execute, ExecConfig, ExecError, ExecReport};
@@ -24,8 +25,17 @@ use crate::failover::FailoverPolicy;
 use crate::fault::FaultPlan;
 use crate::format::{crc32, decode_header, footer_len, materialize_payloads};
 use crate::layout::DataLayout;
-use crate::restart::{read_checkpoint, RestartError, RestoredData};
+use crate::restart::{read_checkpoint, read_checkpoint_staged, RestartError, RestoredData};
+use crate::sched::{self, Event, TierId};
 use crate::strategy::{CheckpointPlan, CheckpointSpec, Strategy, Tuning};
+use crate::tier::{DrainJob, SlabPool, TierConfig, TierEngine, TierError, TierStage};
+use rbio_plan::Rank;
+
+/// The fault-injection rank identity of the manager's own metadata
+/// commits (manifest + marker). Distinct from every plan writer rank and
+/// from [`crate::tier::DRAIN_RANK`], so tests can kill the campaign
+/// layer's commit path specifically.
+pub const MANAGER_RANK: Rank = Rank::MAX;
 
 /// Errors from campaign operations.
 #[derive(Debug)]
@@ -42,6 +52,9 @@ pub enum ManagerError {
     NothingToRestore,
     /// The commit marker disagrees with the files on disk.
     CommitMismatch(String),
+    /// The staging tier failed (slab full, drain failure, tier loss
+    /// with no recoverable copy).
+    Tier(TierError),
 }
 
 impl std::fmt::Display for ManagerError {
@@ -53,6 +66,7 @@ impl std::fmt::Display for ManagerError {
             ManagerError::Restart(e) => write!(f, "restart: {e}"),
             ManagerError::NothingToRestore => write!(f, "no committed checkpoint found"),
             ManagerError::CommitMismatch(s) => write!(f, "commit marker mismatch: {s}"),
+            ManagerError::Tier(e) => write!(f, "tier: {e}"),
         }
     }
 }
@@ -89,6 +103,12 @@ pub struct ManagerConfig {
     /// derived from the executor's receive timeout. Disable to get the
     /// pre-failover abort-and-fall-back behavior.
     pub failover: bool,
+    /// Node-local burst-buffer tier. With one configured, checkpoints
+    /// stage into a pre-allocated local slab at memory speed and a
+    /// background engine drains them to the PFS; [`CheckpointManager::
+    /// wait_durable`] blocks until a step's PFS copy is committed.
+    /// `None` writes straight to the PFS as before.
+    pub tier: Option<TierConfig>,
 }
 
 impl ManagerConfig {
@@ -103,7 +123,15 @@ impl ManagerConfig {
             fsync: false,
             faults: FaultPlan::none(),
             failover: true,
+            tier: None,
         }
+    }
+
+    /// Stage checkpoints through a node-local tier (see
+    /// [`ManagerConfig::tier`]).
+    pub fn tier(mut self, tier: TierConfig) -> Self {
+        self.tier = Some(tier);
+        self
     }
 }
 
@@ -125,6 +153,7 @@ pub enum GenerationState {
 pub struct CheckpointManager {
     cfg: ManagerConfig,
     layout: DataLayout,
+    engine: Option<Arc<TierEngine>>,
 }
 
 fn step_prefix(step: u64) -> String {
@@ -157,12 +186,110 @@ fn entry_vanished(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::NotFound
 }
 
+/// Per-file commit-marker expectations: `(name, expected size on disk
+/// including the checksum footer, header length to CRC)`.
+type MarkerSpec = (String, u64, u64);
+
+/// Build the commit-marker body by checking every published file against
+/// its spec. Runs on the campaign thread (direct path) or the drain
+/// thread (tiered path) once the files are on the PFS.
+fn marker_body(dir: &Path, step: u64, specs: &[MarkerSpec]) -> Result<String, ManagerError> {
+    let mut body = String::new();
+    body.push_str(&format!("step {step}\nfiles {}\n", specs.len()));
+    for (name, expect, hdr_len) in specs {
+        let path = dir.join(name);
+        let meta = fs::metadata(&path)?;
+        if meta.len() != *expect {
+            return Err(ManagerError::CommitMismatch(format!(
+                "{name}: {} bytes on disk, plan wrote {expect}",
+                meta.len(),
+            )));
+        }
+        // CRC the header region only (data integrity is the header
+        // CRC + size check; whole-file CRCs would double write time).
+        let mut hdr = vec![0u8; (*hdr_len).min(meta.len()) as usize];
+        use std::os::unix::fs::FileExt;
+        fs::File::open(&path)?.read_exact_at(&mut hdr, 0)?;
+        body.push_str(&format!("{name} {} {:08x}\n", meta.len(), crc32(&hdr)));
+    }
+    Ok(body)
+}
+
+/// Rewrite manifest ownership lines for extents whose PFS copy was
+/// recovered from the burst tier after local-tier loss: ` primary`
+/// becomes ` tierloss:burst`, classifying the generation Degraded.
+fn amend_manifest_for_tier_loss(manifest: &str, recovered: &[String]) -> String {
+    if recovered.is_empty() {
+        return manifest.to_string();
+    }
+    let mut out = String::with_capacity(manifest.len() + 16 * recovered.len());
+    for line in manifest.lines() {
+        let name = line.split_whitespace().next().unwrap_or("");
+        if recovered.iter().any(|r| r == name) {
+            if let Some(prefix) = line.strip_suffix(" primary") {
+                out.push_str(prefix);
+                out.push_str(" tierloss:burst\n");
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Publish a generation: manifest first (an aborted publish may leave a
+/// manifest without a marker; the prefix GC reaps it), then the commit
+/// marker. Both go through the tmp + CRC footer + rename commit path so
+/// a crash mid-publish never leaves a half-written metadata file that a
+/// restart could trust.
+fn publish_generation(
+    dir: &Path,
+    step: u64,
+    manifest: &str,
+    specs: &[MarkerSpec],
+    recovered: &[String],
+    fsync: bool,
+    faults: &FaultPlan,
+) -> io::Result<()> {
+    let manifest = amend_manifest_for_tier_loss(manifest, recovered);
+    commit::commit_text_with_faults(
+        &manifest_path(dir, step),
+        &manifest,
+        fsync,
+        faults,
+        MANAGER_RANK,
+    )?;
+    let body = marker_body(dir, step, specs).map_err(|e| io::Error::other(e.to_string()))?;
+    commit::commit_text_with_faults(&commit_path(dir, step), &body, fsync, faults, MANAGER_RANK)
+}
+
 impl CheckpointManager {
     /// A manager for `layout` under `cfg.dir` (created if needed).
     pub fn new(layout: DataLayout, cfg: ManagerConfig) -> Result<Self, ManagerError> {
         fs::create_dir_all(&cfg.dir)?;
         assert!(cfg.keep >= 1, "must keep at least one step");
-        Ok(CheckpointManager { cfg, layout })
+        let engine = match &cfg.tier {
+            Some(t) => {
+                fs::create_dir_all(&t.local_dir)?;
+                if let Some(b) = &t.burst_dir {
+                    fs::create_dir_all(b)?;
+                }
+                Some(TierEngine::new(t.retain))
+            }
+            None => None,
+        };
+        Ok(CheckpointManager {
+            cfg,
+            layout,
+            engine,
+        })
+    }
+
+    /// The drain engine, when a tier is configured — for failure drills
+    /// ([`TierEngine::lose_local`]) and drain observation in tests.
+    pub fn tier_engine(&self) -> Option<&Arc<TierEngine>> {
+        self.engine.as_ref()
     }
 
     /// The layout being checkpointed.
@@ -194,6 +321,18 @@ impl CheckpointManager {
         if self.cfg.failover {
             exec_cfg.failover = FailoverPolicy::from_recv_timeout(exec_cfg.recv_timeout);
         }
+        // Tiered path: atomic files divert into a pre-allocated local
+        // slab; the background engine drains them to the PFS later.
+        let stage = match &self.cfg.tier {
+            Some(t) => {
+                let slab_path = t.local_dir.join(format!("{}.slab", step_prefix(step)));
+                let pool = SlabPool::create(&slab_path, t.slab_capacity)?;
+                let stage = Arc::new(TierStage::new(step, Arc::new(pool)));
+                exec_cfg.stage = Some(Arc::clone(&stage));
+                Some(stage)
+            }
+            None => None,
+        };
         let report = execute(&plan.program, payloads, &exec_cfg).map_err(ManagerError::Exec)?;
 
         // Generation manifest: which writer actually landed each extent.
@@ -220,47 +359,93 @@ impl CheckpointManager {
                 None => manifest.push_str(&format!("{} {} primary\n", pf.name, owner)),
             }
         }
-        let mtmp = manifest_path(&self.cfg.dir, step).with_extension("manifest.tmp");
-        fs::write(&mtmp, &manifest)?;
-        fs::rename(&mtmp, manifest_path(&self.cfg.dir, step))?;
+        // Per-file marker expectations: committed files carry a
+        // checksum footer past the plan's logical size.
+        let specs: Vec<MarkerSpec> = plan
+            .plan_files
+            .iter()
+            .enumerate()
+            .map(|(i, pf)| {
+                let expect = plan.program.files[i].size + footer_len(plan.layout.nfields());
+                let hdr_len = plan
+                    .payload_meta
+                    .iter()
+                    .find(|m| m.header_for_file == Some(i))
+                    .map(|m| m.header_len)
+                    .unwrap_or(0);
+                (pf.name.clone(), expect, hdr_len)
+            })
+            .collect();
 
-        // Commit marker: per-file expected size + header CRC, then an
-        // atomic rename so a crash never leaves a half-written marker.
-        let mut body = String::new();
-        body.push_str(&format!("step {step}\nfiles {}\n", plan.plan_files.len()));
-        for (i, pf) in plan.plan_files.iter().enumerate() {
-            let path = self.cfg.dir.join(&pf.name);
-            let meta = fs::metadata(&path)?;
-            // Committed files carry a checksum footer past the plan's
-            // logical size.
-            let expect = plan.program.files[i].size + footer_len(plan.layout.nfields());
-            if meta.len() != expect {
-                return Err(ManagerError::CommitMismatch(format!(
-                    "{}: {} bytes on disk, plan wrote {}",
-                    pf.name,
-                    meta.len(),
-                    expect
-                )));
-            }
-            // CRC the header region only (data integrity is the header
-            // CRC + size check; whole-file CRCs would double write time).
-            let hdr_len = plan
-                .payload_meta
-                .iter()
-                .find(|m| m.header_for_file == Some(i))
-                .map(|m| m.header_len)
-                .unwrap_or(0);
-            let mut hdr = vec![0u8; hdr_len.min(meta.len()) as usize];
-            use std::os::unix::fs::FileExt;
-            fs::File::open(&path)?.read_exact_at(&mut hdr, 0)?;
-            body.push_str(&format!("{} {} {:08x}\n", pf.name, meta.len(), crc32(&hdr)));
+        if let Some(stage) = stage {
+            // Tiered path: the step is *perceived* complete here — bytes
+            // are safe in the local slab — but only durable once the
+            // drain engine lands every file on the PFS and publishes the
+            // manifest + marker from the drain thread.
+            let engine = self
+                .engine
+                .as_ref()
+                .expect("engine exists when tier is set");
+            let tier = self.cfg.tier.as_ref().expect("tier config");
+            let dir = self.cfg.dir.clone();
+            let fsync = self.cfg.fsync;
+            let faults = self.cfg.faults.clone();
+            engine.submit(DrainJob {
+                step,
+                stage: Arc::clone(&stage),
+                pfs_dir: self.cfg.dir.clone(),
+                burst_dir: tier.burst_dir.clone(),
+                fsync: tier.fsync,
+                publish: Box::new(move |outcome| {
+                    publish_generation(
+                        &dir,
+                        step,
+                        &manifest,
+                        &specs,
+                        &outcome.recovered_from_burst,
+                        fsync,
+                        &faults,
+                    )
+                }),
+            });
+            return Ok(report);
         }
-        let tmp = commit_path(&self.cfg.dir, step).with_extension("commit.tmp");
-        fs::write(&tmp, &body)?;
-        fs::rename(&tmp, commit_path(&self.cfg.dir, step))?;
+
+        // Direct path: manifest then commit marker, both through the
+        // tmp + CRC footer + rename commit path so a crash never leaves
+        // a half-written metadata file that a restart could trust.
+        commit::commit_text_with_faults(
+            &manifest_path(&self.cfg.dir, step),
+            &manifest,
+            self.cfg.fsync,
+            &self.cfg.faults,
+            MANAGER_RANK,
+        )?;
+        let body = marker_body(&self.cfg.dir, step, &specs)?;
+        commit::commit_text_with_faults(
+            &commit_path(&self.cfg.dir, step),
+            &body,
+            self.cfg.fsync,
+            &self.cfg.faults,
+            MANAGER_RANK,
+        )?;
 
         self.rotate()?;
         Ok(report)
+    }
+
+    /// Block until `step` is durable on the PFS tier, then rotate old
+    /// generations. Without a tier this is a no-op: the direct path is
+    /// synchronously durable at [`CheckpointManager::checkpoint`]
+    /// return. A generation that can never drain (local tier lost with
+    /// no burst copy) surfaces here as [`ManagerError::Tier`]; older
+    /// committed generations remain restorable.
+    pub fn wait_durable(&self, step: u64) -> Result<(), ManagerError> {
+        if let Some(engine) = &self.engine {
+            engine.wait_durable(step).map_err(ManagerError::Tier)?;
+            self.rotate()?;
+        }
+        Ok(())
     }
 
     /// Committed steps present, ascending. Entries that vanish while the
@@ -322,7 +507,8 @@ impl CheckpointManager {
                     && (name.ends_with(".rbio")
                         || name.ends_with(".rbio.tmp")
                         || name.ends_with(".manifest")
-                        || name.ends_with(".manifest.tmp"))
+                        || name.ends_with(".manifest.tmp")
+                        || name.ends_with(".commit.tmp"))
                 {
                     victims.push(entry.path());
                 }
@@ -336,8 +522,18 @@ impl CheckpointManager {
 
     /// Verify a committed step's marker against the files on disk.
     pub fn verify(&self, step: u64) -> Result<(), ManagerError> {
-        let marker = fs::read_to_string(commit_path(&self.cfg.dir, step))
-            .map_err(|_| ManagerError::NothingToRestore)?;
+        // Markers carry a CRC footer since the tiering era; plain-text
+        // markers from older directories pass through unchanged. A
+        // present-but-corrupt footer means a torn marker.
+        let marker =
+            commit::read_committed_text(&commit_path(&self.cfg.dir, step)).map_err(|e| match e
+                .kind()
+            {
+                io::ErrorKind::InvalidData => {
+                    ManagerError::CommitMismatch(format!("commit marker: {e}"))
+                }
+                _ => ManagerError::NothingToRestore,
+            })?;
         for line in marker.lines().skip(2) {
             let mut parts = line.split_whitespace();
             let (Some(name), Some(size), Some(crc)) = (parts.next(), parts.next(), parts.next())
@@ -387,15 +583,18 @@ impl CheckpointManager {
 
     /// Classify a committed generation: [`GenerationState::Torn`] if its
     /// marker/files fail verification, otherwise Complete or Degraded
-    /// per the manifest ("failover:" extents). Generations from before
-    /// manifests existed verify as Complete.
+    /// per the manifest ("failover:" or "tierloss:" extents).
+    /// Generations from before manifests existed verify as Complete.
     pub fn generation_state(&self, step: u64) -> GenerationState {
         if self.verify(step).is_err() {
             return GenerationState::Torn;
         }
-        match fs::read_to_string(manifest_path(&self.cfg.dir, step)) {
+        match commit::read_committed_text(&manifest_path(&self.cfg.dir, step)) {
             Ok(m) => {
-                if m.lines().skip(2).any(|l| l.contains(" failover:")) {
+                if m.lines()
+                    .skip(2)
+                    .any(|l| l.contains(" failover:") || l.contains(" tierloss:"))
+                {
                     GenerationState::Degraded
                 } else {
                     GenerationState::Complete
@@ -410,7 +609,30 @@ impl CheckpointManager {
     /// one before it; a degraded-but-recoverable step restores normally
     /// (its failover extents carry identical bytes) and is counted in
     /// the profile as a degraded restore.
+    /// With a tier configured, restore comes from the *nearest* tier
+    /// holding a durable copy: the retained local slab (memory speed),
+    /// then the burst directory, then the PFS.
     pub fn restore_latest(&self) -> Result<RestoredData, ManagerError> {
+        // Nearest tier: the newest drained-and-retained local stage.
+        // Only durable generations qualify — a stage whose drain failed
+        // or is still in flight is not restart state yet.
+        if let Some(engine) = &self.engine {
+            if let Some(stage) = engine.newest_retained() {
+                let step = stage.step();
+                if engine.durable_steps().contains(&step) {
+                    let plan = self.plan_for(step)?;
+                    if let Ok(data) = read_checkpoint_staged(&plan, |name| stage.assemble(name)) {
+                        rbio_profile::counters::add_tier_restores(1);
+                        sched::emit(|| Event::TierRestore {
+                            step,
+                            tier: TierId::Local,
+                        });
+                        return Ok(data);
+                    }
+                }
+            }
+        }
+        let burst = self.cfg.tier.as_ref().and_then(|t| t.burst_dir.as_deref());
         let steps = self.committed_steps()?;
         for &step in steps.iter().rev() {
             let state = self.generation_state(step);
@@ -418,8 +640,30 @@ impl CheckpointManager {
                 continue;
             }
             let plan = self.plan_for(step)?;
+            // Burst copies are full committed files (footer and all), so
+            // the normal verified read path applies; a missing or torn
+            // burst copy falls through to the PFS.
+            if let Some(bdir) = burst {
+                if let Ok(data) = read_checkpoint(bdir, &plan) {
+                    rbio_profile::counters::add_tier_restores(1);
+                    sched::emit(|| Event::TierRestore {
+                        step,
+                        tier: TierId::Burst,
+                    });
+                    if state == GenerationState::Degraded {
+                        rbio_profile::counters::add_degraded_generations(1);
+                    }
+                    return Ok(data);
+                }
+            }
             match read_checkpoint(&self.cfg.dir, &plan) {
                 Ok(data) => {
+                    if self.engine.is_some() {
+                        sched::emit(|| Event::TierRestore {
+                            step,
+                            tier: TierId::Pfs,
+                        });
+                    }
                     if state == GenerationState::Degraded {
                         rbio_profile::counters::add_degraded_generations(1);
                     }
@@ -612,7 +856,7 @@ mod tests {
         assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
         mgr.verify(2).expect("degraded generation verifies");
         assert_eq!(mgr.generation_state(2), GenerationState::Degraded);
-        let manifest = std::fs::read_to_string(manifest_path(&dir, 2)).expect("manifest");
+        let manifest = commit::read_committed_text(&manifest_path(&dir, 2)).expect("manifest");
         assert!(manifest.contains(" failover:"), "{manifest}");
 
         // Restore is byte-identical to the uninjected reference and
@@ -738,6 +982,160 @@ mod tests {
         assert!(!dir.join("step0000000001-orphan.rbio").exists());
         assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manager_rank_kill_leaves_no_metadata_final_files() {
+        // The manifest and marker are published through the fault layer
+        // as MANAGER_RANK: killing that rank mid-write must abort the
+        // step with neither final metadata name present (only .tmp
+        // siblings), leaving the previous generation authoritative.
+        let (mgr, dir) = mk("meta-kill", 2);
+        mgr.checkpoint(1, fill_for(1)).expect("ck 1");
+        let mut cfg = ManagerConfig::new(&dir, Strategy::rbio(2));
+        cfg.keep = 2;
+        cfg.faults = FaultPlan::none().kill_writer_after_bytes(MANAGER_RANK, 1);
+        let mgr2 = CheckpointManager::new(mgr.layout().clone(), cfg).expect("manager");
+        assert!(
+            mgr2.checkpoint(2, fill_for(2)).is_err(),
+            "metadata-writer kill must abort the step"
+        );
+        assert!(
+            !manifest_path(&dir, 2).exists(),
+            "killed manifest write must not publish a final manifest"
+        );
+        assert!(
+            !commit_path(&dir, 2).exists(),
+            "no marker may exist for the aborted step"
+        );
+        assert_eq!(mgr.committed_steps().unwrap(), vec![1]);
+        let restored = mgr.restore_latest().expect("fallback");
+        assert_eq!(restored.step, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiered_checkpoint_is_byte_identical_and_restores_from_local_tier() {
+        // Direct-to-PFS reference run, same step and fill.
+        let (ref_mgr, ref_dir) = mk("tier-ref", 2);
+        ref_mgr.checkpoint(7, fill_for(7)).expect("reference ck");
+        let want = ref_mgr.restore_latest().expect("reference restore");
+
+        let base = std::env::temp_dir().join(format!("rbio-mgr-tier-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let (pfs, local) = (base.join("pfs"), base.join("local"));
+        let layout = DataLayout::uniform(8, &[("u", 1024), ("v", 256)]);
+        let mut cfg = ManagerConfig::new(&pfs, Strategy::rbio(2));
+        cfg.keep = 2;
+        cfg.tier = Some(crate::tier::TierConfig::new(&local).slab_capacity(1 << 20));
+        let mgr = CheckpointManager::new(layout, cfg).expect("manager");
+        mgr.checkpoint(7, fill_for(7)).expect("tiered ck");
+        mgr.wait_durable(7).expect("drain to PFS");
+        assert_eq!(mgr.committed_steps().unwrap(), vec![7]);
+        mgr.verify(7).expect("drained generation verifies");
+        assert_eq!(mgr.generation_state(7), GenerationState::Complete);
+
+        // Drained PFS bytes are identical to the direct path's.
+        let mut compared = 0;
+        for entry in std::fs::read_dir(&pfs).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "rbio") {
+                let name = p.file_name().unwrap().to_os_string();
+                let direct = std::fs::read(ref_dir.join(&name)).expect("direct twin");
+                assert_eq!(std::fs::read(&p).unwrap(), direct, "{name:?}");
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "no checkpoint files drained");
+
+        // Restore comes from the retained local stage, byte-identical.
+        let before = rbio_profile::counters::tier_snapshot();
+        let restored = mgr.restore_latest().expect("tier restore");
+        assert_eq!(restored.step, 7);
+        for r in 0..8u32 {
+            for f in 0..2usize {
+                assert_eq!(
+                    restored.field_data(r, f),
+                    want.field_data(r, f),
+                    "rank {r} field {f}"
+                );
+            }
+        }
+        let delta = rbio_profile::counters::tier_snapshot().delta_since(&before);
+        assert!(delta.tier_restores >= 1, "{delta:?}");
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
+    }
+
+    #[test]
+    fn tier_loss_mid_drain_degrades_generation_and_restores_identically() {
+        let (ref_mgr, ref_dir) = mk("tloss-ref", 2);
+        ref_mgr.checkpoint(3, fill_for(3)).expect("reference ck");
+        let want = ref_mgr.restore_latest().expect("reference restore");
+
+        let base = std::env::temp_dir().join(format!("rbio-mgr-tloss-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let (pfs, local, burst) = (base.join("pfs"), base.join("local"), base.join("burst"));
+        let layout = DataLayout::uniform(8, &[("u", 1024), ("v", 256)]);
+        let mut cfg = ManagerConfig::new(&pfs, Strategy::rbio(2));
+        cfg.keep = 2;
+        cfg.tier = Some(
+            crate::tier::TierConfig::new(&local)
+                .burst_dir(&burst)
+                .slab_capacity(1 << 20),
+        );
+        let mgr = CheckpointManager::new(layout, cfg).expect("manager");
+        // Lose the node-local tier exactly between the burst and PFS
+        // hops of the drain: every file must be recovered from its
+        // burst copy and the generation lands Degraded, not lost.
+        mgr.tier_engine().unwrap().lose_local_between_hops();
+        mgr.checkpoint(3, fill_for(3)).expect("staged ck");
+        mgr.wait_durable(3).expect("recovered from burst tier");
+        assert_eq!(mgr.generation_state(3), GenerationState::Degraded);
+        let manifest = commit::read_committed_text(&manifest_path(&pfs, 3)).expect("manifest");
+        assert!(manifest.contains(" tierloss:burst"), "{manifest}");
+
+        // The local tier is gone; restore still succeeds byte-for-byte
+        // from the surviving tiers.
+        let restored = mgr.restore_latest().expect("degraded restore");
+        assert_eq!(restored.step, 3);
+        for r in 0..8u32 {
+            for f in 0..2usize {
+                assert_eq!(
+                    restored.field_data(r, f),
+                    want.field_data(r, f),
+                    "rank {r} field {f}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
+    }
+
+    #[test]
+    fn tier_loss_without_burst_fails_step_but_older_generation_survives() {
+        let base = std::env::temp_dir().join(format!("rbio-mgr-tfail-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let (pfs, local) = (base.join("pfs"), base.join("local"));
+        let layout = DataLayout::uniform(8, &[("u", 1024), ("v", 256)]);
+        let mut cfg = ManagerConfig::new(&pfs, Strategy::rbio(2));
+        cfg.keep = 2;
+        cfg.tier = Some(crate::tier::TierConfig::new(&local).slab_capacity(1 << 20));
+        let mgr = CheckpointManager::new(layout, cfg).expect("manager");
+        mgr.checkpoint(1, fill_for(1)).expect("ck 1");
+        mgr.wait_durable(1).expect("gen 1 durable");
+
+        mgr.tier_engine().unwrap().lose_local_between_hops();
+        mgr.checkpoint(2, fill_for(2))
+            .expect("staging itself succeeds");
+        assert!(
+            matches!(mgr.wait_durable(2), Err(ManagerError::Tier(_))),
+            "no burst tier: the lost generation can never become durable"
+        );
+        assert_eq!(mgr.committed_steps().unwrap(), vec![1]);
+        let restored = mgr.restore_latest().expect("older generation");
+        assert_eq!(restored.step, 1);
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -65,6 +65,17 @@ pub enum PipelineError {
     Io(io::Error),
 }
 
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Killed { rank } => write!(f, "rank {rank} killed in background job"),
+            PipelineError::Io(e) => write!(f, "pipeline I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// One unit of deferred writer work, executed in submission order.
 pub enum FlushJob {
     /// Flush one buffered chunk to the file.
@@ -678,7 +689,7 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
                 // final name must never appear.
                 return Err(PipelineError::Killed { rank: ctx.rank });
             }
-            commit::commit_file(&tmp, &final_path, size, fsync)
+            commit::commit_file_with_faults(&tmp, &final_path, size, fsync, &ctx.faults, ctx.rank)
                 .map(|()| 0)
                 .map_err(PipelineError::Io)?;
             sched::emit(|| sched::Event::ExtentCommit {

@@ -326,6 +326,85 @@ pub fn read_checkpoint(
     })
 }
 
+/// Read back a checkpoint from in-memory file images — the node-local
+/// tier's staged extents (see [`crate::tier::TierStage::assemble`]).
+/// `image_of` yields the full logical image for a plan file name.
+///
+/// Staged images carry no commit footer (sealing is in-memory; the
+/// durability proof lives on the drained tiers), so integrity here is
+/// the header shape checks — the same trust as the application's own
+/// buffers the bytes were copied from moments earlier.
+pub fn read_checkpoint_staged(
+    plan: &CheckpointPlan,
+    mut image_of: impl FnMut(&str) -> Option<Vec<u8>>,
+) -> Result<RestoredData, RestartError> {
+    let nranks = plan.layout.nranks();
+    let mut step = None;
+    let mut data: Vec<Vec<Bytes>> = vec![Vec::new(); nranks as usize];
+    for pf in &plan.plan_files {
+        let img = image_of(&pf.name).ok_or_else(|| RestartError::Torn {
+            file: pf.name.clone(),
+            what: "not resident in the local tier".to_string(),
+        })?;
+        let bytes = Bytes::from_vec(img);
+        let header = decode_header(&bytes).map_err(|e| RestartError::Format {
+            file: pf.name.clone(),
+            source: e,
+        })?;
+        if (header.r0, header.r1) != (pf.r0, pf.r1) {
+            return Err(RestartError::Inconsistent(format!(
+                "{}: covers [{},{}) but plan says [{},{})",
+                pf.name, header.r0, header.r1, pf.r0, pf.r1
+            )));
+        }
+        if header.nranks_total != nranks {
+            return Err(RestartError::Inconsistent(format!(
+                "{}: written by a {}-rank job, plan has {nranks}",
+                pf.name, header.nranks_total
+            )));
+        }
+        if (bytes.len() as u64) < header.expected_file_size() {
+            return Err(RestartError::Torn {
+                file: pf.name.clone(),
+                what: format!(
+                    "staged image is {} bytes, header expects {}",
+                    bytes.len(),
+                    header.expected_file_size()
+                ),
+            });
+        }
+        step = Some(header.step);
+        for rank in header.r0..header.r1 {
+            let mut row = Vec::with_capacity(header.fields.len());
+            for field in 0..header.fields.len() {
+                let (off, len) = header.rank_block(rank, field);
+                row.push(bytes.slice(off as usize..(off + len) as usize));
+            }
+            data[rank as usize].extend(row);
+        }
+    }
+    for (r, d) in data.iter().enumerate() {
+        if d.len() != plan.layout.nfields() {
+            return Err(RestartError::Inconsistent(format!(
+                "rank {r}: {} field blocks restored, layout has {}",
+                d.len(),
+                plan.layout.nfields()
+            )));
+        }
+    }
+    Ok(RestoredData {
+        step: step.unwrap_or(0),
+        nranks,
+        field_names: plan
+            .layout
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect(),
+        data,
+    })
+}
+
 /// Discover every rbio checkpoint file under `dir` whose name starts with
 /// `prefix`, returning `(relative name, parsed header)` sorted by covered
 /// rank range.

@@ -379,6 +379,10 @@ pub struct RtConfig {
     pub pipeline_jitter: Option<u64>,
     /// Datapath copy discipline — see [`crate::exec::ExecConfig::copy_mode`].
     pub copy_mode: CopyMode,
+    /// When set, atomic plan files divert into this node-local tier
+    /// stage instead of the filesystem — see
+    /// [`crate::exec::ExecConfig::stage`].
+    pub stage: Option<Arc<crate::tier::TierStage>>,
 }
 
 impl RtConfig {
@@ -393,6 +397,7 @@ impl RtConfig {
             pipeline_depth: 1,
             pipeline_jitter: None,
             copy_mode: CopyMode::ZeroCopy,
+            stage: None,
         }
     }
 
@@ -417,6 +422,12 @@ impl RtConfig {
     /// Set the background-job jitter seed for interleaving sweeps.
     pub fn pipeline_jitter(mut self, seed: u64) -> Self {
         self.pipeline_jitter = Some(seed);
+        self
+    }
+
+    /// Stage atomic files into the node-local tier instead of the PFS.
+    pub fn stage(mut self, stage: Arc<crate::tier::TierStage>) -> Self {
+        self.stage = Some(stage);
         self
     }
 }
@@ -633,6 +644,12 @@ pub fn checkpoint_rank_with(
             }
             Op::Open { file, create } => {
                 let spec = &program.files[file.0 as usize];
+                if spec.atomic && cfg.stage.is_some() {
+                    // Tier-staged file: no filesystem object exists
+                    // until the drain engine publishes it.
+                    i += 1;
+                    continue;
+                }
                 let final_path = base.join(&spec.name);
                 // Atomic files live under their `.tmp` sibling until commit.
                 let path = if spec.atomic {
@@ -661,6 +678,40 @@ pub fn checkpoint_rank_with(
                 files.insert(file.0, Arc::new(f));
             }
             Op::WriteAt { file, offset, src } => {
+                let spec = &program.files[file.0 as usize];
+                if let Some(stage) = cfg.stage.as_ref().filter(|_| spec.atomic) {
+                    // Tier-staged: the slab append is the whole
+                    // foreground cost (memory speed); per-write fault
+                    // hooks don't apply — the staged path's failure
+                    // mode is losing the tier, not a torn write.
+                    let end = write_run_len(ops, i, file.0, *offset);
+                    let total: u64 = ops[i..end].iter().map(|o| src_len(write_src(o))).sum();
+                    counters::add_checkpoint_bytes(total);
+                    let mut off = *offset;
+                    for o in &ops[i..end] {
+                        let res = match *write_src(o) {
+                            DataRef::Own { off: po, len } => stage.append(
+                                &spec.name,
+                                off,
+                                &payload[po as usize..(po + len) as usize],
+                            ),
+                            DataRef::Staging { off: so, len } => stage.append(
+                                &spec.name,
+                                off,
+                                &staging[so as usize..(so + len) as usize],
+                            ),
+                            DataRef::Synthetic { len } => {
+                                let data: Vec<u8> =
+                                    (0..len).map(|k| synthetic_byte(off + k)).collect();
+                                stage.append(&spec.name, off, &data)
+                            }
+                        };
+                        res.map_err(|e| io_err(io::Error::other(e)))?;
+                        off += src_len(write_src(o));
+                    }
+                    i = end;
+                    continue;
+                }
                 // Coalesce byte-contiguous same-file writes into one
                 // vectored write (skipped when faults are armed: the
                 // FaultPlan counts logical writes per plan op, and under
@@ -826,6 +877,13 @@ pub fn checkpoint_rank_with(
             }
             Op::Commit { file } => {
                 let spec = &program.files[file.0 as usize];
+                if let Some(stage) = cfg.stage.as_ref().filter(|_| spec.atomic) {
+                    // Sealing is the whole commit; the drain engine
+                    // publishes to the PFS in the background.
+                    stage.seal_file(&spec.name, spec.size);
+                    i += 1;
+                    continue;
+                }
                 let final_path = base.join(&spec.name);
                 let tmp = commit::tmp_path(&final_path);
                 if let Some(p) = &pipe {
@@ -845,8 +903,15 @@ pub fn checkpoint_rank_with(
                         // the final name must never appear.
                         return Err(RtError::Killed { rank });
                     }
-                    commit::commit_file(&tmp, &final_path, spec.size, cfg.fsync_on_close)
-                        .map_err(io_err)?;
+                    commit::commit_file_with_faults(
+                        &tmp,
+                        &final_path,
+                        spec.size,
+                        cfg.fsync_on_close,
+                        &cfg.faults,
+                        rank,
+                    )
+                    .map_err(io_err)?;
                     sched::emit(|| sched::Event::ExtentCommit {
                         owner: rank,
                         by: rank,

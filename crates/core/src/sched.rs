@@ -47,6 +47,10 @@ pub enum Point {
     RecvEmpty,
     /// Driver waiting for rank threads to finish.
     JoinWait,
+    /// Tier drain engine waiting for a staged generation to drain.
+    TierDrainIdle,
+    /// Caller waiting for a generation to become durable on the PFS tier.
+    TierDurableWait,
     /// A flush job was submitted.
     Submitted,
     /// A flush worker is about to execute a job.
@@ -68,8 +72,22 @@ impl Point {
                 | Point::BarrierWait
                 | Point::RecvEmpty
                 | Point::JoinWait
+                | Point::TierDrainIdle
+                | Point::TierDurableWait
         )
     }
+}
+
+/// A level of the checkpoint storage hierarchy, as carried by tier
+/// events (see [`crate::tier`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierId {
+    /// Node-local slab tier (memory-speed staging).
+    Local,
+    /// Intermediate burst-buffer tier.
+    Burst,
+    /// The parallel filesystem — the durable tier of record.
+    Pfs,
 }
 
 /// The kind of a [`crate::pipeline::FlushJob`], as seen by checkers.
@@ -90,6 +108,14 @@ pub enum JobKind {
 /// check invariants at every scheduling point.
 #[derive(Clone, Debug)]
 pub enum Event {
+    /// A program execution began. Execution-scoped invariants
+    /// (exactly-once sends, exactly-once takeover, fencing, unique
+    /// extent commits) reset at this boundary: a multi-generation run
+    /// re-executes fresh plans whose op indices restart from zero.
+    ExecStarted {
+        /// Ranks in the program.
+        nranks: u32,
+    },
     /// A writer slot was registered to a handle.
     WriterRegistered {
         /// Pool slot index.
@@ -218,6 +244,42 @@ pub enum Event {
         by: u32,
         /// FNV-1a of the final path.
         path_hash: u64,
+    },
+    /// A checkpoint extent landed in the node-local slab tier.
+    TierExtentStaged {
+        /// Generation step the extent belongs to.
+        step: u64,
+        /// FNV-1a of the extent's final file name.
+        path_hash: u64,
+    },
+    /// The drain engine finished flushing one staged file to `tier`.
+    TierExtentDrained {
+        /// Generation step the extent belongs to.
+        step: u64,
+        /// Tier the extent now lives on.
+        tier: TierId,
+        /// FNV-1a of the extent's final file name.
+        path_hash: u64,
+    },
+    /// A generation's manifest + commit marker were published: it is
+    /// durable on the PFS tier. Emitting this while any staged extent of
+    /// the step has not been drained to [`TierId::Pfs`] is the
+    /// durable-before-drained violation.
+    TierDurable {
+        /// The now-durable generation step.
+        step: u64,
+    },
+    /// A storage tier was lost (simulated node-local media failure).
+    TierLost {
+        /// The lost tier.
+        tier: TierId,
+    },
+    /// A restore was served from `tier` instead of the PFS.
+    TierRestore {
+        /// The restored generation step.
+        step: u64,
+        /// Tier that served the restore.
+        tier: TierId,
     },
 }
 
@@ -381,6 +443,8 @@ mod tests {
             Point::BarrierWait,
             Point::RecvEmpty,
             Point::JoinWait,
+            Point::TierDrainIdle,
+            Point::TierDurableWait,
         ] {
             assert!(p.is_wait());
         }

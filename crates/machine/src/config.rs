@@ -33,6 +33,38 @@ pub struct WriterFailure {
     pub detection_delay: SimTime,
 }
 
+/// Bandwidth hierarchy of a node-local staging tier (mirror of
+/// `rbio::tier`): writes land in a pre-allocated local slab at memory
+/// speed — the *perceived* cost — while a background drain engine pays
+/// the burst hop (if any) and the full PFS path per byte — the *durable*
+/// cost. [`crate::RunMetrics::durable_wall`] reports when the drain
+/// finishes.
+#[derive(Debug, Clone, Copy)]
+pub struct TierModel {
+    /// Node-local slab append bandwidth, bytes/s. An mmap'd slab write
+    /// is a memory copy, so a few GB/s (bounded by `mem_bw`-class DDR).
+    pub local_bw: f64,
+    /// Optional burst-buffer hop bandwidth, bytes/s, paid per byte
+    /// between the local slab and the PFS write.
+    pub burst_bw: Option<f64>,
+}
+
+impl TierModel {
+    /// A local slab draining straight to the PFS.
+    pub fn local_only(local_bw: f64) -> Self {
+        TierModel {
+            local_bw,
+            burst_bw: None,
+        }
+    }
+
+    /// Add an intermediate burst-buffer hop.
+    pub fn with_burst(mut self, bw: f64) -> Self {
+        self.burst_bw = Some(bw);
+        self
+    }
+}
+
 /// Full description of the simulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -61,6 +93,11 @@ pub struct MachineConfig {
     pub pipeline_depth: u32,
     /// Optional injected writer death (degraded-mode simulation).
     pub writer_failure: Option<WriterFailure>,
+    /// Optional node-local staging tier. With one set, every `WriteAt`
+    /// costs only the local slab copy in the foreground, and the disk
+    /// path runs on a per-rank background drain whose completion is
+    /// reported as `durable_wall`. `None` writes straight through.
+    pub tier: Option<TierModel>,
 }
 
 impl MachineConfig {
@@ -77,6 +114,7 @@ impl MachineConfig {
             profile: ProfileLevel::Writes,
             pipeline_depth: 1,
             writer_failure: None,
+            tier: None,
         }
     }
 
@@ -92,6 +130,7 @@ impl MachineConfig {
             profile: ProfileLevel::Full,
             pipeline_depth: 1,
             writer_failure: None,
+            tier: None,
         }
     }
 
@@ -124,6 +163,12 @@ impl MachineConfig {
             after_bytes,
             detection_delay,
         });
+        self
+    }
+
+    /// Stage writes through a node-local tier (see [`TierModel`]).
+    pub fn tier(mut self, tier: TierModel) -> Self {
+        self.tier = Some(tier);
         self
     }
 }

@@ -30,6 +30,10 @@ pub struct RunMetrics {
     /// Writer failovers that occurred: `(dead_rank, successor_rank)`.
     /// Empty on healthy runs.
     pub failovers: Vec<(u32, u32)>,
+    /// Wall time until the slowest rank's staged bytes are durable on
+    /// the PFS tier (tier mode: program finish plus the background
+    /// drain's tail). Equals `wall` when no tier is modeled.
+    pub durable_wall: SimTime,
 }
 
 impl RunMetrics {
@@ -44,6 +48,7 @@ impl RunMetrics {
         bytes_sent: u64,
         fs_stats: FsStats,
         failovers: Vec<(u32, u32)>,
+        durable_wall: SimTime,
     ) -> Self {
         let wall = per_rank_finish
             .iter()
@@ -60,6 +65,7 @@ impl RunMetrics {
             fs_stats,
             timeline,
             failovers,
+            durable_wall: durable_wall.max(wall),
         }
     }
 
@@ -71,6 +77,32 @@ impl RunMetrics {
             self.bytes_written as f64 / s
         } else {
             0.0
+        }
+    }
+
+    /// Durable write bandwidth: total data over the time until the last
+    /// staged byte is safe on the PFS tier. Equals [`Self::
+    /// bandwidth_bps`] when no tier is modeled.
+    pub fn durable_bandwidth_bps(&self) -> f64 {
+        let s = self.durable_wall.as_secs_f64();
+        if s > 0.0 {
+            self.bytes_written as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Perceived-over-durable bandwidth ratio: how much faster the
+    /// application sees the checkpoint complete (local slab copy) than
+    /// the bytes actually become durable (drain to the PFS). 1.0 when
+    /// no tier is modeled; the local tier's whole value proposition is
+    /// making this large.
+    pub fn perceived_over_durable(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w > 0.0 {
+            self.durable_wall.as_secs_f64() / w
+        } else {
+            1.0
         }
     }
 
@@ -199,6 +231,7 @@ mod tests {
             500,
             FsStats::default(),
             Vec::new(),
+            SimTime::ZERO,
         )
     }
 

@@ -28,6 +28,13 @@ static HEDGED_JOBS: AtomicU64 = AtomicU64::new(0);
 static FENCED_COMMITS_REFUSED: AtomicU64 = AtomicU64::new(0);
 static DEGRADED_GENERATIONS: AtomicU64 = AtomicU64::new(0);
 
+// Tiered-staging observability (see `rbio::tier`): how much checkpoint
+// data took the fast local tier, and how the drain engine fared.
+static TIER_STAGED_BYTES: AtomicU64 = AtomicU64::new(0);
+static TIER_DRAINED_BYTES: AtomicU64 = AtomicU64::new(0);
+static TIER_RESTORES: AtomicU64 = AtomicU64::new(0);
+static TIER_LOSSES: AtomicU64 = AtomicU64::new(0);
+
 /// A point-in-time reading of the datapath copy counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopySnapshot {
@@ -95,6 +102,74 @@ impl FailoverSnapshot {
             self.fenced_commits_refused,
             self.degraded_generations
         )
+    }
+}
+
+/// A point-in-time reading of the tiered-staging counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Bytes appended to the node-local slab tier.
+    pub staged_bytes: u64,
+    /// Bytes the drain engine has flushed to the durable PFS tier.
+    pub drained_bytes: u64,
+    /// Restores served from a faster tier instead of the PFS.
+    pub tier_restores: u64,
+    /// Simulated tier losses absorbed without aborting.
+    pub tier_losses: u64,
+}
+
+impl TierSnapshot {
+    /// The counter growth between `prev` (earlier) and `self` (later).
+    pub fn delta_since(&self, prev: &TierSnapshot) -> TierSnapshot {
+        TierSnapshot {
+            staged_bytes: self.staged_bytes.saturating_sub(prev.staged_bytes),
+            drained_bytes: self.drained_bytes.saturating_sub(prev.drained_bytes),
+            tier_restores: self.tier_restores.saturating_sub(prev.tier_restores),
+            tier_losses: self.tier_losses.saturating_sub(prev.tier_losses),
+        }
+    }
+
+    /// Render as a JSON object, for inclusion in profile exports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"staged_bytes\": {}, \"drained_bytes\": {}, \"tier_restores\": {}, \
+             \"tier_losses\": {}}}",
+            self.staged_bytes, self.drained_bytes, self.tier_restores, self.tier_losses
+        )
+    }
+}
+
+/// Account `n` bytes appended to the node-local slab tier.
+#[inline]
+pub fn add_tier_staged_bytes(n: u64) {
+    TIER_STAGED_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` bytes drained to the durable PFS tier.
+#[inline]
+pub fn add_tier_drained_bytes(n: u64) {
+    TIER_DRAINED_BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account one restore served from a faster tier instead of the PFS.
+#[inline]
+pub fn add_tier_restores(n: u64) {
+    TIER_RESTORES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account one simulated tier loss absorbed without aborting.
+#[inline]
+pub fn add_tier_losses(n: u64) {
+    TIER_LOSSES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the tiered-staging counters.
+pub fn tier_snapshot() -> TierSnapshot {
+    TierSnapshot {
+        staged_bytes: TIER_STAGED_BYTES.load(Ordering::Relaxed),
+        drained_bytes: TIER_DRAINED_BYTES.load(Ordering::Relaxed),
+        tier_restores: TIER_RESTORES.load(Ordering::Relaxed),
+        tier_losses: TIER_LOSSES.load(Ordering::Relaxed),
     }
 }
 
@@ -208,5 +283,30 @@ mod tests {
         assert!(j.contains("\"hedged_jobs\": 2"), "{j}");
         assert!(j.contains("\"fenced_commits_refused\": 3"), "{j}");
         assert!(j.contains("\"degraded_generations\": 4"), "{j}");
+    }
+
+    #[test]
+    fn tier_counters_delta_and_json() {
+        let before = tier_snapshot();
+        add_tier_staged_bytes(100);
+        add_tier_drained_bytes(90);
+        add_tier_restores(1);
+        add_tier_losses(2);
+        let d = tier_snapshot().delta_since(&before);
+        assert!(d.staged_bytes >= 100);
+        assert!(d.drained_bytes >= 90);
+        assert!(d.tier_restores >= 1);
+        assert!(d.tier_losses >= 2);
+        let j = TierSnapshot {
+            staged_bytes: 100,
+            drained_bytes: 90,
+            tier_restores: 1,
+            tier_losses: 2,
+        }
+        .to_json();
+        assert!(j.contains("\"staged_bytes\": 100"), "{j}");
+        assert!(j.contains("\"drained_bytes\": 90"), "{j}");
+        assert!(j.contains("\"tier_restores\": 1"), "{j}");
+        assert!(j.contains("\"tier_losses\": 2"), "{j}");
     }
 }
