@@ -30,6 +30,12 @@ RBC=target/debug/rbio-check
 "$RBC" sweep --program p5 --seeds 256
 "$RBC" sweep --program p6 --seeds 16
 "$RBC" sweep --program p7 --seeds 16
+"$RBC" sweep --program p8a --seeds 16
+"$RBC" sweep --program p8b --seeds 16
+"$RBC" sweep --program p8c --seeds 16
+
+echo "== backend conformance under the emulated ring =="
+RBIO_IO_BACKEND=ring cargo test -q -p rbio --test backend_conformance
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -52,6 +58,13 @@ if [[ "$SLOW" == 1 ]]; then
   "$RBC" sweep --program p5 --seeds 4096
   "$RBC" sweep --program p6 --seeds 256
   "$RBC" sweep --program p7 --seeds 256
+  "$RBC" sweep --program p8a --seeds 256
+  "$RBC" sweep --program p8b --seeds 256
+  "$RBC" sweep --program p8c --seeds 256
+
+  echo "== backend conformance under both backends (release) =="
+  cargo test --release -q -p rbio --test backend_conformance
+  RBIO_IO_BACKEND=ring cargo test --release -q -p rbio --test backend_conformance
 
   echo "== multi_step campaign (depth 2) =="
   cargo run --release -p rbio-bench --bin multi_step -- 16384 20 10 2
@@ -66,6 +79,11 @@ if [[ "$SLOW" == 1 ]]; then
   cargo run --release -p rbio-bench --bin tiering -- 16384
   cp target/paper-results/tiering.json BENCH_tiering.json
   ls -l BENCH_tiering.json
+
+  echo "== backend ablation (threaded vs ring) =="
+  cargo run --release -p rbio-bench --bin backends
+  cp target/paper-results/backends.json BENCH_backends.json
+  ls -l BENCH_backends.json
 fi
 
 echo "ci: all checks passed"

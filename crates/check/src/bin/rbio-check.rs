@@ -1,11 +1,11 @@
 //! rbio-check CLI: sweep seeds or replay a pinned schedule.
 //!
 //! ```text
-//! rbio-check sweep  --program p1..p7|all [--seeds N] [--start S]
+//! rbio-check sweep  --program p1..p8c|all [--seeds N] [--start S]
 //!                   [--preempt] [--stop-first] [--revert-pr2] [--revert-pr3]
-//!                   [--revert-pr5]
-//! rbio-check replay --program p1..p7 --schedule "a,b,c,..."
-//!                   [--revert-pr2] [--revert-pr3] [--revert-pr5]
+//!                   [--revert-pr5] [--revert-pr7]
+//! rbio-check replay --program p1..p8c --schedule "a,b,c,..."
+//!                   [--revert-pr2] [--revert-pr3] [--revert-pr5] [--revert-pr7]
 //!                   [--expect-violation]
 //! ```
 //!
@@ -22,11 +22,11 @@ use rbio_check::{run_one, sweep, CheckReport, Policy, ProgramKind};
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n");
     eprintln!("usage:");
-    eprintln!("  rbio-check sweep  --program <p1..p7|all> [--seeds N] [--start S]");
+    eprintln!("  rbio-check sweep  --program <p1..p8c|all> [--seeds N] [--start S]");
     eprintln!("                    [--preempt] [--stop-first] [--revert-pr2] [--revert-pr3]");
-    eprintln!("                    [--revert-pr5]");
-    eprintln!("  rbio-check replay --program <p1..p7> --schedule \"name,name,...\"");
-    eprintln!("                    [--revert-pr2] [--revert-pr3] [--revert-pr5]");
+    eprintln!("                    [--revert-pr5] [--revert-pr7]");
+    eprintln!("  rbio-check replay --program <p1..p8c> --schedule \"name,name,...\"");
+    eprintln!("                    [--revert-pr2] [--revert-pr3] [--revert-pr5] [--revert-pr7]");
     eprintln!("                    [--expect-violation]");
     eprintln!();
     for k in ProgramKind::all() {
@@ -95,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--revert-pr5" => {
                 rbio::failover::REVERT_PR5_FENCE.store(true, Ordering::Relaxed);
+            }
+            "--revert-pr7" => {
+                rbio::backend::REVERT_PR7_EARLY_RECYCLE.store(true, Ordering::Relaxed);
             }
             other => return Err(format!("unknown flag '{other}'")),
         }

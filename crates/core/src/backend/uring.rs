@@ -1,0 +1,751 @@
+//! Real io_uring syscalls behind the `io-uring` cargo feature.
+//!
+//! [`UringBackend`] drives the kernel's submission/completion rings
+//! directly: one transient ring per write batch, `IORING_OP_WRITEV`
+//! SQEs linked with `IOSQE_IO_LINK` (execution stops at the first
+//! failure; later SQEs complete as `-ECANCELED`), a single
+//! `io_uring_enter` that submits the batch and waits for all its
+//! completions, and CQE-driven reaping that holds every op's buffers
+//! until its completion is consumed — the same contract the emulation
+//! ([`super::ring::RingBackend`]) enforces, with the same sched events,
+//! so a trace from either backend replays against the same shadow
+//! model.
+//!
+//! Two deliberate scope limits keep the syscall path auditable:
+//!
+//! * **Armed fault plans delegate to the emulation.** Fault injection
+//!   needs a per-attempt consult loop around each logical write; the
+//!   kernel cannot run our fault hooks mid-ring. Production runs have
+//!   unarmed plans and stay on the syscall path.
+//! * **Transient errors and short writes finish via `pwrite`.** A CQE
+//!   carrying `-EINTR`/`-EAGAIN` or a partial length is completed with
+//!   the blocking full-delivery loop (counted as a short-write retry)
+//!   rather than another ring round trip — correctness first, the win
+//!   is the batched submission of the common case.
+//!
+//! Containers commonly seccomp-block `io_uring_setup`, so
+//! [`kernel_supported`] probes once at startup and the backend factory
+//! falls back to the emulation when the probe fails.
+
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use rbio_profile::counters;
+
+use super::ring::{RingBackend, RingConfig};
+use super::{BatchOutcome, IoBackend, IoCtx, WriteOp};
+use crate::buf::Bytes;
+use crate::fault::{self, WriteError};
+use crate::sched;
+
+const IORING_OP_WRITEV: u8 = 2;
+const IOSQE_IO_LINK: u8 = 1 << 2;
+const IORING_ENTER_GETEVENTS: u32 = 1;
+const IORING_OFF_SQ_RING: usize = 0;
+const IORING_OFF_CQ_RING: usize = 0x0800_0000;
+const IORING_OFF_SQES: usize = 0x1000_0000;
+const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+const ECANCELED: i32 = 125;
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct SqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct CqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct UringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqringOffsets,
+    cq_off: CqringOffsets,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct RawSqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    rw_flags: u32,
+    user_data: u64,
+    pad: [u64; 3],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RawCqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+#[repr(C)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
+/// One live kernel ring (fd plus its three mappings), torn down on drop.
+struct KernelRing {
+    fd: i32,
+    sq_ring: *mut u8,
+    sq_ring_len: usize,
+    cq_ring: *mut u8,
+    cq_ring_len: usize,
+    sqes: *mut RawSqe,
+    sqes_len: usize,
+    single_mmap: bool,
+    p: UringParams,
+}
+
+// SAFETY: the ring is confined to one `run_writes` call on one thread.
+unsafe impl Send for KernelRing {}
+
+impl KernelRing {
+    fn new(entries: u32) -> io::Result<KernelRing> {
+        let mut p = UringParams::default();
+        let fd = sys::io_uring_setup(entries, &mut p);
+        if fd < 0 {
+            return Err(io::Error::from_raw_os_error(-fd));
+        }
+        let sq_ring_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+        let cq_ring_len =
+            p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<RawCqe>();
+        let single_mmap = p.features & IORING_FEAT_SINGLE_MMAP != 0;
+        let sq_map_len = if single_mmap {
+            sq_ring_len.max(cq_ring_len)
+        } else {
+            sq_ring_len
+        };
+        let sq_ring = sys::mmap_ring(fd, sq_map_len, IORING_OFF_SQ_RING);
+        if sq_ring.is_null() {
+            sys::close(fd);
+            return Err(io::Error::other("mmap of the SQ ring failed"));
+        }
+        let (cq_ring, cq_map_len) = if single_mmap {
+            (sq_ring, sq_map_len)
+        } else {
+            let m = sys::mmap_ring(fd, cq_ring_len, IORING_OFF_CQ_RING);
+            if m.is_null() {
+                // SAFETY: sq_ring is the live mapping created above.
+                unsafe { sys::munmap_ring(sq_ring, sq_map_len) };
+                sys::close(fd);
+                return Err(io::Error::other("mmap of the CQ ring failed"));
+            }
+            (m, cq_ring_len)
+        };
+        let sqes_len = p.sq_entries as usize * std::mem::size_of::<RawSqe>();
+        let sqes = sys::mmap_ring(fd, sqes_len, IORING_OFF_SQES) as *mut RawSqe;
+        if sqes.is_null() {
+            // SAFETY: both ring mappings above are live.
+            unsafe {
+                sys::munmap_ring(sq_ring, sq_map_len);
+                if !single_mmap {
+                    sys::munmap_ring(cq_ring, cq_map_len);
+                }
+            }
+            sys::close(fd);
+            return Err(io::Error::other("mmap of the SQE array failed"));
+        }
+        Ok(KernelRing {
+            fd,
+            sq_ring,
+            sq_ring_len: sq_map_len,
+            cq_ring,
+            cq_ring_len: cq_map_len,
+            sqes,
+            sqes_len,
+            single_mmap,
+            p,
+        })
+    }
+
+    /// An atomic view of a `u32` ring field at `off` from `base`.
+    ///
+    /// # Safety
+    /// `off` must come from this ring's kernel-filled offsets.
+    unsafe fn atomic(&self, base: *mut u8, off: u32) -> &AtomicU32 {
+        // SAFETY: the kernel aligned these fields; the mapping outlives
+        // the borrow (tied to &self).
+        unsafe { &*(base.add(off as usize) as *const AtomicU32) }
+    }
+
+    /// Queue `sqes` (≤ sq_entries) and submit them with one
+    /// `io_uring_enter`, waiting for `sqes.len()` completions.
+    fn submit_and_wait(&self, sqes: &[RawSqe]) -> io::Result<()> {
+        let mask = self.p.sq_entries - 1;
+        // SAFETY: offsets are kernel-provided for this mapping.
+        let (tail_a, array) = unsafe {
+            (
+                self.atomic(self.sq_ring, self.p.sq_off.tail),
+                self.sq_ring.add(self.p.sq_off.array as usize) as *mut u32,
+            )
+        };
+        let mut tail = tail_a.load(Ordering::Relaxed);
+        for sqe in sqes {
+            let idx = tail & mask;
+            // SAFETY: idx < sq_entries, inside both mapped arrays.
+            unsafe {
+                *self.sqes.add(idx as usize) = *sqe;
+                *array.add(idx as usize) = idx;
+            }
+            tail = tail.wrapping_add(1);
+        }
+        // Publish the new tail before entering the kernel.
+        tail_a.store(tail, Ordering::Release);
+        let want = sqes.len() as u32;
+        loop {
+            let ret = sys::io_uring_enter(self.fd, want, want, IORING_ENTER_GETEVENTS);
+            if ret >= 0 {
+                return Ok(());
+            }
+            if -ret != EINTR {
+                return Err(io::Error::from_raw_os_error(-ret));
+            }
+        }
+    }
+
+    /// Pop every available CQE.
+    fn reap_all(&self) -> Vec<RawCqe> {
+        // SAFETY: offsets are kernel-provided for this mapping.
+        let (head_a, tail_a, cqes) = unsafe {
+            (
+                self.atomic(self.cq_ring, self.p.cq_off.head),
+                self.atomic(self.cq_ring, self.p.cq_off.tail),
+                self.cq_ring.add(self.p.cq_off.cqes as usize) as *const RawCqe,
+            )
+        };
+        let mask = self.p.cq_entries - 1;
+        let mut head = head_a.load(Ordering::Relaxed);
+        let tail = tail_a.load(Ordering::Acquire);
+        let mut out = Vec::with_capacity(tail.wrapping_sub(head) as usize);
+        while head != tail {
+            // SAFETY: (head & mask) < cq_entries, inside the mapping.
+            out.push(unsafe { *cqes.add((head & mask) as usize) });
+            head = head.wrapping_add(1);
+        }
+        head_a.store(head, Ordering::Release);
+        out
+    }
+}
+
+impl Drop for KernelRing {
+    fn drop(&mut self) {
+        // SAFETY: these are the live mappings created in `new`.
+        unsafe {
+            sys::munmap_ring(self.sqes as *mut u8, self.sqes_len);
+            sys::munmap_ring(self.sq_ring, self.sq_ring_len);
+            if !self.single_mmap {
+                sys::munmap_ring(self.cq_ring, self.cq_ring_len);
+            }
+        }
+        sys::close(self.fd);
+    }
+}
+
+/// Whether this kernel (and seccomp policy) lets us set up an io_uring.
+/// Probed once per process.
+pub fn kernel_supported() -> bool {
+    static SUPPORTED: OnceLock<bool> = OnceLock::new();
+    *SUPPORTED.get_or_init(|| {
+        let mut p = UringParams::default();
+        let fd = sys::io_uring_setup(4, &mut p);
+        if fd >= 0 {
+            sys::close(fd);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// The real-syscall completion-queue backend.
+pub struct UringBackend {
+    cfg: RingConfig,
+    /// Armed fault plans need per-attempt hooks the kernel cannot run;
+    /// those batches run on the emulation with identical semantics.
+    fallback: RingBackend,
+}
+
+impl UringBackend {
+    /// A backend with explicit ring geometry.
+    pub fn with_config(cfg: RingConfig) -> Self {
+        UringBackend {
+            cfg,
+            fallback: RingBackend::with_config(cfg),
+        }
+    }
+}
+
+impl IoBackend for UringBackend {
+    fn name(&self) -> &'static str {
+        "ring-uring"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.cfg.batch.max(1)
+    }
+
+    fn run_writes(&self, ctx: &IoCtx<'_>, ops: Vec<WriteOp>) -> BatchOutcome {
+        if ctx.faults.is_armed() {
+            return self.fallback.run_writes(ctx, ops);
+        }
+        match self.run_ring(ctx, &ops) {
+            Ok(outcome) => outcome,
+            // Ring setup failed at runtime (fd limits, seccomp change):
+            // the batch still has to land — use the emulation.
+            Err(_) => self.fallback.run_writes(ctx, ops),
+        }
+    }
+
+    fn read_at(&self, file: &File, offset: u64, len: usize) -> io::Result<Bytes> {
+        super::mmapio::read_via_mmap(file, offset, len)
+    }
+
+    fn sync_file(&self, file: &File) -> io::Result<()> {
+        file.sync_all()
+    }
+}
+
+impl UringBackend {
+    fn run_ring(&self, ctx: &IoCtx<'_>, ops: &[WriteOp]) -> io::Result<BatchOutcome> {
+        let entries = (ops.len().max(1) as u32).next_power_of_two();
+        let ring = KernelRing::new(entries)?;
+        // iovec arrays must outlive the enter call; ops (and their
+        // Bytes) outlive the whole reap loop — ownership until reap.
+        let iovecs: Vec<Vec<IoVec>> = ops
+            .iter()
+            .map(|op| {
+                op.bufs
+                    .iter()
+                    .map(|b| IoVec {
+                        base: b.as_ref().as_ptr(),
+                        len: b.len(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let sqes: Vec<RawSqe> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| RawSqe {
+                opcode: IORING_OP_WRITEV,
+                // Linked chain: a failure cancels every later op.
+                flags: if i + 1 < ops.len() { IOSQE_IO_LINK } else { 0 },
+                fd: op.file.as_raw_fd(),
+                off: op.offset,
+                addr: iovecs[i].as_ptr() as u64,
+                len: iovecs[i].len() as u32,
+                user_data: i as u64 + 1,
+                ..RawSqe::default()
+            })
+            .collect();
+        for sqe in &sqes {
+            sched::emit(|| sched::Event::SubmitQueued {
+                wid: ctx.wid,
+                udata: sqe.user_data,
+                hash: 0,
+            });
+        }
+        ring.submit_and_wait(&sqes)?;
+        sched::emit(|| sched::Event::SubmitBatched {
+            wid: ctx.wid,
+            count: sqes.len(),
+        });
+
+        let mut error: Option<(usize, WriteError)> = None;
+        let mut reaped = 0usize;
+        while reaped < ops.len() {
+            let cqes = ring.reap_all();
+            if cqes.is_empty() {
+                // Completions may trail the enter return; collect them.
+                let ret = sys::io_uring_enter(ring.fd, 0, 1, IORING_ENTER_GETEVENTS);
+                if ret < 0 && -ret != EINTR {
+                    return Err(io::Error::from_raw_os_error(-ret));
+                }
+                continue;
+            }
+            for cqe in cqes {
+                reaped += 1;
+                let i = (cqe.user_data - 1) as usize;
+                let op = &ops[i];
+                sched::emit(|| sched::Event::CompletionReaped {
+                    wid: ctx.wid,
+                    udata: cqe.user_data,
+                    hash: 0,
+                    ok: cqe.res >= 0,
+                });
+                let expected = op.len();
+                if cqe.res < 0 {
+                    let err = -cqe.res;
+                    if err == ECANCELED {
+                        continue;
+                    }
+                    if err == EINTR || err == EAGAIN {
+                        // Transient: finish with the blocking loop.
+                        if let Err(e) = finish_op(op, 0) {
+                            set_first(&mut error, i, e);
+                        }
+                        continue;
+                    }
+                    set_first(
+                        &mut error,
+                        i,
+                        WriteError::Io(io::Error::from_raw_os_error(err)),
+                    );
+                } else if (cqe.res as u64) < expected {
+                    let written = cqe.res as u64;
+                    sched::emit(|| sched::Event::ShortWriteResubmit {
+                        wid: ctx.wid,
+                        udata: cqe.user_data,
+                        written,
+                        expected,
+                    });
+                    counters::add_short_write_retries(1);
+                    if let Err(e) = finish_op(op, written) {
+                        set_first(&mut error, i, e);
+                    }
+                }
+            }
+        }
+        Ok(BatchOutcome { retries: 0, error })
+    }
+}
+
+fn set_first(error: &mut Option<(usize, WriteError)>, i: usize, e: WriteError) {
+    let earlier = match error {
+        Some((j, _)) => i < *j,
+        None => true,
+    };
+    if earlier {
+        *error = Some((i, e));
+    }
+}
+
+/// Deliver the remainder of `op` past `already` bytes with the blocking
+/// full-delivery loop.
+fn finish_op(op: &WriteOp, already: u64) -> Result<(), WriteError> {
+    let mut done = 0u64;
+    for b in &op.bufs {
+        let blen = b.len() as u64;
+        if done + blen > already {
+            let skip = already.saturating_sub(done) as usize;
+            fault::write_full_at(&op.file, op.offset + done, b.as_ref(), skip)?;
+        }
+        done += blen;
+    }
+    Ok(())
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::UringParams;
+
+    /// `io_uring_setup(2)`: returns the ring fd or a negative errno.
+    pub fn io_uring_setup(entries: u32, p: &mut UringParams) -> i32 {
+        // SAFETY: `p` is a live, writable params struct of the layout
+        // the kernel expects.
+        unsafe { syscall2(425, entries as usize, p as *mut UringParams as usize) as i32 }
+    }
+
+    /// `io_uring_enter(2)`: returns submitted count or a negative errno.
+    pub fn io_uring_enter(fd: i32, to_submit: u32, min_complete: u32, flags: u32) -> i32 {
+        // SAFETY: no userspace memory is passed (sig mask is null).
+        unsafe {
+            syscall6(
+                426,
+                fd as usize,
+                to_submit as usize,
+                min_complete as usize,
+                flags as usize,
+                0,
+                0,
+            ) as i32
+        }
+    }
+
+    /// Map a ring region of the io_uring fd.
+    pub fn mmap_ring(fd: i32, len: usize, off: usize) -> *mut u8 {
+        const PROT_RW: usize = 0x1 | 0x2;
+        const MAP_SHARED_POPULATE: usize = 0x01 | 0x8000;
+        // SAFETY: a fresh shared mapping of the ring fd at a
+        // kernel-chosen address aliases nothing in this process.
+        let ret = unsafe {
+            syscall6(
+                sys_mmap_nr(),
+                0,
+                len,
+                PROT_RW,
+                MAP_SHARED_POPULATE,
+                fd as usize,
+                off,
+            )
+        };
+        if (-4095..0).contains(&(ret as isize)) {
+            std::ptr::null_mut()
+        } else {
+            ret as *mut u8
+        }
+    }
+
+    /// Unmap a ring mapping.
+    ///
+    /// # Safety
+    /// `ptr` must be a live mapping of exactly `len` bytes.
+    pub unsafe fn munmap_ring(ptr: *mut u8, len: usize) {
+        // SAFETY: caller contract above.
+        unsafe {
+            syscall2(sys_munmap_nr(), ptr as usize, len);
+        }
+    }
+
+    /// Close an fd this module opened.
+    pub fn close(fd: i32) {
+        // SAFETY: closing an owned fd touches no userspace memory.
+        unsafe {
+            syscall2(sys_close_nr(), fd as usize, 0);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const fn sys_mmap_nr() -> usize {
+        9
+    }
+    #[cfg(target_arch = "x86_64")]
+    const fn sys_munmap_nr() -> usize {
+        11
+    }
+    #[cfg(target_arch = "x86_64")]
+    const fn sys_close_nr() -> usize {
+        3
+    }
+    #[cfg(target_arch = "aarch64")]
+    const fn sys_mmap_nr() -> usize {
+        222
+    }
+    #[cfg(target_arch = "aarch64")]
+    const fn sys_munmap_nr() -> usize {
+        215
+    }
+    #[cfg(target_arch = "aarch64")]
+    const fn sys_close_nr() -> usize {
+        57
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall2(nr: usize, a1: usize, a2: usize) -> isize {
+        let ret;
+        // SAFETY: args passed per the x86_64 syscall ABI; the callee's
+        // memory contracts are the callers' (documented above).
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret;
+        // SAFETY: as `syscall2`, with all six ABI registers.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                in("r9") a6,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall2(nr: usize, a1: usize, a2: usize) -> isize {
+        let ret;
+        // SAFETY: args passed per the aarch64 syscall ABI.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x8") nr,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret;
+        // SAFETY: as `syscall2`, with all six ABI registers.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                in("x4") a5,
+                in("x5") a6,
+                in("x8") nr,
+                options(nostack),
+            );
+        }
+        ret
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::UringParams;
+
+    pub fn io_uring_setup(_entries: u32, _p: &mut UringParams) -> i32 {
+        -38 // ENOSYS
+    }
+    pub fn io_uring_enter(_fd: i32, _s: u32, _c: u32, _f: u32) -> i32 {
+        -38
+    }
+    pub fn mmap_ring(_fd: i32, _len: usize, _off: usize) -> *mut u8 {
+        std::ptr::null_mut()
+    }
+    /// Never called on this platform.
+    ///
+    /// # Safety
+    /// Never called (nothing maps), but keeps the call site uniform.
+    pub unsafe fn munmap_ring(_ptr: *mut u8, _len: usize) {}
+    pub fn close(_fd: i32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn uring_or_fallback_round_trips() {
+        let dir = std::env::temp_dir().join(format!("rbio-uring-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let f = Arc::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .read(true)
+                .write(true)
+                .open(dir.join("f"))
+                .expect("open"),
+        );
+        let faults = FaultPlan::none();
+        let ctx = IoCtx {
+            rank: 0,
+            wid: 0,
+            faults: &faults,
+            write_retries: 0,
+            retry_backoff: Duration::ZERO,
+        };
+        let b = UringBackend::with_config(RingConfig::default());
+        let out = b.run_writes(
+            &ctx,
+            vec![
+                WriteOp {
+                    file: Arc::clone(&f),
+                    offset: 0,
+                    bufs: vec![Bytes::from_vec(vec![1; 8])],
+                },
+                WriteOp {
+                    file: Arc::clone(&f),
+                    offset: 8,
+                    bufs: vec![Bytes::from_vec(vec![2; 4]), Bytes::from_vec(vec![3; 4])],
+                },
+            ],
+        );
+        assert!(
+            out.error.is_none(),
+            "kernel_supported={}",
+            kernel_supported()
+        );
+        let got = b.read_at(&f, 0, 16).expect("read");
+        assert_eq!(
+            got.as_ref(),
+            &[1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

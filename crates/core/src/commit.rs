@@ -390,6 +390,10 @@ pub fn commit_text_with_faults(
             io::ErrorKind::TimedOut,
             format!("metadata write retries exhausted after {waited:?}"),
         ),
+        fault::WriteError::ShortWrite { written, expected } => io::Error::new(
+            io::ErrorKind::WriteZero,
+            format!("metadata write stalled at {written}/{expected} bytes"),
+        ),
     })?;
     drop(f);
     if faults.on_commit(rank) {

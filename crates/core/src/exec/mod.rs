@@ -21,6 +21,7 @@ use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
 use rbio_plan::{DataRef, Op, Program};
 use rbio_profile::counters;
 
+use crate::backend::BackendKind;
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
 use crate::failover::{FailoverDirector, FailoverPolicy, WriterHealth};
@@ -136,6 +137,11 @@ pub struct ExecConfig {
     /// seals the staged file for the background drain engine
     /// (see [`crate::tier`]). Non-atomic files still hit the PFS.
     pub stage: Option<Arc<crate::tier::TierStage>>,
+    /// I/O backend driving the background flush pipeline's writes
+    /// (ignored at `pipeline_depth` 1, where the serial path issues its
+    /// own blocking writes). [`BackendKind::Default`] honors
+    /// `RBIO_IO_BACKEND`.
+    pub io_backend: BackendKind,
 }
 
 impl ExecConfig {
@@ -154,6 +160,7 @@ impl ExecConfig {
             copy_mode: CopyMode::ZeroCopy,
             failover: FailoverPolicy::disabled(),
             stage: None,
+            io_backend: BackendKind::Default,
         }
     }
 
@@ -190,6 +197,12 @@ impl ExecConfig {
     /// Stage atomic files into the node-local tier instead of the PFS.
     pub fn stage(mut self, stage: Arc<crate::tier::TierStage>) -> Self {
         self.stage = Some(stage);
+        self
+    }
+
+    /// Select the pipeline's I/O backend.
+    pub fn io_backend(mut self, kind: BackendKind) -> Self {
+        self.io_backend = kind;
         self
     }
 }
@@ -764,6 +777,10 @@ impl RankCtx<'_> {
                 io::ErrorKind::TimedOut,
                 format!("write retries exhausted their deadline after {waited:?}"),
             )),
+            Err(fault::WriteError::ShortWrite { written, expected }) => Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("short write stalled at {written}/{expected} bytes"),
+            )),
         }
     }
 
@@ -893,6 +910,10 @@ impl RankCtx<'_> {
             Err(fault::WriteError::DeadlineExceeded { waited }) => Err(io::Error::new(
                 io::ErrorKind::TimedOut,
                 format!("write retries exhausted their deadline after {waited:?}"),
+            )),
+            Err(fault::WriteError::ShortWrite { written, expected }) => Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("short write stalled at {written}/{expected} bytes"),
             )),
         }
     }
@@ -1169,6 +1190,12 @@ impl RankCtx<'_> {
                                 format!("write retries exhausted their deadline after {waited:?}"),
                             ))
                         }
+                        Err(fault::WriteError::ShortWrite { written, expected }) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WriteZero,
+                                format!("short write stalled at {written}/{expected} bytes"),
+                            ))
+                        }
                     }
                 }
                 Op::ReadAt {
@@ -1426,6 +1453,7 @@ pub fn execute(
                             hedge_after: director
                                 .and_then(|d| d.enabled().then(|| d.policy().straggler_after)),
                             beat: Some(Arc::clone(&beat)),
+                            backend: Some(crate::backend::resolve(cfg.io_backend)),
                         },
                     )
                 });

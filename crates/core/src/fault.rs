@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rbio_plan::Rank;
+use rbio_profile::counters;
 
 use crate::sched;
 
@@ -39,6 +40,14 @@ pub enum WriteFault {
     Kill,
     /// This attempt fails with a transient I/O error; retrying may succeed.
     Error,
+    /// The device accepts only the first `cap` bytes of this write; the
+    /// caller must deliver the remainder itself (short-write path). The
+    /// plan has already accounted the *full* length — the logical write
+    /// will eventually deliver every byte.
+    Short {
+        /// Bytes the device accepts before cutting the write short.
+        cap: u64,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -49,6 +58,9 @@ struct Inner {
     written: HashMap<Rank, u64>,
     /// rank → (failing write index, remaining failures) keyed per rank.
     fail_write: HashMap<Rank, (u64, u32)>,
+    /// rank → (write index, byte cap): that write is cut short at `cap`
+    /// bytes, one-shot.
+    short_write: HashMap<Rank, (u64, u64)>,
     /// rank → index of the next `write_at` (attempt 0 only).
     write_index: HashMap<Rank, u64>,
     /// (src, dst) → message index to drop on that channel.
@@ -98,6 +110,21 @@ impl FaultPlan {
             .expect("fault plan lock")
             .fail_write
             .insert(rank, (nth, times));
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Cut `rank`'s `nth` write (0-based) short: the device accepts only
+    /// the first `cap` bytes, and the writer must deliver the remainder
+    /// itself (a resubmit in the ring backend, a continuation loop in the
+    /// threaded one). One-shot. Models the partial `pwrite` returns that
+    /// striped file systems produce near stripe boundaries.
+    pub fn short_write(self, rank: Rank, nth: u64, cap: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .short_write
+            .insert(rank, (nth, cap));
         self.armed.store(true, Ordering::Release);
         self
     }
@@ -226,6 +253,16 @@ impl FaultPlan {
                 return Some(WriteFault::Error);
             }
         }
+        if let Some(&(nth, cap)) = g.short_write.get(&rank) {
+            if idx == nth && attempt == 0 {
+                // The write proceeds (short), so the full length is
+                // accounted now: the caller owes the remainder and the
+                // plan never sees this logical write again.
+                g.short_write.remove(&rank);
+                *g.written.entry(rank).or_insert(0) += bytes;
+                return Some(WriteFault::Short { cap });
+            }
+        }
         *g.written.entry(rank).or_insert(0) += bytes;
         None
     }
@@ -270,6 +307,16 @@ pub enum WriteError {
     DeadlineExceeded {
         /// How long the write (including retries) had been running.
         waited: Duration,
+    },
+    /// A partial write could not be completed: the device accepted a
+    /// prefix and then stopped making progress (or failed hard). Typed so
+    /// callers can report exactly how much of the payload landed instead
+    /// of folding it into a generic retry error.
+    ShortWrite {
+        /// Bytes that reached the device before progress stopped.
+        written: u64,
+        /// Bytes the logical write was supposed to deliver.
+        expected: u64,
     },
 }
 
@@ -385,15 +432,149 @@ pub fn write_at_with_retry(
                 clock.backoff(&mut backoff, rank, offset, attempt)?;
                 continue;
             }
+            Some(WriteFault::Short { cap }) => {
+                // The device takes `cap` bytes now; the remainder is a
+                // continuation of the *same* logical write — counted as a
+                // short-write retry, never as a hedge or retry attempt.
+                let cap = (cap as usize).min(data.len());
+                file.write_all_at(&data[..cap], offset)
+                    .map_err(WriteError::Io)?;
+                if cap < data.len() {
+                    counters::add_short_write_retries(1);
+                    write_full_at(file, offset, data, cap)?;
+                }
+                return Ok(attempt);
+            }
             None => {}
         }
-        match file.write_all_at(data, offset) {
+        match write_full_at(file, offset, data, 0) {
             Ok(()) => return Ok(attempt),
-            Err(e) if attempt < max_retries && is_transient(&e) => {
+            Err(WriteError::Io(e)) if attempt < max_retries && is_transient(&e) => {
                 attempt += 1;
                 clock.backoff(&mut backoff, rank, offset, attempt)?;
             }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Deliver `data[already..]` at `offset + already`, looping positional
+/// writes until every byte lands. Zero progress — or a hard error after
+/// partial progress — surfaces a typed [`WriteError::ShortWrite`] with
+/// the exact written/expected byte counts rather than a generic error.
+/// Each extra syscall past the first counts a short-write retry.
+pub fn write_full_at(
+    file: &std::fs::File,
+    offset: u64,
+    data: &[u8],
+    already: usize,
+) -> Result<(), WriteError> {
+    let expected = data.len() as u64;
+    let mut written = already;
+    let mut continued = false;
+    while written < data.len() {
+        if continued {
+            counters::add_short_write_retries(1);
+        }
+        match file.write_at(&data[written..], offset + written as u64) {
+            Ok(0) => {
+                return Err(WriteError::ShortWrite {
+                    written: written as u64,
+                    expected,
+                })
+            }
+            Ok(n) => {
+                written += n;
+                continued = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if written > already => {
+                // A prefix landed and then the device failed hard: report
+                // how far the write got, not just the errno.
+                let _ = e;
+                return Err(WriteError::ShortWrite {
+                    written: written as u64,
+                    expected,
+                });
+            }
             Err(e) => return Err(WriteError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a capped (ring-submitted) write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CappedWrite {
+    /// Every byte landed.
+    Full {
+        /// Retried attempts consumed by transient errors.
+        attempts: u32,
+    },
+    /// Only a prefix landed (injected short write); the submitter owes a
+    /// resubmission of `data[written..]`.
+    Short {
+        /// Bytes delivered before the cut.
+        written: u64,
+        /// Retried attempts consumed before the short completion.
+        attempts: u32,
+    },
+}
+
+/// Ring-backend variant of [`write_at_with_retry`]: identical fault
+/// consultation and retry policy, but an injected [`WriteFault::Short`]
+/// delivers only the capped prefix and *returns* — completing the
+/// remainder is the submitter's job (a resubmitted SQE at reap time),
+/// which is exactly how a real completion queue surfaces partial writes.
+pub fn write_at_capped(
+    file: &std::fs::File,
+    rank: Rank,
+    offset: u64,
+    data: &[u8],
+    faults: &FaultPlan,
+    max_retries: u32,
+    initial_backoff: Duration,
+) -> Result<CappedWrite, WriteError> {
+    if let Some(d) = faults.write_delay(rank) {
+        if !sched::registered() {
+            std::thread::sleep(d);
+        }
+    }
+    let mut attempt = 0u32;
+    let mut backoff = initial_backoff;
+    let clock = RetryClock::new(max_retries, initial_backoff);
+    loop {
+        match faults.on_write(rank, data.len() as u64, attempt) {
+            Some(WriteFault::Kill) => return Err(WriteError::Killed),
+            Some(WriteFault::Error) => {
+                if attempt >= max_retries {
+                    return Err(WriteError::Io(io::Error::from_raw_os_error(5)));
+                }
+                attempt += 1;
+                clock.backoff(&mut backoff, rank, offset, attempt)?;
+                continue;
+            }
+            Some(WriteFault::Short { cap }) => {
+                let cap = (cap as usize).min(data.len());
+                file.write_all_at(&data[..cap], offset)
+                    .map_err(WriteError::Io)?;
+                if cap < data.len() {
+                    return Ok(CappedWrite::Short {
+                        written: cap as u64,
+                        attempts: attempt,
+                    });
+                }
+                return Ok(CappedWrite::Full { attempts: attempt });
+            }
+            None => {}
+        }
+        match write_full_at(file, offset, data, 0) {
+            Ok(()) => return Ok(CappedWrite::Full { attempts: attempt }),
+            Err(WriteError::Io(e)) if attempt < max_retries && is_transient(&e) => {
+                attempt += 1;
+                clock.backoff(&mut backoff, rank, offset, attempt)?;
+            }
+            Err(e) => return Err(e),
         }
     }
 }
@@ -436,6 +617,10 @@ pub fn write_vectored_at(
                 clock.backoff(&mut backoff, rank, offset, attempt)?;
                 continue;
             }
+            // Short injection targets plain writes; a coalesced vectored
+            // batch (only built when the plan is unarmed) delivers in
+            // full. Bytes are already accounted.
+            Some(WriteFault::Short { .. }) => {}
             None => {}
         }
         match write_vectored_all(file, offset, bufs) {

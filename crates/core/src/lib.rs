@@ -43,6 +43,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod backend;
 pub mod buf;
 pub mod commit;
 pub mod exec;

@@ -31,7 +31,6 @@
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io;
-use std::os::unix::fs::FileExt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
@@ -40,6 +39,7 @@ use std::time::Duration;
 use rbio_plan::Rank;
 use rbio_profile::counters;
 
+use crate::backend::{self, IoBackend, IoCtx, WriteOp};
 use crate::buf::Bytes;
 use crate::commit;
 use crate::fault::{self, FaultPlan};
@@ -168,12 +168,20 @@ pub struct WriterTuning {
     /// failover monitor does not declare a rank dead while its queue is
     /// merely deep.
     pub beat: Option<Arc<AtomicU64>>,
+    /// I/O backend executing this writer's write jobs. `None` uses the
+    /// process default ([`backend::resolve`] of
+    /// [`backend::BackendKind::Default`], i.e. `RBIO_IO_BACKEND` or the
+    /// threaded baseline). Tests and check programs inject custom ring
+    /// geometries here.
+    pub backend: Option<Arc<dyn IoBackend>>,
 }
 
 /// Immutable per-writer execution context, set at registration.
 #[derive(Clone)]
 struct WriterCtx {
     rank: Rank,
+    /// Pool slot index (set once the slot is known in `register`).
+    wid: usize,
     faults: FaultPlan,
     write_retries: u32,
     retry_backoff: Duration,
@@ -181,6 +189,20 @@ struct WriterCtx {
     jitter_seed: Option<u64>,
     /// Liveness heartbeat (see [`WriterTuning::beat`]).
     beat: Option<Arc<AtomicU64>>,
+    /// Submission/completion engine for write jobs.
+    backend: Arc<dyn IoBackend>,
+}
+
+impl WriterCtx {
+    fn io_ctx(&self) -> IoCtx<'_> {
+        IoCtx {
+            rank: self.rank,
+            wid: self.wid,
+            faults: &self.faults,
+            write_retries: self.write_retries,
+            retry_backoff: self.retry_backoff,
+        }
+    }
 }
 
 /// Snapshot of the write job a pool thread is currently executing for a
@@ -365,11 +387,15 @@ impl FlushPool {
         assert!(depth >= 1, "pipeline depth must be at least 1");
         let ctx = WriterCtx {
             rank,
+            wid: 0, // patched below once the slot is known
             faults,
             write_retries: tuning.write_retries,
             retry_backoff: tuning.retry_backoff,
             jitter_seed: tuning.jitter_seed,
             beat: tuning.beat,
+            backend: tuning
+                .backend
+                .unwrap_or_else(|| backend::resolve(backend::BackendKind::Default)),
         };
         let state = WriterState {
             ctx,
@@ -395,6 +421,7 @@ impl FlushPool {
                 g.writers.len() - 1
             }
         };
+        g.writers[wid].ctx.wid = wid;
         sched::emit(|| sched::Event::WriterRegistered { wid, rank });
         WriterHandle {
             shared: Arc::clone(&self.shared),
@@ -512,7 +539,10 @@ impl WriterHandle {
         for b in &bufs {
             // Best-effort: the original job is still running and its
             // error handling is authoritative; a hedge failure is noise.
-            if file.write_all_at(b, off).is_err() {
+            // The full-delivery loop counts any short-write continuation
+            // it needs as a short-write retry — distinct from the one
+            // hedge counted below.
+            if fault::write_full_at(&file, off, b, 0).is_err() {
                 break;
             }
             off += b.len() as u64;
@@ -562,6 +592,58 @@ fn worker_loop(shared: &Shared) {
             };
             let skip = w.error.is_some() || !w.occupied;
             let ctx = w.ctx.clone();
+            // A run of consecutive write jobs can go to the backend as
+            // one submitted batch — except when every job needs per-job
+            // treatment: skipping (latched error) or hedging (the hedge
+            // snapshot tracks exactly one running job).
+            let max_batch = if skip || w.hedge_after.is_some() {
+                1
+            } else {
+                ctx.backend.max_batch().max(1)
+            };
+            let is_write =
+                |j: &FlushJob| matches!(j, FlushJob::Write { .. } | FlushJob::WriteV { .. });
+            if max_batch > 1 && is_write(&job) {
+                let mut jobs = vec![job];
+                while jobs.len() < max_batch && w.queue.front().is_some_and(is_write) {
+                    jobs.push(w.queue.pop_front().expect("front checked"));
+                }
+                let base_seq = w.seq;
+                w.seq += jobs.len() as u64;
+                for (k, j) in jobs.iter().enumerate() {
+                    let seq = base_seq + k as u64;
+                    sched::emit(|| sched::Event::JobStart {
+                        wid,
+                        seq,
+                        kind: j.kind(),
+                        hash: j.fingerprint(),
+                        skipped: false,
+                    });
+                }
+                drop(g);
+                sched::yield_now(Point::JobRun);
+                let n = jobs.len();
+                let outcome = run_write_batch(&ctx, base_seq, jobs);
+                g = shared.inner.lock().expect("pool lock");
+                let w = &mut g.writers[wid];
+                w.retries += u64::from(outcome.retries);
+                let err_idx = outcome.error.as_ref().map(|(i, _)| *i);
+                if let Some((_, e)) = outcome.error {
+                    if w.error.is_none() {
+                        w.error = Some(write_error(ctx.rank, e));
+                        sched::emit(|| sched::Event::ErrorLatched { wid });
+                    }
+                }
+                for k in 0..n {
+                    // Linked-op semantics: the failing op and everything
+                    // after it (canceled, never executed) end not-ok.
+                    let ok = err_idx.is_none_or(|i| k < i);
+                    sched::emit(|| sched::Event::JobEnd { wid, ok });
+                }
+                w.in_flight -= n;
+                shared.done.notify_all();
+                continue;
+            }
             let seq = w.seq;
             w.seq += 1;
             if !skip && w.hedge_after.is_some() {
@@ -632,7 +714,54 @@ fn write_error(rank: Rank, e: fault::WriteError) -> PipelineError {
             io::ErrorKind::TimedOut,
             format!("write retries exhausted their deadline after {waited:?}"),
         )),
+        fault::WriteError::ShortWrite { written, expected } => PipelineError::Io(io::Error::new(
+            io::ErrorKind::WriteZero,
+            format!("short write stalled at {written}/{expected} bytes"),
+        )),
     }
+}
+
+/// Fold a backend batch outcome into the single-job result shape.
+fn batch_result(out: backend::BatchOutcome, rank: Rank) -> Result<u32, PipelineError> {
+    match out.error {
+        Some((_, e)) => Err(write_error(rank, e)),
+        None => Ok(out.retries),
+    }
+}
+
+/// Execute a run of write jobs as one backend batch. Jitter applies once
+/// per batch; the liveness beat advances `2·n` total, matching the
+/// singleton path's heartbeat rate.
+fn run_write_batch(ctx: &WriterCtx, base_seq: u64, jobs: Vec<FlushJob>) -> backend::BatchOutcome {
+    let n = jobs.len() as u64;
+    if let Some(b) = &ctx.beat {
+        b.fetch_add(n, Ordering::Relaxed);
+    }
+    if let Some(seed) = ctx.jitter_seed {
+        if !sched::controlled() {
+            let h = splitmix64(seed ^ (u64::from(ctx.rank) << 32) ^ base_seq);
+            std::thread::sleep(Duration::from_micros(h % 200));
+        }
+    }
+    let ops: Vec<WriteOp> = jobs
+        .into_iter()
+        .map(|j| match j {
+            FlushJob::Write { file, offset, data } => WriteOp {
+                file,
+                offset,
+                bufs: vec![data],
+            },
+            FlushJob::WriteV { file, offset, bufs } => WriteOp { file, offset, bufs },
+            FlushJob::Close { .. } | FlushJob::Commit { .. } => {
+                unreachable!("batches contain only write jobs")
+            }
+        })
+        .collect();
+    let out = ctx.backend.run_writes(&ctx.io_ctx(), ops);
+    if let Some(b) = &ctx.beat {
+        b.fetch_add(n, Ordering::Relaxed);
+    }
+    out
 }
 
 fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineError> {
@@ -648,32 +777,25 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
         }
     }
     let res = match job {
-        FlushJob::Write { file, offset, data } => fault::write_at_with_retry(
-            &file,
+        FlushJob::Write { file, offset, data } => batch_result(
+            ctx.backend.run_writes(
+                &ctx.io_ctx(),
+                vec![WriteOp {
+                    file,
+                    offset,
+                    bufs: vec![data],
+                }],
+            ),
             ctx.rank,
-            offset,
-            &data,
-            &ctx.faults,
-            ctx.write_retries,
-            ctx.retry_backoff,
-        )
-        .map_err(|e| write_error(ctx.rank, e)),
-        FlushJob::WriteV { file, offset, bufs } => {
-            let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_ref()).collect();
-            fault::write_vectored_at(
-                &file,
-                ctx.rank,
-                offset,
-                &slices,
-                &ctx.faults,
-                ctx.write_retries,
-                ctx.retry_backoff,
-            )
-            .map_err(|e| write_error(ctx.rank, e))
-        }
+        ),
+        FlushJob::WriteV { file, offset, bufs } => batch_result(
+            ctx.backend
+                .run_writes(&ctx.io_ctx(), vec![WriteOp { file, offset, bufs }]),
+            ctx.rank,
+        ),
         FlushJob::Close { file, fsync } => {
             if fsync {
-                file.sync_all().map_err(PipelineError::Io)?;
+                ctx.backend.sync_file(&file).map_err(PipelineError::Io)?;
             }
             drop(file);
             Ok(0)
@@ -710,6 +832,7 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
 mod tests {
     use super::*;
     use std::io::Read;
+    use std::os::unix::fs::FileExt;
 
     fn tmpdir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("rbio-pipe-{name}-{}", std::process::id()));

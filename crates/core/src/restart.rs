@@ -183,7 +183,16 @@ fn extract_file(
     header: &FileHeader,
 ) -> Result<Vec<Vec<Bytes>>, RestartError> {
     let path = dir.join(rel);
-    let bytes = Bytes::from_vec(std::fs::read(&path)?);
+    // Whole-file image read goes through the I/O backend so restart can
+    // use mmap-backed reads where the platform supports them (and plain
+    // pread everywhere else).
+    let file = std::fs::File::open(&path)?;
+    let size = file.metadata()?.len();
+    let bytes = crate::backend::resolve(crate::backend::BackendKind::Default).read_at(
+        &file,
+        0,
+        size as usize,
+    )?;
     let actual = bytes.len() as u64;
     if actual < header.expected_file_size() {
         // Shorter than its own header promises: a crash truncated the

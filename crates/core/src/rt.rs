@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use rbio_plan::{DataRef, Op, Program};
 use rbio_profile::counters;
 
+use crate::backend::BackendKind;
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
 use crate::exec::{src_len, write_run_len, write_src, CHECK_RECV_POLL_BUDGET};
@@ -383,6 +384,9 @@ pub struct RtConfig {
     /// stage instead of the filesystem — see
     /// [`crate::exec::ExecConfig::stage`].
     pub stage: Option<Arc<crate::tier::TierStage>>,
+    /// I/O backend for the background flush pipeline — see
+    /// [`crate::exec::ExecConfig::io_backend`].
+    pub io_backend: BackendKind,
 }
 
 impl RtConfig {
@@ -398,6 +402,7 @@ impl RtConfig {
             pipeline_jitter: None,
             copy_mode: CopyMode::ZeroCopy,
             stage: None,
+            io_backend: BackendKind::Default,
         }
     }
 
@@ -428,6 +433,12 @@ impl RtConfig {
     /// Stage atomic files into the node-local tier instead of the PFS.
     pub fn stage(mut self, stage: Arc<crate::tier::TierStage>) -> Self {
         self.stage = Some(stage);
+        self
+    }
+
+    /// Select the pipeline's I/O backend.
+    pub fn io_backend(mut self, kind: BackendKind) -> Self {
+        self.io_backend = kind;
         self
     }
 }
@@ -487,6 +498,7 @@ pub fn checkpoint_rank_with(
                 write_retries: cfg.write_retries,
                 retry_backoff: cfg.retry_backoff,
                 jitter_seed: cfg.pipeline_jitter,
+                backend: Some(crate::backend::resolve(cfg.io_backend)),
                 ..WriterTuning::default()
             },
         )
@@ -510,6 +522,13 @@ pub fn checkpoint_rank_with(
             source: io::Error::new(
                 io::ErrorKind::TimedOut,
                 format!("write retries exhausted their deadline after {waited:?}"),
+            ),
+        },
+        fault::WriteError::ShortWrite { written, expected } => RtError::Io {
+            rank,
+            source: io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("short write stalled at {written}/{expected} bytes"),
             ),
         },
     };

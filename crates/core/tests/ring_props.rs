@@ -1,0 +1,144 @@
+//! Property tests for the portable ring-emulation core: for arbitrary
+//! push/submit/reap sequences, the ring must keep its in-flight depth
+//! bound, execute in FIFO order with link-break cancelation, and
+//! deliver every completion exactly once.
+
+use proptest::prelude::*;
+
+use rbio::backend::ring::{RingCore, RingFull};
+
+/// One driver step against the ring.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Try to push the next op (may be refused at the depth bound).
+    Push,
+    /// Execute everything queued; the payload value `fail_on` (if any)
+    /// breaks the link.
+    Submit,
+    /// Deliver one completion (may be a no-op on an empty CQ).
+    Reap,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Step::Push), Just(Step::Submit), Just(Step::Reap)],
+        1..80,
+    )
+}
+
+proptest! {
+    /// Pushed-but-unreaped ops never exceed the configured depth, and a
+    /// push at the bound is refused (not dropped, not queued).
+    #[test]
+    fn in_flight_never_exceeds_depth(
+        depth in 1usize..9,
+        seed in 0u64..1000,
+        script in steps(),
+    ) {
+        let mut core: RingCore<u32, u32> = RingCore::new(depth, seed);
+        let mut next = 0u32;
+        for step in script {
+            match step {
+                Step::Push => match core.push(next) {
+                    Ok(_) => next += 1,
+                    Err(RingFull) => prop_assert_eq!(core.in_flight(), depth),
+                },
+                Step::Submit => {
+                    core.submit(|_, v| (*v, true), |_, _| 0);
+                }
+                Step::Reap => {
+                    core.reap();
+                }
+            }
+            prop_assert!(core.in_flight() <= depth);
+        }
+        prop_assert!(core.high_water() <= depth);
+    }
+
+    /// Every pushed op is executed in FIFO order (or canceled after a
+    /// link break) and its completion is delivered exactly once — no
+    /// loss, no duplication, whatever the delivery permutation.
+    #[test]
+    fn completions_are_fifo_executed_and_delivered_exactly_once(
+        depth in 1usize..9,
+        seed in 0u64..1000,
+        fail_on in prop_oneof![
+            Just(None),
+            (0u32..40).prop_map(Some),
+        ],
+        script in steps(),
+    ) {
+        let mut core: RingCore<u32, (u32, bool)> = RingCore::new(depth, seed);
+        let mut next = 0u32;
+        let mut exec_order: Vec<u32> = Vec::new();
+        let mut delivered: Vec<(u64, u32, bool)> = Vec::new();
+        let mut pushed: Vec<(u64, u32)> = Vec::new();
+        for step in script {
+            match step {
+                Step::Push => {
+                    if let Ok(udata) = core.push(next) {
+                        pushed.push((udata, next));
+                        next += 1;
+                    }
+                }
+                Step::Submit => {
+                    core.submit(
+                        |_, v| {
+                            exec_order.push(*v);
+                            let ok = Some(*v) != fail_on;
+                            ((*v, true), ok)
+                        },
+                        |_, v| (*v, false),
+                    );
+                }
+                Step::Reap => {
+                    if let Some((udata, v, (cv, executed))) = core.reap() {
+                        prop_assert_eq!(v, cv, "completion carries its own op");
+                        delivered.push((udata, v, executed));
+                    }
+                }
+            }
+        }
+        // Drain whatever is still in flight.
+        core.submit(
+            |_, v| {
+                exec_order.push(*v);
+                let ok = Some(*v) != fail_on;
+                ((*v, true), ok)
+            },
+            |_, v| (*v, false),
+        );
+        while let Some((udata, v, (_, executed))) = core.reap() {
+            delivered.push((udata, v, executed));
+        }
+
+        // Executed ops are a FIFO prefix-respecting subsequence: values
+        // execute in push order with no gaps among executed ones.
+        let executed_sorted = {
+            let mut e = exec_order.clone();
+            e.sort_unstable();
+            e
+        };
+        prop_assert_eq!(&exec_order, &executed_sorted, "execution is FIFO in push order");
+
+        // Exactly-once delivery of every pushed op, by udata.
+        prop_assert_eq!(delivered.len(), pushed.len());
+        let mut got: Vec<(u64, u32)> = delivered.iter().map(|&(u, v, _)| (u, v)).collect();
+        got.sort_unstable();
+        let mut want = pushed.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want, "every pushed op delivers exactly once");
+
+        // Link-break semantics: the delivered `executed` flag agrees
+        // with the execution log, and an op is only ever canceled when
+        // the failing op really executed before it in push order.
+        for &(_, v, executed) in &delivered {
+            prop_assert_eq!(executed, exec_order.contains(&v));
+            if !executed {
+                let f = fail_on.expect("cancelation requires a link break");
+                prop_assert!(exec_order.contains(&f), "canceled without the break executing");
+                prop_assert!(v > f, "op {} canceled before the break at {}", v, f);
+            }
+        }
+    }
+}

@@ -65,6 +65,67 @@ impl TierModel {
     }
 }
 
+/// Per-job costs of the writer's I/O submission path (mirror of
+/// `rbio::backend`): the foreground pays `submit` for handing a flush
+/// job to the backend — amortized over `batch` when the backend gathers
+/// multi-op batches, as one ring submission syscall covers the whole
+/// batch — and each background flush completion pays `completion` for
+/// reaping the result (a CQE reap, or joining a blocking write). The
+/// zero-cost default leaves every existing calibration untouched.
+#[derive(Debug, Clone, Copy)]
+pub struct IoBackendModel {
+    /// Submission cost per flush job before amortization.
+    pub submit: SimTime,
+    /// Completion-reap cost per flush job.
+    pub completion: SimTime,
+    /// Jobs covered by one submission (≥ 1); the foreground pays
+    /// `submit / batch` per job.
+    pub batch: u32,
+}
+
+impl Default for IoBackendModel {
+    fn default() -> Self {
+        IoBackendModel::free()
+    }
+}
+
+impl IoBackendModel {
+    /// No submission/completion overhead at all (the pre-PR-7 model).
+    pub fn free() -> Self {
+        IoBackendModel {
+            submit: SimTime::ZERO,
+            completion: SimTime::ZERO,
+            batch: 1,
+        }
+    }
+
+    /// The blocking `ThreadedBackend`: one condvar handoff per job on
+    /// submit, one join on completion, no batching.
+    pub fn threaded() -> Self {
+        IoBackendModel {
+            submit: SimTime::from_micros(4),
+            completion: SimTime::from_micros(4),
+            batch: 1,
+        }
+    }
+
+    /// The `RingBackend`: the same per-syscall submit cost but amortized
+    /// over an 8-op batch, and a cheap completion reap (a CQ read, not a
+    /// thread join).
+    pub fn ring() -> Self {
+        IoBackendModel {
+            submit: SimTime::from_micros(4),
+            completion: SimTime::from_micros(1),
+            batch: 8,
+        }
+    }
+
+    /// Foreground cost of enqueueing one flush job.
+    pub fn submit_cost(&self) -> SimTime {
+        SimTime::from_nanos(self.submit.as_nanos() / u64::from(self.batch.max(1)))
+    }
+}
+
 /// Full description of the simulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -98,6 +159,10 @@ pub struct MachineConfig {
     /// path runs on a per-rank background drain whose completion is
     /// reported as `durable_wall`. `None` writes straight through.
     pub tier: Option<TierModel>,
+    /// Submission/completion costs of the writer's I/O backend (only
+    /// visible on the pipelined path, `pipeline_depth ≥ 2`). Defaults to
+    /// [`IoBackendModel::free`].
+    pub io_backend: IoBackendModel,
 }
 
 impl MachineConfig {
@@ -115,6 +180,7 @@ impl MachineConfig {
             pipeline_depth: 1,
             writer_failure: None,
             tier: None,
+            io_backend: IoBackendModel::free(),
         }
     }
 
@@ -131,6 +197,7 @@ impl MachineConfig {
             pipeline_depth: 1,
             writer_failure: None,
             tier: None,
+            io_backend: IoBackendModel::free(),
         }
     }
 
@@ -169,6 +236,12 @@ impl MachineConfig {
     /// Stage writes through a node-local tier (see [`TierModel`]).
     pub fn tier(mut self, tier: TierModel) -> Self {
         self.tier = Some(tier);
+        self
+    }
+
+    /// Model the writer's I/O backend costs (see [`IoBackendModel`]).
+    pub fn io_backend(mut self, model: IoBackendModel) -> Self {
+        self.io_backend = model;
         self
     }
 }

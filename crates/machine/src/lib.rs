@@ -19,6 +19,6 @@ pub mod config;
 pub mod metrics;
 pub mod run;
 
-pub use config::{MachineConfig, ProfileLevel, TierModel, WriterFailure};
+pub use config::{IoBackendModel, MachineConfig, ProfileLevel, TierModel, WriterFailure};
 pub use metrics::RunMetrics;
 pub use run::simulate;

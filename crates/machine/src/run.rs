@@ -421,9 +421,12 @@ impl Sim<'_> {
                     }
                 }
                 if pipelined {
-                    // Foreground cost is only the double-buffer staging
-                    // copy; the disk path runs on the background flusher.
-                    let fg_done = now.saturating_add(self.pack_time(bytes));
+                    // Foreground cost is the double-buffer staging copy
+                    // plus the backend submit (amortized over its batch);
+                    // the disk path runs on the background flusher.
+                    let fg_done = now
+                        .saturating_add(self.pack_time(bytes))
+                        .saturating_add(self.cfg.io_backend.submit_cost());
                     self.flush_enqueue(
                         rank,
                         fg_done,
@@ -468,9 +471,12 @@ impl Sim<'_> {
             Op::Close { .. } => {
                 let lat = self.cfg.net.ion_latency;
                 if pipelined {
-                    self.flush_enqueue(rank, now, FlushReq::Close, q);
-                    self.record(rank, OpKind::Close, now, now, 0);
-                    now
+                    // Metadata jobs ride the same submission path as the
+                    // data flushes (one `WriterHandle::submit` each).
+                    let fg_done = now.saturating_add(self.cfg.io_backend.submit_cost());
+                    self.flush_enqueue(rank, fg_done, FlushReq::Close, q);
+                    self.record(rank, OpKind::Close, now, fg_done, 0);
+                    fg_done
                 } else {
                     let done = self.fs.close(now.saturating_add(lat)).saturating_add(lat);
                     self.record(rank, OpKind::Close, now, done, 0);
@@ -482,9 +488,10 @@ impl Sim<'_> {
                 // filesystem (reopen the file, publish the new name).
                 let lat = self.cfg.net.ion_latency;
                 if pipelined {
-                    self.flush_enqueue(rank, now, FlushReq::Commit, q);
-                    self.record(rank, OpKind::Commit, now, now, 0);
-                    now
+                    let fg_done = now.saturating_add(self.cfg.io_backend.submit_cost());
+                    self.flush_enqueue(rank, fg_done, FlushReq::Commit, q);
+                    self.record(rank, OpKind::Commit, now, fg_done, 0);
+                    fg_done
                 } else {
                     let opened = self.fs.open(now.saturating_add(lat));
                     let done = self.fs.close(opened).saturating_add(lat);
@@ -574,6 +581,9 @@ impl Model for Sim<'_> {
                         (self.fs.close(opened).saturating_add(lat), 0)
                     }
                 };
+                // Reaping the job's completion (CQE read / thread join)
+                // is part of the background job's lifetime.
+                let done = done.saturating_add(self.cfg.io_backend.completion);
                 let data = bytes > 0;
                 self.record(rank, OpKind::Overlap, now, done, bytes);
                 q.schedule(done, Ev::FlushDone { rank, data });
@@ -1088,6 +1098,30 @@ mod tests {
         // interval per write plus one for the deferred close.
         assert_eq!(piped.timeline.count_of(OpKind::Overlap), 17);
         assert_eq!(serial.timeline.count_of(OpKind::Overlap), 0);
+    }
+
+    #[test]
+    fn backend_costs_shift_pipelined_wall() {
+        use crate::config::IoBackendModel;
+        // Many small writes make per-job submission overhead visible:
+        // the threaded backend pays a full handoff per job (submit and
+        // completion) while the ring amortizes its submit over the batch
+        // and reaps cheaply. The free model is the identity — existing
+        // calibrations must not move.
+        let cfg = machine(8).quiet().pipeline_depth(2);
+        let prog = pack_write_program(64, 64 << 10);
+        let free = simulate(&prog, &cfg);
+        let again = simulate(&prog, &cfg.clone().io_backend(IoBackendModel::free()));
+        assert_eq!(free.wall, again.wall, "free() is the default model");
+        let threaded = simulate(&prog, &cfg.clone().io_backend(IoBackendModel::threaded()));
+        let ring = simulate(&prog, &cfg.clone().io_backend(IoBackendModel::ring()));
+        assert!(
+            free.wall < ring.wall && ring.wall < threaded.wall,
+            "per-job overhead must order the walls: free {:?} < ring {:?} < threaded {:?}",
+            free.wall,
+            ring.wall,
+            threaded.wall
+        );
     }
 
     #[test]

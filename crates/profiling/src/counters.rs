@@ -27,6 +27,7 @@ static FAILOVERS: AtomicU64 = AtomicU64::new(0);
 static HEDGED_JOBS: AtomicU64 = AtomicU64::new(0);
 static FENCED_COMMITS_REFUSED: AtomicU64 = AtomicU64::new(0);
 static DEGRADED_GENERATIONS: AtomicU64 = AtomicU64::new(0);
+static SHORT_WRITE_RETRIES: AtomicU64 = AtomicU64::new(0);
 
 // Tiered-staging observability (see `rbio::tier`): how much checkpoint
 // data took the fast local tier, and how the drain engine fared.
@@ -75,6 +76,10 @@ pub struct FailoverSnapshot {
     pub fenced_commits_refused: u64,
     /// Generations restored (or committed) in degraded mode.
     pub degraded_generations: u64,
+    /// Continuations of writes the device cut short (partial `pwrite`
+    /// returns and injected short-write faults) — distinct from hedges:
+    /// the same logical write finishing, not a duplicate submission.
+    pub short_write_retries: u64,
 }
 
 impl FailoverSnapshot {
@@ -89,6 +94,9 @@ impl FailoverSnapshot {
             degraded_generations: self
                 .degraded_generations
                 .saturating_sub(prev.degraded_generations),
+            short_write_retries: self
+                .short_write_retries
+                .saturating_sub(prev.short_write_retries),
         }
     }
 
@@ -96,11 +104,12 @@ impl FailoverSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"failovers\": {}, \"hedged_jobs\": {}, \"fenced_commits_refused\": {}, \
-             \"degraded_generations\": {}}}",
+             \"degraded_generations\": {}, \"short_write_retries\": {}}}",
             self.failovers,
             self.hedged_jobs,
             self.fenced_commits_refused,
-            self.degraded_generations
+            self.degraded_generations,
+            self.short_write_retries
         )
     }
 }
@@ -203,6 +212,12 @@ pub fn add_degraded_generations(n: u64) {
     DEGRADED_GENERATIONS.fetch_add(n, Ordering::Relaxed);
 }
 
+/// Account one continuation of a short (partial) write.
+#[inline]
+pub fn add_short_write_retries(n: u64) {
+    SHORT_WRITE_RETRIES.fetch_add(n, Ordering::Relaxed);
+}
+
 /// Read the failover counters.
 pub fn failover_snapshot() -> FailoverSnapshot {
     FailoverSnapshot {
@@ -210,6 +225,7 @@ pub fn failover_snapshot() -> FailoverSnapshot {
         hedged_jobs: HEDGED_JOBS.load(Ordering::Relaxed),
         fenced_commits_refused: FENCED_COMMITS_REFUSED.load(Ordering::Relaxed),
         degraded_generations: DEGRADED_GENERATIONS.load(Ordering::Relaxed),
+        short_write_retries: SHORT_WRITE_RETRIES.load(Ordering::Relaxed),
     }
 }
 
@@ -267,22 +283,26 @@ mod tests {
         add_hedged_jobs(2);
         add_fenced_commits_refused(3);
         add_degraded_generations(4);
+        add_short_write_retries(5);
         let d = failover_snapshot().delta_since(&before);
         assert!(d.failovers >= 1);
         assert!(d.hedged_jobs >= 2);
         assert!(d.fenced_commits_refused >= 3);
         assert!(d.degraded_generations >= 4);
+        assert!(d.short_write_retries >= 5);
         let j = FailoverSnapshot {
             failovers: 1,
             hedged_jobs: 2,
             fenced_commits_refused: 3,
             degraded_generations: 4,
+            short_write_retries: 5,
         }
         .to_json();
         assert!(j.contains("\"failovers\": 1"), "{j}");
         assert!(j.contains("\"hedged_jobs\": 2"), "{j}");
         assert!(j.contains("\"fenced_commits_refused\": 3"), "{j}");
         assert!(j.contains("\"degraded_generations\": 4"), "{j}");
+        assert!(j.contains("\"short_write_retries\": 5"), "{j}");
     }
 
     #[test]
