@@ -37,6 +37,13 @@ RBC=target/debug/rbio-check
 echo "== backend conformance under the emulated ring =="
 RBIO_IO_BACKEND=ring cargo test -q -p rbio --test backend_conformance
 
+echo "== rbio-tune fast gate (small budget, winner in the Fig. 8 band) =="
+# The autotuner must rediscover the paper's nf ~= 1024 sweet spot on
+# the calibrated Intrepid model even under the small CI eval budget;
+# --expect-nf makes a miss a hard failure (exit 1).
+target/debug/rbio-tune search --np 16384 --env intrepid --budget small \
+  --expect-nf 512:2048 > /dev/null
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -84,6 +91,16 @@ if [[ "$SLOW" == 1 ]]; then
   cargo run --release -p rbio-bench --bin backends
   cp target/paper-results/backends.json BENCH_backends.json
   ls -l BENCH_backends.json
+
+  echo "== rbio-tune full-budget gate (exact nf=1024 rediscovery) =="
+  cargo build --release -p rbio-tune
+  target/release/rbio-tune search --np 16384 --env intrepid --budget full \
+    --expect-nf 1024:1024 > /dev/null
+
+  echo "== autotuner campaign (full budget, every machine variant) =="
+  cargo run --release -p rbio-bench --bin tune
+  cp target/paper-results/tune.json BENCH_tune.json
+  ls -l BENCH_tune.json
 fi
 
 echo "ci: all checks passed"

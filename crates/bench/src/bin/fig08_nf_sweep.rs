@@ -5,50 +5,59 @@
 //! saturate the arrays, each capped by per-client forwarding throughput)
 //! or too big (directory-metadata pressure, the 1PFPP limit).
 //!
+//! The sweep is driven through `rbio-tune`'s cost oracle — the same
+//! `Env` + `MachineOracle` path the autotuner searches over — so the
+//! figure and the tuner are guaranteed to read the same machine model.
+//!
 //! Usage: `fig08_nf_sweep [np ...]`.
 
-use rbio::strategy::Strategy;
 use rbio_bench::experiments::nps_from_args;
 use rbio_bench::report::{check, print_table, FigureData, Series};
-use rbio_bench::workload::paper_case;
-use rbio_machine::ProfileLevel;
+use rbio_tune::{BackendKnob, Candidate, Env, MachineOracle, StrategyKind};
 
 const NFS: [u32; 5] = [256, 512, 1024, 2048, 4096];
+
+/// The fixed-knob candidate matching the pre-tuner sweep: rbIO at
+/// `nf = ng`, planner `Tuning::default()` buffers, no flush pipeline
+/// (depth 1 — the backend model is cost-masked there), no tier.
+fn rbio_candidate(nf: u32) -> Candidate {
+    Candidate {
+        strategy: StrategyKind::RbIo,
+        nf,
+        pipeline_depth: 1,
+        writer_buffer: 16 << 20,
+        cb_buffer: 16 << 20,
+        coalesce_fields: false,
+        backend: BackendKnob::Threaded,
+        backend_batch: 1,
+        tier_drain_bw: None,
+        coalesce_max_bytes: 8 << 20,
+        coalesce_max_ops: 64,
+    }
+}
 
 fn main() {
     let nps = nps_from_args();
     let mut series = Vec::new();
     let mut rows = Vec::new();
     for &np in &nps {
-        let case = paper_case(np);
+        // 15 seeds per point, cost = the median run (by wall time) —
+        // the oracle's standard evaluation protocol.
+        let mut env = Env::intrepid(np).with_seeds((0..15u64).map(|i| 0x1BEB + 977 * i).collect());
+        env.workload.prefix = "f8".to_string();
+        let oracle = MachineOracle::new(env).expect("intrepid model validates");
         let mut y = Vec::new();
         for &nf in &NFS {
             // One writer per file: ng = nf (the paper varies them together).
-            let r = {
-                use rbio::strategy::{CheckpointSpec, Tuning};
-                use rbio_machine::{simulate, MachineConfig};
-                let mut results: Vec<(rbio_sim::SimTime, f64)> = (0..15u64)
-                    .map(|i| {
-                        let plan = CheckpointSpec::new(case.layout(), "f8")
-                            .strategy(Strategy::rbio(nf))
-                            .tuning(Tuning::default())
-                            .plan()
-                            .expect("valid");
-                        let mut m = MachineConfig::intrepid(np).seed(0x1BEB + 977 * i);
-                        m.profile = ProfileLevel::Off;
-                        let metrics = simulate(&plan.program, &m);
-                        (metrics.wall, metrics.bandwidth_bps() / 1e9)
-                    })
-                    .collect();
-                results.sort_by_key(|a| a.0);
-                results[results.len() / 2]
-            };
+            let m = oracle
+                .median_metrics(&rbio_candidate(nf))
+                .expect("rbIO plan compiles at every swept nf");
+            let bw = m.bandwidth_bps() / 1e9;
             eprintln!(
-                "np={np:>6} nf={nf:>5}  bw={:>7.2} GB/s  wall={:>7.2}s",
-                r.1,
-                r.0.as_secs_f64()
+                "np={np:>6} nf={nf:>5}  bw={bw:>7.2} GB/s  wall={:>7.2}s",
+                m.wall.as_secs_f64()
             );
-            y.push(r.1);
+            y.push(bw);
         }
         series.push(Series {
             label: format!("{np} processors"),

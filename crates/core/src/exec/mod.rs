@@ -42,10 +42,12 @@ pub static REVERT_PR3_FAULT_DROP: AtomicBool = AtomicBool::new(false);
 /// timeout surfaces — the deterministic analogue of `recv_timeout`.
 pub(crate) const CHECK_RECV_POLL_BUDGET: u32 = 2000;
 
-/// Cap one coalesced vectored write at this many bytes…
-const MAX_COALESCE_BYTES: u64 = 8 << 20;
-/// …and this many chunks (well under any `IOV_MAX`).
-const MAX_COALESCE_OPS: usize = 64;
+/// Default cap on one coalesced vectored write, bytes. Overridable per
+/// run via [`ExecConfig::coalesce_caps`] (the autotuner exports tuned
+/// values through `rbio-tune`'s plan JSON).
+pub const DEFAULT_COALESCE_BYTES: u64 = 8 << 20;
+/// Default cap on chunks per coalesced write (well under any `IOV_MAX`).
+pub const DEFAULT_COALESCE_OPS: usize = 64;
 
 /// Byte length a `DataRef` describes.
 pub(crate) fn src_len(r: &DataRef) -> u64 {
@@ -66,11 +68,18 @@ pub(crate) fn write_src(op: &Op) -> &DataRef {
 /// `ops[i]`: same file, byte-contiguous offsets, bounded size. Shared by
 /// both executors so their batching (and thus their syscall pattern) is
 /// identical.
-pub(crate) fn write_run_len(ops: &[Op], i: usize, file: u32, offset: u64) -> usize {
+pub(crate) fn write_run_len(
+    ops: &[Op],
+    i: usize,
+    file: u32,
+    offset: u64,
+    max_bytes: u64,
+    max_ops: usize,
+) -> usize {
     let mut end = i + 1;
     let mut next = offset + src_len(write_src(&ops[i]));
     let mut total = src_len(write_src(&ops[i]));
-    while end < ops.len() && end - i < MAX_COALESCE_OPS && total < MAX_COALESCE_BYTES {
+    while end < ops.len() && end - i < max_ops.max(1) && total < max_bytes.max(1) {
         match &ops[end] {
             Op::WriteAt {
                 file: f2,
@@ -142,6 +151,10 @@ pub struct ExecConfig {
     /// own blocking writes). [`BackendKind::Default`] honors
     /// `RBIO_IO_BACKEND`.
     pub io_backend: BackendKind,
+    /// Cap on one coalesced vectored write, bytes (min 1).
+    pub coalesce_max_bytes: u64,
+    /// Cap on chunks per coalesced vectored write (min 1).
+    pub coalesce_max_ops: usize,
 }
 
 impl ExecConfig {
@@ -161,6 +174,8 @@ impl ExecConfig {
             failover: FailoverPolicy::disabled(),
             stage: None,
             io_backend: BackendKind::Default,
+            coalesce_max_bytes: DEFAULT_COALESCE_BYTES,
+            coalesce_max_ops: DEFAULT_COALESCE_OPS,
         }
     }
 
@@ -203,6 +218,14 @@ impl ExecConfig {
     /// Select the pipeline's I/O backend.
     pub fn io_backend(mut self, kind: BackendKind) -> Self {
         self.io_backend = kind;
+        self
+    }
+
+    /// Cap coalesced vectored writes at `max_bytes` bytes and `max_ops`
+    /// chunks (both clamped to at least 1).
+    pub fn coalesce_caps(mut self, max_bytes: u64, max_ops: usize) -> Self {
+        self.coalesce_max_bytes = max_bytes.max(1);
+        self.coalesce_max_ops = max_ops.max(1);
         self
     }
 }
@@ -669,7 +692,14 @@ impl RankCtx<'_> {
         self.maybe_hang();
         let coalesce = self.cfg.copy_mode == CopyMode::ZeroCopy && !self.cfg.faults.is_armed();
         let end = if coalesce {
-            write_run_len(ops, i, file, offset)
+            write_run_len(
+                ops,
+                i,
+                file,
+                offset,
+                self.cfg.coalesce_max_bytes,
+                self.cfg.coalesce_max_ops,
+            )
         } else {
             i + 1
         };
@@ -806,7 +836,14 @@ impl RankCtx<'_> {
         offset: u64,
     ) -> io::Result<usize> {
         self.maybe_hang();
-        let end = write_run_len(ops, i, file, offset);
+        let end = write_run_len(
+            ops,
+            i,
+            file,
+            offset,
+            self.cfg.coalesce_max_bytes,
+            self.cfg.coalesce_max_ops,
+        );
         let total: u64 = ops[i..end].iter().map(|o| src_len(write_src(o))).sum();
         counters::add_checkpoint_bytes(total);
         let stage = Arc::clone(self.staged_for(file).expect("caller checked staged"));

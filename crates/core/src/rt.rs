@@ -387,6 +387,11 @@ pub struct RtConfig {
     /// I/O backend for the background flush pipeline — see
     /// [`crate::exec::ExecConfig::io_backend`].
     pub io_backend: BackendKind,
+    /// Cap on one coalesced vectored write, bytes — see
+    /// [`crate::exec::ExecConfig::coalesce_max_bytes`].
+    pub coalesce_max_bytes: u64,
+    /// Cap on chunks per coalesced vectored write.
+    pub coalesce_max_ops: usize,
 }
 
 impl RtConfig {
@@ -403,7 +408,17 @@ impl RtConfig {
             copy_mode: CopyMode::ZeroCopy,
             stage: None,
             io_backend: BackendKind::Default,
+            coalesce_max_bytes: crate::exec::DEFAULT_COALESCE_BYTES,
+            coalesce_max_ops: crate::exec::DEFAULT_COALESCE_OPS,
         }
+    }
+
+    /// Cap coalesced vectored writes — see
+    /// [`crate::exec::ExecConfig::coalesce_caps`].
+    pub fn coalesce_caps(mut self, max_bytes: u64, max_ops: usize) -> Self {
+        self.coalesce_max_bytes = max_bytes.max(1);
+        self.coalesce_max_ops = max_ops.max(1);
+        self
     }
 
     /// Replace the fault plan.
@@ -703,7 +718,14 @@ pub fn checkpoint_rank_with(
                     // foreground cost (memory speed); per-write fault
                     // hooks don't apply — the staged path's failure
                     // mode is losing the tier, not a torn write.
-                    let end = write_run_len(ops, i, file.0, *offset);
+                    let end = write_run_len(
+                        ops,
+                        i,
+                        file.0,
+                        *offset,
+                        cfg.coalesce_max_bytes,
+                        cfg.coalesce_max_ops,
+                    );
                     let total: u64 = ops[i..end].iter().map(|o| src_len(write_src(o))).sum();
                     counters::add_checkpoint_bytes(total);
                     let mut off = *offset;
@@ -737,7 +759,14 @@ pub fn checkpoint_rank_with(
                 // DeepCopy, which keeps the legacy one-op-one-write shape).
                 let coalesce = mode == CopyMode::ZeroCopy && !cfg.faults.is_armed();
                 let end = if coalesce {
-                    write_run_len(ops, i, file.0, *offset)
+                    write_run_len(
+                        ops,
+                        i,
+                        file.0,
+                        *offset,
+                        cfg.coalesce_max_bytes,
+                        cfg.coalesce_max_ops,
+                    )
                 } else {
                     i + 1
                 };

@@ -5,6 +5,50 @@ use rbio_net::NetConfig;
 use rbio_sim::SimTime;
 use rbio_topology::PartitionSpec;
 
+/// A structurally invalid machine configuration.
+///
+/// The autotuner (`rbio-tune`) generates candidate configurations
+/// mechanically; a zero pipeline depth or a non-positive bandwidth must
+/// surface as a typed error at construction time, not as a NaN/divide-by-
+/// zero cost deep inside a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `pipeline_depth` must be at least 1 (1 = the serial write path).
+    ZeroPipelineDepth,
+    /// A `batch` of 0 jobs per submission is meaningless.
+    ZeroBackendBatch,
+    /// A bandwidth parameter must be finite and strictly positive.
+    NonPositiveBandwidth {
+        /// Which parameter was rejected (e.g. `"tier.local_bw"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPipelineDepth => write!(f, "pipeline_depth must be >= 1"),
+            ConfigError::ZeroBackendBatch => write!(f, "io_backend.batch must be >= 1"),
+            ConfigError::NonPositiveBandwidth { field, value } => {
+                write!(f, "{field} must be finite and > 0 (got {value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Reject non-finite or non-positive bandwidths.
+fn check_bw(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NonPositiveBandwidth { field, value })
+    }
+}
+
 /// How much the simulator records into the profiling timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProfileLevel {
@@ -63,6 +107,22 @@ impl TierModel {
         self.burst_bw = Some(bw);
         self
     }
+
+    /// A validated tier model: both bandwidths must be finite and > 0.
+    pub fn try_new(local_bw: f64, burst_bw: Option<f64>) -> Result<Self, ConfigError> {
+        let model = TierModel { local_bw, burst_bw };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Check the model's bandwidths.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_bw("tier.local_bw", self.local_bw)?;
+        if let Some(bw) = self.burst_bw {
+            check_bw("tier.burst_bw", bw)?;
+        }
+        Ok(())
+    }
 }
 
 /// Per-job costs of the writer's I/O submission path (mirror of
@@ -118,6 +178,25 @@ impl IoBackendModel {
             completion: SimTime::from_micros(1),
             batch: 8,
         }
+    }
+
+    /// A validated backend model: `batch` must be at least 1.
+    pub fn try_new(submit: SimTime, completion: SimTime, batch: u32) -> Result<Self, ConfigError> {
+        let model = IoBackendModel {
+            submit,
+            completion,
+            batch,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Check the model's parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch == 0 {
+            return Err(ConfigError::ZeroBackendBatch);
+        }
+        Ok(())
     }
 
     /// Foreground cost of enqueueing one flush job.
@@ -221,6 +300,53 @@ impl MachineConfig {
         self
     }
 
+    /// Fallible [`Self::pipeline_depth`]: rejects 0 instead of clamping.
+    /// Machine-generated candidates (the autotuner) use this so a
+    /// nonsensical depth fails fast rather than silently becoming 1.
+    pub fn try_pipeline_depth(mut self, depth: u32) -> Result<Self, ConfigError> {
+        if depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        self.pipeline_depth = depth;
+        Ok(self)
+    }
+
+    /// Fallible [`Self::tier`]: rejects zero/negative/non-finite
+    /// bandwidths with a typed error.
+    pub fn try_tier(mut self, tier: TierModel) -> Result<Self, ConfigError> {
+        tier.validate()?;
+        self.tier = Some(tier);
+        Ok(self)
+    }
+
+    /// Fallible [`Self::io_backend`]: rejects a zero batch.
+    pub fn try_io_backend(mut self, model: IoBackendModel) -> Result<Self, ConfigError> {
+        model.validate()?;
+        self.io_backend = model;
+        Ok(self)
+    }
+
+    /// Check every numeric parameter a tuner candidate can set: pipeline
+    /// depth, staging/tier/filesystem/network bandwidths, backend batch.
+    /// [`crate::CostQuery::new`] runs this so a malformed candidate is a
+    /// typed error instead of a NaN cost.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pipeline_depth == 0 {
+            return Err(ConfigError::ZeroPipelineDepth);
+        }
+        check_bw("mem_bw", self.mem_bw)?;
+        check_bw("fs.array_write_bw", self.fs.array_write_bw)?;
+        check_bw("fs.array_read_bw", self.fs.array_read_bw)?;
+        check_bw("net.client_stream_bw", self.net.client_stream_bw)?;
+        check_bw("net.torus_link_bw", self.net.torus_link_bw)?;
+        check_bw("net.tree_bw_per_ion", self.net.tree_bw_per_ion)?;
+        check_bw("net.eth_bw_per_ion", self.net.eth_bw_per_ion)?;
+        if let Some(tier) = self.tier {
+            tier.validate()?;
+        }
+        self.io_backend.validate()
+    }
+
     /// Inject a writer death: `rank` dies during the first write that
     /// would push it past `after_bytes`, and the takeover starts no
     /// earlier than `detection_delay` after the death.
@@ -256,6 +382,56 @@ mod tests {
         assert_eq!(m.partition.num_ranks(), 16384);
         assert_eq!(m.partition.num_psets(), 64);
         assert_eq!(m.fs.nsd_servers, 128);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_candidates() {
+        let m = MachineConfig::intrepid(16384);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(
+            m.clone().try_pipeline_depth(0).unwrap_err(),
+            ConfigError::ZeroPipelineDepth
+        );
+        assert!(m.clone().try_pipeline_depth(2).is_ok());
+        assert_eq!(
+            TierModel::try_new(0.0, None).unwrap_err(),
+            ConfigError::NonPositiveBandwidth {
+                field: "tier.local_bw",
+                value: 0.0
+            }
+        );
+        assert_eq!(
+            TierModel::try_new(3.0e9, Some(-1.0)).unwrap_err(),
+            ConfigError::NonPositiveBandwidth {
+                field: "tier.burst_bw",
+                value: -1.0
+            }
+        );
+        assert!(TierModel::try_new(3.0e9, Some(1.5e9)).is_ok());
+        assert!(matches!(
+            m.clone().try_tier(TierModel::local_only(f64::NAN)),
+            Err(ConfigError::NonPositiveBandwidth {
+                field: "tier.local_bw",
+                ..
+            })
+        ));
+        assert_eq!(
+            IoBackendModel::try_new(SimTime::ZERO, SimTime::ZERO, 0).unwrap_err(),
+            ConfigError::ZeroBackendBatch
+        );
+        assert!(m
+            .clone()
+            .try_io_backend(IoBackendModel::ring())
+            .is_ok_and(|m| m.validate().is_ok()));
+        let mut bad = m.clone();
+        bad.mem_bw = -3.0e9;
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::NonPositiveBandwidth {
+                field: "mem_bw",
+                ..
+            })
+        ));
     }
 
     #[test]

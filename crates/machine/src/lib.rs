@@ -17,8 +17,12 @@
 
 pub mod config;
 pub mod metrics;
+pub mod query;
 pub mod run;
 
-pub use config::{IoBackendModel, MachineConfig, ProfileLevel, TierModel, WriterFailure};
+pub use config::{
+    ConfigError, IoBackendModel, MachineConfig, ProfileLevel, TierModel, WriterFailure,
+};
 pub use metrics::RunMetrics;
-pub use run::simulate;
+pub use query::CostQuery;
+pub use run::{simulate, SimArena};

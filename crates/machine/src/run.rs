@@ -618,76 +618,200 @@ impl Model for Sim<'_> {
     }
 }
 
+/// Reset a recycled scratch vector to `n` copies of `val`, keeping its
+/// allocation.
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, val: T) {
+    v.clear();
+    v.resize(n, val);
+}
+
+/// Reusable per-run simulator state: the event heap, the torus link
+/// calendars, and every per-rank bookkeeping vector.
+///
+/// [`simulate`] builds all of this from scratch on every call, which is
+/// fine for one-shot figure runs but wasteful for an autotuner costing
+/// hundreds of candidate configurations back to back on the same
+/// partition. An arena amortizes the setup: allocations are made once and
+/// recycled, only truly per-run state (the filesystem model with its
+/// seeded noise, the profiling timeline) is rebuilt. Results are
+/// bit-identical to [`simulate`] — the arena only recycles memory, never
+/// simulation state.
+pub struct SimArena {
+    queue: EventQueue<Ev>,
+    torus: Option<TorusNet>,
+    pc: Vec<usize>,
+    barrier_count: Vec<usize>,
+    barrier_waiters: Vec<Vec<u32>>,
+    ion: Vec<Serializer>,
+    flush_queue: Vec<VecDeque<(SimTime, FlushReq)>>,
+    flush_running: Vec<bool>,
+    flush_outstanding: Vec<usize>,
+    flush_data_outstanding: Vec<usize>,
+    flush_wake: Vec<bool>,
+    rank_done: Vec<bool>,
+    drain_free: Vec<SimTime>,
+    runs: u64,
+}
+
+impl Default for SimArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimArena {
+    /// An empty arena; the first run pays the allocations.
+    pub fn new() -> Self {
+        SimArena {
+            queue: EventQueue::new(),
+            torus: None,
+            pc: Vec::new(),
+            barrier_count: Vec::new(),
+            barrier_waiters: Vec::new(),
+            ion: Vec::new(),
+            flush_queue: Vec::new(),
+            flush_running: Vec::new(),
+            flush_outstanding: Vec::new(),
+            flush_data_outstanding: Vec::new(),
+            flush_wake: Vec::new(),
+            rank_done: Vec::new(),
+            drain_free: Vec::new(),
+            runs: 0,
+        }
+    }
+
+    /// Completed simulation runs through this arena.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Simulate `program` on `cfg`, recycling this arena's allocations.
+    /// Semantics are identical to [`simulate`].
+    pub fn simulate(&mut self, program: &Program, cfg: &MachineConfig) -> RunMetrics {
+        let nranks = program.nranks();
+        assert_eq!(
+            nranks,
+            cfg.partition.num_ranks(),
+            "program rank count must match the machine partition"
+        );
+        let n = nranks as usize;
+        refill(&mut self.pc, n, 0);
+        refill(&mut self.flush_running, n, false);
+        refill(&mut self.flush_outstanding, n, 0);
+        refill(&mut self.flush_data_outstanding, n, 0);
+        refill(&mut self.flush_wake, n, false);
+        refill(&mut self.rank_done, n, false);
+        refill(&mut self.drain_free, n, SimTime::ZERO);
+        refill(&mut self.barrier_count, program.comms.len(), 0);
+        // Inner queues/waiter lists are drained by the end of a run, so
+        // clearing keeps their capacity without carrying stale entries.
+        for w in &mut self.barrier_waiters {
+            w.clear();
+        }
+        self.barrier_waiters
+            .resize_with(program.comms.len(), Vec::new);
+        for q in &mut self.flush_queue {
+            q.clear();
+        }
+        self.flush_queue.resize_with(n, VecDeque::new);
+        refill(
+            &mut self.ion,
+            cfg.partition.num_psets() as usize,
+            Serializer::new(),
+        );
+        let torus = match self.torus.take() {
+            Some(mut t) => {
+                t.reinit(cfg.partition.torus, cfg.net);
+                t
+            }
+            None => TorusNet::new(cfg.partition.torus, cfg.net),
+        };
+        self.queue.clear();
+        let mut sim = Sim {
+            program,
+            cfg,
+            torus,
+            ion: std::mem::take(&mut self.ion),
+            fs: FileSystemModel::new(cfg.fs, program.files.len() as u32, cfg.seed),
+            pc: std::mem::take(&mut self.pc),
+            finish: vec![SimTime::ZERO; n],
+            arrived: HashMap::new(),
+            waiting: HashMap::new(),
+            barrier_count: std::mem::take(&mut self.barrier_count),
+            barrier_waiters: std::mem::take(&mut self.barrier_waiters),
+            timeline: Timeline::new(),
+            max_handoff: SimTime::ZERO,
+            bytes_sent: 0,
+            done_ranks: 0,
+            flush_queue: std::mem::take(&mut self.flush_queue),
+            flush_running: std::mem::take(&mut self.flush_running),
+            flush_outstanding: std::mem::take(&mut self.flush_outstanding),
+            flush_data_outstanding: std::mem::take(&mut self.flush_data_outstanding),
+            flush_wake: std::mem::take(&mut self.flush_wake),
+            rank_done: std::mem::take(&mut self.rank_done),
+            failed: false,
+            fail_written: 0,
+            takeover: None,
+            failovers: Vec::new(),
+            drain_free: std::mem::take(&mut self.drain_free),
+        };
+        for rank in 0..nranks {
+            self.queue.schedule(SimTime::ZERO, Ev::Advance { rank });
+        }
+        engine_run(&mut sim, &mut self.queue);
+        assert_eq!(
+            sim.done_ranks, n,
+            "simulation stalled: {} of {} ranks finished (invalid program?)",
+            sim.done_ranks, nranks
+        );
+        let stats = program.stats();
+        // Durable completion: every rank's program is done AND its drain
+        // engine has landed the last staged byte on the PFS. Without a tier
+        // this collapses to the ordinary wall time.
+        let durable_wall = sim
+            .finish
+            .iter()
+            .zip(&sim.drain_free)
+            .map(|(&f, &d)| f.max(d))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        // Hand the scratch back for the next run.
+        self.torus = Some(sim.torus);
+        self.pc = sim.pc;
+        self.barrier_count = sim.barrier_count;
+        self.barrier_waiters = sim.barrier_waiters;
+        self.ion = sim.ion;
+        self.flush_queue = sim.flush_queue;
+        self.flush_running = sim.flush_running;
+        self.flush_outstanding = sim.flush_outstanding;
+        self.flush_data_outstanding = sim.flush_data_outstanding;
+        self.flush_wake = sim.flush_wake;
+        self.rank_done = sim.rank_done;
+        self.drain_free = sim.drain_free;
+        self.runs += 1;
+        RunMetrics::assemble(
+            program,
+            sim.finish,
+            sim.timeline,
+            sim.max_handoff,
+            stats.bytes_written,
+            sim.bytes_sent,
+            sim.fs.stats(),
+            sim.failovers,
+            durable_wall,
+        )
+    }
+}
+
 /// Simulate `program` on the configured machine. The program must be valid
 /// (deadlock-free, matched messages — [`rbio_plan::validate()`] guarantees
 /// this for strategy plans); an invalid program panics.
+///
+/// Builds fresh state for a single run; callers costing many programs or
+/// configurations back to back should hold a [`SimArena`] (or the
+/// [`crate::CostQuery`] wrapper) and reuse it.
 pub fn simulate(program: &Program, cfg: &MachineConfig) -> RunMetrics {
-    let nranks = program.nranks();
-    assert_eq!(
-        nranks,
-        cfg.partition.num_ranks(),
-        "program rank count must match the machine partition"
-    );
-    let mut sim = Sim {
-        program,
-        cfg,
-        torus: TorusNet::new(cfg.partition.torus, cfg.net),
-        ion: vec![Serializer::new(); cfg.partition.num_psets() as usize],
-        fs: FileSystemModel::new(cfg.fs, program.files.len() as u32, cfg.seed),
-        pc: vec![0; nranks as usize],
-        finish: vec![SimTime::ZERO; nranks as usize],
-        arrived: HashMap::new(),
-        waiting: HashMap::new(),
-        barrier_count: vec![0; program.comms.len()],
-        barrier_waiters: vec![Vec::new(); program.comms.len()],
-        timeline: Timeline::new(),
-        max_handoff: SimTime::ZERO,
-        bytes_sent: 0,
-        done_ranks: 0,
-        flush_queue: (0..nranks).map(|_| VecDeque::new()).collect(),
-        flush_running: vec![false; nranks as usize],
-        flush_outstanding: vec![0; nranks as usize],
-        flush_data_outstanding: vec![0; nranks as usize],
-        flush_wake: vec![false; nranks as usize],
-        rank_done: vec![false; nranks as usize],
-        failed: false,
-        fail_written: 0,
-        takeover: None,
-        failovers: Vec::new(),
-        drain_free: vec![SimTime::ZERO; nranks as usize],
-    };
-    let mut q = EventQueue::new();
-    for rank in 0..nranks {
-        q.schedule(SimTime::ZERO, Ev::Advance { rank });
-    }
-    engine_run(&mut sim, &mut q);
-    assert_eq!(
-        sim.done_ranks, nranks as usize,
-        "simulation stalled: {} of {} ranks finished (invalid program?)",
-        sim.done_ranks, nranks
-    );
-    let stats = program.stats();
-    // Durable completion: every rank's program is done AND its drain
-    // engine has landed the last staged byte on the PFS. Without a tier
-    // this collapses to the ordinary wall time.
-    let durable_wall = sim
-        .finish
-        .iter()
-        .zip(&sim.drain_free)
-        .map(|(&f, &d)| f.max(d))
-        .max()
-        .unwrap_or(SimTime::ZERO);
-    RunMetrics::assemble(
-        program,
-        sim.finish,
-        sim.timeline,
-        sim.max_handoff,
-        stats.bytes_written,
-        sim.bytes_sent,
-        sim.fs.stats(),
-        sim.failovers,
-        durable_wall,
-    )
+    SimArena::new().simulate(program, cfg)
 }
 
 #[cfg(test)]

@@ -121,6 +121,20 @@ impl TorusNet {
         &self.torus
     }
 
+    /// Re-initialize the fabric for a fresh run over (possibly) new
+    /// geometry and parameters, reusing the per-link calendar allocation.
+    /// Equivalent to `*self = TorusNet::new(torus, cfg)` without the
+    /// fresh `links` vector.
+    pub fn reinit(&mut self, torus: Torus3d, cfg: NetConfig) {
+        self.links.clear();
+        self.links
+            .resize(torus.num_links() as usize, Serializer::new());
+        self.torus = torus;
+        self.cfg = cfg;
+        self.bytes_moved = 0;
+        self.messages = 0;
+    }
+
     /// Deliver a message of `bytes` from `src` to `dst`, injected at `now`.
     /// Returns the arrival time at `dst`. Must be called in nondecreasing
     /// `now` order (guaranteed by the event loop).

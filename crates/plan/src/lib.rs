@@ -19,6 +19,7 @@
 //! buffer bounds, deadlock-freedom, and exact write coverage of every file.
 
 pub mod compose;
+pub mod json;
 pub mod ops;
 pub mod program;
 pub mod validate;

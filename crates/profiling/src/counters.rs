@@ -36,6 +36,15 @@ static TIER_DRAINED_BYTES: AtomicU64 = AtomicU64::new(0);
 static TIER_RESTORES: AtomicU64 = AtomicU64::new(0);
 static TIER_LOSSES: AtomicU64 = AtomicU64::new(0);
 
+// Autotuner observability (see `rbio-tune`): how hard the solver worked
+// and how much the caches saved. Evaluated = full simulations actually
+// run; memo hits = candidates answered from the canonical-config cache;
+// pruned = subtrees discarded by the branch-and-bound lower bound.
+static TUNE_EVALS: AtomicU64 = AtomicU64::new(0);
+static TUNE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static TUNE_PRUNED: AtomicU64 = AtomicU64::new(0);
+static TUNE_EVAL_NANOS: AtomicU64 = AtomicU64::new(0);
+
 /// A point-in-time reading of the datapath copy counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopySnapshot {
@@ -145,6 +154,98 @@ impl TierSnapshot {
              \"tier_losses\": {}}}",
             self.staged_bytes, self.drained_bytes, self.tier_restores, self.tier_losses
         )
+    }
+}
+
+/// A point-in-time reading of the autotuner counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneSnapshot {
+    /// Candidate configurations costed by a full simulation run.
+    pub evals: u64,
+    /// Candidates answered from the memoization cache.
+    pub memo_hits: u64,
+    /// Candidates (or subtree members) discarded by bound pruning.
+    pub pruned: u64,
+    /// Wall nanoseconds spent inside cost evaluations.
+    pub eval_nanos: u64,
+}
+
+impl TuneSnapshot {
+    /// The counter growth between `prev` (earlier) and `self` (later).
+    pub fn delta_since(&self, prev: &TuneSnapshot) -> TuneSnapshot {
+        TuneSnapshot {
+            evals: self.evals.saturating_sub(prev.evals),
+            memo_hits: self.memo_hits.saturating_sub(prev.memo_hits),
+            pruned: self.pruned.saturating_sub(prev.pruned),
+            eval_nanos: self.eval_nanos.saturating_sub(prev.eval_nanos),
+        }
+    }
+
+    /// Cache hit rate over all candidate lookups (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.evals + self.memo_hits;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Mean wall seconds per full evaluation (0.0 when none).
+    pub fn secs_per_eval(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.eval_nanos as f64 / 1e9 / self.evals as f64
+        }
+    }
+
+    /// Render as a JSON object, for inclusion in profile exports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"evals\": {}, \"memo_hits\": {}, \"pruned\": {}, \"eval_nanos\": {}, \
+             \"hit_rate\": {:.4}, \"secs_per_eval\": {:.6}}}",
+            self.evals,
+            self.memo_hits,
+            self.pruned,
+            self.eval_nanos,
+            self.hit_rate(),
+            self.secs_per_eval()
+        )
+    }
+}
+
+/// Account `n` candidate configurations costed by full simulation.
+#[inline]
+pub fn add_tune_evals(n: u64) {
+    TUNE_EVALS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` candidates served from the memoization cache.
+#[inline]
+pub fn add_tune_memo_hits(n: u64) {
+    TUNE_MEMO_HITS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` candidates discarded by branch-and-bound pruning.
+#[inline]
+pub fn add_tune_pruned(n: u64) {
+    TUNE_PRUNED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` wall nanoseconds spent inside cost evaluations.
+#[inline]
+pub fn add_tune_eval_nanos(n: u64) {
+    TUNE_EVAL_NANOS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the autotuner counters.
+pub fn tune_snapshot() -> TuneSnapshot {
+    TuneSnapshot {
+        evals: TUNE_EVALS.load(Ordering::Relaxed),
+        memo_hits: TUNE_MEMO_HITS.load(Ordering::Relaxed),
+        pruned: TUNE_PRUNED.load(Ordering::Relaxed),
+        eval_nanos: TUNE_EVAL_NANOS.load(Ordering::Relaxed),
     }
 }
 
@@ -303,6 +404,41 @@ mod tests {
         assert!(j.contains("\"fenced_commits_refused\": 3"), "{j}");
         assert!(j.contains("\"degraded_generations\": 4"), "{j}");
         assert!(j.contains("\"short_write_retries\": 5"), "{j}");
+    }
+
+    #[test]
+    fn tune_counters_delta_rates_and_json() {
+        let before = tune_snapshot();
+        add_tune_evals(4);
+        add_tune_memo_hits(12);
+        add_tune_pruned(30);
+        add_tune_eval_nanos(8_000_000_000);
+        let d = tune_snapshot().delta_since(&before);
+        assert!(d.evals >= 4);
+        assert!(d.memo_hits >= 12);
+        assert!(d.pruned >= 30);
+        assert!(d.eval_nanos >= 8_000_000_000);
+        let s = TuneSnapshot {
+            evals: 4,
+            memo_hits: 12,
+            pruned: 30,
+            eval_nanos: 8_000_000_000,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.secs_per_eval() - 2.0).abs() < 1e-12);
+        let j = s.to_json();
+        assert!(j.contains("\"evals\": 4"), "{j}");
+        assert!(j.contains("\"memo_hits\": 12"), "{j}");
+        assert!(j.contains("\"pruned\": 30"), "{j}");
+        assert!(j.contains("\"hit_rate\": 0.7500"), "{j}");
+        let zero = TuneSnapshot {
+            evals: 0,
+            memo_hits: 0,
+            pruned: 0,
+            eval_nanos: 0,
+        };
+        assert_eq!(zero.hit_rate(), 0.0);
+        assert_eq!(zero.secs_per_eval(), 0.0);
     }
 
     #[test]

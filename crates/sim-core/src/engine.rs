@@ -104,6 +104,16 @@ impl<E> EventQueue<E> {
     pub fn delivered(&self) -> u64 {
         self.popped
     }
+
+    /// Drop all pending events and reset the sequence/delivery counters,
+    /// keeping the heap allocation. Lets a driver reuse one queue across
+    /// many runs (the `rbio-machine` cost-query arena) without paying a
+    /// fresh heap growth per run.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.popped = 0;
+    }
 }
 
 /// A simulation model: owns all mutable world state and reacts to events.
