@@ -33,6 +33,9 @@ RBC=target/debug/rbio-check
 "$RBC" sweep --program p8a --seeds 16
 "$RBC" sweep --program p8b --seeds 16
 "$RBC" sweep --program p8c --seeds 16
+"$RBC" sweep --program p9a --seeds 32
+"$RBC" sweep --program p9b --seeds 32
+"$RBC" sweep --program p9c --seeds 32
 
 echo "== backend conformance under the emulated ring =="
 RBIO_IO_BACKEND=ring cargo test -q -p rbio --test backend_conformance
@@ -68,6 +71,12 @@ if [[ "$SLOW" == 1 ]]; then
   "$RBC" sweep --program p8a --seeds 256
   "$RBC" sweep --program p8b --seeds 256
   "$RBC" sweep --program p8c --seeds 256
+  "$RBC" sweep --program p9a --seeds 512
+  "$RBC" sweep --program p9b --seeds 512
+  "$RBC" sweep --program p9c --seeds 512
+  "$RBC" sweep --program p9a --seeds 256 --preempt
+  "$RBC" sweep --program p9b --seeds 256 --preempt
+  "$RBC" sweep --program p9c --seeds 256 --preempt
 
   echo "== backend conformance under both backends (release) =="
   cargo test --release -q -p rbio --test backend_conformance
@@ -91,6 +100,11 @@ if [[ "$SLOW" == 1 ]]; then
   cargo run --release -p rbio-bench --bin backends
   cp target/paper-results/backends.json BENCH_backends.json
   ls -l BENCH_backends.json
+
+  echo "== multi-tenant service stress (fairness pinned at <= 2x) =="
+  cargo run --release -p rbio-bench --bin service
+  cp target/paper-results/service.json BENCH_service.json
+  ls -l BENCH_service.json
 
   echo "== rbio-tune full-budget gate (exact nf=1024 rediscovery) =="
   cargo build --release -p rbio-tune

@@ -1,0 +1,305 @@
+//! Multi-tenant checkpoint-service stress bench.
+//!
+//! Unlike the figure benches, this one exercises the *real* service —
+//! real files, real flush pool, real contention — and pins the fairness
+//! and isolation claims of DESIGN.md §16 as hard assertions:
+//!
+//! * **Equal-weight fairness** — four weight-1 tenants stream identical
+//!   checkpoints concurrently; the max/min per-tenant goodput ratio
+//!   must stay ≤ 2.0× (the weighted-fair-queuing bound: no tenant runs
+//!   more than a quantum ahead, so finish times bunch).
+//! * **Weight proportionality** — a weight-2 tenant streaming beside a
+//!   weight-1 tenant for a fixed window must move ~2× the bytes
+//!   (accepted band 1.4×–2.8×, the same tolerance as the unit tests).
+//! * **QoS preemption** — latency-sensitive restores interleaved with
+//!   bulk checkpoints must register preemptions and finish promptly.
+//! * **Typed admission overload** — a burst past `max_inflight` +
+//!   `queue_depth` must produce typed `Rejected`/timeout outcomes, not
+//!   hangs.
+//!
+//! Any miss is a process-level assertion failure (exit 1), so the slow
+//! CI tier gates on it. Usage: `service` (writes
+//! `target/paper-results/service.json`, the source for
+//! `BENCH_service.json`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rbio::service::{CheckpointService, QosClass, ServiceConfig, ServiceError, TenantSpec};
+use rbio_bench::report::{check, print_table, FigureData, Series};
+use rbio_profile::counters;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rbio-bench-svc-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn payload(tenant: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (tenant as usize * 31 + i * 7) as u8)
+        .collect()
+}
+
+/// Four equal-weight tenants stream `bytes` each, started on a barrier;
+/// returns per-tenant goodput in MB/s.
+fn equal_weight_goodput(bytes: usize) -> Vec<f64> {
+    let dir = tmpdir("fair");
+    let svc = Arc::new(CheckpointService::new(
+        ServiceConfig::new(&dir)
+            .pool_threads(4)
+            .admission(8, 8)
+            .quantum(16 << 10)
+            .timeouts(Duration::from_secs(10), Duration::from_secs(10)),
+    ));
+    let start = Arc::new(Barrier::new(4));
+    let mut handles = Vec::new();
+    for id in 0..4u64 {
+        let svc = Arc::clone(&svc);
+        let start = Arc::clone(&start);
+        handles.push(std::thread::spawn(move || {
+            let mut s = svc
+                .checkpoint(TenantSpec::new(id), "gen.ckpt")
+                .expect("admit");
+            let chunk = payload(id, 64 << 10);
+            start.wait();
+            let t0 = Instant::now();
+            let mut left = bytes;
+            while left > 0 {
+                let n = left.min(chunk.len());
+                s.write(&chunk[..n]).expect("write");
+                left -= n;
+            }
+            s.commit().expect("commit");
+            bytes as f64 / t0.elapsed().as_secs_f64() / 1e6
+        }));
+    }
+    let goodput: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread"))
+        .collect();
+    drop(svc);
+    std::fs::remove_dir_all(&dir).ok();
+    goodput
+}
+
+/// Weight-1 vs weight-2 tenants streaming for a fixed window; returns
+/// (bytes moved at weight 1, bytes moved at weight 2).
+fn weighted_window(window: Duration) -> (u64, u64) {
+    let dir = tmpdir("weighted");
+    let svc = Arc::new(CheckpointService::new(
+        ServiceConfig::new(&dir)
+            .pool_threads(4)
+            .admission(8, 8)
+            .quantum(8 << 10)
+            .timeouts(Duration::from_secs(10), Duration::from_secs(10)),
+    ));
+    let start = Arc::new(Barrier::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for (id, weight) in [(10u64, 1u32), (11, 2)] {
+        let svc = Arc::clone(&svc);
+        let start = Arc::clone(&start);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut s = svc
+                .checkpoint(TenantSpec::new(id).weight(weight), "gen.ckpt")
+                .expect("admit");
+            // Four grant quanta per write call, so the arbiter (not the
+            // submit path) decides the byte split.
+            let chunk = payload(id, 32 << 10);
+            start.wait();
+            let mut total = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                s.write(&chunk).expect("write");
+                total += chunk.len() as u64;
+            }
+            s.commit().expect("commit");
+            total
+        }));
+    }
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let totals: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread"))
+        .collect();
+    drop(svc);
+    std::fs::remove_dir_all(&dir).ok();
+    (totals[0], totals[1])
+}
+
+/// Bulk checkpoint streams vs interleaved latency-sensitive restores;
+/// returns (preemption count, worst restore latency).
+fn qos_preemption() -> (u64, Duration) {
+    let dir = tmpdir("qos");
+    let svc = Arc::new(CheckpointService::new(
+        ServiceConfig::new(&dir)
+            .pool_threads(4)
+            .admission(8, 8)
+            .quantum(1 << 10)
+            .timeouts(Duration::from_secs(10), Duration::from_secs(10)),
+    ));
+    let lat = TenantSpec::new(20).qos(QosClass::LatencySensitive);
+    let mut s = svc.checkpoint(lat, "seed.ckpt").expect("admit seed");
+    s.write(&payload(20, 16 << 10)).expect("seed write");
+    s.commit().expect("seed commit");
+
+    let before = counters::service_snapshot();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for id in 21..23u64 {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut s = svc
+                .checkpoint(TenantSpec::new(id), "bulk.ckpt")
+                .expect("admit bulk");
+            let chunk = payload(id, 8 << 10);
+            while !stop.load(Ordering::Relaxed) {
+                s.write(&chunk).expect("bulk write");
+            }
+            s.commit().expect("bulk commit");
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    let mut worst = Duration::ZERO;
+    for _ in 0..6 {
+        let t0 = Instant::now();
+        let mut r = svc.restore(lat, "seed.ckpt").expect("restore admit");
+        assert_eq!(r.read_all().expect("restore read").len(), 16 << 10);
+        worst = worst.max(t0.elapsed());
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("bulk writer");
+    }
+    let delta = counters::service_snapshot().delta_since(&before);
+    drop(svc);
+    std::fs::remove_dir_all(&dir).ok();
+    (delta.preemptions, worst)
+}
+
+/// Overload a tiny gate (2 in flight, 1 queued, 50 ms admit deadline)
+/// with three extra arrivals; returns (rejected, timed out, admitted).
+fn admission_overload() -> (u32, u32, u32) {
+    let dir = tmpdir("admission");
+    let svc = Arc::new(CheckpointService::new(
+        ServiceConfig::new(&dir)
+            .admission(2, 1)
+            .timeouts(Duration::from_millis(50), Duration::from_secs(10)),
+    ));
+    let _hold_a = svc
+        .checkpoint(TenantSpec::new(30), "a.ckpt")
+        .expect("admit");
+    let _hold_b = svc
+        .checkpoint(TenantSpec::new(31), "b.ckpt")
+        .expect("admit");
+    let mut attempts = Vec::new();
+    for id in 32..35u64 {
+        let svc = Arc::clone(&svc);
+        attempts.push(std::thread::spawn(move || {
+            svc.checkpoint(TenantSpec::new(id), "c.ckpt").map(drop)
+        }));
+    }
+    let (mut rejected, mut timed_out, mut admitted) = (0u32, 0u32, 0u32);
+    for a in attempts {
+        match a.join().expect("attempt thread") {
+            Ok(()) => admitted += 1,
+            Err(ServiceError::Rejected { .. }) => rejected += 1,
+            Err(ServiceError::AdmitTimeout { .. }) => timed_out += 1,
+            Err(e) => panic!("unexpected admission outcome: {e}"),
+        }
+    }
+    drop((_hold_a, _hold_b));
+    drop(svc);
+    std::fs::remove_dir_all(&dir).ok();
+    (rejected, timed_out, admitted)
+}
+
+fn main() {
+    let mut notes = Vec::new();
+
+    // --- Equal-weight fairness (the pinned gate). ---
+    let goodput = equal_weight_goodput(4 << 20);
+    let max = goodput.iter().cloned().fold(f64::MIN, f64::max);
+    let min = goodput.iter().cloned().fold(f64::MAX, f64::min);
+    let ratio = max / min;
+    print_table(
+        "Equal-weight tenant goodput",
+        &["t0".into(), "t1".into(), "t2".into(), "t3".into()],
+        &[("goodput".into(), goodput.clone())],
+        "MB/s",
+    );
+    let fair_ok = ratio <= 2.0;
+    notes.push(check(
+        &format!("equal-weight max/min goodput ratio {ratio:.3} <= 2.0"),
+        fair_ok,
+    ));
+
+    // --- Weight proportionality. ---
+    let (b1, b2) = weighted_window(Duration::from_millis(250));
+    let wratio = b2 as f64 / b1 as f64;
+    let weighted_ok = (1.4..=2.8).contains(&wratio);
+    notes.push(check(
+        &format!(
+            "weight-2 tenant moved {wratio:.2}x the weight-1 bytes ({b2} vs {b1}), in [1.4, 2.8]"
+        ),
+        weighted_ok,
+    ));
+
+    // --- QoS preemption. ---
+    let (preemptions, worst) = qos_preemption();
+    let qos_ok = preemptions >= 1 && worst < Duration::from_secs(5);
+    notes.push(check(
+        &format!(
+            "latency restores preempted bulk writers {preemptions} times, worst latency {worst:?}"
+        ),
+        qos_ok,
+    ));
+
+    // --- Typed admission overload. ---
+    let (rejected, timed_out, admitted) = admission_overload();
+    let admission_ok = rejected >= 1 && rejected + timed_out + admitted == 3;
+    notes.push(check(
+        &format!(
+            "admission burst past capacity: {rejected} rejected, {timed_out} timed out, \
+             {admitted} admitted (all typed, none hung)"
+        ),
+        admission_ok,
+    ));
+
+    FigureData {
+        id: "service".into(),
+        title: "Multi-tenant checkpoint service: fairness, weights, QoS, admission".into(),
+        series: vec![
+            Series {
+                label: "equal-weight goodput MB/s (tenant 0..3)".into(),
+                x: (0..goodput.len()).map(|i| i as f64).collect(),
+                y: goodput,
+            },
+            Series {
+                label: "bytes moved in fixed window (weight 1, weight 2)".into(),
+                x: vec![1.0, 2.0],
+                y: vec![b1 as f64, b2 as f64],
+            },
+        ],
+        notes,
+    }
+    .save();
+
+    assert!(
+        fair_ok,
+        "equal-weight goodput ratio {ratio:.3} exceeded the 2.0x fairness bound"
+    );
+    assert!(
+        weighted_ok,
+        "weighted byte ratio {wratio:.2} outside [1.4, 2.8]"
+    );
+    assert!(qos_ok, "QoS preemption missing or restore latency degraded");
+    assert!(
+        admission_ok,
+        "admission overload outcomes not typed/bounded"
+    );
+}

@@ -46,13 +46,30 @@
 //!   foreground keeps leasing from the same private pool while a ring
 //!   batch is mid-reap, which must never observe a payload fingerprint
 //!   change between submit and reap.
+//! * `p9a` — the service admission gate under contention: one in-flight
+//!   slot and one queue slot raced by three sessions. On every schedule
+//!   at most one session is in flight, exactly one contender queues and
+//!   is admitted after the holder leaves, and exactly one is rejected
+//!   with the typed error.
+//! * `p9b` — weighted fair-share grants: two tenants (weights 1 and 2)
+//!   pump equal-sized grants through the arbiter. Because a looping
+//!   tenant is continuously re-registered as a waiter between grants,
+//!   the WFQ bound is schedule-independent: neither tenant's
+//!   weight-normalized bytes may lead the other's by more than two
+//!   quanta while both are active, and every grant completes (no
+//!   starvation, no timeout) on every schedule.
+//! * `p9c` — QoS preemption: a throughput tenant streams grants while a
+//!   latency-sensitive tenant runs a burst. From the burst's first
+//!   registration to its leave, the throughput tenant must complete
+//!   zero grants, and it must resume (and finish) after the burst ends.
 //!
 //! [`WriterHandle`]: rbio::pipeline::WriterHandle
 //! [`SendAttempt`]: rbio::sched::Event::SendAttempt
 
 use std::fs::OpenOptions;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use rbio::backend::{RingBackend, RingConfig};
@@ -66,6 +83,8 @@ use rbio::manager::{CheckpointManager, GenerationState, ManagerConfig};
 use rbio::pipeline::{FlushJob, FlushPool, WriterTuning};
 use rbio::restart::RestoredData;
 use rbio::rt;
+use rbio::sched::{self, Point};
+use rbio::service::{Admission, AdmissionGate, FairShare, QosClass, ServiceError, TenantSpec};
 use rbio::strategy::{CheckpointSpec, RbIoCommit, Strategy};
 use rbio::tier::TierConfig;
 use rbio_plan::{DataRef, Op, ProgramBuilder, Tag};
@@ -93,10 +112,16 @@ pub enum ProgramKind {
     RingErrorLatch,
     /// `p8c`: pooled buffers racing late ring completions.
     RingRecycle,
+    /// `p9a`: admission gate mutual exclusion / queue / reject (PR 9).
+    ServiceAdmission,
+    /// `p9b`: weighted fair-share grant bounds and liveness.
+    ServiceFairShare,
+    /// `p9c`: latency-sensitive QoS preemption of throughput grants.
+    ServiceQos,
 }
 
 impl ProgramKind {
-    /// Parse a CLI/label name (`p1`..`p8c`).
+    /// Parse a CLI/label name (`p1`..`p9c`).
     pub fn parse(s: &str) -> Option<ProgramKind> {
         match s {
             "p1" => Some(ProgramKind::PipelineRace),
@@ -109,12 +134,15 @@ impl ProgramKind {
             "p8a" => Some(ProgramKind::RingEquiv),
             "p8b" => Some(ProgramKind::RingErrorLatch),
             "p8c" => Some(ProgramKind::RingRecycle),
+            "p9a" => Some(ProgramKind::ServiceAdmission),
+            "p9b" => Some(ProgramKind::ServiceFairShare),
+            "p9c" => Some(ProgramKind::ServiceQos),
             _ => None,
         }
     }
 
     /// Every family, in sweep order.
-    pub fn all() -> [ProgramKind; 10] {
+    pub fn all() -> [ProgramKind; 13] {
         [
             ProgramKind::PipelineRace,
             ProgramKind::ExecEquiv,
@@ -126,10 +154,13 @@ impl ProgramKind {
             ProgramKind::RingEquiv,
             ProgramKind::RingErrorLatch,
             ProgramKind::RingRecycle,
+            ProgramKind::ServiceAdmission,
+            ProgramKind::ServiceFairShare,
+            ProgramKind::ServiceQos,
         ]
     }
 
-    /// Short stable name (`p1`..`p8c`).
+    /// Short stable name (`p1`..`p9c`).
     pub fn label(&self) -> &'static str {
         match self {
             ProgramKind::PipelineRace => "p1",
@@ -142,6 +173,9 @@ impl ProgramKind {
             ProgramKind::RingEquiv => "p8a",
             ProgramKind::RingErrorLatch => "p8b",
             ProgramKind::RingRecycle => "p8c",
+            ProgramKind::ServiceAdmission => "p9a",
+            ProgramKind::ServiceFairShare => "p9b",
+            ProgramKind::ServiceQos => "p9c",
         }
     }
 
@@ -162,6 +196,15 @@ impl ProgramKind {
                 "mid-batch write failure latching through ring completions"
             }
             ProgramKind::RingRecycle => "pooled staging buffers racing late ring completions",
+            ProgramKind::ServiceAdmission => {
+                "service admission gate: mutual exclusion, FIFO queue, typed reject"
+            }
+            ProgramKind::ServiceFairShare => {
+                "weighted fair-share grants: bounded overtake, no starvation"
+            }
+            ProgramKind::ServiceQos => {
+                "latency-sensitive burst freezes throughput grants, then both finish"
+            }
         }
     }
 
@@ -210,6 +253,9 @@ pub fn prepare(kind: ProgramKind, dir: &Path) -> PreparedProgram {
         ProgramKind::RingEquiv => prepare_ring_equiv(dir),
         ProgramKind::RingErrorLatch => prepare_ring_error_latch(dir),
         ProgramKind::RingRecycle => prepare_ring_recycle(dir),
+        ProgramKind::ServiceAdmission => prepare_service_admission(dir),
+        ProgramKind::ServiceFairShare => prepare_service_fair_share(dir),
+        ProgramKind::ServiceQos => prepare_service_qos(dir),
     }
 }
 
@@ -907,5 +953,281 @@ fn prepare_tier_loss(dir: &Path) -> PreparedProgram {
             }
             rbio_files_eq(&pfs, &ref_dir)
         }),
+    }
+}
+
+/// `p9a`: one in-flight slot, one queue slot, three sessions. The body
+/// holds the slot, then races two contenders: on every schedule exactly
+/// one queues (and admits only after the holder leaves) and the other
+/// gets the typed `Rejected` error; the gate never reports more than
+/// one session in flight. The holder releases only after observing the
+/// rejection, so the phase structure is schedule-independent.
+fn prepare_service_admission(_dir: &Path) -> PreparedProgram {
+    PreparedProgram {
+        body: Box::new(move || {
+            let gate = AdmissionGate::new(1, 1, Duration::from_secs(5));
+            let inflight = Arc::new(AtomicUsize::new(0));
+            let peak = Arc::new(AtomicUsize::new(0));
+            let rejected = Arc::new(AtomicUsize::new(0));
+            let queued_admitted = Arc::new(AtomicUsize::new(0));
+            let immediate = Arc::new(AtomicUsize::new(0));
+            let live = Arc::new(AtomicUsize::new(2));
+            let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+            let holder = gate.acquire(0).map_err(|e| format!("seed acquire: {e}"))?;
+            if !matches!(holder.admission, Admission::Admitted) {
+                return Err("empty gate queued its first session".into());
+            }
+            inflight.store(1, Ordering::SeqCst);
+
+            let mut handles = Vec::new();
+            for t in 1..=2u64 {
+                let gate = Arc::clone(&gate);
+                let inflight = Arc::clone(&inflight);
+                let peak = Arc::clone(&peak);
+                let rejected = Arc::clone(&rejected);
+                let queued_admitted = Arc::clone(&queued_admitted);
+                let immediate = Arc::clone(&immediate);
+                let live = Arc::clone(&live);
+                let errors = Arc::clone(&errors);
+                sched::spawning();
+                handles.push(std::thread::spawn(move || {
+                    sched::register(&format!("tenant{t}"));
+                    match gate.acquire(t) {
+                        Ok(p) => {
+                            let now = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            match p.admission {
+                                Admission::Queued => queued_admitted.fetch_add(1, Ordering::SeqCst),
+                                Admission::Admitted => immediate.fetch_add(1, Ordering::SeqCst),
+                            };
+                            sched::yield_now(Point::Progress);
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                            drop(p);
+                        }
+                        Err(ServiceError::Rejected { .. }) => {
+                            rejected.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            let mut g = errors.lock().expect("error list");
+                            g.push(format!("tenant {t}: {e}"));
+                        }
+                    }
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    sched::unregister();
+                }));
+            }
+            // Hold the slot until one contender is queued and the other
+            // rejected — only then does releasing make the queue drain.
+            // (An unexpected contender error also ends the hold, so a
+            // broken gate surfaces as a violation, not a stuck run.)
+            while rejected.load(Ordering::SeqCst) == 0
+                && errors.lock().expect("error list").is_empty()
+            {
+                sched::yield_now(Point::JoinWait);
+            }
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            drop(holder);
+            while live.load(Ordering::SeqCst) > 0 {
+                sched::yield_now(Point::JoinWait);
+            }
+            for h in handles {
+                h.join().map_err(|_| "contender panicked".to_string())?;
+            }
+            let errs = errors.lock().expect("error list");
+            if !errs.is_empty() {
+                return Err(errs.join("; "));
+            }
+            let peak = peak.load(Ordering::SeqCst);
+            if peak > 1 {
+                return Err(format!("admission ceiling violated: {peak} in flight"));
+            }
+            let (r, q, a) = (
+                rejected.load(Ordering::SeqCst),
+                queued_admitted.load(Ordering::SeqCst),
+                immediate.load(Ordering::SeqCst),
+            );
+            if (r, q, a) != (1, 1, 0) {
+                return Err(format!(
+                    "outcome mix (rejected, queued, immediate) = ({r}, {q}, {a}), want (1, 1, 0)"
+                ));
+            }
+            Ok(())
+        }),
+        verify: Box::new(|| Ok(())),
+    }
+}
+
+/// `p9b`: tenants of weight 1 and 2 each pump six equal-sized grants.
+/// Under the controlled scheduler a looping tenant is re-registered as
+/// a waiter before it ever yields, so whenever one tenant is granted
+/// the other is either waiting or finished — which makes the WFQ bound
+/// exact on every schedule: a tenant's weight-normalized bytes may not
+/// lead an active contender's by more than two quanta. Liveness rides
+/// along: every grant must complete (no `GrantTimeout`, no starvation).
+fn prepare_service_fair_share(_dir: &Path) -> PreparedProgram {
+    const Q: u64 = 1024;
+    const K: u64 = 6;
+    PreparedProgram {
+        body: Box::new(move || {
+            let fs = Arc::new(FairShare::new(Q, Duration::from_secs(5)));
+            fs.join(&TenantSpec::new(1).weight(1));
+            fs.join(&TenantSpec::new(2).weight(2));
+            let bytes: Arc<[AtomicU64; 2]> = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+            let done: Arc<[AtomicBool; 2]> =
+                Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+            let live = Arc::new(AtomicUsize::new(2));
+            let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for (idx, weight) in [(0usize, 1u64), (1usize, 2u64)] {
+                let fs = Arc::clone(&fs);
+                let bytes = Arc::clone(&bytes);
+                let done = Arc::clone(&done);
+                let live = Arc::clone(&live);
+                let violations = Arc::clone(&violations);
+                sched::spawning();
+                handles.push(std::thread::spawn(move || {
+                    let id = idx as u64 + 1;
+                    sched::register(&format!("tenant{id}"));
+                    let other = 1 - idx;
+                    let other_weight = 3 - weight;
+                    for _ in 0..K {
+                        if let Err(e) = fs.grant(id, Q) {
+                            let mut g = violations.lock().expect("violations");
+                            g.push(format!("tenant {id} grant: {e}"));
+                            break;
+                        }
+                        let mine = bytes[idx].fetch_add(Q, Ordering::SeqCst) + Q;
+                        // `theirs == 0` can also mean "not yet entered
+                        // its first grant", where the bound does not
+                        // apply — skip until the contender has output.
+                        let theirs = bytes[other].load(Ordering::SeqCst);
+                        if !done[other].load(Ordering::SeqCst)
+                            && theirs > 0
+                            && mine / weight > theirs / other_weight + 2 * Q
+                        {
+                            let mut g = violations.lock().expect("violations");
+                            g.push(format!(
+                                "tenant {id} overtook: {mine}B at weight {weight} vs \
+                                 {theirs}B at weight {other_weight} (quantum {Q})"
+                            ));
+                        }
+                    }
+                    done[idx].store(true, Ordering::SeqCst);
+                    fs.leave(id);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    sched::unregister();
+                }));
+            }
+            while live.load(Ordering::SeqCst) > 0 {
+                sched::yield_now(Point::JoinWait);
+            }
+            for h in handles {
+                h.join().map_err(|_| "tenant thread panicked".to_string())?;
+            }
+            let v = violations.lock().expect("violations");
+            if !v.is_empty() {
+                return Err(v.join("; "));
+            }
+            for (i, b) in bytes.iter().enumerate() {
+                let got = b.load(Ordering::SeqCst);
+                if got != K * Q {
+                    return Err(format!(
+                        "tenant {} moved {got} bytes, want {}",
+                        i + 1,
+                        K * Q
+                    ));
+                }
+            }
+            Ok(())
+        }),
+        verify: Box::new(|| Ok(())),
+    }
+}
+
+/// `p9c`: a throughput tenant streams grants while a latency-sensitive
+/// tenant (joined up front so every grant parks) runs a four-grant
+/// burst. From the burst's first registration to its leave the
+/// throughput stream must complete zero grants — the burst's waiters
+/// freeze it at every grant point — and it must resume and finish once
+/// the burst ends.
+fn prepare_service_qos(_dir: &Path) -> PreparedProgram {
+    const Q: u64 = 512;
+    PreparedProgram {
+        body: Box::new(move || {
+            let fs = Arc::new(FairShare::new(Q, Duration::from_secs(5)));
+            fs.join(&TenantSpec::new(7).qos(QosClass::Throughput));
+            // Joined before the stream starts so the throughput loop
+            // always has a contender registered and therefore parks
+            // (yields) at every grant even while running alone.
+            fs.join(&TenantSpec::new(9).qos(QosClass::LatencySensitive));
+            let t_count = Arc::new(AtomicU64::new(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let live = Arc::new(AtomicUsize::new(1));
+            let thr_err: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+            sched::spawning();
+            let handle = {
+                let fs = Arc::clone(&fs);
+                let t_count = Arc::clone(&t_count);
+                let stop = Arc::clone(&stop);
+                let live = Arc::clone(&live);
+                let thr_err = Arc::clone(&thr_err);
+                std::thread::spawn(move || {
+                    sched::register("thr");
+                    while !stop.load(Ordering::SeqCst) {
+                        if let Err(e) = fs.grant(7, Q) {
+                            *thr_err.lock().expect("thr error slot") =
+                                Some(format!("throughput grant: {e}"));
+                            break;
+                        }
+                        t_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                    fs.leave(7);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    sched::unregister();
+                })
+            };
+            // Let the stream establish itself before the burst.
+            while t_count.load(Ordering::SeqCst) < 2 {
+                if thr_err.lock().expect("thr error slot").is_some() {
+                    break;
+                }
+                sched::yield_now(Point::JoinWait);
+            }
+            let before = t_count.load(Ordering::SeqCst);
+            let mut burst_err = None;
+            for i in 0..4 {
+                if let Err(e) = fs.grant(9, Q) {
+                    burst_err = Some(format!("latency grant {i}: {e}"));
+                    break;
+                }
+            }
+            let after = t_count.load(Ordering::SeqCst);
+            fs.leave(9);
+            stop.store(true, Ordering::SeqCst);
+            while live.load(Ordering::SeqCst) > 0 {
+                sched::yield_now(Point::JoinWait);
+            }
+            handle
+                .join()
+                .map_err(|_| "throughput thread panicked".to_string())?;
+            if let Some(e) = burst_err {
+                return Err(e);
+            }
+            if let Some(e) = thr_err.lock().expect("thr error slot").take() {
+                return Err(e);
+            }
+            if after != before {
+                return Err(format!(
+                    "throughput tenant completed {} grants under a latency waiter",
+                    after - before
+                ));
+            }
+            if t_count.load(Ordering::SeqCst) <= before {
+                return Err("throughput stream never resumed after the burst".into());
+            }
+            Ok(())
+        }),
+        verify: Box::new(|| Ok(())),
     }
 }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 
 use rbio_plan::{DataRef, Op, Program};
 use rbio_profile::counters;
@@ -41,6 +41,16 @@ pub static REVERT_PR3_FAULT_DROP: AtomicBool = AtomicBool::new(false);
 /// Futile receive polls a controlled run allows before the typed recv
 /// timeout surfaces — the deterministic analogue of `recv_timeout`.
 pub(crate) const CHECK_RECV_POLL_BUDGET: u32 = 2000;
+
+/// Futile send polls (full bounded mailbox) a controlled run allows
+/// before the typed send timeout surfaces — the deterministic analogue
+/// of the wall-clock send deadline.
+pub(crate) const CHECK_SEND_POLL_BUDGET: u32 = 2000;
+
+/// Default per-rank mailbox capacity (messages). Bounded so a burst or a
+/// stalled receiver exerts backpressure on senders instead of growing
+/// the heap without bound; override via [`ExecConfig::chan_capacity`].
+pub const DEFAULT_CHAN_CAPACITY: usize = 256;
 
 /// Default cap on one coalesced vectored write, bytes. Overridable per
 /// run via [`ExecConfig::coalesce_caps`] (the autotuner exports tuned
@@ -155,6 +165,11 @@ pub struct ExecConfig {
     pub coalesce_max_bytes: u64,
     /// Cap on chunks per coalesced vectored write (min 1).
     pub coalesce_max_ops: usize,
+    /// Per-rank message mailbox capacity (min 1). Mailboxes are bounded
+    /// `sync_channel`s: a sender facing a full mailbox blocks (bounded
+    /// resident bytes) and surfaces the typed `TimedOut` error after
+    /// `recv_timeout` rather than growing the queue without limit.
+    pub chan_capacity: usize,
 }
 
 impl ExecConfig {
@@ -176,6 +191,7 @@ impl ExecConfig {
             io_backend: BackendKind::Default,
             coalesce_max_bytes: DEFAULT_COALESCE_BYTES,
             coalesce_max_ops: DEFAULT_COALESCE_OPS,
+            chan_capacity: DEFAULT_CHAN_CAPACITY,
         }
     }
 
@@ -226,6 +242,12 @@ impl ExecConfig {
     pub fn coalesce_caps(mut self, max_bytes: u64, max_ops: usize) -> Self {
         self.coalesce_max_bytes = max_bytes.max(1);
         self.coalesce_max_ops = max_ops.max(1);
+        self
+    }
+
+    /// Set the per-rank message mailbox capacity (clamped to at least 1).
+    pub fn chan_capacity(mut self, cap: usize) -> Self {
+        self.chan_capacity = cap.max(1);
         self
     }
 }
@@ -288,6 +310,14 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 type Msg = (u32, u64, Bytes); // (src, tag, data)
+
+/// How a bounded send ended. `Disconnected` (receiver endpoint dropped)
+/// is not an error by itself — callers decide based on failover fencing
+/// whether a gone receiver is expected or fatal.
+enum SendOutcome {
+    Sent,
+    Disconnected,
+}
 
 /// An abort-induced error: the rank stopped because a *peer* failed, not
 /// because of its own fault. `execute` prefers reporting the root cause.
@@ -390,7 +420,7 @@ struct RankCtx<'a> {
     staging: Vec<u8>,
     rx: Receiver<Msg>,
     stash: HashMap<(u32, u64), std::collections::VecDeque<Bytes>>,
-    senders: &'a [Sender<Msg>],
+    senders: &'a [SyncSender<Msg>],
     barriers: &'a [AbortBarrier],
     files: HashMap<u32, Arc<File>>,
     cfg: &'a ExecConfig,
@@ -510,10 +540,10 @@ impl RankCtx<'_> {
                         // The destination writer is dead: its successor
                         // re-derives this payload from the shared buffers
                         // during takeover, so there is nothing to deliver.
-                    } else if self.senders[*dst as usize]
-                        .send((self.rank, tag.0, data))
-                        .is_err()
-                    {
+                    } else if matches!(
+                        self.send_bounded(*dst, self.rank, tag.0, data)?,
+                        SendOutcome::Disconnected
+                    ) {
                         if self.director.is_some_and(|d| d.is_fenced(*dst)) {
                             // The writer died between the check and the
                             // send — same rerouting applies.
@@ -1038,6 +1068,84 @@ impl RankCtx<'_> {
         }
     }
 
+    /// Deadline-bounded send into `dst`'s bounded mailbox. A full
+    /// mailbox blocks the sender (that bounded wait *is* the
+    /// backpressure this PR's bugfix pins — resident queue bytes can
+    /// never exceed `chan_capacity` messages) until the receiver drains
+    /// a slot, the run aborts, or the deadline passes, in which case the
+    /// same typed `TimedOut` error as a receive timeout surfaces.
+    fn send_bounded(
+        &self,
+        dst: u32,
+        src_rank: u32,
+        tag: u64,
+        data: Bytes,
+    ) -> io::Result<SendOutcome> {
+        let mut msg = (src_rank, tag, data);
+        match self.senders[dst as usize].try_send(msg) {
+            Ok(()) => return Ok(SendOutcome::Sent),
+            Err(TrySendError::Disconnected(_)) => return Ok(SendOutcome::Disconnected),
+            Err(TrySendError::Full(m)) => msg = m,
+        }
+        counters::add_send_backpressure_blocks(1);
+        if sched::registered() {
+            // Controlled run: a futile-poll budget replaces the
+            // wall-clock deadline (see `recv_matching_controlled`).
+            let mut budget = CHECK_SEND_POLL_BUDGET;
+            loop {
+                if self.abort.load(Ordering::Acquire) {
+                    return Err(abort_error());
+                }
+                match self.senders[dst as usize].try_send(msg) {
+                    Ok(()) => return Ok(SendOutcome::Sent),
+                    Err(TrySendError::Disconnected(_)) => return Ok(SendOutcome::Disconnected),
+                    Err(TrySendError::Full(m)) => {
+                        if budget == 0 {
+                            counters::add_send_backpressure_timeouts(1);
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!(
+                                    "send timeout: rank {dst}'s mailbox stayed full for \
+                                     {CHECK_SEND_POLL_BUDGET} controlled polls (stalled receiver?)"
+                                ),
+                            ));
+                        }
+                        budget -= 1;
+                        msg = m;
+                        sched::yield_now(Point::SendFull);
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + self.cfg.recv_timeout;
+        loop {
+            // A rank blocked in a send is alive, just backpressured.
+            self.beat.fetch_add(1, Ordering::Relaxed);
+            if self.abort.load(Ordering::Acquire) {
+                return Err(abort_error());
+            }
+            match self.senders[dst as usize].try_send(msg) {
+                Ok(()) => return Ok(SendOutcome::Sent),
+                Err(TrySendError::Disconnected(_)) => return Ok(SendOutcome::Disconnected),
+                Err(TrySendError::Full(m)) => {
+                    if Instant::now() >= deadline {
+                        counters::add_send_backpressure_timeouts(1);
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "send timeout: rank {dst}'s mailbox stayed full for {:?} \
+                                 (stalled receiver?)",
+                                self.cfg.recv_timeout
+                            ),
+                        ));
+                    }
+                    msg = m;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+    }
+
     /// Re-execute the orphaned writer's op list on this (surviving) rank.
     ///
     /// Failover is pull-based: instead of replaying the messages the dead
@@ -1113,9 +1221,10 @@ impl RankCtx<'_> {
                     // the receiver's stash.
                     let d = bytes_of(&payloads[orphan as usize], &staging, src, 0);
                     if !dir.is_fenced(*dst)
-                        && self.senders[*dst as usize]
-                            .send((orphan, tag.0, Bytes::from_vec(d)))
-                            .is_err()
+                        && matches!(
+                            self.send_bounded(*dst, orphan, tag.0, Bytes::from_vec(d))?,
+                            SendOutcome::Disconnected
+                        )
                         && !dir.is_fenced(*dst)
                     {
                         return Err(abort_error());
@@ -1415,7 +1524,7 @@ pub fn execute(
     let mut txs = Vec::with_capacity(nranks);
     let mut rxs = Vec::with_capacity(nranks);
     for _ in 0..nranks {
-        let (tx, rx) = unbounded::<Msg>();
+        let (tx, rx) = sync_channel::<Msg>(cfg.chan_capacity.max(1));
         txs.push(tx);
         rxs.push(Some(rx));
     }
@@ -1725,6 +1834,69 @@ mod tests {
         assert_eq!(rep.rank_times.len(), 2);
         let bytes = std::fs::read(dir.join("out.bin")).unwrap();
         assert_eq!(bytes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stalled_receiver_bounds_resident_queue_and_times_out() {
+        // Pre-PR the rank mailboxes were unbounded `mpsc::channel`s: a
+        // sender bursting at a stalled receiver grew the heap without
+        // limit and never surfaced an error. Bounded mailboxes cap the
+        // resident queue at `chan_capacity` messages and surface the
+        // typed send timeout.
+        let before = counters::service_snapshot();
+        let cap = 4usize;
+        let burst = 8usize;
+        let mut b = ProgramBuilder::new(vec![0, 0]);
+        // Rank 1 "stalls" (models a slow writer) before draining.
+        b.push(
+            1,
+            Op::Compute {
+                nanos: Duration::from_millis(400).as_nanos() as u64,
+            },
+        );
+        b.reserve_staging(1, 1024);
+        for _ in 0..burst {
+            b.push(
+                0,
+                Op::Send {
+                    dst: 1,
+                    tag: Tag(7),
+                    src: DataRef::Synthetic { len: 1024 },
+                },
+            );
+            b.push(
+                1,
+                Op::Recv {
+                    src: 0,
+                    tag: Tag(7),
+                    bytes: 1024,
+                    staging_off: 0,
+                },
+            );
+        }
+        let p = b.build();
+        let dir = tmpdir("stalled-recv");
+        let cfg = ExecConfig::new(&dir).chan_capacity(cap);
+        let cfg = ExecConfig {
+            honor_compute: true,
+            recv_timeout: Duration::from_millis(50),
+            ..cfg
+        };
+        let err = execute(&p, vec![vec![], vec![]], &cfg).expect_err("send must time out");
+        match err {
+            ExecError::Io { rank: 0, source } => {
+                assert_eq!(source.kind(), io::ErrorKind::TimedOut, "{source}");
+                assert!(source.to_string().contains("send timeout"), "{source}");
+            }
+            other => panic!("expected rank 0 send timeout, got {other}"),
+        }
+        let delta = counters::service_snapshot().delta_since(&before);
+        assert!(delta.send_backpressure_blocks >= 1, "block must be counted");
+        assert!(
+            delta.send_backpressure_timeouts >= 1,
+            "timeout must be counted"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

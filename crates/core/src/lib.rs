@@ -57,6 +57,7 @@ pub mod pipeline;
 pub mod restart;
 pub mod rt;
 pub mod sched;
+pub mod service;
 pub mod strategy;
 pub mod tier;
 pub mod vtk;

@@ -257,6 +257,19 @@ struct Shared {
     work: Condvar,
     /// Signaled when a job completes (backpressure / drain wakeups).
     done: Condvar,
+    /// Set by [`FlushPool::shutdown`]: workers exit once idle.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
 }
 
 /// Wait on `cv` for a state change — or, when the calling thread is
@@ -279,14 +292,26 @@ fn pool_wait<'a>(
     }
 }
 
-/// The process-wide flush thread pool.
+/// A flush thread pool: a fixed set of worker threads draining
+/// per-writer FIFO queues. Historically one process-wide instance; now
+/// explicitly constructible ([`FlushPool::with_threads`]) so a
+/// long-lived service owns — and can *re*-configure — its pool instead
+/// of being stuck with whatever the first caller froze into the
+/// `OnceLock` global.
 pub struct FlushPool {
     shared: Arc<Shared>,
+    threads: usize,
 }
 
 /// Pool used by controlled (`rbio-check`) runs instead of the global
 /// one, so schedule decisions see a fixed, named set of worker threads.
 static CHECK_POOL: RwLock<Option<Arc<FlushPool>>> = RwLock::new(None);
+
+/// The service-owned pool, when one is installed: [`FlushPool::current`]
+/// routes every executor registration here, so replacing it (new worker
+/// count, fresh workers) takes effect for all subsequent runs — the
+/// behavior the stale `OnceLock` global silently dropped.
+static INSTALLED: RwLock<Option<Arc<FlushPool>>> = RwLock::new(None);
 
 impl FlushPool {
     fn global_arc() -> &'static Arc<FlushPool> {
@@ -296,35 +321,91 @@ impl FlushPool {
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .clamp(2, 8);
-            let shared = Arc::new(Shared {
-                inner: Mutex::new(Inner::default()),
-                work: Condvar::new(),
-                done: Condvar::new(),
-            });
-            for i in 0..threads {
-                let s = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rbio-flush-{i}"))
-                    .spawn(move || worker_loop(&s))
-                    .expect("spawn flush worker");
-            }
-            Arc::new(FlushPool { shared })
+            FlushPool::spawn_pool(threads, "rbio-flush")
         })
     }
 
-    /// The global pool (created on first use; threads are detached and
-    /// live for the process).
-    pub fn global() -> &'static FlushPool {
-        Self::global_arc()
+    /// Spawn `threads` detached workers over a fresh shared state.
+    fn spawn_pool(threads: usize, name: &str) -> Arc<FlushPool> {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared::new());
+        for i in 0..threads {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || worker_loop(&s))
+                .expect("spawn flush worker");
+        }
+        Arc::new(FlushPool { shared, threads })
+    }
+
+    /// An explicitly-constructed pool with `threads` workers (min 1).
+    /// The owner decides its lifetime: call [`FlushPool::shutdown`]
+    /// when done, or the workers idle forever.
+    pub fn with_threads(threads: usize) -> Arc<FlushPool> {
+        Self::spawn_pool(threads, "rbio-pool")
+    }
+
+    /// Worker-thread count this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ask this pool's workers to exit once their queues are empty.
+    /// Graceful: queued jobs still run; new registrations panic.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+    }
+
+    /// Install `pool` as the process's service-owned pool, returning
+    /// the previously installed one (which the caller should shut
+    /// down once its writers are quiesced). [`FlushPool::current`] and
+    /// the [`FlushPool::global`] shim route through the installed pool,
+    /// so *re*-installing is how a service reconfigures flushing at
+    /// runtime.
+    pub fn install(pool: Arc<FlushPool>) -> Option<Arc<FlushPool>> {
+        INSTALLED
+            .write()
+            .expect("installed pool lock")
+            .replace(pool)
+    }
+
+    /// Remove the installed service pool, returning it (if any).
+    pub fn uninstall() -> Option<Arc<FlushPool>> {
+        INSTALLED.write().expect("installed pool lock").take()
+    }
+
+    /// The currently installed service-owned pool, if any.
+    pub fn installed() -> Option<Arc<FlushPool>> {
+        INSTALLED.read().expect("installed pool lock").clone()
+    }
+
+    /// Compatibility shim for the historical process-wide pool. Routes
+    /// to the installed service pool when one exists (so legacy callers
+    /// see reconfiguration instead of frozen first-use state), else
+    /// lazily creates the legacy global. Every use bumps the
+    /// `stale_global_pool_uses` profiling counter — the caller should
+    /// migrate to [`FlushPool::current`] or an explicit pool handle.
+    pub fn global() -> Arc<FlushPool> {
+        counters::add_stale_global_pool_uses(1);
+        if let Some(p) = Self::installed() {
+            return p;
+        }
+        Arc::clone(Self::global_arc())
     }
 
     /// The pool executors should register with: the controlled check
-    /// pool while a deterministic run is active, else the global pool.
+    /// pool while a deterministic run is active, else the installed
+    /// service pool, else the legacy global pool.
     pub fn current() -> Arc<FlushPool> {
         if sched::controlled() {
             if let Some(p) = CHECK_POOL.read().expect("check pool lock").as_ref() {
                 return Arc::clone(p);
             }
+        }
+        if let Some(p) = Self::installed() {
+            return p;
         }
         Arc::clone(Self::global_arc())
     }
@@ -338,11 +419,7 @@ impl FlushPool {
         if slot.is_some() {
             return;
         }
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner::default()),
-            work: Condvar::new(),
-            done: Condvar::new(),
-        });
+        let shared = Arc::new(Shared::new());
         for i in 0..threads {
             sched::spawning();
             let s = Arc::clone(&shared);
@@ -354,7 +431,7 @@ impl FlushPool {
                 })
                 .expect("spawn check flush worker");
         }
-        *slot = Some(Arc::new(FlushPool { shared }));
+        *slot = Some(Arc::new(FlushPool { shared, threads }));
     }
 
     /// Reset the controlled pool's writer table between runs so slot
@@ -385,6 +462,10 @@ impl FlushPool {
         tuning: WriterTuning,
     ) -> WriterHandle {
         assert!(depth >= 1, "pipeline depth must be at least 1");
+        assert!(
+            !self.shared.stop.load(Ordering::Acquire),
+            "register on a shut-down flush pool"
+        );
         let ctx = WriterCtx {
             rank,
             wid: 0, // patched below once the slot is known
@@ -575,6 +656,9 @@ fn worker_loop(shared: &Shared) {
         let wid = loop {
             if let Some(w) = g.runnable.pop_front() {
                 break w;
+            }
+            if shared.stop.load(Ordering::Acquire) {
+                return;
             }
             g = pool_wait(shared, &shared.work, g, Point::WorkerIdle);
         };
@@ -1036,6 +1120,97 @@ mod tests {
         })
         .expect("submit");
         assert_eq!(h.drain().expect("drain"), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression for the stale-global-pool bug: before explicit pools,
+    /// `global()` was a `OnceLock` and any later worker-count change
+    /// silently no-oped. Now a service installs an explicit pool, and
+    /// *re*-installing one with a different configuration takes effect
+    /// immediately for `current()` and the `global()` shim alike.
+    #[test]
+    fn installed_pool_reconfiguration_takes_effect() {
+        let before = counters::service_snapshot();
+        let a = FlushPool::with_threads(2);
+        let b = FlushPool::with_threads(3);
+        assert_eq!(a.threads(), 2);
+        assert_eq!(b.threads(), 3);
+
+        FlushPool::install(Arc::clone(&a));
+        assert!(Arc::ptr_eq(&FlushPool::current(), &a));
+        assert!(Arc::ptr_eq(&FlushPool::global(), &a));
+
+        // Reconfiguration: install a differently-sized pool after first
+        // use. Pre-fix, this was the silent no-op; now it must replace.
+        let prev = FlushPool::install(Arc::clone(&b)).expect("a was installed");
+        assert!(Arc::ptr_eq(&prev, &a));
+        assert!(Arc::ptr_eq(&FlushPool::current(), &b));
+        assert_eq!(FlushPool::current().threads(), 3);
+
+        // The shim is panic-free but warns through the counter.
+        let d = counters::service_snapshot().delta_since(&before);
+        assert!(d.stale_global_pool_uses >= 1);
+
+        // Writers registered through the routed handle actually flush.
+        let dir = tmpdir("reinstall");
+        let file = open_rw(&dir.join("f"));
+        let h = FlushPool::current().register(
+            9,
+            2,
+            FaultPlan::none(),
+            WriterTuning {
+                write_retries: 3,
+                retry_backoff: Duration::from_micros(100),
+                ..WriterTuning::default()
+            },
+        );
+        h.submit(FlushJob::Write {
+            file: Arc::clone(&file),
+            offset: 0,
+            data: Bytes::from_vec(vec![5; 32]),
+        })
+        .expect("submit");
+        h.drain().expect("drain");
+        let mut buf = [0u8; 32];
+        file.read_exact_at(&mut buf, 0).expect("read");
+        assert_eq!(buf, [5u8; 32]);
+
+        let got = FlushPool::uninstall().expect("b installed");
+        assert!(Arc::ptr_eq(&got, &b));
+        assert!(Arc::ptr_eq(&FlushPool::current(), FlushPool::global_arc()));
+        // a and b are deliberately *not* shut down: a concurrent test
+        // may have grabbed one through `current()` during the window.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_pool_refuses_new_writers() {
+        let p = FlushPool::with_threads(1);
+        let dir = tmpdir("shutdown");
+        let file = open_rw(&dir.join("f"));
+        let h = p.register(
+            0,
+            2,
+            FaultPlan::none(),
+            WriterTuning {
+                write_retries: 3,
+                retry_backoff: Duration::from_micros(100),
+                ..WriterTuning::default()
+            },
+        );
+        h.submit(FlushJob::Write {
+            file: Arc::clone(&file),
+            offset: 0,
+            data: Bytes::from_vec(vec![1; 8]),
+        })
+        .expect("submit");
+        h.drain().expect("drain");
+        drop(h);
+        p.shutdown();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.register(1, 2, FaultPlan::none(), WriterTuning::default())
+        }));
+        assert!(r.is_err(), "register after shutdown must panic");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

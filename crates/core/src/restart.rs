@@ -57,6 +57,17 @@ pub enum RestartError {
         /// What the validation pass found.
         what: String,
     },
+    /// A restart worker panicked while extracting one file. Surfaced as
+    /// a typed per-file error — the other files' workers run to
+    /// completion and a caller (or `restore_latest`) can fall back —
+    /// instead of poisoning the slot mutexes and tearing down the whole
+    /// restore with it.
+    WorkerPanicked {
+        /// File path (relative) being extracted when the worker died.
+        file: String,
+        /// The panic payload, when it was a string.
+        what: String,
+    },
 }
 
 impl From<io::Error> for RestartError {
@@ -72,6 +83,9 @@ impl std::fmt::Display for RestartError {
             RestartError::Format { file, source } => write!(f, "{file}: {source}"),
             RestartError::Inconsistent(s) => write!(f, "inconsistent checkpoint: {s}"),
             RestartError::Torn { file, what } => write!(f, "torn checkpoint: {file}: {what}"),
+            RestartError::WorkerPanicked { file, what } => {
+                write!(f, "restart worker panicked extracting {file}: {what}")
+            }
         }
     }
 }
@@ -232,11 +246,55 @@ fn extract_file(
 /// covered by the file.
 type FileBlocks = Result<Vec<Vec<Bytes>>, RestartError>;
 
+/// Test-only panic injection: a worker extracting the file at this index
+/// panics (consuming the injection). `usize::MAX` is inert. Pins the
+/// regression where a worker panic poisoned its slot mutex and the
+/// `expect("no poisoned slots")` unwinds took down the entire restore.
+#[doc(hidden)]
+pub static INJECT_EXTRACT_PANIC: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Run one file's extraction, converting a worker panic into a typed
+/// [`RestartError::WorkerPanicked`] so sibling files still restore.
+fn extract_file_guarded(dir: &Path, rel: &str, header: &FileHeader, index: usize) -> FileBlocks {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if INJECT_EXTRACT_PANIC
+            .compare_exchange(index, usize::MAX, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            panic!("injected restart worker panic");
+        }
+        extract_file(dir, rel, header)
+    }));
+    match res {
+        Ok(r) => r,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(RestartError::WorkerPanicked {
+                file: rel.to_string(),
+                what,
+            })
+        }
+    }
+}
+
+/// Lock a result slot without trusting poison state: with panics caught
+/// in [`extract_file_guarded`] the storing closure cannot unwind, but a
+/// poisoned lock must still yield its data rather than panic again.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// Extract every file of a checkpoint, fanning the per-file work (read +
 /// checksum verification + slicing) out across up to
 /// [`MAX_RESTART_WORKERS`] threads. Files cover disjoint rank ranges, so
 /// the merge is a straight append per rank; the first failing file (by
-/// listed order) wins error reporting, matching the serial path.
+/// listed order) wins error reporting, matching the serial path. A
+/// panicking worker fails only its own file (typed
+/// [`RestartError::WorkerPanicked`]); every other slot completes.
 fn extract_all(
     dir: &Path,
     files: &[(String, FileHeader)],
@@ -251,7 +309,8 @@ fn extract_all(
     let mut results: Vec<Option<FileBlocks>> = if workers <= 1 {
         files
             .iter()
-            .map(|(name, h)| Some(extract_file(dir, name, h)))
+            .enumerate()
+            .map(|(i, (name, h))| Some(extract_file_guarded(dir, name, h, i)))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -265,14 +324,14 @@ fn extract_all(
                         break;
                     }
                     let (name, h) = &files[i];
-                    let res = extract_file(dir, name, h);
-                    *slots[i].lock().expect("no poisoned slots") = Some(res);
+                    let res = extract_file_guarded(dir, name, h, i);
+                    *lock_unpoisoned(&slots[i]) = Some(res);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().expect("no poisoned slots"))
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
             .collect()
     };
     for ((_, h), slot) in files.iter().zip(results.iter_mut()) {
@@ -603,6 +662,43 @@ mod tests {
         let rp = build_restart_plan(&plan);
         validate(&rp, CoverageMode::Read).unwrap();
         execute(&rp, vec![vec![]; 4], &ExecConfig::new(&dir)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a panicking restart worker used to poison its slot
+    /// mutex and the `expect("no poisoned slots")` take-down panicked
+    /// the whole restore (through `std::thread::scope`). Now the panic
+    /// is caught per file, surfaces as a typed `WorkerPanicked` for
+    /// that file only, and every other slot completes.
+    #[test]
+    fn panicking_worker_fails_only_its_file() {
+        // 1PFPP over 4 ranks -> 4 files, so the parallel fan-out engages
+        // and sibling files genuinely run on other workers.
+        let layout = DataLayout::uniform(4, &[("Ex", 64)]);
+        let plan = CheckpointSpec::new(layout, "ck").step(3).plan().unwrap();
+        let dir = tmpdir("panic");
+        let payloads = materialize_payloads(&plan, fill);
+        execute(&plan.program, payloads, &ExecConfig::new(&dir)).unwrap();
+        assert!(plan.plan_files.len() >= 2, "need multiple files");
+
+        INJECT_EXTRACT_PANIC.store(0, Ordering::Release);
+        let res = read_checkpoint(&dir, &plan);
+        assert_eq!(
+            INJECT_EXTRACT_PANIC.load(Ordering::Acquire),
+            usize::MAX,
+            "injection must have been consumed"
+        );
+        match res {
+            Err(RestartError::WorkerPanicked { file, what }) => {
+                assert_eq!(file, plan.plan_files[0].name);
+                assert!(what.contains("injected"), "payload: {what}");
+            }
+            other => panic!("want WorkerPanicked, got {other:?}"),
+        }
+
+        // With the injection consumed, the same checkpoint restores.
+        let restored = read_checkpoint(&dir, &plan).unwrap();
+        assert_eq!(restored.nranks, 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 

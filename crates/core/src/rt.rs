@@ -18,7 +18,7 @@ use std::fs::OpenOptions;
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
@@ -28,7 +28,10 @@ use rbio_profile::counters;
 use crate::backend::BackendKind;
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
-use crate::exec::{src_len, write_run_len, write_src, CHECK_RECV_POLL_BUDGET};
+use crate::exec::{
+    src_len, write_run_len, write_src, CHECK_RECV_POLL_BUDGET, CHECK_SEND_POLL_BUDGET,
+    DEFAULT_CHAN_CAPACITY,
+};
 use crate::failover::{FailoverPolicy, WriterHealth};
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
@@ -46,6 +49,19 @@ pub enum RtError {
         rank: u32,
         /// The vanished peer.
         peer: u32,
+    },
+    /// A send blocked on a full bounded mailbox for the whole deadline:
+    /// the receiver is stalled (or slower than the sender's burst) and
+    /// backpressure reached the surface instead of growing the heap.
+    SendTimeout {
+        /// Rank observing the failure.
+        rank: u32,
+        /// The backpressuring destination.
+        dst: u32,
+        /// Tag of the stuck message.
+        tag: u64,
+        /// How long the rank waited.
+        waited: Duration,
     },
     /// No matching message arrived within the receive timeout (a lost
     /// handoff — e.g. a dropped worker→writer message).
@@ -91,6 +107,16 @@ impl std::fmt::Display for RtError {
             RtError::PeerGone { rank, peer } => {
                 write!(f, "rank {rank}: peer rank {peer} is gone")
             }
+            RtError::SendTimeout {
+                rank,
+                dst,
+                tag,
+                waited,
+            } => write!(
+                f,
+                "rank {rank}: rank {dst}'s mailbox stayed full for {waited:?} \
+                 sending tag {tag} (stalled receiver?)"
+            ),
             RtError::RecvTimeout {
                 rank,
                 src,
@@ -122,7 +148,7 @@ impl std::error::Error for RtError {
 pub struct Comm {
     rank: u32,
     size: u32,
-    senders: Arc<Vec<Sender<Msg>>>,
+    senders: Arc<Vec<SyncSender<Msg>>>,
     rx: Receiver<Msg>,
     stash: HashMap<(u32, u64), VecDeque<Bytes>>,
     world_barrier: Arc<Barrier>,
@@ -142,16 +168,21 @@ impl Comm {
     }
 
     /// How long `recv` waits before failing with [`RtError::RecvTimeout`]
-    /// (default 2 s). A timeout turns a lost message into a typed error
+    /// (default 2 s), and how long a backpressured `send` waits on a full
+    /// mailbox before failing with [`RtError::SendTimeout`]. A timeout
+    /// turns a lost message (or a stalled receiver) into a typed error
     /// instead of a hang.
     pub fn set_recv_timeout(&mut self, timeout: Duration) {
         self.recv_timeout = timeout;
     }
 
-    /// Nonblocking-style send (the data is buffered; this call does not
-    /// wait for the receiver — `MPI_Isend` with eager buffering: the one
-    /// copy into the eager buffer happens here). Fails if the destination
-    /// rank's thread has already exited.
+    /// Nonblocking-style send while the destination's bounded mailbox
+    /// has room (`MPI_Isend` with eager buffering: the one copy into the
+    /// eager buffer happens here). A full mailbox blocks — that bounded
+    /// wait is the runtime's backpressure, capping resident queue bytes
+    /// at the mailbox capacity — and fails with [`RtError::SendTimeout`]
+    /// after the timeout. Fails with [`RtError::PeerGone`] if the
+    /// destination rank's thread has already exited.
     pub fn send(&self, dst: u32, tag: u64, data: &[u8]) -> Result<(), RtError> {
         self.send_bytes(dst, tag, Bytes::from_vec(data.to_vec()))
     }
@@ -159,12 +190,63 @@ impl Comm {
     /// [`Comm::send`] for callers that already own the bytes: the buffer
     /// moves into the channel with no copy at all.
     pub fn send_bytes(&self, dst: u32, tag: u64, data: Bytes) -> Result<(), RtError> {
-        self.senders[dst as usize]
-            .send((self.rank, tag, data))
-            .map_err(|_| RtError::PeerGone {
-                rank: self.rank,
-                peer: dst,
-            })
+        let peer_gone = || RtError::PeerGone {
+            rank: self.rank,
+            peer: dst,
+        };
+        let mut msg = (self.rank, tag, data);
+        match self.senders[dst as usize].try_send(msg) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Disconnected(_)) => return Err(peer_gone()),
+            Err(TrySendError::Full(m)) => msg = m,
+        }
+        counters::add_send_backpressure_blocks(1);
+        if sched::registered() {
+            // Controlled run: a futile-poll budget replaces the
+            // wall-clock deadline (see `recv_bytes_controlled`).
+            let mut budget = CHECK_SEND_POLL_BUDGET;
+            loop {
+                match self.senders[dst as usize].try_send(msg) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(_)) => return Err(peer_gone()),
+                    Err(TrySendError::Full(m)) => {
+                        if budget == 0 {
+                            counters::add_send_backpressure_timeouts(1);
+                            return Err(RtError::SendTimeout {
+                                rank: self.rank,
+                                dst,
+                                tag,
+                                waited: self.recv_timeout,
+                            });
+                        }
+                        budget -= 1;
+                        msg = m;
+                        sched::yield_now(Point::SendFull);
+                    }
+                }
+            }
+        }
+        let start = Instant::now();
+        let deadline = start + self.recv_timeout;
+        loop {
+            match self.senders[dst as usize].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Err(peer_gone()),
+                Err(TrySendError::Full(m)) => {
+                    if Instant::now() >= deadline {
+                        counters::add_send_backpressure_timeouts(1);
+                        return Err(RtError::SendTimeout {
+                            rank: self.rank,
+                            dst,
+                            tag,
+                            waited: start.elapsed(),
+                        });
+                    }
+                    msg = m;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
     }
 
     /// Blocking receive matching `(src, tag)`, FIFO per channel. Fails
@@ -290,8 +372,22 @@ impl Comm {
 }
 
 /// Run `f` on `nranks` ranks (one thread each) and collect the per-rank
-/// return values in rank order.
+/// return values in rank order. Rank mailboxes hold
+/// [`DEFAULT_CHAN_CAPACITY`] messages; see [`run_with_capacity`].
 pub fn run<T, F>(nranks: u32, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    run_with_capacity(nranks, DEFAULT_CHAN_CAPACITY, f)
+}
+
+/// [`run`] with an explicit per-rank mailbox capacity. Mailboxes are
+/// bounded `sync_channel`s: a sender facing a full mailbox blocks (so a
+/// burst or a stalled receiver caps resident queue bytes at
+/// `chan_capacity` messages) and fails with [`RtError::SendTimeout`]
+/// after the receive-timeout deadline.
+pub fn run_with_capacity<T, F>(nranks: u32, chan_capacity: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Comm) -> T + Sync,
@@ -300,7 +396,7 @@ where
     let mut txs = Vec::with_capacity(nranks as usize);
     let mut rxs = Vec::with_capacity(nranks as usize);
     for _ in 0..nranks {
-        let (tx, rx) = unbounded::<Msg>();
+        let (tx, rx) = sync_channel::<Msg>(chan_capacity.max(1));
         txs.push(tx);
         rxs.push(Some(rx));
     }
@@ -1040,6 +1136,54 @@ mod tests {
             } => {}
             other => panic!("expected RecvTimeout, got {other}"),
         }
+    }
+
+    #[test]
+    fn stalled_receiver_bounds_resident_queue_and_times_out() {
+        // The pre-PR unbounded channel let a burst against a stalled
+        // receiver land every message (unbounded resident bytes). With
+        // bounded mailboxes exactly `cap` messages land, the next send
+        // blocks, and the typed timeout surfaces.
+        let before = counters::service_snapshot();
+        let cap = 4usize;
+        let sent = run_with_capacity(2, cap, |mut comm| {
+            if comm.rank() == 0 {
+                comm.set_recv_timeout(Duration::from_millis(50));
+                let mut ok = 0usize;
+                let err = loop {
+                    match comm.send(1, 5, &[7u8; 1024]) {
+                        Ok(()) => ok += 1,
+                        Err(e) => break e,
+                    }
+                    assert!(
+                        ok <= cap,
+                        "unbounded queueing: {ok} sends landed in a capacity-{cap} mailbox"
+                    );
+                };
+                match err {
+                    RtError::SendTimeout {
+                        rank: 0,
+                        dst: 1,
+                        tag: 5,
+                        ..
+                    } => {}
+                    other => panic!("expected SendTimeout, got {other}"),
+                }
+                comm.barrier();
+                ok
+            } else {
+                // Stalled receiver: never drains its mailbox.
+                comm.barrier();
+                0
+            }
+        });
+        assert_eq!(sent[0], cap, "resident queue must cap at the mailbox size");
+        let delta = counters::service_snapshot().delta_since(&before);
+        assert!(delta.send_backpressure_blocks >= 1, "block must be counted");
+        assert!(
+            delta.send_backpressure_timeouts >= 1,
+            "timeout must be counted"
+        );
     }
 
     #[test]

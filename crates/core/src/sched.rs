@@ -45,6 +45,12 @@ pub enum Point {
     BarrierWait,
     /// Polling an empty message queue (futile-poll budgeted).
     RecvEmpty,
+    /// Polling a full bounded message queue (send backpressure).
+    SendFull,
+    /// A session waiting in the service admission queue.
+    AdmitWait,
+    /// A session waiting for its fair-share bandwidth grant.
+    GrantWait,
     /// Driver waiting for rank threads to finish.
     JoinWait,
     /// Tier drain engine waiting for a staged generation to drain.
@@ -71,6 +77,9 @@ impl Point {
                 | Point::WorkerIdle
                 | Point::BarrierWait
                 | Point::RecvEmpty
+                | Point::SendFull
+                | Point::AdmitWait
+                | Point::GrantWait
                 | Point::JoinWait
                 | Point::TierDrainIdle
                 | Point::TierDurableWait
@@ -485,6 +494,9 @@ mod tests {
             Point::WorkerIdle,
             Point::BarrierWait,
             Point::RecvEmpty,
+            Point::SendFull,
+            Point::AdmitWait,
+            Point::GrantWait,
             Point::JoinWait,
             Point::TierDrainIdle,
             Point::TierDurableWait,

@@ -45,6 +45,53 @@ static TUNE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static TUNE_PRUNED: AtomicU64 = AtomicU64::new(0);
 static TUNE_EVAL_NANOS: AtomicU64 = AtomicU64::new(0);
 
+// Multi-tenant service observability (see `rbio::service`): admission
+// decisions, backpressure and QoS events, and uses of the legacy
+// `FlushPool::global()` shim (each one a caller bypassing the
+// service-owned pool, i.e. potentially seeing stale configuration).
+static SERVICE_ADMITTED: AtomicU64 = AtomicU64::new(0);
+static SERVICE_QUEUED: AtomicU64 = AtomicU64::new(0);
+static SERVICE_REJECTED: AtomicU64 = AtomicU64::new(0);
+static SERVICE_COMPLETED: AtomicU64 = AtomicU64::new(0);
+static SERVICE_FAILED: AtomicU64 = AtomicU64::new(0);
+static SERVICE_PREEMPTIONS: AtomicU64 = AtomicU64::new(0);
+static SERVICE_THROTTLE_WAITS: AtomicU64 = AtomicU64::new(0);
+static STALE_GLOBAL_POOL_USES: AtomicU64 = AtomicU64::new(0);
+// Bounded-channel backpressure in the executors: sends that found the
+// queue full and had to wait, and sends that hit their deadline.
+static SEND_BACKPRESSURE_BLOCKS: AtomicU64 = AtomicU64::new(0);
+static SEND_BACKPRESSURE_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+
+/// Fixed number of per-tenant counter slots. Tenants hash into slots
+/// ([`tenant_slot`]); recording is a relaxed atomic add into a static
+/// array — no allocation, no locks, safe from any thread.
+pub const TENANT_SLOTS: usize = 256;
+
+static TENANT_BYTES_WRITTEN: [AtomicU64; TENANT_SLOTS] =
+    [const { AtomicU64::new(0) }; TENANT_SLOTS];
+static TENANT_BYTES_READ: [AtomicU64; TENANT_SLOTS] = [const { AtomicU64::new(0) }; TENANT_SLOTS];
+static TENANT_SESSIONS_DONE: [AtomicU64; TENANT_SLOTS] =
+    [const { AtomicU64::new(0) }; TENANT_SLOTS];
+
+/// Samples the live service time series retains. Power of two so the
+/// ring index is a mask.
+pub const SERVICE_SERIES_CAP: usize = 512;
+
+// The ring is four parallel static arrays plus a monotone head; a
+// sample is (seq, tenant slot, cumulative tenant bytes, cumulative
+// tenant sessions). Writers only touch atomics (zero-alloc); readers
+// may observe a torn in-progress sample under wrap races, which is
+// acceptable for an observability feed.
+static SERIES_HEAD: AtomicU64 = AtomicU64::new(0);
+static SERIES_SEQ: [AtomicU64; SERVICE_SERIES_CAP] =
+    [const { AtomicU64::new(0) }; SERVICE_SERIES_CAP];
+static SERIES_TENANT: [AtomicU64; SERVICE_SERIES_CAP] =
+    [const { AtomicU64::new(0) }; SERVICE_SERIES_CAP];
+static SERIES_BYTES: [AtomicU64; SERVICE_SERIES_CAP] =
+    [const { AtomicU64::new(0) }; SERVICE_SERIES_CAP];
+static SERIES_SESSIONS: [AtomicU64; SERVICE_SERIES_CAP] =
+    [const { AtomicU64::new(0) }; SERVICE_SERIES_CAP];
+
 /// A point-in-time reading of the datapath copy counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopySnapshot {
@@ -351,6 +398,282 @@ pub fn reset() {
     CHECKPOINT_BYTES.store(0, Ordering::Relaxed);
 }
 
+/// A point-in-time reading of the multi-tenant service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceSnapshot {
+    /// Sessions admitted to run immediately.
+    pub admitted: u64,
+    /// Sessions parked in the bounded waiting room.
+    pub queued: u64,
+    /// Sessions refused with a typed `Rejected` outcome.
+    pub rejected: u64,
+    /// Sessions that ran to completion.
+    pub completed: u64,
+    /// Sessions that surfaced a typed error.
+    pub failed: u64,
+    /// Throughput grants deferred because a latency-sensitive session
+    /// was waiting at the same grant point.
+    pub preemptions: u64,
+    /// Fair-share grants that had to wait for a lagging tenant.
+    pub throttle_waits: u64,
+    /// Uses of the legacy `FlushPool::global()` shim.
+    pub stale_global_pool_uses: u64,
+    /// Bounded-channel sends that found the queue full and waited.
+    pub send_backpressure_blocks: u64,
+    /// Bounded-channel sends that hit their deadline.
+    pub send_backpressure_timeouts: u64,
+}
+
+impl ServiceSnapshot {
+    /// Counter increments since `prev` (same protocol as the others).
+    pub fn delta_since(&self, prev: &ServiceSnapshot) -> ServiceSnapshot {
+        ServiceSnapshot {
+            admitted: self.admitted - prev.admitted,
+            queued: self.queued - prev.queued,
+            rejected: self.rejected - prev.rejected,
+            completed: self.completed - prev.completed,
+            failed: self.failed - prev.failed,
+            preemptions: self.preemptions - prev.preemptions,
+            throttle_waits: self.throttle_waits - prev.throttle_waits,
+            stale_global_pool_uses: self.stale_global_pool_uses - prev.stale_global_pool_uses,
+            send_backpressure_blocks: self.send_backpressure_blocks - prev.send_backpressure_blocks,
+            send_backpressure_timeouts: self.send_backpressure_timeouts
+                - prev.send_backpressure_timeouts,
+        }
+    }
+
+    /// JSON object for reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"admitted\": {}, \"queued\": {}, \"rejected\": {}, \"completed\": {}, \
+             \"failed\": {}, \"preemptions\": {}, \"throttle_waits\": {}, \
+             \"stale_global_pool_uses\": {}, \"send_backpressure_blocks\": {}, \
+             \"send_backpressure_timeouts\": {}}}",
+            self.admitted,
+            self.queued,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.preemptions,
+            self.throttle_waits,
+            self.stale_global_pool_uses,
+            self.send_backpressure_blocks,
+            self.send_backpressure_timeouts,
+        )
+    }
+}
+
+/// Count a session admitted to run immediately.
+#[inline]
+pub fn add_service_admitted(n: u64) {
+    SERVICE_ADMITTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a session parked in the waiting room.
+#[inline]
+pub fn add_service_queued(n: u64) {
+    SERVICE_QUEUED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a session refused admission.
+#[inline]
+pub fn add_service_rejected(n: u64) {
+    SERVICE_REJECTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a session that ran to completion.
+#[inline]
+pub fn add_service_completed(n: u64) {
+    SERVICE_COMPLETED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a session that surfaced a typed error.
+#[inline]
+pub fn add_service_failed(n: u64) {
+    SERVICE_FAILED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a throughput grant deferred behind a latency-sensitive one.
+#[inline]
+pub fn add_service_preemptions(n: u64) {
+    SERVICE_PREEMPTIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a fair-share grant that had to wait its turn.
+#[inline]
+pub fn add_service_throttle_waits(n: u64) {
+    SERVICE_THROTTLE_WAITS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a use of the legacy `FlushPool::global()` shim.
+#[inline]
+pub fn add_stale_global_pool_uses(n: u64) {
+    STALE_GLOBAL_POOL_USES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a bounded-channel send that found the queue full.
+#[inline]
+pub fn add_send_backpressure_blocks(n: u64) {
+    SEND_BACKPRESSURE_BLOCKS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a bounded-channel send that hit its deadline.
+#[inline]
+pub fn add_send_backpressure_timeouts(n: u64) {
+    SEND_BACKPRESSURE_TIMEOUTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the service counters.
+pub fn service_snapshot() -> ServiceSnapshot {
+    ServiceSnapshot {
+        admitted: SERVICE_ADMITTED.load(Ordering::Relaxed),
+        queued: SERVICE_QUEUED.load(Ordering::Relaxed),
+        rejected: SERVICE_REJECTED.load(Ordering::Relaxed),
+        completed: SERVICE_COMPLETED.load(Ordering::Relaxed),
+        failed: SERVICE_FAILED.load(Ordering::Relaxed),
+        preemptions: SERVICE_PREEMPTIONS.load(Ordering::Relaxed),
+        throttle_waits: SERVICE_THROTTLE_WAITS.load(Ordering::Relaxed),
+        stale_global_pool_uses: STALE_GLOBAL_POOL_USES.load(Ordering::Relaxed),
+        send_backpressure_blocks: SEND_BACKPRESSURE_BLOCKS.load(Ordering::Relaxed),
+        send_backpressure_timeouts: SEND_BACKPRESSURE_TIMEOUTS.load(Ordering::Relaxed),
+    }
+}
+
+/// The counter slot a tenant id hashes into (Fibonacci hash so dense
+/// and strided tenant ids both spread over the slots).
+#[inline]
+pub fn tenant_slot(tenant: u64) -> usize {
+    (tenant.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize % TENANT_SLOTS
+}
+
+/// Account `n` checkpoint bytes written on behalf of tenant `slot`.
+#[inline]
+pub fn tenant_add_bytes_written(slot: usize, n: u64) {
+    TENANT_BYTES_WRITTEN[slot % TENANT_SLOTS].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` restore bytes read on behalf of tenant `slot`.
+#[inline]
+pub fn tenant_add_bytes_read(slot: usize, n: u64) {
+    TENANT_BYTES_READ[slot % TENANT_SLOTS].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Count a finished session for tenant `slot`.
+#[inline]
+pub fn tenant_add_session_done(slot: usize) {
+    TENANT_SESSIONS_DONE[slot % TENANT_SLOTS].fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of one tenant slot's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantSnapshot {
+    /// The slot read.
+    pub slot: usize,
+    /// Checkpoint bytes written.
+    pub bytes_written: u64,
+    /// Restore bytes read.
+    pub bytes_read: u64,
+    /// Sessions finished.
+    pub sessions_done: u64,
+}
+
+impl TenantSnapshot {
+    /// Counter increments since `prev` (must be the same slot).
+    pub fn delta_since(&self, prev: &TenantSnapshot) -> TenantSnapshot {
+        debug_assert_eq!(self.slot, prev.slot);
+        TenantSnapshot {
+            slot: self.slot,
+            bytes_written: self.bytes_written - prev.bytes_written,
+            bytes_read: self.bytes_read - prev.bytes_read,
+            sessions_done: self.sessions_done - prev.sessions_done,
+        }
+    }
+}
+
+/// Read one tenant slot's counters.
+pub fn tenant_snapshot(slot: usize) -> TenantSnapshot {
+    let slot = slot % TENANT_SLOTS;
+    TenantSnapshot {
+        slot,
+        bytes_written: TENANT_BYTES_WRITTEN[slot].load(Ordering::Relaxed),
+        bytes_read: TENANT_BYTES_READ[slot].load(Ordering::Relaxed),
+        sessions_done: TENANT_SESSIONS_DONE[slot].load(Ordering::Relaxed),
+    }
+}
+
+/// One sample of the live service time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesSample {
+    /// Monotone sample number (1-based; the ring keeps the newest
+    /// [`SERVICE_SERIES_CAP`]).
+    pub seq: u64,
+    /// Tenant slot the sample describes.
+    pub tenant: usize,
+    /// Tenant's cumulative bytes written at sample time.
+    pub bytes_written: u64,
+    /// Tenant's cumulative finished sessions at sample time.
+    pub sessions_done: u64,
+}
+
+/// Append a sample of tenant `slot`'s cumulative progress to the ring.
+/// Zero-alloc: four relaxed stores and one fetch-add.
+pub fn service_series_record(slot: usize) {
+    let slot = slot % TENANT_SLOTS;
+    let seq = SERIES_HEAD.fetch_add(1, Ordering::Relaxed);
+    let i = seq as usize % SERVICE_SERIES_CAP;
+    SERIES_TENANT[i].store(slot as u64, Ordering::Relaxed);
+    SERIES_BYTES[i].store(
+        TENANT_BYTES_WRITTEN[slot].load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    SERIES_SESSIONS[i].store(
+        TENANT_SESSIONS_DONE[slot].load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    // Seq is stored last (release) so a reader that sees it sees the
+    // fields of *some* complete sample at this ring position.
+    SERIES_SEQ[i].store(seq + 1, Ordering::Release);
+}
+
+/// Read the retained series oldest-first. Allocates only here, on the
+/// read side.
+pub fn service_series() -> Vec<SeriesSample> {
+    let head = SERIES_HEAD.load(Ordering::Relaxed);
+    let cap = SERVICE_SERIES_CAP as u64;
+    let start = head.saturating_sub(cap);
+    let mut out = Vec::with_capacity((head - start) as usize);
+    for seq in start..head {
+        let i = seq as usize % SERVICE_SERIES_CAP;
+        if SERIES_SEQ[i].load(Ordering::Acquire) != seq + 1 {
+            continue; // overwritten (or mid-write) since we computed the range
+        }
+        out.push(SeriesSample {
+            seq: seq + 1,
+            tenant: SERIES_TENANT[i].load(Ordering::Relaxed) as usize,
+            bytes_written: SERIES_BYTES[i].load(Ordering::Relaxed),
+            sessions_done: SERIES_SESSIONS[i].load(Ordering::Relaxed),
+        });
+    }
+    out
+}
+
+/// The retained series as a JSON array of sample objects.
+pub fn service_series_to_json() -> String {
+    let samples = service_series();
+    let mut s = String::from("[");
+    for (k, sample) in samples.iter().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"seq\": {}, \"tenant\": {}, \"bytes_written\": {}, \"sessions_done\": {}}}",
+            sample.seq, sample.tenant, sample.bytes_written, sample.sessions_done
+        ));
+    }
+    s.push(']');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +787,103 @@ mod tests {
         assert!(j.contains("\"drained_bytes\": 90"), "{j}");
         assert!(j.contains("\"tier_restores\": 1"), "{j}");
         assert!(j.contains("\"tier_losses\": 2"), "{j}");
+    }
+
+    #[test]
+    fn service_counters_delta_and_json() {
+        let before = service_snapshot();
+        add_service_admitted(1);
+        add_service_queued(2);
+        add_service_rejected(3);
+        add_service_completed(4);
+        add_service_failed(5);
+        add_service_preemptions(6);
+        add_service_throttle_waits(7);
+        add_stale_global_pool_uses(8);
+        add_send_backpressure_blocks(9);
+        add_send_backpressure_timeouts(10);
+        let d = service_snapshot().delta_since(&before);
+        assert!(d.admitted >= 1);
+        assert!(d.queued >= 2);
+        assert!(d.rejected >= 3);
+        assert!(d.completed >= 4);
+        assert!(d.failed >= 5);
+        assert!(d.preemptions >= 6);
+        assert!(d.throttle_waits >= 7);
+        assert!(d.stale_global_pool_uses >= 8);
+        assert!(d.send_backpressure_blocks >= 9);
+        assert!(d.send_backpressure_timeouts >= 10);
+        let j = ServiceSnapshot {
+            admitted: 1,
+            rejected: 3,
+            ..ServiceSnapshot::default()
+        }
+        .to_json();
+        assert!(j.contains("\"admitted\": 1"), "{j}");
+        assert!(j.contains("\"rejected\": 3"), "{j}");
+        assert!(j.contains("\"stale_global_pool_uses\": 0"), "{j}");
+    }
+
+    #[test]
+    fn tenant_slots_accumulate_independently() {
+        // Slots 250/251 are reserved for this test (tenant ids are
+        // hashed in production; tests may address slots directly).
+        let (a, b) = (250usize, 251usize);
+        let before_a = tenant_snapshot(a);
+        let before_b = tenant_snapshot(b);
+        tenant_add_bytes_written(a, 1000);
+        tenant_add_bytes_read(a, 30);
+        tenant_add_session_done(a);
+        tenant_add_bytes_written(b, 7);
+        let da = tenant_snapshot(a).delta_since(&before_a);
+        let db = tenant_snapshot(b).delta_since(&before_b);
+        assert!(da.bytes_written >= 1000);
+        assert!(da.bytes_read >= 30);
+        assert!(da.sessions_done >= 1);
+        assert!(db.bytes_written >= 7);
+        assert_eq!(db.bytes_read, before_b.bytes_read - before_b.bytes_read);
+    }
+
+    #[test]
+    fn tenant_slot_hash_spreads_and_stays_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..64u64 {
+            let s = tenant_slot(t);
+            assert!(s < TENANT_SLOTS);
+            seen.insert(s);
+        }
+        // Fibonacci hashing must not collapse dense ids onto few slots.
+        assert!(seen.len() > 48, "only {} distinct slots", seen.len());
+    }
+
+    #[test]
+    fn service_series_retains_newest_samples_in_order() {
+        let slot = 252usize;
+        tenant_add_bytes_written(slot, 64);
+        service_series_record(slot);
+        tenant_add_bytes_written(slot, 64);
+        service_series_record(slot);
+        let series = service_series();
+        assert!(series.len() >= 2);
+        // Monotone seq, oldest first.
+        assert!(series.windows(2).all(|w| w[0].seq < w[1].seq));
+        let ours: Vec<_> = series.iter().filter(|s| s.tenant == slot).collect();
+        assert!(ours.len() >= 2);
+        let last2 = &ours[ours.len() - 2..];
+        assert!(last2[0].bytes_written < last2[1].bytes_written);
+        let j = service_series_to_json();
+        assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+        assert!(j.contains("\"tenant\": 252"), "{j}");
+    }
+
+    #[test]
+    fn service_series_wraps_without_growing() {
+        let slot = 253usize;
+        for _ in 0..(SERVICE_SERIES_CAP + 16) {
+            service_series_record(slot);
+        }
+        let series = service_series();
+        assert!(series.len() <= SERVICE_SERIES_CAP);
+        assert!(series.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 }

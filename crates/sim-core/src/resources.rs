@@ -101,15 +101,18 @@ struct Flow {
     id: FlowId,
     remaining: f64, // bytes
     rate_cap: f64,  // bytes/sec; INFINITY when uncapped
+    weight: f64,    // share of the pipe relative to other flows
     rate: f64,      // current granted rate, bytes/sec
 }
 
-/// Processor-sharing pipe with optional per-flow rate caps.
+/// Processor-sharing pipe with optional per-flow rate caps and weights.
 ///
-/// The pipe divides its capacity among active flows by max–min fairness:
-/// flows whose cap is below the equal share get their cap, and the residue
-/// is shared among the rest. Rates are piecewise-constant between flow
-/// arrivals/departures, so the next completion time is exact.
+/// The pipe divides its capacity among active flows by weighted max–min
+/// fairness: flows whose cap is below their weighted share get their cap,
+/// and the residue is shared among the rest in proportion to their weights
+/// (all weights are 1 unless started via [`FairPipe::start_weighted`]).
+/// Rates are piecewise-constant between flow arrivals/departures, so the
+/// next completion time is exact.
 ///
 /// Because completions move when new flows arrive, the pipe carries a
 /// `version` counter: schedule a wake-up event stamped with the current
@@ -167,6 +170,21 @@ impl FairPipe {
     /// Start a flow of `bytes` at `now`; `rate_cap` limits the flow's share
     /// (pass `f64::INFINITY` for no cap). Returns the flow id.
     pub fn start(&mut self, now: SimTime, bytes: u64, rate_cap: f64) -> FlowId {
+        self.start_weighted(now, bytes, rate_cap, 1.0)
+    }
+
+    /// Start a flow with an explicit fair-share `weight`: under contention
+    /// the flow's rate is proportional to its weight among the unfixed
+    /// flows (weighted max–min, still honoring `rate_cap`). `start` is the
+    /// weight-1 special case. Non-positive or non-finite weights are
+    /// treated as 1.
+    pub fn start_weighted(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        rate_cap: f64,
+        weight: f64,
+    ) -> FlowId {
         self.advance_to(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
@@ -177,6 +195,11 @@ impl FairPipe {
                 rate_cap
             } else {
                 f64::INFINITY
+            },
+            weight: if weight.is_finite() && weight > 0.0 {
+                weight
+            } else {
+                1.0
             },
             rate: 0.0,
         });
@@ -248,37 +271,38 @@ impl FairPipe {
         self.last_update = now;
     }
 
-    /// Max–min fair allocation with per-flow caps (water-filling).
+    /// Weighted max–min fair allocation with per-flow caps (water-filling).
     fn recompute_rates(&mut self) {
         let n = self.flows.len();
         if n == 0 {
             return;
         }
-        // Iterate: give capped flows their cap when the equal share exceeds
-        // it, re-divide the residue among the others. Terminates in at most
-        // n rounds because each round fixes at least one flow.
+        // Iterate: a flow whose cap is below its weighted share gets its
+        // cap; the residue is re-divided among the rest in proportion to
+        // their weights. Terminates in at most n rounds because each round
+        // fixes at least one flow.
         let mut fixed = vec![false; n];
         let mut remaining_cap = self.capacity;
-        let mut unfixed = n;
+        let mut unfixed_weight: f64 = self.flows.iter().map(|f| f.weight).sum();
         loop {
-            if unfixed == 0 {
+            if unfixed_weight <= 0.0 {
                 break;
             }
-            let share = remaining_cap / unfixed as f64;
+            let per_weight = remaining_cap / unfixed_weight;
             let mut changed = false;
             for (i, f) in self.flows.iter_mut().enumerate() {
-                if !fixed[i] && f.rate_cap <= share {
+                if !fixed[i] && f.rate_cap <= per_weight * f.weight {
                     f.rate = f.rate_cap;
                     remaining_cap -= f.rate_cap;
+                    unfixed_weight -= f.weight;
                     fixed[i] = true;
-                    unfixed -= 1;
                     changed = true;
                 }
             }
             if !changed {
                 for (i, f) in self.flows.iter_mut().enumerate() {
                     if !fixed[i] {
-                        f.rate = share;
+                        f.rate = per_weight * f.weight;
                     }
                 }
                 break;
@@ -393,6 +417,46 @@ mod tests {
         let t = p.next_completion().unwrap();
         p.collect_completions(t);
         assert!(p.version() > v1);
+    }
+
+    #[test]
+    fn weighted_flows_split_capacity_proportionally() {
+        let mut p = FairPipe::new(90.0);
+        // Weight 2 gets 60 B/s, weight 1 gets 30 B/s.
+        let heavy = p.start_weighted(SimTime::ZERO, 120, f64::INFINITY, 2.0);
+        let light = p.start_weighted(SimTime::ZERO, 120, f64::INFINITY, 1.0);
+        // heavy finishes at 2s; light has 60 bytes left, then runs at the
+        // full 90 B/s: 2 + 60/90 = 2.667s.
+        let t = p.next_completion().unwrap();
+        assert!(t.as_nanos().abs_diff(2 * NS_PER_SEC) <= 1, "{t}");
+        assert_eq!(p.collect_completions(t), vec![heavy]);
+        let t2 = p.next_completion().unwrap();
+        let expect = SimTime::from_secs_f64(2.0 + 60.0 / 90.0);
+        assert!(t2.as_nanos().abs_diff(expect.as_nanos()) <= 2, "{t2}");
+        assert_eq!(p.collect_completions(t2), vec![light]);
+    }
+
+    #[test]
+    fn weighted_flow_still_honors_rate_cap() {
+        let mut p = FairPipe::new(100.0);
+        // Weight 9 would earn 90 B/s but is capped at 20; the weight-1
+        // flow absorbs the residue (80 B/s).
+        p.start_weighted(SimTime::ZERO, 20, 20.0, 9.0);
+        p.start_weighted(SimTime::ZERO, 80, f64::INFINITY, 1.0);
+        let t = p.next_completion().unwrap();
+        assert!(t.as_nanos().abs_diff(NS_PER_SEC) <= 1, "{t}");
+        assert_eq!(p.collect_completions(t).len(), 2);
+    }
+
+    #[test]
+    fn nonpositive_weight_falls_back_to_one() {
+        let mut p = FairPipe::new(100.0);
+        p.start_weighted(SimTime::ZERO, 50, f64::INFINITY, 0.0);
+        p.start_weighted(SimTime::ZERO, 50, f64::INFINITY, f64::NAN);
+        // Both behave as weight 1: equal 50 B/s shares, both done at 1s.
+        let t = p.next_completion().unwrap();
+        assert!(t.as_nanos().abs_diff(NS_PER_SEC) <= 1, "{t}");
+        assert_eq!(p.collect_completions(t).len(), 2);
     }
 
     #[test]
