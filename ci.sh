@@ -36,6 +36,21 @@ RBC=target/debug/rbio-check
 "$RBC" sweep --program p9a --seeds 32
 "$RBC" sweep --program p9b --seeds 32
 "$RBC" sweep --program p9c --seeds 32
+"$RBC" sweep --program p10 --seeds 16
+
+echo "== crash-image torture sweep (fast tier) =="
+# Record each strategy's durability op stream and restore ~64 legal
+# post-crash filesystem images per strategy; then prove the harness
+# catches a planted missing-dir-fsync (revert of the PR 1 barrier).
+RCR=target/debug/rbio-crash
+"$RCR" sweep --images 64
+"$RCR" sweep --strategy rbio --images 32 --revert-pr1 > /dev/null
+
+echo "== offline scrubber smoke (repair selftest + clean dry-run) =="
+target/debug/rbio-scrub --demo > /dev/null
+SCRUB_DIR=$(mktemp -d)
+target/debug/rbio-scrub --dir "$SCRUB_DIR" --dry-run --json > /dev/null
+rm -rf "$SCRUB_DIR"
 
 echo "== backend conformance under the emulated ring =="
 RBIO_IO_BACKEND=ring cargo test -q -p rbio --test backend_conformance
@@ -77,6 +92,22 @@ if [[ "$SLOW" == 1 ]]; then
   "$RBC" sweep --program p9a --seeds 256 --preempt
   "$RBC" sweep --program p9b --seeds 256 --preempt
   "$RBC" sweep --program p9c --seeds 256 --preempt
+  "$RBC" sweep --program p10 --seeds 256
+  "$RBC" sweep --program p10 --seeds 64 --preempt
+
+  echo "== crash-image torture sweep (slow tier, >= 512 images) =="
+  # Exhaustive tier: at least 512 distinct crash images across the
+  # three strategies plus three-step recordings, a planted-revert catch,
+  # and the scrub-repair throughput selftest into the bench artifact.
+  cargo build --release -p rbio-check
+  RCR=target/release/rbio-crash
+  mkdir -p target/paper-results
+  "$RCR" sweep --images 224 --steps 3 --seed 0x5eed --json target/paper-results/crash.json
+  "$RCR" sweep --images 192 --seed 0xbeef
+  "$RCR" sweep --strategy rbio --images 64 --revert-pr1 > /dev/null
+  target/release/rbio-scrub --demo > /dev/null
+  cp target/paper-results/crash.json BENCH_crash.json
+  ls -l BENCH_crash.json
 
   echo "== backend conformance under both backends (release) =="
   cargo test --release -q -p rbio --test backend_conformance

@@ -31,6 +31,10 @@
 //!   submission (recycling a buffer while its completion is in flight is
 //!   the PR 7 early-release bug), and each submitted SQE is reaped
 //!   exactly once.
+//! * **Fsynced implies recoverable** — once a generation is published
+//!   with fsync on ([`Event::GenDurable`]), no later restore may return
+//!   an older step (PR 10 crash consistency: the fsync promise is the
+//!   durability floor).
 //!
 //! Violations are recorded, not thrown: the run continues so one report
 //! carries everything a schedule uncovered.
@@ -79,6 +83,10 @@ pub enum ViolationKind {
     /// A completion was reaped for an SQE that was never submitted, or
     /// was reaped a second time (exactly-once delivery broke).
     DuplicateReap,
+    /// A restore returned a step older than the newest generation the
+    /// API promised durable with fsync on (PR 10: the crash-consistency
+    /// contract is that an fsynced generation survives and wins).
+    FsyncedNotRecovered,
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -135,6 +143,9 @@ pub struct Model {
     /// fingerprint at submission. The reap must find the same
     /// fingerprint (buffers-live-until-reap) and find it exactly once.
     ring_pending: HashMap<(usize, u64), u64>,
+    /// Newest step published with fsync on: the durability floor any
+    /// later restore must meet or beat (fsynced-implies-recoverable).
+    durable_floor: Option<u64>,
 }
 
 impl Model {
@@ -377,6 +388,24 @@ impl Model {
                 // Informational: tier loss and tier-served restores are
                 // legal outcomes the manager degrades through; the
                 // durability invariant is carried by the events above.
+            }
+            Event::GenDurable { step } => {
+                if self.durable_floor.is_none_or(|floor| step > floor) {
+                    self.durable_floor = Some(step);
+                }
+            }
+            Event::RestoreDone { step } => {
+                if let Some(floor) = self.durable_floor {
+                    if step < floor {
+                        flag(
+                            ViolationKind::FsyncedNotRecovered,
+                            format!(
+                                "restore returned step {step}, older than step {floor} \
+                                 the API promised durable with fsync on"
+                            ),
+                        );
+                    }
+                }
             }
             Event::SubmitQueued { wid, udata, hash } => {
                 self.ring_pending.insert((wid, udata), hash);
@@ -772,6 +801,30 @@ mod tests {
             },
         ]);
         assert!(cross.is_empty(), "{cross:?}");
+    }
+
+    #[test]
+    fn fsynced_implies_recoverable_tracks_the_floor() {
+        // Restoring the promised step, or a newer one, is clean — and a
+        // restore with no promise outstanding is always legal.
+        let clean = feed(&[
+            Event::RestoreDone { step: 1 },
+            Event::GenDurable { step: 3 },
+            Event::GenDurable { step: 2 }, // floor stays at 3
+            Event::RestoreDone { step: 3 },
+            Event::GenDurable { step: 5 },
+            Event::RestoreDone { step: 6 },
+        ]);
+        assert!(clean.is_empty(), "{clean:?}");
+        // Restoring below the floor is the breach.
+        let v = feed(&[
+            Event::GenDurable { step: 4 },
+            Event::RestoreDone { step: 2 },
+        ]);
+        let kinds: Vec<ViolationKind> = v.iter().map(|x| x.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::FsyncedNotRecovered], "{v:?}");
+        assert!(v[0].detail.contains("step 2"), "{v:?}");
+        assert!(v[0].detail.contains("step 4"), "{v:?}");
     }
 
     #[test]

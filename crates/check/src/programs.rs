@@ -62,6 +62,14 @@
 //!   latency-sensitive tenant runs a burst. From the burst's first
 //!   registration to its leave, the throughput tenant must complete
 //!   zero grants, and it must resume (and finish) after the burst ends.
+//! * `p10` — drain-vs-crash interleavings against the fsync promise: a
+//!   tiered manager publishes two fsynced generations (every hop of the
+//!   background drain interleaved with the foreground), then the
+//!   process "crashes" — a fresh manager with no tier state reopens the
+//!   PFS directory. The shadow model's fsynced-implies-recoverable
+//!   invariant requires every restore to return at least the newest
+//!   [`Event::GenDurable`] step, and both restores must be byte-exact
+//!   against untiered references.
 //!
 //! [`WriterHandle`]: rbio::pipeline::WriterHandle
 //! [`SendAttempt`]: rbio::sched::Event::SendAttempt
@@ -118,6 +126,8 @@ pub enum ProgramKind {
     ServiceFairShare,
     /// `p9c`: latency-sensitive QoS preemption of throughput grants.
     ServiceQos,
+    /// `p10`: drain-vs-crash interleavings against the fsync promise.
+    CrashRestore,
 }
 
 impl ProgramKind {
@@ -137,12 +147,13 @@ impl ProgramKind {
             "p9a" => Some(ProgramKind::ServiceAdmission),
             "p9b" => Some(ProgramKind::ServiceFairShare),
             "p9c" => Some(ProgramKind::ServiceQos),
+            "p10" => Some(ProgramKind::CrashRestore),
             _ => None,
         }
     }
 
     /// Every family, in sweep order.
-    pub fn all() -> [ProgramKind; 13] {
+    pub fn all() -> [ProgramKind; 14] {
         [
             ProgramKind::PipelineRace,
             ProgramKind::ExecEquiv,
@@ -157,6 +168,7 @@ impl ProgramKind {
             ProgramKind::ServiceAdmission,
             ProgramKind::ServiceFairShare,
             ProgramKind::ServiceQos,
+            ProgramKind::CrashRestore,
         ]
     }
 
@@ -176,6 +188,7 @@ impl ProgramKind {
             ProgramKind::ServiceAdmission => "p9a",
             ProgramKind::ServiceFairShare => "p9b",
             ProgramKind::ServiceQos => "p9c",
+            ProgramKind::CrashRestore => "p10",
         }
     }
 
@@ -204,6 +217,9 @@ impl ProgramKind {
             }
             ProgramKind::ServiceQos => {
                 "latency-sensitive burst freezes throughput grants, then both finish"
+            }
+            ProgramKind::CrashRestore => {
+                "drain racing a crash + reopen: fsynced generations stay recoverable"
             }
         }
     }
@@ -256,6 +272,7 @@ pub fn prepare(kind: ProgramKind, dir: &Path) -> PreparedProgram {
         ProgramKind::ServiceAdmission => prepare_service_admission(dir),
         ProgramKind::ServiceFairShare => prepare_service_fair_share(dir),
         ProgramKind::ServiceQos => prepare_service_qos(dir),
+        ProgramKind::CrashRestore => prepare_crash_restore(dir),
     }
 }
 
@@ -953,6 +970,76 @@ fn prepare_tier_loss(dir: &Path) -> PreparedProgram {
             }
             rbio_files_eq(&pfs, &ref_dir)
         }),
+    }
+}
+
+/// `p10`: the crash-consistency promise under the controlled scheduler.
+/// A tiered manager with `fsync = true` lands two generations — every
+/// stage/burst/PFS hop of the background drain interleaving with the
+/// foreground — then the process "crashes": the manager is dropped and
+/// a fresh one, with *no* tier state (the node-local slabs are gone,
+/// exactly like a reboot), reopens the PFS directory. The model's
+/// fsynced-implies-recoverable invariant pins every `RestoreDone` to
+/// the newest `GenDurable` floor, so a publish that rename-skips,
+/// under-fsyncs, or rotates away a promised generation surfaces on
+/// whichever schedule exposes it; both restores must also be byte-exact
+/// against untiered references.
+fn prepare_crash_restore(dir: &Path) -> PreparedProgram {
+    let ref_dir = dir.join("ref");
+    let ref_mgr = CheckpointManager::new(tier_layout(), tier_manager_cfg(&ref_dir, None))
+        .expect("reference manager");
+    ref_mgr.checkpoint(1, tier_fill(1)).expect("reference ck 1");
+    let want1 = ref_mgr.restore_latest().expect("reference restore 1");
+    ref_mgr.checkpoint(2, tier_fill(2)).expect("reference ck 2");
+    let want2 = ref_mgr.restore_latest().expect("reference restore 2");
+
+    let pfs = dir.join("pfs");
+    let local = dir.join("local");
+    let body_pfs = pfs.clone();
+    PreparedProgram {
+        body: Box::new(move || {
+            let tier = TierConfig::new(&local).slab_capacity(1 << 20);
+            let mut cfg = tier_manager_cfg(&body_pfs, Some(tier));
+            cfg.fsync = true;
+            let mgr = CheckpointManager::new(tier_layout(), cfg)
+                .map_err(|e| format!("tiered manager: {e}"))?;
+            mgr.checkpoint(1, tier_fill(1))
+                .map_err(|e| format!("ck 1: {e}"))?;
+            mgr.wait_durable(1)
+                .map_err(|e| format!("gen 1 drain: {e}"))?;
+            // Quiescent restore: only generation 1 exists and it was
+            // promised durable, so the floor is 1 and the restore must
+            // meet it (the model checks; we check the bytes).
+            let first = mgr
+                .restore_latest()
+                .map_err(|e| format!("restore after gen 1: {e}"))?;
+            if first.step != 1 {
+                return Err(format!("restore after gen 1 came from step {}", first.step));
+            }
+            restored_eq(&first, &want1)?;
+            mgr.checkpoint(2, tier_fill(2))
+                .map_err(|e| format!("ck 2: {e}"))?;
+            mgr.wait_durable(2)
+                .map_err(|e| format!("gen 2 drain: {e}"))?;
+            // Crash: the tiered manager dies with the process. Nothing
+            // node-local survives — the reopened manager has no tier
+            // config, so only what the drain published to the PFS (the
+            // fsync promise) can serve the restore.
+            drop(mgr);
+            let reopened = CheckpointManager::new(tier_layout(), tier_manager_cfg(&body_pfs, None))
+                .map_err(|e| format!("reopened manager: {e}"))?;
+            let recovered = reopened
+                .restore_latest()
+                .map_err(|e| format!("post-crash restore: {e}"))?;
+            if recovered.step != 2 {
+                return Err(format!(
+                    "post-crash restore came from step {}, want the promised 2",
+                    recovered.step
+                ));
+            }
+            restored_eq(&recovered, &want2)
+        }),
+        verify: Box::new(move || rbio_files_eq(&pfs, &ref_dir)),
     }
 }
 

@@ -17,10 +17,22 @@ use std::fs::OpenOptions;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use rbio_plan::Rank;
 
+use crate::crash;
 use crate::fault::{self, FaultPlan};
 use crate::format::{self, FooterRegion};
+
+/// Test-only regression switch: skip the directory fsync after the
+/// commit rename — the exact durability bug PR 1's commit protocol
+/// exists to prevent (a crash can then lose the *publication* of a
+/// fully written file). The crash-image sweep in [`crate::crash`] must
+/// catch this as a restored-step regression; see the torture tests.
+/// Must never be set outside tests.
+#[doc(hidden)]
+pub static REVERT_PR1_COMMIT_FSYNC: AtomicBool = AtomicBool::new(false);
 
 /// Suffix appended to a final path to form its temporary sibling.
 pub const TMP_SUFFIX: &str = ".tmp";
@@ -85,12 +97,22 @@ pub fn commit_file_with_faults(
     let footer = format::encode_footer(&regions);
     f.seek(SeekFrom::Start(expected_size))?;
     f.write_all(&footer)?;
+    crash::record_write_file(&f, expected_size, &footer);
     if fsync {
-        f.sync_all()?;
+        // Sticky fsync-failure semantics (the fsyncgate rule): consult
+        // the plan first, and latch a *real* failure, so no later fsync
+        // on this rank can ever report the data clean.
+        if let Some(e) = faults.on_fsync(rank) {
+            return Err(e);
+        }
+        f.sync_all()
+            .inspect_err(|_| faults.latch_fsync_failure(rank))?;
+        crash::record_fsync_file(&f);
     }
     drop(f);
     std::fs::rename(tmp, final_path)?;
-    if fsync {
+    crash::record_rename(tmp, final_path);
+    if fsync && !REVERT_PR1_COMMIT_FSYNC.load(Ordering::Relaxed) {
         // Persist the rename itself: fsync the containing directory. A
         // failure here means the publication may not survive a crash, so
         // it must surface — swallowing it turns a broken durability
@@ -104,6 +126,7 @@ pub fn commit_file_with_faults(
             return Err(e);
         }
         d.sync_all()?;
+        crash::record_dir_fsync(dir);
     }
     Ok(())
 }

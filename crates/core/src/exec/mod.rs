@@ -24,6 +24,7 @@ use rbio_profile::counters;
 use crate::backend::BackendKind;
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
+use crate::crash;
 use crate::failover::{FailoverDirector, FailoverPolicy, WriterHealth};
 use crate::fault::{self, FaultPlan};
 use crate::format::synthetic_byte;
@@ -642,7 +643,12 @@ impl RankCtx<'_> {
                                 fsync: self.cfg.fsync_on_close,
                             })?;
                         } else if self.cfg.fsync_on_close {
-                            f.sync_all()?;
+                            if let Some(e) = self.cfg.faults.on_fsync(self.rank) {
+                                return Err(e);
+                            }
+                            f.sync_all()
+                                .inspect_err(|_| self.cfg.faults.latch_fsync_failure(self.rank))?;
+                            crash::record_fsync_file(&f);
                         }
                     }
                 }
@@ -1358,7 +1364,12 @@ impl RankCtx<'_> {
                 Op::Close { file } => {
                     if let Some(f) = files.remove(&file.0) {
                         if self.cfg.fsync_on_close {
-                            f.sync_all()?;
+                            if let Some(e) = self.cfg.faults.on_fsync(self.rank) {
+                                return Err(e);
+                            }
+                            f.sync_all()
+                                .inspect_err(|_| self.cfg.faults.latch_fsync_failure(self.rank))?;
+                            crash::record_fsync_file(&f);
                         }
                     }
                 }

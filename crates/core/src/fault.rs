@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use rbio_plan::Rank;
 use rbio_profile::counters;
 
+use crate::crash;
 use crate::sched;
 
 /// What a write-edge fault check decided.
@@ -48,6 +49,10 @@ pub enum WriteFault {
         /// Bytes the device accepts before cutting the write short.
         cap: u64,
     },
+    /// The device is out of space: this and every later write on the rank
+    /// fails with `ENOSPC`. Not transient — retrying a full disk is
+    /// wasted work, so the retry loops surface it immediately.
+    Enospc,
 }
 
 #[derive(Debug, Default)]
@@ -74,6 +79,16 @@ struct Inner {
     /// ranks whose next directory fsync (the rename-durability barrier in
     /// `commit_file`) fails once with an injected error.
     dir_fsync_fail: std::collections::HashSet<Rank>,
+    /// rank → cumulative byte budget after which every write fails with
+    /// `ENOSPC` (a full device stays full: persistent, never cleared).
+    enospc_after: HashMap<Rank, u64>,
+    /// ranks whose file fsyncs fail with `EIO`.
+    fsync_eio: std::collections::HashSet<Rank>,
+    /// ranks on which an fsync has already failed. Sticky: per fsyncgate
+    /// semantics, once an fsync fails the kernel may have dropped the
+    /// dirty pages, so no later fsync on that rank is allowed to report
+    /// the data durable.
+    fsync_failed: std::collections::HashSet<Rank>,
 }
 
 /// Shared fault-injection plan. Cloning shares state: the same plan handed
@@ -166,6 +181,65 @@ impl FaultPlan {
         self
     }
 
+    /// The device runs out of space for `rank` once it has written
+    /// `bytes` cumulative bytes: that write and every later one fails
+    /// with `ENOSPC`. Persistent (a full disk stays full), and never
+    /// retried — `ENOSPC` is not transient.
+    pub fn enospc_after_bytes(self, rank: Rank, bytes: u64) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .enospc_after
+            .insert(rank, bytes);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Fail `rank`'s file fsyncs with `EIO`. The first failure latches:
+    /// even if the injection is later cleared, subsequent fsyncs on the
+    /// rank keep failing (see [`FaultPlan::on_fsync`]).
+    pub fn fsync_eio(self, rank: Rank) -> Self {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .fsync_eio
+            .insert(rank);
+        self.armed.store(true, Ordering::Release);
+        self
+    }
+
+    /// Consult the plan as `rank` is about to fsync a data file.
+    /// `Some(error)` means the fsync fails. Sticky (the fsyncgate rule):
+    /// after the first failure on a rank, every later fsync on that rank
+    /// also fails — writeback errors may have dropped the dirty pages, so
+    /// a retried fsync that reports clean proves nothing. Callers must
+    /// consult this *before* `sync_all` and report the file not durable.
+    pub fn on_fsync(&self, rank: Rank) -> Option<io::Error> {
+        if !self.is_armed() {
+            return None;
+        }
+        let mut g = self.inner.lock().expect("fault plan lock");
+        if g.fsync_failed.contains(&rank) {
+            return Some(io::Error::from_raw_os_error(5));
+        }
+        if g.fsync_eio.contains(&rank) {
+            g.fsync_failed.insert(rank);
+            return Some(io::Error::from_raw_os_error(5));
+        }
+        None
+    }
+
+    /// Record that a *real* fsync failed on `rank`, so the sticky rule in
+    /// [`FaultPlan::on_fsync`] applies to it from now on.
+    pub fn latch_fsync_failure(&self, rank: Rank) {
+        self.inner
+            .lock()
+            .expect("fault plan lock")
+            .fsync_failed
+            .insert(rank);
+        self.armed.store(true, Ordering::Release);
+    }
+
     /// Fail `rank`'s next directory fsync (the commit path's
     /// rename-durability barrier) once with an injected I/O error.
     pub fn fail_dir_fsync(self, rank: Rank) -> Self {
@@ -236,6 +310,22 @@ impl FaultPlan {
         if let Some(&threshold) = g.kill_after.get(&rank) {
             if *g.written.entry(rank).or_insert(0) >= threshold {
                 return Some(WriteFault::Kill);
+            }
+        }
+        if let Some(&cap) = g.enospc_after.get(&rank) {
+            // The write that would cross the remaining-space budget is
+            // the one the device rejects; once it fires, the cap drops
+            // to zero so every later write fails too (the disk stays
+            // full even for smaller writes).
+            if g.written
+                .get(&rank)
+                .copied()
+                .unwrap_or(0)
+                .saturating_add(bytes)
+                > cap
+            {
+                g.enospc_after.insert(rank, 0);
+                return Some(WriteFault::Enospc);
             }
         }
         // The logical write index advances only on first attempts, so a
@@ -443,12 +533,19 @@ pub fn write_at_with_retry(
                     counters::add_short_write_retries(1);
                     write_full_at(file, offset, data, cap)?;
                 }
+                crash::record_write_file(file, offset, data);
                 return Ok(attempt);
+            }
+            Some(WriteFault::Enospc) => {
+                return Err(WriteError::Io(io::Error::from_raw_os_error(28)));
             }
             None => {}
         }
         match write_full_at(file, offset, data, 0) {
-            Ok(()) => return Ok(attempt),
+            Ok(()) => {
+                crash::record_write_file(file, offset, data);
+                return Ok(attempt);
+            }
             Err(WriteError::Io(e)) if attempt < max_retries && is_transient(&e) => {
                 attempt += 1;
                 clock.backoff(&mut backoff, rank, offset, attempt)?;
@@ -558,6 +655,7 @@ pub fn write_at_capped(
                 let cap = (cap as usize).min(data.len());
                 file.write_all_at(&data[..cap], offset)
                     .map_err(WriteError::Io)?;
+                crash::record_write_file(file, offset, &data[..cap]);
                 if cap < data.len() {
                     return Ok(CappedWrite::Short {
                         written: cap as u64,
@@ -566,10 +664,16 @@ pub fn write_at_capped(
                 }
                 return Ok(CappedWrite::Full { attempts: attempt });
             }
+            Some(WriteFault::Enospc) => {
+                return Err(WriteError::Io(io::Error::from_raw_os_error(28)));
+            }
             None => {}
         }
         match write_full_at(file, offset, data, 0) {
-            Ok(()) => return Ok(CappedWrite::Full { attempts: attempt }),
+            Ok(()) => {
+                crash::record_write_file(file, offset, data);
+                return Ok(CappedWrite::Full { attempts: attempt });
+            }
             Err(WriteError::Io(e)) if attempt < max_retries && is_transient(&e) => {
                 attempt += 1;
                 clock.backoff(&mut backoff, rank, offset, attempt)?;
@@ -621,10 +725,16 @@ pub fn write_vectored_at(
             // batch (only built when the plan is unarmed) delivers in
             // full. Bytes are already accounted.
             Some(WriteFault::Short { .. }) => {}
+            Some(WriteFault::Enospc) => {
+                return Err(WriteError::Io(io::Error::from_raw_os_error(28)));
+            }
             None => {}
         }
         match write_vectored_all(file, offset, bufs) {
-            Ok(()) => return Ok(attempt),
+            Ok(()) => {
+                crash::record_write_bufs(file, offset, bufs);
+                return Ok(attempt);
+            }
             Err(e) if attempt < max_retries && is_transient(&e) => {
                 attempt += 1;
                 clock.backoff(&mut backoff, rank, offset, attempt)?;
@@ -850,6 +960,71 @@ mod tests {
             "gave up far too late: {elapsed:?}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_fires_at_budget_and_is_persistent() {
+        let p = FaultPlan::none().enospc_after_bytes(4, 100);
+        assert_eq!(p.on_write(4, 100, 0), None); // fills the device exactly
+        assert_eq!(p.on_write(4, 1, 0), Some(WriteFault::Enospc));
+        assert_eq!(p.on_write(4, 1, 1), Some(WriteFault::Enospc), "retry too");
+        assert_eq!(p.on_write(4, 1, 0), Some(WriteFault::Enospc), "stays full");
+        assert_eq!(p.on_write(5, 1 << 20, 0), None, "other ranks unaffected");
+    }
+
+    #[test]
+    fn enospc_rejects_the_single_write_that_crosses_the_budget() {
+        // One large write bigger than the remaining space must fail —
+        // the device does not accept a prefix of it.
+        let p = FaultPlan::none().enospc_after_bytes(4, 256);
+        assert_eq!(p.on_write(4, 1280, 0), Some(WriteFault::Enospc));
+        // …and the latch holds even for writes that would have fit.
+        assert_eq!(p.on_write(4, 1, 0), Some(WriteFault::Enospc));
+    }
+
+    #[test]
+    fn enospc_surfaces_errno_28_without_retries() {
+        let dir = std::env::temp_dir().join(format!("rbio-fault-nospc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(dir.join("n.bin"))
+            .unwrap();
+        let plan = FaultPlan::none().enospc_after_bytes(6, 0);
+        let start = Instant::now();
+        let err = write_at_with_retry(&f, 6, 0, &[1u8; 8], &plan, 8, Duration::from_millis(10))
+            .expect_err("full device must fail");
+        assert!(
+            start.elapsed() < Duration::from_millis(10),
+            "ENOSPC must not consume the retry schedule"
+        );
+        match err {
+            WriteError::Io(e) => assert_eq!(e.raw_os_error(), Some(28)),
+            other => panic!("expected Io(ENOSPC), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fsync_failure_is_sticky() {
+        let p = FaultPlan::none().fsync_eio(2);
+        let e = p.on_fsync(2).expect("injected fsync failure");
+        assert_eq!(e.raw_os_error(), Some(5));
+        // fsyncgate: a retried fsync must not report clean.
+        assert!(p.on_fsync(2).is_some(), "second fsync must also fail");
+        assert!(p.on_fsync(2).is_some(), "and every one after");
+        assert!(p.on_fsync(3).is_none(), "other ranks unaffected");
+    }
+
+    #[test]
+    fn real_fsync_failure_latches_the_rank() {
+        let p = FaultPlan::none();
+        assert!(p.on_fsync(1).is_none());
+        p.latch_fsync_failure(1);
+        assert!(p.on_fsync(1).is_some(), "latched rank can never sync clean");
+        assert!(p.on_fsync(0).is_none());
     }
 
     #[test]

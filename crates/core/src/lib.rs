@@ -46,6 +46,7 @@
 pub mod backend;
 pub mod buf;
 pub mod commit;
+pub mod crash;
 pub mod exec;
 pub mod failover;
 pub mod fault;
@@ -57,6 +58,7 @@ pub mod pipeline;
 pub mod restart;
 pub mod rt;
 pub mod sched;
+pub mod scrub;
 pub mod service;
 pub mod strategy;
 pub mod tier;

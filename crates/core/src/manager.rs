@@ -261,7 +261,54 @@ fn publish_generation(
         MANAGER_RANK,
     )?;
     let body = marker_body(dir, step, specs).map_err(|e| io::Error::other(e.to_string()))?;
-    commit::commit_text_with_faults(&commit_path(dir, step), &body, fsync, faults, MANAGER_RANK)
+    commit::commit_text_with_faults(&commit_path(dir, step), &body, fsync, faults, MANAGER_RANK)?;
+    if fsync {
+        // The durability promise the crash sweep holds restores to:
+        // from here on, losing this generation is a contract breach.
+        sched::emit(|| Event::GenDurable { step });
+    }
+    Ok(())
+}
+
+/// Remove every file in `dir` whose name ends with `suffix`, tolerating
+/// concurrent deletion. Returns how many this call removed.
+fn reap_suffix(dir: &Path, suffix: &str) -> Result<u64, ManagerError> {
+    let mut victims = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) if entry_vanished(&e) => continue,
+            Err(e) => return Err(ManagerError::Io(e)),
+        };
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(suffix) {
+            victims.push(entry.path());
+        }
+    }
+    let mut removed = 0u64;
+    for victim in victims {
+        if remove_if_exists(&victim)? {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Garbage-collect orphans a crashed run can leave behind: `*.tmp`
+/// siblings in the checkpoint directory (a writer died between open and
+/// commit) and, when given, `*.slab` staging files in the tier's local
+/// directory (slabs are only meaningful to the engine instance that
+/// created them — a fresh manager can never drain a dead one's slab).
+/// Every reaped file counts toward the `gc_orphans` profile counter.
+fn gc_orphans(dir: &Path, slab_dir: Option<&Path>) -> Result<u64, ManagerError> {
+    let mut removed = reap_suffix(dir, commit::TMP_SUFFIX)?;
+    if let Some(sd) = slab_dir {
+        removed += reap_suffix(sd, ".slab")?;
+    }
+    if removed > 0 {
+        rbio_profile::counters::add_gc_orphans(removed);
+    }
+    Ok(removed)
 }
 
 impl CheckpointManager {
@@ -279,6 +326,10 @@ impl CheckpointManager {
             }
             None => None,
         };
+        // Startup GC: a crashed predecessor's half-written `.tmp`
+        // siblings and its unreferenced staging slabs are dead weight —
+        // no marker references them, and this engine cannot drain them.
+        gc_orphans(&cfg.dir, cfg.tier.as_ref().map(|t| t.local_dir.as_path()))?;
         Ok(CheckpointManager {
             cfg,
             layout,
@@ -333,7 +384,20 @@ impl CheckpointManager {
             }
             None => None,
         };
-        let report = execute(&plan.program, payloads, &exec_cfg).map_err(ManagerError::Exec)?;
+        let report = match execute(&plan.program, payloads, &exec_cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                // Abort cleanly: reap the aborted step's half-written
+                // `.tmp` files (and its staging slab) so a full device
+                // or dead writer never latches partial state — the
+                // prior committed generation stays the newest visible
+                // one. Final-named files are never touched: anything
+                // already committed for this step is unreferenced
+                // without a marker and harmless.
+                self.abort_step_cleanup(step);
+                return Err(ManagerError::Exec(e));
+            }
+        };
 
         // Generation manifest: which writer actually landed each extent.
         // Written before the commit marker (an aborted step may leave a
@@ -414,24 +478,42 @@ impl CheckpointManager {
         // Direct path: manifest then commit marker, both through the
         // tmp + CRC footer + rename commit path so a crash never leaves
         // a half-written metadata file that a restart could trust.
-        commit::commit_text_with_faults(
-            &manifest_path(&self.cfg.dir, step),
+        publish_generation(
+            &self.cfg.dir,
+            step,
             &manifest,
+            &specs,
+            &[],
             self.cfg.fsync,
             &self.cfg.faults,
-            MANAGER_RANK,
-        )?;
-        let body = marker_body(&self.cfg.dir, step, &specs)?;
-        commit::commit_text_with_faults(
-            &commit_path(&self.cfg.dir, step),
-            &body,
-            self.cfg.fsync,
-            &self.cfg.faults,
-            MANAGER_RANK,
         )?;
 
         self.rotate()?;
         Ok(report)
+    }
+
+    /// Best-effort removal of an aborted step's `.tmp` siblings and its
+    /// staging slab. Errors are swallowed — the abort itself is the
+    /// news, and anything missed here is reaped by the next manager's
+    /// startup GC.
+    fn abort_step_cleanup(&self, step: u64) {
+        let prefix = step_prefix(step);
+        let mut removed = 0u64;
+        if let Ok(entries) = fs::read_dir(&self.cfg.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with(&prefix) && name.ends_with(commit::TMP_SUFFIX) {
+                    removed += u64::from(remove_if_exists(&entry.path()).unwrap_or(false));
+                }
+            }
+        }
+        if let Some(t) = &self.cfg.tier {
+            let slab = t.local_dir.join(format!("{prefix}.slab"));
+            removed += u64::from(remove_if_exists(&slab).unwrap_or(false));
+        }
+        if removed > 0 {
+            rbio_profile::counters::add_gc_orphans(removed);
+        }
     }
 
     /// Block until `step` is durable on the PFS tier, then rotate old
@@ -613,6 +695,13 @@ impl CheckpointManager {
     /// holding a durable copy: the retained local slab (memory speed),
     /// then the burst directory, then the PFS.
     pub fn restore_latest(&self) -> Result<RestoredData, ManagerError> {
+        // Restore-time GC: a restore means the previous run is over, so
+        // its half-written `.tmp` orphans are reapable. Only without a
+        // drain engine — a live engine may still be publishing through
+        // `.tmp` siblings of its own.
+        if self.engine.is_none() {
+            gc_orphans(&self.cfg.dir, None)?;
+        }
         // Nearest tier: the newest drained-and-retained local stage.
         // Only durable generations qualify — a stage whose drain failed
         // or is still in flight is not restart state yet.
@@ -627,6 +716,7 @@ impl CheckpointManager {
                             step,
                             tier: TierId::Local,
                         });
+                        sched::emit(|| Event::RestoreDone { step });
                         return Ok(data);
                     }
                 }
@@ -653,6 +743,7 @@ impl CheckpointManager {
                     if state == GenerationState::Degraded {
                         rbio_profile::counters::add_degraded_generations(1);
                     }
+                    sched::emit(|| Event::RestoreDone { step });
                     return Ok(data);
                 }
             }
@@ -667,6 +758,7 @@ impl CheckpointManager {
                     if state == GenerationState::Degraded {
                         rbio_profile::counters::add_degraded_generations(1);
                     }
+                    sched::emit(|| Event::RestoreDone { step });
                     return Ok(data);
                 }
                 Err(RestartError::Io(e)) => return Err(ManagerError::Io(e)),
@@ -981,6 +1073,43 @@ mod tests {
         mgr.rotate().expect("rotate reaps the orphan");
         assert!(!dir.join("step0000000001-orphan.rbio").exists());
         assert_eq!(mgr.committed_steps().unwrap(), vec![2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn startup_and_restore_gc_reap_orphaned_tmps() {
+        let (mgr, dir) = mk("gc-orphans", 2);
+        mgr.checkpoint(1, fill_for(1)).expect("ck 1");
+        drop(mgr);
+        // A crashed predecessor left half-written commit tmps behind.
+        std::fs::write(dir.join("step0000000002.00000.rbio.tmp"), b"half").unwrap();
+        std::fs::write(dir.join("step0000000002.manifest.tmp"), b"half").unwrap();
+        let before = rbio_profile::counters::scrub_snapshot();
+        let mgr = CheckpointManager::new(
+            DataLayout::uniform(8, &[("u", 1024), ("v", 256)]),
+            ManagerConfig::new(&dir, Strategy::rbio(2)),
+        )
+        .expect("reopen");
+        assert!(
+            !dir.join("step0000000002.00000.rbio.tmp").exists(),
+            "startup GC must reap orphaned tmps"
+        );
+        assert!(!dir.join("step0000000002.manifest.tmp").exists());
+        let delta = rbio_profile::counters::scrub_snapshot().delta_since(&before);
+        assert!(
+            delta.gc_orphans >= 2,
+            "gc_orphans counted {}",
+            delta.gc_orphans
+        );
+        // Orphans appearing later are reaped at restore time too (no
+        // tier engine is running, so the sweep is safe).
+        std::fs::write(dir.join("step0000000003.00000.rbio.tmp"), b"half").unwrap();
+        let restored = mgr.restore_latest().expect("restore");
+        assert_eq!(restored.step, 1, "GC must not disturb committed data");
+        assert!(
+            !dir.join("step0000000003.00000.rbio.tmp").exists(),
+            "restore-time GC must reap orphaned tmps"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

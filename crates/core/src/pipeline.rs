@@ -42,6 +42,7 @@ use rbio_profile::counters;
 use crate::backend::{self, IoBackend, IoCtx, WriteOp};
 use crate::buf::Bytes;
 use crate::commit;
+use crate::crash;
 use crate::fault::{self, FaultPlan};
 use crate::sched::{self, Point};
 
@@ -474,9 +475,11 @@ impl FlushPool {
             retry_backoff: tuning.retry_backoff,
             jitter_seed: tuning.jitter_seed,
             beat: tuning.beat,
-            backend: tuning
-                .backend
-                .unwrap_or_else(|| backend::resolve(backend::BackendKind::Default)),
+            backend: crash::wrap_if_recording(
+                tuning
+                    .backend
+                    .unwrap_or_else(|| backend::resolve(backend::BackendKind::Default)),
+            ),
         };
         let state = WriterState {
             ctx,
@@ -879,7 +882,15 @@ fn run_job(ctx: &WriterCtx, seq: u64, job: FlushJob) -> Result<u32, PipelineErro
         ),
         FlushJob::Close { file, fsync } => {
             if fsync {
-                ctx.backend.sync_file(&file).map_err(PipelineError::Io)?;
+                // Sticky fsync semantics: a rank whose fsync ever
+                // failed can never report a later close durable.
+                if let Some(e) = ctx.faults.on_fsync(ctx.rank) {
+                    return Err(PipelineError::Io(e));
+                }
+                ctx.backend.sync_file(&file).map_err(|e| {
+                    ctx.faults.latch_fsync_failure(ctx.rank);
+                    PipelineError::Io(e)
+                })?;
             }
             drop(file);
             Ok(0)

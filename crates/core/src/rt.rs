@@ -28,6 +28,7 @@ use rbio_profile::counters;
 use crate::backend::BackendKind;
 use crate::buf::{BufPool, Bytes, CopyMode};
 use crate::commit;
+use crate::crash;
 use crate::exec::{
     src_len, write_run_len, write_src, CHECK_RECV_POLL_BUDGET, CHECK_SEND_POLL_BUDGET,
     DEFAULT_CHAN_CAPACITY,
@@ -1015,7 +1016,13 @@ pub fn checkpoint_rank_with(
                         })
                         .map_err(pipe_err)?;
                     } else if cfg.fsync_on_close {
-                        f.sync_all().map_err(io_err)?;
+                        if let Some(e) = cfg.faults.on_fsync(rank) {
+                            return Err(io_err(e));
+                        }
+                        f.sync_all()
+                            .inspect_err(|_| cfg.faults.latch_fsync_failure(rank))
+                            .map_err(io_err)?;
+                        crash::record_fsync_file(&f);
                     }
                 }
             }

@@ -333,6 +333,19 @@ pub enum Event {
         /// Tier that served the restore.
         tier: TierId,
     },
+    /// A generation was published with fsync on: the API promised the
+    /// caller this step is durable and will survive a crash.
+    GenDurable {
+        /// The promised-durable generation step.
+        step: u64,
+    },
+    /// `restore_latest` returned a generation to the caller. Returning
+    /// a step older than the newest [`Event::GenDurable`] promise is
+    /// the fsynced-implies-recoverable violation.
+    RestoreDone {
+        /// The restored generation step.
+        step: u64,
+    },
 }
 
 /// A pluggable scheduler. The production scheduler is "no scheduler"

@@ -45,6 +45,17 @@ static TUNE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static TUNE_PRUNED: AtomicU64 = AtomicU64::new(0);
 static TUNE_EVAL_NANOS: AtomicU64 = AtomicU64::new(0);
 
+// Crash-torture and scrub observability (see `rbio::crash` and
+// `rbio::scrub`): how many synthetic crash images the durability sweep
+// has checked, what the scrubber verified, found, and repaired, and how
+// many orphaned files startup/restore GC reaped.
+static CRASH_IMAGES_CHECKED: AtomicU64 = AtomicU64::new(0);
+static SCRUB_FILES_CHECKED: AtomicU64 = AtomicU64::new(0);
+static SCRUB_BYTES_VERIFIED: AtomicU64 = AtomicU64::new(0);
+static SCRUB_DAMAGE_FOUND: AtomicU64 = AtomicU64::new(0);
+static SCRUB_REPAIRS: AtomicU64 = AtomicU64::new(0);
+static GC_ORPHANS: AtomicU64 = AtomicU64::new(0);
+
 // Multi-tenant service observability (see `rbio::service`): admission
 // decisions, backpressure and QoS events, and uses of the legacy
 // `FlushPool::global()` shim (each one a caller bypassing the
@@ -327,6 +338,109 @@ pub fn tier_snapshot() -> TierSnapshot {
         drained_bytes: TIER_DRAINED_BYTES.load(Ordering::Relaxed),
         tier_restores: TIER_RESTORES.load(Ordering::Relaxed),
         tier_losses: TIER_LOSSES.load(Ordering::Relaxed),
+    }
+}
+
+/// A point-in-time reading of the crash-sweep / scrubber / GC counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubSnapshot {
+    /// Synthetic crash images materialized and restore-checked.
+    pub crash_images_checked: u64,
+    /// Generation files whose footer CRCs the scrubber re-verified.
+    pub scrub_files_checked: u64,
+    /// Bytes read and checksummed by the scrubber.
+    pub scrub_bytes_verified: u64,
+    /// Damage records the scrubber classified (torn, missing, orphan,
+    /// metadata divergence).
+    pub scrub_damage_found: u64,
+    /// Damaged files repaired from a redundant copy.
+    pub scrub_repairs: u64,
+    /// Orphaned `*.tmp` / unreferenced slab files garbage-collected.
+    pub gc_orphans: u64,
+}
+
+impl ScrubSnapshot {
+    /// The counter growth between `prev` (earlier) and `self` (later).
+    pub fn delta_since(&self, prev: &ScrubSnapshot) -> ScrubSnapshot {
+        ScrubSnapshot {
+            crash_images_checked: self
+                .crash_images_checked
+                .saturating_sub(prev.crash_images_checked),
+            scrub_files_checked: self
+                .scrub_files_checked
+                .saturating_sub(prev.scrub_files_checked),
+            scrub_bytes_verified: self
+                .scrub_bytes_verified
+                .saturating_sub(prev.scrub_bytes_verified),
+            scrub_damage_found: self
+                .scrub_damage_found
+                .saturating_sub(prev.scrub_damage_found),
+            scrub_repairs: self.scrub_repairs.saturating_sub(prev.scrub_repairs),
+            gc_orphans: self.gc_orphans.saturating_sub(prev.gc_orphans),
+        }
+    }
+
+    /// Render as a JSON object, for inclusion in profile exports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"crash_images_checked\": {}, \"scrub_files_checked\": {}, \
+             \"scrub_bytes_verified\": {}, \"scrub_damage_found\": {}, \
+             \"scrub_repairs\": {}, \"gc_orphans\": {}}}",
+            self.crash_images_checked,
+            self.scrub_files_checked,
+            self.scrub_bytes_verified,
+            self.scrub_damage_found,
+            self.scrub_repairs,
+            self.gc_orphans
+        )
+    }
+}
+
+/// Account `n` synthetic crash images restore-checked.
+#[inline]
+pub fn add_crash_images_checked(n: u64) {
+    CRASH_IMAGES_CHECKED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` generation files re-verified by the scrubber.
+#[inline]
+pub fn add_scrub_files_checked(n: u64) {
+    SCRUB_FILES_CHECKED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` bytes read and checksummed by the scrubber.
+#[inline]
+pub fn add_scrub_bytes_verified(n: u64) {
+    SCRUB_BYTES_VERIFIED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` damage records classified by the scrubber.
+#[inline]
+pub fn add_scrub_damage_found(n: u64) {
+    SCRUB_DAMAGE_FOUND.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` files repaired from a redundant copy.
+#[inline]
+pub fn add_scrub_repairs(n: u64) {
+    SCRUB_REPAIRS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Account `n` orphaned files garbage-collected.
+#[inline]
+pub fn add_gc_orphans(n: u64) {
+    GC_ORPHANS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read the crash-sweep / scrubber / GC counters.
+pub fn scrub_snapshot() -> ScrubSnapshot {
+    ScrubSnapshot {
+        crash_images_checked: CRASH_IMAGES_CHECKED.load(Ordering::Relaxed),
+        scrub_files_checked: SCRUB_FILES_CHECKED.load(Ordering::Relaxed),
+        scrub_bytes_verified: SCRUB_BYTES_VERIFIED.load(Ordering::Relaxed),
+        scrub_damage_found: SCRUB_DAMAGE_FOUND.load(Ordering::Relaxed),
+        scrub_repairs: SCRUB_REPAIRS.load(Ordering::Relaxed),
+        gc_orphans: GC_ORPHANS.load(Ordering::Relaxed),
     }
 }
 

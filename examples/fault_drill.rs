@@ -1,6 +1,7 @@
 //! Recovery drill: kill a writer rank mid-checkpoint with the fault
-//! injection layer. Act 1 (failover disabled) shows the classic crash
-//! anatomy: the campaign aborts, leaves only `.tmp` debris, and restore
+//! injection layer. Act 1 (failover disabled) shows the crash anatomy:
+//! the campaign aborts, its `.tmp` debris is reaped on the spot (the
+//! `gc_orphans` counter ticks), no commit marker appears, and restore
 //! falls back to the previous committed generation byte for byte. Act 2
 //! repeats the same kill with writer failover on (the default): a
 //! surviving writer takes over the dead rank's extent and the generation
@@ -42,8 +43,10 @@ fn main() {
     let err = doomed.checkpoint(2, fill(2)).expect_err("step 2 must die");
     println!("step 2 crashed as injected: {err}");
 
-    // What's on disk: step 2 never committed, its writer-4 file is still a
-    // .tmp sibling, and no final .rbio name is partially written.
+    // What's on disk: step 2 never committed — no marker — and the dead
+    // writer's half-written .tmp was reaped by the abort cleanup. Files a
+    // faster writer already renamed to their final .rbio name may remain,
+    // but without a commit marker restore never looks at them.
     let mut names: Vec<String> = std::fs::read_dir(&dir)
         .expect("dir")
         .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
@@ -51,7 +54,7 @@ fn main() {
         .collect();
     names.sort();
     println!("step-2 debris: {names:?}");
-    assert!(names.iter().any(|n| n.ends_with(".rbio.tmp")));
+    assert!(!names.iter().any(|n| n.ends_with(".rbio.tmp")));
     assert!(!names.iter().any(|n| n.ends_with(".commit")));
 
     // Recovery: the newest fully-valid generation is step 1.
